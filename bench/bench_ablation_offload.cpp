@@ -1,0 +1,82 @@
+// Ablation: offloaded matching on a slow NIC processor (DESIGN.md
+// section 6, item 2).
+//
+// Section 3.3.4: offload removes host overhead but "can also force the
+// traversal of long queues on a slow processor on the network interface"
+// (the paper cites Underwood & Brightwell's queue-depth study).  We sweep
+// the Elan NIC's per-entry match cost while holding a deep posted-receive
+// queue, and watch small-message latency degrade — the flip side of
+// offload that host-based matching does not have.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/report.hpp"
+
+namespace {
+
+/// Small-message latency with `depth` posted receives ahead of the one
+/// that matches (forcing the matcher to scan past them).
+double latency_with_queue_depth(const icsim::core::ClusterConfig& cc,
+                                int depth) {
+  using namespace icsim;
+  core::Cluster cluster(cc);
+  double result = 0.0;
+  cluster.run([&](mpi::Mpi& mpi) {
+    if (mpi.rank() > 1) return;
+    const int peer = 1 - mpi.rank();
+    char byte = 0;
+    std::vector<mpi::Request> decoys;
+    std::vector<char> sink(1);
+    // Receives that never match (tag 999 from a silent source).
+    for (int i = 0; i < depth; ++i) {
+      decoys.push_back(mpi.irecv(sink.data(), 1, peer, 999));
+    }
+    constexpr int kReps = 50;
+    const double t0 = mpi.wtime();
+    for (int i = 0; i < kReps; ++i) {
+      if (mpi.rank() == 0) {
+        mpi.send(&byte, 1, peer, 1);
+        mpi.recv(&byte, 1, peer, 1);
+      } else {
+        mpi.recv(&byte, 1, peer, 1);
+        mpi.send(&byte, 1, peer, 1);
+      }
+    }
+    if (mpi.rank() == 0) {
+      result = (mpi.wtime() - t0) / (2.0 * kReps) * 1e6;
+    }
+    // Unblock the decoys so the run can end.
+    for (int i = 0; i < depth; ++i) mpi.send(&byte, 1, peer, 999);
+    for (auto& d : decoys) mpi.wait(d);
+  });
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace icsim;
+
+  std::printf("Ablation: NIC match cost x posted-queue depth "
+              "(1-byte ping-pong latency, us)\n\n");
+  const double entry_ns[] = {0.0, 40.0, 200.0, 1000.0};
+  core::Table t({"queue depth", "elan 0ns", "elan 40ns", "elan 200ns",
+                 "elan 1us", "IB host"});
+  t.print_header();
+  for (const int depth : {0, 16, 64, 256}) {
+    std::vector<std::string> row = {core::fmt_int(depth)};
+    for (const double ns : entry_ns) {
+      core::ClusterConfig cc = core::elan_cluster(2);
+      cc.elan.match_per_entry = sim::Time::ns(ns);
+      row.push_back(core::fmt(latency_with_queue_depth(cc, depth), 2));
+    }
+    row.push_back(core::fmt(latency_with_queue_depth(core::ib_cluster(2), depth), 2));
+    t.print_row(row);
+  }
+  std::printf("\nReading: with deep queues and a slow NIC matcher, offload "
+              "latency degrades toward (and past) host-based matching — "
+              "Section 3.3.4's caveat.\n");
+  return 0;
+}

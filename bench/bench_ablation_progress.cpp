@@ -1,0 +1,78 @@
+// Ablation: independent progress (DESIGN.md section 6, item 1).
+//
+// The paper's central hypothesis for the application-level gaps is that
+// MVAPICH makes progress only inside MPI calls while the Elan-4 NIC
+// progresses independently (Section 3.3.3); reference [6] of the paper
+// (Brightwell & Underwood, ICS'04) measures exactly this with an overlap
+// micro-benchmark, reproduced here: each of two ranks posts
+// irecv+isend of a large message, computes for T, then waits.  The
+// "exposed" communication time is total - T.  A transport with
+// independent progress drives the rendezvous during the compute phase, so
+// exposed time collapses as T grows; one without it cannot start the bulk
+// transfer until the wait, so exposed time stays near the full transfer
+// cost.  Flipping our MVAPICH model's one ablation bit reproduces the
+// contrast.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/report.hpp"
+
+namespace {
+
+/// Exposed communication time (us) for a bidirectional `bytes` exchange
+/// with `compute_us` of computation between post and wait.
+double exposed_us(const icsim::core::ClusterConfig& cc, std::size_t bytes,
+                  double compute_us) {
+  using namespace icsim;
+  core::Cluster cluster(cc);
+  double result = 0.0;
+  cluster.run([&](mpi::Mpi& mpi) {
+    if (mpi.rank() > 1) return;
+    const int peer = 1 - mpi.rank();
+    std::vector<std::byte> sbuf(bytes), rbuf(bytes);
+    constexpr int kReps = 20;
+    // Warm-up exchange aligns the pair and the registration cache.
+    mpi.sendrecv(sbuf.data(), bytes, peer, 0, rbuf.data(), bytes, peer, 0);
+    const double t0 = mpi.wtime();
+    for (int i = 0; i < kReps; ++i) {
+      mpi::Request rr = mpi.irecv(rbuf.data(), bytes, peer, 1);
+      mpi::Request sr = mpi.isend(sbuf.data(), bytes, peer, 1);
+      mpi.compute(compute_us * 1e-6);
+      mpi.wait(sr);
+      mpi.wait(rr);
+    }
+    if (mpi.rank() == 0) {
+      result = ((mpi.wtime() - t0) / kReps - compute_us * 1e-6) * 1e6;
+    }
+  });
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace icsim;
+  constexpr std::size_t kBytes = 128 * 1024;
+
+  core::ClusterConfig ib = core::ib_cluster(2);
+  core::ClusterConfig ibp = core::ib_cluster(2);
+  ibp.mvapich.independent_progress = true;
+  core::ClusterConfig el = core::elan_cluster(2);
+
+  std::printf("Ablation: independent progress — exposed communication time "
+              "(us) for a %zu kB bidirectional exchange\n\n", kBytes / 1024);
+  core::Table t({"compute us", "IB stock", "IB +indep", "Elan-4"});
+  t.print_header();
+  for (const double comp : {0.0, 50.0, 100.0, 200.0, 400.0, 800.0}) {
+    t.print_row({core::fmt(comp, 0), core::fmt(exposed_us(ib, kBytes, comp), 1),
+                 core::fmt(exposed_us(ibp, kBytes, comp), 1),
+                 core::fmt(exposed_us(el, kBytes, comp), 1)});
+  }
+  std::printf("\nReading: with enough compute to hide behind, Elan-4 and the "
+              "+independent-progress InfiniBand expose almost nothing, while "
+              "stock MVAPICH still pays the bulk transfer at wait time — the "
+              "paper's Section 3.3.3/3.3.5 mechanism in isolation.\n");
+  return 0;
+}

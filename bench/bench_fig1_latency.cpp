@@ -1,0 +1,38 @@
+// Figure 1(a): ping-pong latency vs message size, 4X InfiniBand vs Quadrics
+// Elan-4, two nodes, 1 PPN, Pallas method.
+//
+// Paper shape targets: Elan-4 latency about half of InfiniBand's at small
+// sizes; a sharp InfiniBand jump between 1 KB and 2 KB where MVAPICH
+// switches from its eager to its rendezvous protocol; both then track
+// message size.
+
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "microbench/pingpong.hpp"
+
+int main() {
+  using namespace icsim;
+
+  microbench::PingPongOptions opt;
+  opt.sizes = microbench::pallas_sizes(4 << 20);
+  opt.repetitions = 50;
+  opt.warmup = 5;
+
+  std::printf("Figure 1(a): ping-pong latency (us), 2 nodes, 1 PPN\n\n");
+  const auto ib = microbench::run_pingpong(core::ib_cluster(2), opt);
+  const auto elan = microbench::run_pingpong(core::elan_cluster(2), opt);
+
+  core::Table t({"bytes", "IB us", "Elan4 us", "IB/Elan"});
+  t.print_header();
+  for (std::size_t i = 0; i < ib.size(); ++i) {
+    t.print_row({core::fmt_int(static_cast<long>(ib[i].bytes)),
+                 core::fmt(ib[i].latency_us),
+                 core::fmt(elan[i].latency_us),
+                 core::fmt(ib[i].latency_us / elan[i].latency_us)});
+  }
+
+  std::printf("\npaper anchors: Elan-4 ~= 1/2 IB at small sizes; IB jump "
+              "between 1KB and 2KB (eager->rendezvous)\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Table 1: the evaluated platform — compute nodes, both interconnects and
+// their MPI stacks — as configured in this reproduction's calibration.
+
+#include <cstdio>
+
+#include "core/cluster.hpp"
+
+int main() {
+  using namespace icsim;
+  const auto node = core::poweredge1750();
+  const auto ibf = core::ib_fabric(32);
+  const auto elf = core::elan_fabric(32);
+  const auto hca = core::voltaire_hca400();
+  const auto elan = core::elan4_qm500();
+  const auto mv = core::mvapich_092();
+
+  std::printf("Table 1: evaluated platform (simulated)\n\n");
+  std::printf("Node: Dell PowerEdge 1750 class — %d CPUs, PCI-X %.0f MB/s "
+              "(+%.0f ns/burst), host copy %.1f GB/s, SMP compute slowdown "
+              "x%.2f\n",
+              node.cpus, node.pcix_bandwidth.mb_per_second(),
+              static_cast<double>(node.pcix_dma_overhead.to_ns()),
+              node.memory_copy_bandwidth.bytes_per_second() / 1e9,
+              node.smp_compute_slowdown);
+
+  std::printf("\n4X InfiniBand: Voltaire HCA 400 + ISR 9600 class fabric\n");
+  std::printf("  link %.2f GB/s data, switch hop %.0f ns, MTU %u B, "
+              "fat tree radix %d x %d levels\n",
+              ibf.link_bandwidth.bytes_per_second() / 1e9,
+              ibf.switch_latency.to_ns(), ibf.mtu_bytes, ibf.radix_down,
+              ibf.levels);
+  std::printf("  HCA: WQE %.2f us, reg %.0f us + %.2f us/page, pin cache "
+              "%.1f MB, QP connect %.0f us\n",
+              hca.send_wqe_cost.to_us(), hca.reg_base_cost.to_us(),
+              hca.reg_per_page.to_us(),
+              static_cast<double>(hca.reg_cache_capacity) / 1e6,
+              hca.qp_connect_cost.to_us());
+  std::printf("  MPI: MVAPICH 0.9.2 model — eager <= %zu B, ring %d slots x "
+              "%u B per peer, progress only inside MPI calls\n",
+              mv.eager_threshold, mv.ring_slots, mv.vbuf_bytes);
+
+  std::printf("\nQuadrics Elan-4: QM-500 + QS5A class fabric\n");
+  std::printf("  link %.2f GB/s data, switch hop %.0f ns, fat tree radix %d "
+              "x %d levels\n",
+              elf.link_bandwidth.bytes_per_second() / 1e9,
+              elf.switch_latency.to_ns(), elf.radix_down, elf.levels);
+  std::printf("  NIC: thread tx %.2f us / rx %.2f us + %.0f ns per match "
+              "entry, inline %u B, get threshold %u B, no registration\n",
+              elan.nic_tx_cost.to_us(), elan.nic_rx_base.to_us(),
+              elan.match_per_entry.to_ns(), elan.inline_bytes,
+              elan.get_threshold);
+  std::printf("  MPI: Quadrics Tports model — NIC matching, independent "
+              "progress, connectionless\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Example: interactive-style cost exploration — sweep cluster sizes and
+// print the full bill of materials for each network build-out.
+//
+//   $ ./build/examples/cost_explorer [nodes]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "cost/cost_model.hpp"
+
+namespace {
+
+void print_bom(const char* name, const icsim::cost::NetworkCost& c, int nodes) {
+  std::printf("  %-22s switches:%4d  cables:%5d  adapters $%9.0f  "
+              "switches $%10.0f  cables $%8.0f  => $%7.0f/node\n",
+              name, c.switch_count, c.cable_count, c.adapters, c.switches,
+              c.cables, c.per_node(nodes));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace icsim;
+  const int chosen = argc > 1 ? std::atoi(argv[1]) : 0;
+
+  for (const int n : chosen > 0 ? std::vector<int>{chosen}
+                                : std::vector<int>{32, 256, 1024}) {
+    std::printf("--- %d nodes ---\n", n);
+    print_bom("Quadrics Elan-4", cost::quadrics_network(n), n);
+    print_bom("InfiniBand 96-port", cost::ib96_network(n), n);
+    print_bom("InfiniBand 24/288 2:1", cost::ib_24_288_network(n, false), n);
+    print_bom("InfiniBand 24/288 full", cost::ib_24_288_network(n, true), n);
+    const double node_cost = 2500.0;
+    std::printf("  total system (with $%.0f nodes): Elan $%.0f/node, IB-96 "
+                "$%.0f/node, IB-24/288 $%.0f/node\n\n",
+                node_cost,
+                cost::total_system_per_node(cost::quadrics_network(n), n),
+                cost::total_system_per_node(cost::ib96_network(n), n),
+                cost::total_system_per_node(cost::ib_24_288_network(n, false), n));
+  }
+  return 0;
+}

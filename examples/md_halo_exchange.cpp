@@ -1,0 +1,54 @@
+// Domain-scenario example: run the mini molecular-dynamics application
+// (the paper's LAMMPS stand-in) on 8 nodes of each network, with and
+// without communication/computation overlap, and report how much of the
+// halo exchange each network hides.
+//
+//   $ ./build/examples/md_halo_exchange
+
+#include <cstdio>
+
+#include "apps/lammps/md.hpp"
+#include "core/cluster.hpp"
+
+namespace {
+
+double run_md_case(icsim::core::Network net, bool overlap) {
+  using namespace icsim;
+  apps::md::MdConfig mc = apps::md::membrane_config();
+  mc.cells_x = mc.cells_y = mc.cells_z = 6;
+  mc.steps = 20;
+  mc.overlap_comm = overlap;
+
+  core::ClusterConfig cc = net == core::Network::infiniband
+                               ? core::ib_cluster(8, 1)
+                               : core::elan_cluster(8, 1);
+  core::Cluster cluster(cc);
+  double seconds = 0.0;
+  cluster.run([&](mpi::Mpi& mpi) {
+    const auto r = apps::md::run_md(mpi, mc);
+    if (mpi.rank() == 0) seconds = r.loop_seconds;
+  });
+  return seconds;
+}
+
+}  // namespace
+
+int main() {
+  using namespace icsim;
+  std::printf("membrane MD on 8 nodes: effect of overlapping the halo "
+              "exchange with interior forces\n\n");
+  std::printf("%-18s %14s %14s %10s\n", "network", "blocking s", "overlapped s",
+              "saved");
+  for (const auto net : {core::Network::infiniband, core::Network::quadrics}) {
+    const double blocking = run_md_case(net, false);
+    const double overlapped = run_md_case(net, true);
+    std::printf("%-18s %14.4f %14.4f %9.1f%%\n", core::to_string(net),
+                blocking, overlapped,
+                100.0 * (blocking - overlapped) / blocking);
+  }
+  std::printf("\nIndependent progress is what converts nonblocking calls "
+              "into actual overlap: the Elan-4 NIC advances the protocol "
+              "while the host computes; MVAPICH only advances inside MPI "
+              "calls (paper Sections 3.3.3-3.3.5).\n");
+  return 0;
+}

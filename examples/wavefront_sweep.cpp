@@ -1,0 +1,41 @@
+// Domain-scenario example: the Sweep3D neutron-transport wavefront on a
+// 4x4 process grid, showing the pipeline structure and the physics
+// checksum that the tests rely on.
+//
+//   $ ./build/examples/wavefront_sweep
+
+#include <cstdio>
+
+#include "apps/sweep3d/sweep.hpp"
+#include "core/cluster.hpp"
+
+int main() {
+  using namespace icsim;
+
+  apps::sweep::SweepConfig sc;
+  sc.nx = sc.ny = 60;
+  sc.nz = 60;
+  sc.iterations = 3;
+
+  std::printf("Sweep3D %dx%dx%d, %d source iterations, 16 ranks\n\n", sc.nx,
+              sc.ny, sc.nz, sc.iterations);
+  for (const auto net : {core::Network::infiniband, core::Network::quadrics}) {
+    core::ClusterConfig cc = net == core::Network::infiniband
+                                 ? core::ib_cluster(16, 1)
+                                 : core::elan_cluster(16, 1);
+    core::Cluster cluster(cc);
+    apps::sweep::SweepResult result;
+    cluster.run([&](mpi::Mpi& mpi) {
+      const auto r = apps::sweep::run_sweep3d(mpi, sc);
+      if (mpi.rank() == 0) result = r;
+    });
+    std::printf("%-18s solve %.3f s  grind %.1f ns/cell-angle  flux checksum "
+                "%.6e  faces %.1f MB\n",
+                core::to_string(net), result.solve_seconds, result.grind_ns,
+                result.flux_sum,
+                static_cast<double>(result.face_bytes) / 1e6);
+  }
+  std::printf("\nThe flux checksum is identical on both networks — the "
+              "simulated MPI moves real data; only time differs.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+#pragma once
+// Per-rank atom storage (structure of arrays).
+//
+// Indices [0, nlocal) are owned atoms; [nlocal, nall) are ghosts received
+// from neighbouring ranks during the border exchange.
+
+#include <cstdint>
+#include <vector>
+
+namespace icsim::apps::md {
+
+struct Atoms {
+  std::vector<double> x, y, z;     // positions (locals + ghosts)
+  std::vector<double> vx, vy, vz;  // velocities (locals only meaningful)
+  std::vector<std::uint64_t> id;   // global ids (locals + ghosts)
+  int nlocal = 0;
+  int nall = 0;  ///< nlocal + ghosts
+
+  void clear_ghosts() {
+    x.resize(static_cast<std::size_t>(nlocal));
+    y.resize(static_cast<std::size_t>(nlocal));
+    z.resize(static_cast<std::size_t>(nlocal));
+    id.resize(static_cast<std::size_t>(nlocal));
+    nall = nlocal;
+  }
+
+  /// Only valid while there are no ghosts (setup and migration phases).
+  void add_local(double px, double py, double pz, double vvx, double vvy,
+                 double vvz, std::uint64_t gid) {
+    x.push_back(px);
+    y.push_back(py);
+    z.push_back(pz);
+    id.push_back(gid);
+    vx.push_back(vvx);
+    vy.push_back(vvy);
+    vz.push_back(vvz);
+    ++nlocal;
+    ++nall;
+  }
+
+  void add_ghost(double px, double py, double pz, std::uint64_t gid) {
+    x.push_back(px);
+    y.push_back(py);
+    z.push_back(pz);
+    id.push_back(gid);
+    ++nall;
+  }
+
+  /// Remove local atom i (swap with last local); ghosts must be cleared.
+  void remove_local(int i) {
+    const int last = nlocal - 1;
+    x[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(last)];
+    y[static_cast<std::size_t>(i)] = y[static_cast<std::size_t>(last)];
+    z[static_cast<std::size_t>(i)] = z[static_cast<std::size_t>(last)];
+    vx[static_cast<std::size_t>(i)] = vx[static_cast<std::size_t>(last)];
+    vy[static_cast<std::size_t>(i)] = vy[static_cast<std::size_t>(last)];
+    vz[static_cast<std::size_t>(i)] = vz[static_cast<std::size_t>(last)];
+    id[static_cast<std::size_t>(i)] = id[static_cast<std::size_t>(last)];
+    x.pop_back();
+    y.pop_back();
+    z.pop_back();
+    vx.pop_back();
+    vy.pop_back();
+    vz.pop_back();
+    id.pop_back();
+    --nlocal;
+    --nall;
+  }
+};
+
+}  // namespace icsim::apps::md

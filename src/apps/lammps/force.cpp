@@ -1,0 +1,86 @@
+#include "apps/lammps/force.hpp"
+
+#include <cmath>
+
+namespace icsim::apps::md {
+
+void compute_lj(const Atoms& atoms, const NeighborList& list,
+                const std::vector<int>& which, double cutoff, ForceAccum& f) {
+  const double cutsq = cutoff * cutoff;
+  // Energy shift so U(cutoff) = 0 (LAMMPS pair_style lj/cut convention
+  // with shifting enabled keeps conservation clean at the cutoff).
+  const double rc6 = 1.0 / (cutsq * cutsq * cutsq);
+  const double eshift = 4.0 * rc6 * (rc6 - 1.0);
+
+  for (const int i : which) {
+    const double xi = atoms.x[static_cast<std::size_t>(i)];
+    const double yi = atoms.y[static_cast<std::size_t>(i)];
+    const double zi = atoms.z[static_cast<std::size_t>(i)];
+    double fxi = 0.0, fyi = 0.0, fzi = 0.0;
+    for (int k = list.first[static_cast<std::size_t>(i)];
+         k < list.first[static_cast<std::size_t>(i) + 1]; ++k) {
+      const int j = list.neigh[static_cast<std::size_t>(k)];
+      const double dx = xi - atoms.x[static_cast<std::size_t>(j)];
+      const double dy = yi - atoms.y[static_cast<std::size_t>(j)];
+      const double dz = zi - atoms.z[static_cast<std::size_t>(j)];
+      const double rsq = dx * dx + dy * dy + dz * dz;
+      if (rsq >= cutsq) continue;
+      ++f.pair_evals;
+      const double r2i = 1.0 / rsq;
+      const double r6i = r2i * r2i * r2i;
+      // F/r = 48 eps (r^-12 - 0.5 r^-6) / r^2 in reduced units.
+      const double fpair = 48.0 * r6i * (r6i - 0.5) * r2i;
+      fxi += dx * fpair;
+      fyi += dy * fpair;
+      fzi += dz * fpair;
+      // Half the pair energy; the other half is credited by j's owner.
+      f.potential += 0.5 * (4.0 * r6i * (r6i - 1.0) - eshift);
+    }
+    f.fx[static_cast<std::size_t>(i)] += fxi;
+    f.fy[static_cast<std::size_t>(i)] += fyi;
+    f.fz[static_cast<std::size_t>(i)] += fzi;
+  }
+}
+
+void compute_bonds(const Atoms& atoms, const BondParams& params,
+                   const std::unordered_map<std::uint64_t, int>& id_to_index,
+                   ForceAccum& f) {
+  const auto chain = static_cast<std::uint64_t>(params.chain_length);
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    const std::uint64_t gid = atoms.id[static_cast<std::size_t>(i)];
+    const std::uint64_t pos_in_chain = gid % chain;
+    for (int side = -1; side <= 1; side += 2) {
+      if (side == -1 && pos_in_chain == 0) continue;
+      if (side == 1 && pos_in_chain == chain - 1) continue;
+      const std::uint64_t partner_id =
+          side == -1 ? gid - 1 : gid + 1;
+      const auto it = id_to_index.find(partner_id);
+      if (it == id_to_index.end()) continue;  // partner beyond ghost shell
+      const int j = it->second;
+      double dx = atoms.x[static_cast<std::size_t>(i)] -
+                  atoms.x[static_cast<std::size_t>(j)];
+      double dy = atoms.y[static_cast<std::size_t>(i)] -
+                  atoms.y[static_cast<std::size_t>(j)];
+      double dz = atoms.z[static_cast<std::size_t>(i)] -
+                  atoms.z[static_cast<std::size_t>(j)];
+      if (params.boxlen[0] > 0.0) {
+        dx -= params.boxlen[0] * std::round(dx / params.boxlen[0]);
+        dy -= params.boxlen[1] * std::round(dy / params.boxlen[1]);
+        dz -= params.boxlen[2] * std::round(dz / params.boxlen[2]);
+      }
+      const double r = std::sqrt(dx * dx + dy * dy + dz * dz);
+      if (r <= 0.0) continue;
+      ++f.bond_evals;
+      const double dr = r - params.r0;
+      // U = k dr^2, F = -2 k dr (r_hat), applied to i only (j's owner
+      // applies the mirror force).
+      const double fmag = -2.0 * params.k * dr / r;
+      f.fx[static_cast<std::size_t>(i)] += fmag * dx;
+      f.fy[static_cast<std::size_t>(i)] += fmag * dy;
+      f.fz[static_cast<std::size_t>(i)] += fmag * dz;
+      f.potential += 0.5 * params.k * dr * dr;
+    }
+  }
+}
+
+}  // namespace icsim::apps::md

@@ -1,0 +1,62 @@
+#pragma once
+// 3-D process grid for spatial decomposition.
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace icsim::apps::md {
+
+/// Factor `nprocs` into the most cube-like px * py * pz grid (minimum
+/// total surface), the same heuristic MPI_Dims_create-style codes use.
+struct ProcGrid {
+  int px = 1, py = 1, pz = 1;
+  int rank = 0;
+  int cx = 0, cy = 0, cz = 0;  ///< my coordinates
+
+  ProcGrid(int nprocs, int rank_in) : rank(rank_in) {
+    double best = 1e300;
+    for (int x = 1; x <= nprocs; ++x) {
+      if (nprocs % x != 0) continue;
+      const int rest = nprocs / x;
+      for (int y = 1; y <= rest; ++y) {
+        if (rest % y != 0) continue;
+        const int z = rest / y;
+        const double surface = x * y + y * z + x * z;
+        if (surface < best) {
+          best = surface;
+          px = x;
+          py = y;
+          pz = z;
+        }
+      }
+    }
+    if (px * py * pz != nprocs) throw std::logic_error("ProcGrid: bad factorization");
+    cx = rank % px;
+    cy = (rank / px) % py;
+    cz = rank / (px * py);
+  }
+
+  [[nodiscard]] int rank_of(int x, int y, int z) const {
+    const auto wrap = [](int v, int n) { return ((v % n) + n) % n; };
+    return wrap(x, px) + wrap(y, py) * px + wrap(z, pz) * px * py;
+  }
+
+  /// Neighbour in dimension dim (0=x,1=y,2=z), dir -1/+1 (periodic).
+  [[nodiscard]] int neighbour(int dim, int dir) const {
+    switch (dim) {
+      case 0: return rank_of(cx + dir, cy, cz);
+      case 1: return rank_of(cx, cy + dir, cz);
+      default: return rank_of(cx, cy, cz + dir);
+    }
+  }
+
+  [[nodiscard]] int coord(int dim) const {
+    return dim == 0 ? cx : dim == 1 ? cy : cz;
+  }
+  [[nodiscard]] int dims(int dim) const {
+    return dim == 0 ? px : dim == 1 ? py : pz;
+  }
+};
+
+}  // namespace icsim::apps::md

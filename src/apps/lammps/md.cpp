@@ -1,0 +1,481 @@
+#include "apps/lammps/md.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace icsim::apps::md {
+
+namespace {
+
+constexpr int kBorderTag = 100;   // + pass index
+constexpr int kForwardTag = 110;  // + pass index
+constexpr int kMigrateTag = 120;  // + 2*dim + (dir>0)
+
+/// Deterministic per-atom hash (splitmix64) so initial velocities depend
+/// only on the global atom id, not on the decomposition.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+double hash_uniform(std::uint64_t id, int component) {
+  const std::uint64_t h = splitmix64(id * 3 + static_cast<std::uint64_t>(component));
+  return (static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0)) - 0.5;
+}
+
+}  // namespace
+
+MdSimulation::MdSimulation(mpi::Mpi& mpi, const MdConfig& config)
+    : mpi_(mpi), cfg_(config), grid_(mpi.size(), mpi.rank()) {
+  lattice_a_ = std::cbrt(4.0 / cfg_.density);
+  cutneigh_ = cfg_.cutoff + cfg_.skin;
+  bonds_.chain_length = cfg_.chain_length;
+  for (int d = 0; d < 3; ++d) {
+    const int cells_d = d == 0 ? cfg_.cells_x : d == 1 ? cfg_.cells_y : cfg_.cells_z;
+    bonds_.boxlen[d] = cells_d * lattice_a_ * grid_.dims(d);
+  }
+
+  const int cells[3] = {cfg_.cells_x, cfg_.cells_y, cfg_.cells_z};
+  for (int d = 0; d < 3; ++d) {
+    const double local_len = cells[d] * lattice_a_;
+    if (local_len < cutneigh_) {
+      throw std::invalid_argument(
+          "MdSimulation: per-rank box smaller than the neighbour cutoff");
+    }
+    boxlen_[d] = local_len * grid_.dims(d);
+    boxlo_[d] = grid_.coord(d) * local_len;
+    boxhi_[d] = boxlo_[d] + local_len;
+  }
+}
+
+void MdSimulation::create_lattice() {
+  static constexpr double kBasis[4][3] = {
+      {0.0, 0.0, 0.0}, {0.5, 0.5, 0.0}, {0.5, 0.0, 0.5}, {0.0, 0.5, 0.5}};
+  const long NX = static_cast<long>(cfg_.cells_x) * grid_.px;
+  const long NY = static_cast<long>(cfg_.cells_y) * grid_.py;
+  for (int cz = grid_.cz * cfg_.cells_z; cz < (grid_.cz + 1) * cfg_.cells_z; ++cz) {
+    for (int cy = grid_.cy * cfg_.cells_y; cy < (grid_.cy + 1) * cfg_.cells_y; ++cy) {
+      for (int cx = grid_.cx * cfg_.cells_x; cx < (grid_.cx + 1) * cfg_.cells_x; ++cx) {
+        for (int s = 0; s < 4; ++s) {
+          const auto gid = static_cast<std::uint64_t>(
+              ((static_cast<long>(cz) * NY + cy) * NX + cx) * 4 + s);
+          atoms_.add_local((cx + kBasis[s][0]) * lattice_a_,
+                           (cy + kBasis[s][1]) * lattice_a_,
+                           (cz + kBasis[s][2]) * lattice_a_, 0.0, 0.0, 0.0, gid);
+        }
+      }
+    }
+  }
+}
+
+void MdSimulation::init_velocities() {
+  for (int i = 0; i < atoms_.nlocal; ++i) {
+    const std::uint64_t gid = atoms_.id[static_cast<std::size_t>(i)];
+    atoms_.vx[static_cast<std::size_t>(i)] = hash_uniform(gid, 0);
+    atoms_.vy[static_cast<std::size_t>(i)] = hash_uniform(gid, 1);
+    atoms_.vz[static_cast<std::size_t>(i)] = hash_uniform(gid, 2);
+  }
+  // Zero the aggregate momentum, then rescale to the target temperature.
+  double local[4] = {0.0, 0.0, 0.0, static_cast<double>(atoms_.nlocal)};
+  for (int i = 0; i < atoms_.nlocal; ++i) {
+    local[0] += atoms_.vx[static_cast<std::size_t>(i)];
+    local[1] += atoms_.vy[static_cast<std::size_t>(i)];
+    local[2] += atoms_.vz[static_cast<std::size_t>(i)];
+  }
+  double global[4];
+  mpi_.allreduce(local, global, 4, mpi::ReduceOp::sum);
+  const double n = global[3];
+  for (int i = 0; i < atoms_.nlocal; ++i) {
+    atoms_.vx[static_cast<std::size_t>(i)] -= global[0] / n;
+    atoms_.vy[static_cast<std::size_t>(i)] -= global[1] / n;
+    atoms_.vz[static_cast<std::size_t>(i)] -= global[2] / n;
+  }
+  double vsq_local = 0.0;
+  for (int i = 0; i < atoms_.nlocal; ++i) {
+    vsq_local += atoms_.vx[static_cast<std::size_t>(i)] * atoms_.vx[static_cast<std::size_t>(i)] +
+                 atoms_.vy[static_cast<std::size_t>(i)] * atoms_.vy[static_cast<std::size_t>(i)] +
+                 atoms_.vz[static_cast<std::size_t>(i)] * atoms_.vz[static_cast<std::size_t>(i)];
+  }
+  const double vsq = mpi_.allreduce(vsq_local, mpi::ReduceOp::sum);
+  const double t_now = vsq / (3.0 * n);
+  const double scale = std::sqrt(cfg_.initial_temp / t_now);
+  for (int i = 0; i < atoms_.nlocal; ++i) {
+    atoms_.vx[static_cast<std::size_t>(i)] *= scale;
+    atoms_.vy[static_cast<std::size_t>(i)] *= scale;
+    atoms_.vz[static_cast<std::size_t>(i)] *= scale;
+  }
+}
+
+void MdSimulation::migrate() {
+  atoms_.clear_ghosts();
+  std::vector<double>&sendlo = mig_lo_, &sendhi = mig_hi_, &recvbuf = mig_rbuf_;
+  for (int d = 0; d < 3; ++d) {
+    double* coord = d == 0 ? atoms_.x.data() : d == 1 ? atoms_.y.data() : atoms_.z.data();
+    if (grid_.dims(d) == 1) {
+      // Single rank in this dimension: wrap in place.
+      for (int i = 0; i < atoms_.nlocal; ++i) {
+        if (coord[i] < boxlo_[d]) coord[i] += boxlen_[d];
+        else if (coord[i] >= boxhi_[d]) coord[i] -= boxlen_[d];
+      }
+      continue;
+    }
+    sendlo.clear();
+    sendhi.clear();
+    // Collect leavers (PBC wrap applied as they cross the global edge).
+    for (int i = 0; i < atoms_.nlocal;) {
+      double c = coord[i];
+      if (c < boxlo_[d] || c >= boxhi_[d]) {
+        const bool low = c < boxlo_[d];
+        if (low && grid_.coord(d) == 0) c += boxlen_[d];
+        if (!low && grid_.coord(d) == grid_.dims(d) - 1) c -= boxlen_[d];
+        auto& buf = low ? sendlo : sendhi;
+        buf.push_back(d == 0 ? c : atoms_.x[static_cast<std::size_t>(i)]);
+        buf.push_back(d == 1 ? c : atoms_.y[static_cast<std::size_t>(i)]);
+        buf.push_back(d == 2 ? c : atoms_.z[static_cast<std::size_t>(i)]);
+        buf.push_back(atoms_.vx[static_cast<std::size_t>(i)]);
+        buf.push_back(atoms_.vy[static_cast<std::size_t>(i)]);
+        buf.push_back(atoms_.vz[static_cast<std::size_t>(i)]);
+        buf.push_back(static_cast<double>(atoms_.id[static_cast<std::size_t>(i)]));
+        atoms_.remove_local(i);
+        coord = d == 0 ? atoms_.x.data() : d == 1 ? atoms_.y.data() : atoms_.z.data();
+      } else {
+        ++i;
+      }
+    }
+    // Exchange with both neighbours (7 doubles per atom).
+    for (int dir = -1; dir <= 1; dir += 2) {
+      const auto& sbuf = dir == -1 ? sendlo : sendhi;
+      const int peer_to = grid_.neighbour(d, dir);
+      const int peer_from = grid_.neighbour(d, -dir);
+      const int tag = kMigrateTag + 2 * d + (dir > 0 ? 1 : 0);
+      const std::size_t natoms_out = sbuf.size() / 7;
+      mpi_.compute(static_cast<double>(natoms_out) * cfg_.cost.pack_atom_ns * 1e-9);
+      recvbuf.resize(static_cast<std::size_t>(atoms_.nlocal + 64) * 7 + sbuf.size() + 7000);
+      const auto st = mpi_.sendrecv(sbuf.data(), sbuf.size() * sizeof(double),
+                                    peer_to, tag, recvbuf.data(),
+                                    recvbuf.size() * sizeof(double), peer_from,
+                                    tag);
+      halo_bytes_ += sbuf.size() * sizeof(double);
+      const std::size_t nin = st.bytes / (7 * sizeof(double));
+      mpi_.compute(static_cast<double>(nin) * cfg_.cost.pack_atom_ns * 1e-9);
+      for (std::size_t a = 0; a < nin; ++a) {
+        const double* p = &recvbuf[a * 7];
+        atoms_.add_local(p[0], p[1], p[2], p[3], p[4], p[5],
+                         static_cast<std::uint64_t>(p[6]));
+      }
+    }
+  }
+}
+
+void MdSimulation::borders() {
+  atoms_.clear_ghosts();
+  passes_.clear();
+  std::vector<double>&sbuf = comm_sbuf_, &rbuf = comm_rbuf_;
+  for (int d = 0; d < 3; ++d) {
+    const int scan_limit = atoms_.nall;  // locals + ghosts from earlier dims
+    for (int dir = -1; dir <= 1; dir += 2) {
+      CommPass pass;
+      pass.dim = d;
+      pass.dir = dir;
+      pass.peer = grid_.neighbour(d, dir);
+      pass.shift = 0.0;
+      if (dir == -1 && grid_.coord(d) == 0) pass.shift = boxlen_[d];
+      if (dir == +1 && grid_.coord(d) == grid_.dims(d) - 1) pass.shift = -boxlen_[d];
+
+      const double* coord =
+          d == 0 ? atoms_.x.data() : d == 1 ? atoms_.y.data() : atoms_.z.data();
+      const double edge = dir == -1 ? boxlo_[d] + cutneigh_ : boxhi_[d] - cutneigh_;
+      for (int i = 0; i < scan_limit; ++i) {
+        if ((dir == -1 && coord[i] < edge) || (dir == +1 && coord[i] >= edge)) {
+          pass.send_idx.push_back(i);
+        }
+      }
+
+      sbuf.clear();
+      for (const int i : pass.send_idx) {
+        sbuf.push_back(atoms_.x[static_cast<std::size_t>(i)] + (d == 0 ? pass.shift : 0.0));
+        sbuf.push_back(atoms_.y[static_cast<std::size_t>(i)] + (d == 1 ? pass.shift : 0.0));
+        sbuf.push_back(atoms_.z[static_cast<std::size_t>(i)] + (d == 2 ? pass.shift : 0.0));
+        sbuf.push_back(static_cast<double>(atoms_.id[static_cast<std::size_t>(i)]));
+      }
+      mpi_.compute(static_cast<double>(pass.send_idx.size()) *
+                   cfg_.cost.pack_atom_ns * 1e-9);
+
+      pass.ghost_first = atoms_.nall;
+      if (pass.peer == mpi_.rank()) {
+        // Periodic self-exchange: copy with shift, no MPI.
+        for (std::size_t a = 0; a < pass.send_idx.size(); ++a) {
+          atoms_.add_ghost(sbuf[a * 4], sbuf[a * 4 + 1], sbuf[a * 4 + 2],
+                           static_cast<std::uint64_t>(sbuf[a * 4 + 3]));
+        }
+        pass.nrecv = static_cast<int>(pass.send_idx.size());
+      } else {
+        const int tag = kBorderTag + 2 * d + (dir > 0 ? 1 : 0);
+        rbuf.resize(sbuf.size() + static_cast<std::size_t>(scan_limit + 64) * 4 + 4000);
+        const auto st = mpi_.sendrecv(sbuf.data(), sbuf.size() * sizeof(double),
+                                      pass.peer, tag, rbuf.data(),
+                                      rbuf.size() * sizeof(double),
+                                      grid_.neighbour(d, -dir), tag);
+        halo_bytes_ += sbuf.size() * sizeof(double);
+        pass.nrecv = static_cast<int>(st.bytes / (4 * sizeof(double)));
+        mpi_.compute(static_cast<double>(pass.nrecv) * cfg_.cost.pack_atom_ns * 1e-9);
+        for (int a = 0; a < pass.nrecv; ++a) {
+          const double* p = &rbuf[static_cast<std::size_t>(a) * 4];
+          atoms_.add_ghost(p[0], p[1], p[2], static_cast<std::uint64_t>(p[3]));
+        }
+      }
+      // NOTE: with two ranks in a dimension the low and high peers are the
+      // same rank; the per-pass tags keep the streams separate.
+      passes_.push_back(std::move(pass));
+    }
+  }
+}
+
+void MdSimulation::rebuild_id_map() {
+  id_map_.clear();
+  id_map_.reserve(static_cast<std::size_t>(atoms_.nall));
+  for (int i = 0; i < atoms_.nall; ++i) {
+    id_map_[atoms_.id[static_cast<std::size_t>(i)]] = i;
+  }
+}
+
+void MdSimulation::rebuild_neighbors() {
+  double lo[3], hi[3];
+  for (int d = 0; d < 3; ++d) {
+    lo[d] = boxlo_[d] - cutneigh_;
+    hi[d] = boxhi_[d] + cutneigh_;
+  }
+  build_neighbor_list(atoms_, cutneigh_, lo, hi, list_);
+  mpi_.compute(static_cast<double>(list_.candidates_checked) *
+               cfg_.cost.neigh_candidate_ns * 1e-9);
+  all_locals_.resize(static_cast<std::size_t>(atoms_.nlocal));
+  for (int i = 0; i < atoms_.nlocal; ++i) all_locals_[static_cast<std::size_t>(i)] = i;
+  if (cfg_.overlap_comm) {
+    classify_inner_atoms(atoms_, cutneigh_, boxlo_, boxhi_, inner_, boundary_);
+  }
+  if (cfg_.bonded_chains) rebuild_id_map();
+}
+
+void MdSimulation::forward() {
+  std::vector<double>&sbuf = comm_sbuf_, &rbuf = comm_rbuf_;
+  for (const CommPass& pass : passes_) {
+    sbuf.clear();
+    for (const int i : pass.send_idx) {
+      sbuf.push_back(atoms_.x[static_cast<std::size_t>(i)] + (pass.dim == 0 ? pass.shift : 0.0));
+      sbuf.push_back(atoms_.y[static_cast<std::size_t>(i)] + (pass.dim == 1 ? pass.shift : 0.0));
+      sbuf.push_back(atoms_.z[static_cast<std::size_t>(i)] + (pass.dim == 2 ? pass.shift : 0.0));
+    }
+    mpi_.compute(static_cast<double>(pass.send_idx.size()) *
+                 cfg_.cost.pack_atom_ns * 1e-9);
+    if (pass.peer == mpi_.rank()) {
+      for (int a = 0; a < pass.nrecv; ++a) {
+        const std::size_t g = static_cast<std::size_t>(pass.ghost_first + a);
+        atoms_.x[g] = sbuf[static_cast<std::size_t>(a) * 3];
+        atoms_.y[g] = sbuf[static_cast<std::size_t>(a) * 3 + 1];
+        atoms_.z[g] = sbuf[static_cast<std::size_t>(a) * 3 + 2];
+      }
+      continue;
+    }
+    const int tag = kForwardTag + 2 * pass.dim + (pass.dir > 0 ? 1 : 0);
+    rbuf.resize(static_cast<std::size_t>(pass.nrecv) * 3);
+    mpi_.sendrecv(sbuf.data(), sbuf.size() * sizeof(double), pass.peer, tag,
+                  rbuf.data(), rbuf.size() * sizeof(double),
+                  grid_.neighbour(pass.dim, -pass.dir), tag);
+    halo_bytes_ += sbuf.size() * sizeof(double);
+    for (int a = 0; a < pass.nrecv; ++a) {
+      const std::size_t g = static_cast<std::size_t>(pass.ghost_first + a);
+      atoms_.x[g] = rbuf[static_cast<std::size_t>(a) * 3];
+      atoms_.y[g] = rbuf[static_cast<std::size_t>(a) * 3 + 1];
+      atoms_.z[g] = rbuf[static_cast<std::size_t>(a) * 3 + 2];
+    }
+  }
+}
+
+void MdSimulation::charge_force(std::uint64_t pair_before,
+                                std::uint64_t bond_before) {
+  const double secs =
+      (static_cast<double>(force_.pair_evals - pair_before) *
+           cfg_.cost.pair_eval_ns +
+       static_cast<double>(force_.bond_evals - bond_before) *
+           cfg_.cost.bond_eval_ns) *
+      1e-9;
+  mpi_.compute(secs);
+}
+
+void MdSimulation::compute_force_plain() {
+  force_.reset(atoms_.nall);
+  compute_lj(atoms_, list_, all_locals_, cfg_.cutoff, force_);
+  if (cfg_.bonded_chains) compute_bonds(atoms_, bonds_, id_map_, force_);
+  charge_force(0, 0);
+  pair_evals_total_ += force_.pair_evals;
+}
+
+void MdSimulation::compute_force_overlap() {
+  // Inner atoms touch no ghosts, so their forces are computed (and their
+  // compute time charged in slices) WHILE the six forward-comm passes are
+  // in flight.  A network with independent progress hides nearly all of the
+  // exchange behind this compute; one without it cannot (Section 3.3.5).
+  force_.reset(atoms_.nall);
+  compute_lj(atoms_, list_, inner_, cfg_.cutoff, force_);
+  const double inner_secs = static_cast<double>(force_.pair_evals) *
+                            cfg_.cost.pair_eval_ns * 1e-9;
+
+  // Nonblocking forward exchange with compute slices between passes (the
+  // passes stay sequential — each depends on the previous dimension's
+  // ghosts — so one pair of persistent buffers suffices).
+  const double slice = inner_secs / static_cast<double>(passes_.size());
+  for (std::size_t p = 0; p < passes_.size(); ++p) {
+    const CommPass& pass = passes_[p];
+    auto& sbuf = comm_sbuf_;
+    sbuf.clear();
+    for (const int i : pass.send_idx) {
+      sbuf.push_back(atoms_.x[static_cast<std::size_t>(i)] + (pass.dim == 0 ? pass.shift : 0.0));
+      sbuf.push_back(atoms_.y[static_cast<std::size_t>(i)] + (pass.dim == 1 ? pass.shift : 0.0));
+      sbuf.push_back(atoms_.z[static_cast<std::size_t>(i)] + (pass.dim == 2 ? pass.shift : 0.0));
+    }
+    mpi_.compute(static_cast<double>(pass.send_idx.size()) *
+                 cfg_.cost.pack_atom_ns * 1e-9);
+    if (pass.peer == mpi_.rank()) {
+      for (int a = 0; a < pass.nrecv; ++a) {
+        const std::size_t g = static_cast<std::size_t>(pass.ghost_first + a);
+        atoms_.x[g] = sbuf[static_cast<std::size_t>(a) * 3];
+        atoms_.y[g] = sbuf[static_cast<std::size_t>(a) * 3 + 1];
+        atoms_.z[g] = sbuf[static_cast<std::size_t>(a) * 3 + 2];
+      }
+      mpi_.compute(slice);
+      continue;
+    }
+    const int tag = kForwardTag + 2 * pass.dim + (pass.dir > 0 ? 1 : 0);
+    auto& rbuf = comm_rbuf_;
+    rbuf.resize(static_cast<std::size_t>(pass.nrecv) * 3);
+    mpi::Request rr = mpi_.irecv(rbuf.data(), rbuf.size() * sizeof(double),
+                                 grid_.neighbour(pass.dim, -pass.dir), tag);
+    mpi::Request sr = mpi_.isend(sbuf.data(), sbuf.size() * sizeof(double),
+                                 pass.peer, tag);
+    halo_bytes_ += sbuf.size() * sizeof(double);
+    mpi_.compute(slice);  // overlap: inner force work proceeds meanwhile
+    mpi_.wait(sr);
+    mpi_.wait(rr);
+    for (int a = 0; a < passes_[p].nrecv; ++a) {
+      const std::size_t g = static_cast<std::size_t>(pass.ghost_first + a);
+      atoms_.x[g] = rbuf[static_cast<std::size_t>(a) * 3];
+      atoms_.y[g] = rbuf[static_cast<std::size_t>(a) * 3 + 1];
+      atoms_.z[g] = rbuf[static_cast<std::size_t>(a) * 3 + 2];
+    }
+  }
+
+  // Boundary atoms need the fresh ghosts; charged after the exchange.
+  const std::uint64_t pair_before = force_.pair_evals;
+  const std::uint64_t bond_before = force_.bond_evals;
+  compute_lj(atoms_, list_, boundary_, cfg_.cutoff, force_);
+  if (cfg_.bonded_chains) compute_bonds(atoms_, bonds_, id_map_, force_);
+  charge_force(pair_before, bond_before);
+  pair_evals_total_ += force_.pair_evals;
+}
+
+void MdSimulation::integrate_half(bool first) {
+  const double half = 0.5 * cfg_.dt;
+  for (int i = 0; i < atoms_.nlocal; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    atoms_.vx[s] += half * force_.fx[s];
+    atoms_.vy[s] += half * force_.fy[s];
+    atoms_.vz[s] += half * force_.fz[s];
+    if (first) {
+      atoms_.x[s] += cfg_.dt * atoms_.vx[s];
+      atoms_.y[s] += cfg_.dt * atoms_.vy[s];
+      atoms_.z[s] += cfg_.dt * atoms_.vz[s];
+    }
+  }
+  mpi_.compute(static_cast<double>(atoms_.nlocal) *
+               cfg_.cost.integrate_atom_ns * 1e-9);
+}
+
+void MdSimulation::setup() {
+  create_lattice();
+  init_velocities();
+  borders();
+  rebuild_neighbors();
+  compute_force_plain();
+}
+
+void MdSimulation::do_step(bool rebuild) {
+  integrate_half(/*first=*/true);
+  if (rebuild) {
+    migrate();
+    borders();
+    rebuild_neighbors();
+    compute_force_plain();
+  } else if (cfg_.overlap_comm) {
+    compute_force_overlap();
+  } else {
+    forward();
+    compute_force_plain();
+  }
+  integrate_half(/*first=*/false);
+}
+
+double MdSimulation::kinetic_energy_global() {
+  double ke = 0.0;
+  for (int i = 0; i < atoms_.nlocal; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    ke += atoms_.vx[s] * atoms_.vx[s] + atoms_.vy[s] * atoms_.vy[s] +
+          atoms_.vz[s] * atoms_.vz[s];
+  }
+  return 0.5 * mpi_.allreduce(ke, mpi::ReduceOp::sum);
+}
+
+double MdSimulation::potential_energy_global() {
+  return mpi_.allreduce(force_.potential, mpi::ReduceOp::sum);
+}
+
+double MdSimulation::momentum_abs_global() {
+  double local[3] = {0.0, 0.0, 0.0};
+  for (int i = 0; i < atoms_.nlocal; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    local[0] += atoms_.vx[s];
+    local[1] += atoms_.vy[s];
+    local[2] += atoms_.vz[s];
+  }
+  double global[3];
+  mpi_.allreduce(local, global, 3, mpi::ReduceOp::sum);
+  return std::sqrt(global[0] * global[0] + global[1] * global[1] +
+                   global[2] * global[2]);
+}
+
+MdResult MdSimulation::run() {
+  setup();
+  const double e0 = kinetic_energy_global() + potential_energy_global();
+
+  mpi_.barrier();
+  const double t0 = mpi_.wtime();
+  for (int step = 1; step <= cfg_.steps; ++step) {
+    do_step(step % cfg_.reneigh_every == 0);
+  }
+  mpi_.barrier();
+  const double t1 = mpi_.wtime();
+
+  MdResult r;
+  r.loop_seconds = t1 - t0;
+  r.final_kinetic = kinetic_energy_global();
+  r.final_potential = potential_energy_global();
+  const double e1 = r.final_kinetic + r.final_potential;
+  r.total_energy_drift = std::abs(e1 - e0) / std::abs(e0);
+  r.momentum_abs = momentum_abs_global();
+  const double natoms_local = atoms_.nlocal;
+  r.natoms_global = static_cast<std::uint64_t>(
+      mpi_.allreduce(natoms_local, mpi::ReduceOp::sum) + 0.5);
+  const double pe = static_cast<double>(pair_evals_total_);
+  r.pair_evals = static_cast<std::uint64_t>(mpi_.allreduce(pe, mpi::ReduceOp::sum));
+  const double hb = static_cast<double>(halo_bytes_);
+  r.halo_bytes = static_cast<std::uint64_t>(mpi_.allreduce(hb, mpi::ReduceOp::sum));
+  return r;
+}
+
+MdResult run_md(mpi::Mpi& mpi, const MdConfig& config) {
+  MdSimulation sim(mpi, config);
+  return sim.run();
+}
+
+}  // namespace icsim::apps::md

@@ -1,0 +1,74 @@
+#pragma once
+// Configuration for the mini molecular-dynamics application (the LAMMPS
+// stand-in; paper Section 2.2.1).
+//
+// Two data sets mirror the paper's:
+//   * LJS — atomic Lennard-Jones fluid (the classic melt benchmark):
+//     moderate cutoff, synchronous halo exchange (MPI_Sendrecv style);
+//   * membrane — a bonded-chain system with a larger cutoff: higher
+//     compute per atom and nonblocking halo exchange overlapped with the
+//     interior force computation.  The paper observes that this workload's
+//     overlap is exactly what separates the two networks (Section 4.2.1).
+//
+// Both are *scaled-size* studies: cells_per_rank is constant as ranks grow.
+
+#include <cstdint>
+
+namespace icsim::apps::md {
+
+struct MdCostModel {
+  // Per-operation compute charges for a 3.06 GHz Xeon of the study's era.
+  double pair_eval_ns = 22.0;       ///< one LJ pair force evaluation
+  double neigh_candidate_ns = 5.5;  ///< one stencil candidate distance check
+  double integrate_atom_ns = 9.0;   ///< one velocity-Verlet half-step per atom
+  double bond_eval_ns = 18.0;       ///< one bonded-spring evaluation
+  double pack_atom_ns = 2.5;        ///< pack/unpack one atom for comm
+};
+
+struct MdConfig {
+  // Per-rank problem size: unit cells per dimension (4 atoms per FCC cell).
+  int cells_x = 8, cells_y = 8, cells_z = 8;
+  double density = 0.8442;  ///< reduced density (LJ melt standard)
+  double cutoff = 2.5;      ///< force cutoff, sigma units
+  double skin = 0.30;       ///< neighbour-list skin
+  double dt = 0.005;        ///< tau units
+  double initial_temp = 1.44;
+  int steps = 30;
+  int reneigh_every = 10;   ///< neighbour rebuild + migration cadence
+
+  // Membrane-style options.
+  bool bonded_chains = false;  ///< FENE-like springs along x-ordered chains
+  int chain_length = 32;
+  bool overlap_comm = false;  ///< nonblocking halo exchange over inner force
+
+  MdCostModel cost;
+  std::uint64_t seed = 4711;
+};
+
+/// The paper's two data sets.
+inline MdConfig ljs_config() {
+  MdConfig c;
+  return c;
+}
+
+inline MdConfig membrane_config() {
+  MdConfig c;
+  c.cutoff = 3.0;           // lipid-style longer-range interactions
+  c.initial_temp = 1.0;
+  c.bonded_chains = true;
+  c.overlap_comm = true;    // the asynchronous-communication hypothesis
+  return c;
+}
+
+struct MdResult {
+  double loop_seconds = 0.0;      ///< simulated wall time of the MD loop
+  std::uint64_t natoms_global = 0;
+  double final_kinetic = 0.0;     ///< global kinetic energy
+  double final_potential = 0.0;   ///< global potential energy
+  double total_energy_drift = 0.0;  ///< |E_end - E_start| / |E_start|
+  double momentum_abs = 0.0;      ///< |sum mv| (should stay ~0)
+  std::uint64_t pair_evals = 0;   ///< global count (work accounting)
+  std::uint64_t halo_bytes = 0;   ///< global bytes exchanged in halos
+};
+
+}  // namespace icsim::apps::md

@@ -1,0 +1,118 @@
+#include "apps/lammps/neighbor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace icsim::apps::md {
+
+void build_neighbor_list(const Atoms& atoms, double cutneigh,
+                         const double lo[3], const double hi[3],
+                         NeighborList& list) {
+  const double cutsq = cutneigh * cutneigh;
+  // Bin size >= cutneigh so a 27-stencil covers all candidates.
+  int nb[3];
+  double bin[3], origin[3];
+  for (int d = 0; d < 3; ++d) {
+    const double extent = hi[d] - lo[d];
+    nb[d] = std::max(1, static_cast<int>(extent / cutneigh));
+    bin[d] = extent / nb[d];
+    origin[d] = lo[d];
+  }
+  const int nbins = nb[0] * nb[1] * nb[2];
+
+  auto bin_of = [&](double X, double Y, double Z) {
+    int bx = static_cast<int>((X - origin[0]) / bin[0]);
+    int by = static_cast<int>((Y - origin[1]) / bin[1]);
+    int bz = static_cast<int>((Z - origin[2]) / bin[2]);
+    bx = std::clamp(bx, 0, nb[0] - 1);
+    by = std::clamp(by, 0, nb[1] - 1);
+    bz = std::clamp(bz, 0, nb[2] - 1);
+    return (bz * nb[1] + by) * nb[0] + bx;
+  };
+
+  // Counting sort of all atoms (locals + ghosts) into bins.
+  std::vector<int> bin_count(static_cast<std::size_t>(nbins) + 1, 0);
+  std::vector<int> atom_bin(static_cast<std::size_t>(atoms.nall));
+  for (int i = 0; i < atoms.nall; ++i) {
+    const int b = bin_of(atoms.x[static_cast<std::size_t>(i)],
+                         atoms.y[static_cast<std::size_t>(i)],
+                         atoms.z[static_cast<std::size_t>(i)]);
+    atom_bin[static_cast<std::size_t>(i)] = b;
+    ++bin_count[static_cast<std::size_t>(b) + 1];
+  }
+  for (int b = 0; b < nbins; ++b) {
+    bin_count[static_cast<std::size_t>(b) + 1] +=
+        bin_count[static_cast<std::size_t>(b)];
+  }
+  std::vector<int> bin_atoms(static_cast<std::size_t>(atoms.nall));
+  {
+    std::vector<int> cursor(bin_count.begin(), bin_count.end() - 1);
+    for (int i = 0; i < atoms.nall; ++i) {
+      bin_atoms[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(atom_bin[static_cast<std::size_t>(i)])]++)] = i;
+    }
+  }
+
+  list.first.assign(static_cast<std::size_t>(atoms.nlocal) + 1, 0);
+  list.neigh.clear();
+  list.candidates_checked = 0;
+
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    const double xi = atoms.x[static_cast<std::size_t>(i)];
+    const double yi = atoms.y[static_cast<std::size_t>(i)];
+    const double zi = atoms.z[static_cast<std::size_t>(i)];
+    const int b = atom_bin[static_cast<std::size_t>(i)];
+    const int bx = b % nb[0];
+    const int by = (b / nb[0]) % nb[1];
+    const int bz = b / (nb[0] * nb[1]);
+    for (int dz = -1; dz <= 1; ++dz) {
+      const int zb = bz + dz;
+      if (zb < 0 || zb >= nb[2]) continue;
+      for (int dy = -1; dy <= 1; ++dy) {
+        const int yb = by + dy;
+        if (yb < 0 || yb >= nb[1]) continue;
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int xb = bx + dx;
+          if (xb < 0 || xb >= nb[0]) continue;
+          const int nbin = (zb * nb[1] + yb) * nb[0] + xb;
+          for (int k = bin_count[static_cast<std::size_t>(nbin)];
+               k < bin_count[static_cast<std::size_t>(nbin) + 1]; ++k) {
+            const int j = bin_atoms[static_cast<std::size_t>(k)];
+            if (j == i) continue;
+            ++list.candidates_checked;
+            const double ddx = xi - atoms.x[static_cast<std::size_t>(j)];
+            const double ddy = yi - atoms.y[static_cast<std::size_t>(j)];
+            const double ddz = zi - atoms.z[static_cast<std::size_t>(j)];
+            if (ddx * ddx + ddy * ddy + ddz * ddz <= cutsq) {
+              list.neigh.push_back(j);
+            }
+          }
+        }
+      }
+    }
+    list.first[static_cast<std::size_t>(i) + 1] =
+        static_cast<int>(list.neigh.size());
+  }
+}
+
+void classify_inner_atoms(const Atoms& atoms, double cutneigh,
+                          const double boxlo[3], const double boxhi[3],
+                          std::vector<int>& inner, std::vector<int>& boundary) {
+  inner.clear();
+  boundary.clear();
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    const double p[3] = {atoms.x[static_cast<std::size_t>(i)],
+                         atoms.y[static_cast<std::size_t>(i)],
+                         atoms.z[static_cast<std::size_t>(i)]};
+    bool is_inner = true;
+    for (int d = 0; d < 3; ++d) {
+      if (p[d] - boxlo[d] < cutneigh || boxhi[d] - p[d] < cutneigh) {
+        is_inner = false;
+        break;
+      }
+    }
+    (is_inner ? inner : boundary).push_back(i);
+  }
+}
+
+}  // namespace icsim::apps::md

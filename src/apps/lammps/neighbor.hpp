@@ -1,0 +1,36 @@
+#pragma once
+// Verlet neighbour lists via spatial binning.
+//
+// Builds a FULL neighbour list (each pair appears in both atoms' lists) for
+// owned atoms over owned+ghost positions.  Full lists double the pair
+// computation but remove the reverse force communication, as miniMD's
+// full-neighbour mode does; the cost model accounts for it.
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/lammps/domain.hpp"
+
+namespace icsim::apps::md {
+
+struct NeighborList {
+  std::vector<int> first;   ///< CSR offsets, size nlocal+1
+  std::vector<int> neigh;   ///< neighbour indices (into the atoms arrays)
+  std::uint64_t candidates_checked = 0;  ///< stencil pairs distance-tested
+};
+
+/// Build the list for all owned atoms with interaction radius `cutneigh`
+/// (= cutoff + skin).  `lo`/`hi` bound the region to bin (local box
+/// extended by the ghost shell).
+void build_neighbor_list(const Atoms& atoms, double cutneigh,
+                         const double lo[3], const double hi[3],
+                         NeighborList& list);
+
+/// Split of owned atoms for communication/computation overlap: an atom is
+/// "inner" when it is farther than `cutneigh` from every face of the local
+/// box, so none of its neighbours can be ghosts.
+void classify_inner_atoms(const Atoms& atoms, double cutneigh,
+                          const double boxlo[3], const double boxhi[3],
+                          std::vector<int>& inner, std::vector<int>& boundary);
+
+}  // namespace icsim::apps::md

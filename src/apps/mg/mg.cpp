@@ -1,0 +1,337 @@
+#include "apps/mg/mg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "apps/lammps/grid.hpp"
+
+namespace icsim::apps::mg {
+
+namespace {
+
+constexpr int kHaloTag = 500;  // + 2*dim + dir
+
+struct Level {
+  int n = 0;                   // global edge
+  int lx = 0, ly = 0, lz = 0;  // local interior extents
+  double h2 = 0.0;             // grid spacing squared
+  std::vector<double> u, f, tmp;
+};
+
+class MgSolver {
+ public:
+  MgSolver(mpi::Mpi& mpi, const MgConfig& cfg)
+      : mpi_(mpi), cfg_(cfg), grid_(mpi.size(), mpi.rank()) {
+    if ((cfg.n & (cfg.n - 1)) != 0) {
+      throw std::invalid_argument("run_mg: n must be a power of two");
+    }
+    int n = cfg.n;
+    while (true) {
+      if (cfg.max_levels > 0 &&
+          static_cast<int>(levels_.size()) >= cfg.max_levels) {
+        break;
+      }
+      if (n % grid_.px != 0 || n % grid_.py != 0 || n % grid_.pz != 0) break;
+      const int lx = n / grid_.px, ly = n / grid_.py, lz = n / grid_.pz;
+      if (lx < cfg.min_local || ly < cfg.min_local || lz < cfg.min_local) break;
+      Level l;
+      l.n = n;
+      l.lx = lx;
+      l.ly = ly;
+      l.lz = lz;
+      l.h2 = 1.0 / (static_cast<double>(n) * n);
+      const std::size_t sz = static_cast<std::size_t>(lx + 2) * (ly + 2) * (lz + 2);
+      l.u.assign(sz, 0.0);
+      l.f.assign(sz, 0.0);
+      l.tmp.assign(sz, 0.0);
+      levels_.push_back(std::move(l));
+      if (n == 2) break;
+      n /= 2;
+    }
+    if (levels_.empty()) {
+      throw std::invalid_argument("run_mg: grid does not fit the process grid");
+    }
+    install_charge();
+  }
+
+  MgResult solve() {
+    MgResult res;
+    res.levels = static_cast<int>(levels_.size());
+
+    mpi_.barrier();
+    const double t0 = mpi_.wtime();
+    res.rnorm0 = residual_norm(0);
+    for (int c = 0; c < cfg_.vcycles; ++c) vcycle(0);
+    res.rnorm = residual_norm(0);
+    mpi_.barrier();
+    res.seconds = mpi_.wtime() - t0;
+
+    const double hb = static_cast<double>(halo_bytes_);
+    res.halo_bytes =
+        static_cast<std::uint64_t>(mpi_.allreduce(hb, mpi::ReduceOp::sum));
+    const double ps = static_cast<double>(points_smoothed_);
+    res.points_smoothed =
+        static_cast<std::uint64_t>(mpi_.allreduce(ps, mpi::ReduceOp::sum));
+    return res;
+  }
+
+ private:
+  [[nodiscard]] static std::size_t idx(const Level& l, int i, int j, int k) {
+    return (static_cast<std::size_t>(k) * (l.ly + 2) + j) *
+               static_cast<std::size_t>(l.lx + 2) +
+           static_cast<std::size_t>(i);
+  }
+
+  /// Two unit point charges of opposite sign, placed by global index.
+  void install_charge() {
+    Level& l = levels_.front();
+    const int n = l.n;
+    const double scale = static_cast<double>(n) * n;
+    const int pts[2][3] = {{n / 4, n / 4, n / 4},
+                           {3 * n / 4, 3 * n / 4, 3 * n / 4}};
+    const double sign[2] = {1.0, -1.0};
+    for (int p = 0; p < 2; ++p) {
+      const int gi = pts[p][0], gj = pts[p][1], gk = pts[p][2];
+      const int ox = grid_.cx * l.lx, oy = grid_.cy * l.ly, oz = grid_.cz * l.lz;
+      if (gi >= ox && gi < ox + l.lx && gj >= oy && gj < oy + l.ly &&
+          gk >= oz && gk < oz + l.lz) {
+        l.f[idx(l, gi - ox + 1, gj - oy + 1, gk - oz + 1)] = sign[p] * scale;
+      }
+    }
+  }
+
+  /// Exchange 1-deep face halos of `field` at level `lv`.  Non-periodic:
+  /// ghosts at the physical boundary stay zero (Dirichlet).
+  void exchange(int lv, std::vector<double>& field) {
+    Level& l = levels_[static_cast<std::size_t>(lv)];
+    for (int d = 0; d < 3; ++d) {
+      const int dims = grid_.dims(d);
+      if (dims == 1) continue;  // non-periodic: both faces are physical
+      const int coord = grid_.coord(d);
+      for (int dir = -1; dir <= 1; dir += 2) {
+        // In pass (d, dir) every rank ships its `dir` face and receives its
+        // `-dir` ghost; ranks at the physical boundary do only one of the
+        // two (Dirichlet ghosts stay zero there).
+        const bool send_ok = !(dir == -1 && coord == 0) &&
+                             !(dir == 1 && coord == dims - 1);
+        const bool recv_ok = !(dir == 1 && coord == 0) &&
+                             !(dir == -1 && coord == dims - 1);
+        const int tag = kHaloTag + 2 * d + (dir > 0 ? 1 : 0);
+        if (send_ok) {
+          pack_face(l, field, d, dir, sbuf_);
+          halo_bytes_ += sbuf_.size() * sizeof(double);
+        }
+        if (send_ok && recv_ok) {
+          rbuf_.resize(sbuf_.size());
+          mpi_.sendrecv(sbuf_.data(), sbuf_.size() * sizeof(double),
+                        grid_.neighbour(d, dir), tag, rbuf_.data(),
+                        rbuf_.size() * sizeof(double),
+                        grid_.neighbour(d, -dir), tag);
+          unpack_ghost(l, field, d, -dir, rbuf_);
+        } else if (send_ok) {
+          mpi_.send(sbuf_.data(), sbuf_.size() * sizeof(double),
+                    grid_.neighbour(d, dir), tag);
+        } else if (recv_ok) {
+          const FaceRange r = face_range(l, d, dir, /*ghost_side=*/false);
+          const std::size_t face = static_cast<std::size_t>(r.i1 - r.i0 + 1) *
+                                   static_cast<std::size_t>(r.j1 - r.j0 + 1) *
+                                   static_cast<std::size_t>(r.k1 - r.k0 + 1);
+          rbuf_.resize(face);
+          mpi_.recv(rbuf_.data(), rbuf_.size() * sizeof(double),
+                    grid_.neighbour(d, -dir), tag);
+          unpack_ghost(l, field, d, -dir, rbuf_);
+        }
+      }
+    }
+  }
+
+  // Faces are exchanged dimension by dimension; a pass includes the ghost
+  // layers of dimensions already exchanged, so edge and corner ghosts are
+  // forwarded transitively (the cell-centred prolongation stencil reads
+  // them).  Same scheme as the MD border exchange.
+  struct FaceRange {
+    int i0, i1, j0, j1, k0, k1;
+  };
+
+  [[nodiscard]] FaceRange face_range(const Level& l, int d, int dir,
+                                     bool ghost_side) const {
+    auto span = [&](int dd, int extent) -> std::pair<int, int> {
+      if (dd == d) {
+        if (ghost_side) return {dir == -1 ? 0 : extent + 1, dir == -1 ? 0 : extent + 1};
+        return {dir == -1 ? 1 : extent, dir == -1 ? 1 : extent};
+      }
+      // Dimensions exchanged earlier travel with their ghosts.
+      if (dd < d) return {0, extent + 1};
+      return {1, extent};
+    };
+    const auto [i0, i1] = span(0, l.lx);
+    const auto [j0, j1] = span(1, l.ly);
+    const auto [k0, k1] = span(2, l.lz);
+    return {i0, i1, j0, j1, k0, k1};
+  }
+
+  void pack_face(const Level& l, const std::vector<double>& field, int d,
+                 int dir, std::vector<double>& buf) const {
+    buf.clear();
+    const FaceRange r = face_range(l, d, dir, /*ghost_side=*/false);
+    for (int k = r.k0; k <= r.k1; ++k) {
+      for (int j = r.j0; j <= r.j1; ++j) {
+        for (int i = r.i0; i <= r.i1; ++i) buf.push_back(field[idx(l, i, j, k)]);
+      }
+    }
+  }
+
+  void unpack_ghost(const Level& l, std::vector<double>& field, int d, int dir,
+                    const std::vector<double>& buf) const {
+    const FaceRange r = face_range(l, d, dir, /*ghost_side=*/true);
+    std::size_t p = 0;
+    for (int k = r.k0; k <= r.k1; ++k) {
+      for (int j = r.j0; j <= r.j1; ++j) {
+        for (int i = r.i0; i <= r.i1; ++i) field[idx(l, i, j, k)] = buf[p++];
+      }
+    }
+  }
+
+  void smooth(int lv) {
+    Level& l = levels_[static_cast<std::size_t>(lv)];
+    exchange(lv, l.u);
+    const double w = cfg_.damping;
+    for (int k = 1; k <= l.lz; ++k) {
+      for (int j = 1; j <= l.ly; ++j) {
+        for (int i = 1; i <= l.lx; ++i) {
+          const std::size_t c = idx(l, i, j, k);
+          const double nb = l.u[c - 1] + l.u[c + 1] +
+                            l.u[c - static_cast<std::size_t>(l.lx + 2)] +
+                            l.u[c + static_cast<std::size_t>(l.lx + 2)] +
+                            l.u[c - static_cast<std::size_t>(l.lx + 2) * (l.ly + 2)] +
+                            l.u[c + static_cast<std::size_t>(l.lx + 2) * (l.ly + 2)];
+          l.tmp[c] = (1.0 - w) * l.u[c] + w * (l.h2 * l.f[c] + nb) / 6.0;
+        }
+      }
+    }
+    std::swap(l.u, l.tmp);
+    const auto pts = static_cast<std::uint64_t>(l.lx) * l.ly * l.lz;
+    points_smoothed_ += pts;
+    mpi_.compute(static_cast<double>(pts) * cfg_.point_ns * 1e-9);
+  }
+
+  /// tmp = f - A u (requires fresh halos on u).
+  void compute_residual(int lv) {
+    Level& l = levels_[static_cast<std::size_t>(lv)];
+    exchange(lv, l.u);
+    for (int k = 1; k <= l.lz; ++k) {
+      for (int j = 1; j <= l.ly; ++j) {
+        for (int i = 1; i <= l.lx; ++i) {
+          const std::size_t c = idx(l, i, j, k);
+          const double nb = l.u[c - 1] + l.u[c + 1] +
+                            l.u[c - static_cast<std::size_t>(l.lx + 2)] +
+                            l.u[c + static_cast<std::size_t>(l.lx + 2)] +
+                            l.u[c - static_cast<std::size_t>(l.lx + 2) * (l.ly + 2)] +
+                            l.u[c + static_cast<std::size_t>(l.lx + 2) * (l.ly + 2)];
+          l.tmp[c] = l.f[c] - (6.0 * l.u[c] - nb) / l.h2;
+        }
+      }
+    }
+    const auto pts = static_cast<std::uint64_t>(l.lx) * l.ly * l.lz;
+    points_smoothed_ += pts;
+    mpi_.compute(static_cast<double>(pts) * cfg_.point_ns * 1e-9);
+  }
+
+  double residual_norm(int lv) {
+    compute_residual(lv);
+    Level& l = levels_[static_cast<std::size_t>(lv)];
+    double s = 0.0;
+    for (int k = 1; k <= l.lz; ++k) {
+      for (int j = 1; j <= l.ly; ++j) {
+        for (int i = 1; i <= l.lx; ++i) {
+          const double v = l.tmp[idx(l, i, j, k)];
+          s += v * v;
+        }
+      }
+    }
+    return std::sqrt(mpi_.allreduce(s, mpi::ReduceOp::sum)) /
+           (static_cast<double>(l.n) * l.n * l.n);
+  }
+
+  void vcycle(int lv) {
+    const bool coarsest = lv + 1 == static_cast<int>(levels_.size());
+    for (int s = 0; s < cfg_.pre_smooth; ++s) smooth(lv);
+    if (coarsest) {
+      for (int s = 0; s < 16; ++s) smooth(lv);  // coarse "solve"
+      return;
+    }
+    compute_residual(lv);
+
+    // Full-weighting restriction of tmp (residual) into the coarse RHS.
+    Level& fine = levels_[static_cast<std::size_t>(lv)];
+    Level& coarse = levels_[static_cast<std::size_t>(lv) + 1];
+    std::fill(coarse.u.begin(), coarse.u.end(), 0.0);
+    for (int K = 1; K <= coarse.lz; ++K) {
+      for (int J = 1; J <= coarse.ly; ++J) {
+        for (int I = 1; I <= coarse.lx; ++I) {
+          double s = 0.0;
+          for (int dk = 0; dk < 2; ++dk) {
+            for (int dj = 0; dj < 2; ++dj) {
+              for (int di = 0; di < 2; ++di) {
+                s += fine.tmp[idx(fine, 2 * I - 1 + di, 2 * J - 1 + dj,
+                                  2 * K - 1 + dk)];
+              }
+            }
+          }
+          coarse.f[idx(coarse, I, J, K)] = s / 8.0;
+        }
+      }
+    }
+
+    vcycle(lv + 1);
+
+    // Cell-centred linear prolongation of the coarse correction (needs
+    // fresh coarse halos).
+    exchange(lv + 1, coarse.u);
+    for (int k = 1; k <= fine.lz; ++k) {
+      const int K = (k + 1) / 2;
+      const int sk = (k % 2 == 1) ? -1 : 1;
+      for (int j = 1; j <= fine.ly; ++j) {
+        const int J = (j + 1) / 2;
+        const int sj = (j % 2 == 1) ? -1 : 1;
+        for (int i = 1; i <= fine.lx; ++i) {
+          const int I = (i + 1) / 2;
+          const int si = (i % 2 == 1) ? -1 : 1;
+          double v = 0.0;
+          for (int dk = 0; dk < 2; ++dk) {
+            const double wk = dk == 0 ? 0.75 : 0.25;
+            for (int dj = 0; dj < 2; ++dj) {
+              const double wj = dj == 0 ? 0.75 : 0.25;
+              for (int di = 0; di < 2; ++di) {
+                const double wi = di == 0 ? 0.75 : 0.25;
+                v += wk * wj * wi *
+                     coarse.u[idx(coarse, I + di * si, J + dj * sj, K + dk * sk)];
+              }
+            }
+          }
+          fine.u[idx(fine, i, j, k)] += v;
+        }
+      }
+    }
+
+    for (int s = 0; s < cfg_.post_smooth; ++s) smooth(lv);
+  }
+
+  mpi::Mpi& mpi_;
+  MgConfig cfg_;
+  md::ProcGrid grid_;
+  std::vector<Level> levels_;
+  std::vector<double> sbuf_, rbuf_;
+  std::uint64_t halo_bytes_ = 0;
+  std::uint64_t points_smoothed_ = 0;
+};
+
+}  // namespace
+
+MgResult run_mg(mpi::Mpi& mpi, const MgConfig& config) {
+  MgSolver solver(mpi, config);
+  return solver.solve();
+}
+
+}  // namespace icsim::apps::mg

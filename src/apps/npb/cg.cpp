@@ -1,0 +1,259 @@
+#include "apps/npb/cg.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace icsim::apps::npb {
+
+namespace {
+
+constexpr int kRowReduceTag = 400;
+constexpr int kTransposeTag = 401;
+constexpr int kScalarTag = 402;
+
+struct Layout {
+  int nprows = 1, npcols = 1;
+  int prow = 0, pcol = 0;
+  int row_lo = 0, row_hi = 0;
+  int col_lo = 0, col_hi = 0;
+
+  Layout(int nprocs, int rank, int n) {
+    if ((nprocs & (nprocs - 1)) != 0) {
+      throw std::invalid_argument("NPB CG requires a power-of-two process count");
+    }
+    int k = 0;
+    while ((1 << k) < nprocs) ++k;
+    nprows = 1 << (k / 2);
+    npcols = nprocs / nprows;  // == nprows or 2*nprows
+    if (n % npcols != 0 || n % nprows != 0) {
+      throw std::invalid_argument(
+          "NPB CG: n must divide evenly into the process grid");
+    }
+    prow = rank / npcols;
+    pcol = rank % npcols;
+    auto split = [n](int parts, int idx, int& lo, int& hi) {
+      const int base = n / parts, rem = n % parts;
+      lo = idx * base + std::min(idx, rem);
+      hi = lo + base + (idx < rem ? 1 : 0);
+    };
+    split(nprows, prow, row_lo, row_hi);
+    split(npcols, pcol, col_lo, col_hi);
+  }
+
+  [[nodiscard]] int rank_of(int r, int c) const { return r * npcols + c; }
+  [[nodiscard]] int roww() const { return row_hi - row_lo; }
+  [[nodiscard]] int colw() const { return col_hi - col_lo; }
+
+  /// Transpose-exchange partner (see header).  For square grids this is
+  /// the matrix transpose position; for npcols == 2*nprows each row block
+  /// spans two column blocks and processors pair up accordingly.
+  [[nodiscard]] int transpose_partner() const {
+    if (npcols == nprows) return rank_of(pcol, prow);
+    return rank_of(pcol / 2, 2 * prow + (pcol & 1));
+  }
+  /// Which half of the row-summed w this rank ships (rect grids).
+  [[nodiscard]] int transpose_half() const {
+    return npcols == nprows ? 0 : (pcol & 1);
+  }
+};
+
+/// Local block of the benchmark matrix in CSR with local column indices.
+struct LocalBlock {
+  std::vector<int> rowptr;
+  std::vector<int> col;
+  std::vector<double> val;
+  [[nodiscard]] std::size_t nnz() const { return col.size(); }
+};
+
+LocalBlock extract_block(const Csr& a, const Layout& l) {
+  LocalBlock b;
+  b.rowptr.assign(static_cast<std::size_t>(l.roww()) + 1, 0);
+  for (int r = l.row_lo; r < l.row_hi; ++r) {
+    for (int k = a.rowptr[static_cast<std::size_t>(r)];
+         k < a.rowptr[static_cast<std::size_t>(r) + 1]; ++k) {
+      const int c = a.col[static_cast<std::size_t>(k)];
+      if (c >= l.col_lo && c < l.col_hi) {
+        b.col.push_back(c - l.col_lo);
+        b.val.push_back(a.val[static_cast<std::size_t>(k)]);
+      }
+    }
+    b.rowptr[static_cast<std::size_t>(r - l.row_lo) + 1] =
+        static_cast<int>(b.col.size());
+  }
+  return b;
+}
+
+}  // namespace
+
+CgResult run_cg(mpi::Mpi& mpi, const CgConfig& cfg) {
+  const Layout l(mpi.size(), mpi.rank(), cfg.cls.n);
+  const Csr& a = cached_cg_matrix(cfg.cls);
+  const LocalBlock blk = extract_block(a, l);
+  const int colw = l.colw();
+  const int roww = l.roww();
+  const int l2npcols = [&] {
+    int s = 0;
+    while ((1 << s) < l.npcols) ++s;
+    return s;
+  }();
+
+  std::vector<double> x(static_cast<std::size_t>(colw), 1.0);
+  std::vector<double> z(static_cast<std::size_t>(colw));
+  std::vector<double> p(static_cast<std::size_t>(colw));
+  std::vector<double> q(static_cast<std::size_t>(colw));
+  std::vector<double> r(static_cast<std::size_t>(colw));
+  std::vector<double> w(static_cast<std::size_t>(roww));
+  std::vector<double> wrecv(static_cast<std::size_t>(roww));
+
+  std::uint64_t comm_bytes = 0;
+  double flops = 0.0;
+
+  // Scalar allreduce along the processor row (recursive doubling).
+  auto rowsum_scalar = [&](double v) {
+    for (int s = 0; s < l2npcols; ++s) {
+      const int partner = l.rank_of(l.prow, l.pcol ^ (1 << s));
+      double in = 0.0;
+      mpi.sendrecv(&v, sizeof v, partner, kScalarTag, &in, sizeof in, partner,
+                   kScalarTag);
+      comm_bytes += sizeof v;
+      v += in;
+    }
+    return v;
+  };
+
+  auto dot = [&](const std::vector<double>& u, const std::vector<double>& v) {
+    double d = 0.0;
+    for (int i = 0; i < colw; ++i) {
+      d += u[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(i)];
+    }
+    flops += 2.0 * colw;
+    mpi.compute(2.0 * colw * cfg.cost.vector_op_ns * 1e-9);
+    return rowsum_scalar(d);
+  };
+
+  // q_out = A * p_in : local SpMV, row allreduce, transpose exchange.
+  auto matvec = [&](const std::vector<double>& pin, std::vector<double>& qout) {
+    for (int i = 0; i < roww; ++i) {
+      double sum = 0.0;
+      for (int k = blk.rowptr[static_cast<std::size_t>(i)];
+           k < blk.rowptr[static_cast<std::size_t>(i) + 1]; ++k) {
+        sum += blk.val[static_cast<std::size_t>(k)] *
+               pin[static_cast<std::size_t>(blk.col[static_cast<std::size_t>(k)])];
+      }
+      w[static_cast<std::size_t>(i)] = sum;
+    }
+    flops += 2.0 * static_cast<double>(blk.nnz());
+    mpi.compute(static_cast<double>(blk.nnz()) * cfg.cost.spmv_nonzero_ns * 1e-9);
+
+    for (int s = 0; s < l2npcols; ++s) {
+      const int partner = l.rank_of(l.prow, l.pcol ^ (1 << s));
+      mpi.sendrecv(w.data(), w.size() * sizeof(double), partner, kRowReduceTag,
+                   wrecv.data(), wrecv.size() * sizeof(double), partner,
+                   kRowReduceTag);
+      comm_bytes += w.size() * sizeof(double);
+      for (int i = 0; i < roww; ++i) {
+        w[static_cast<std::size_t>(i)] += wrecv[static_cast<std::size_t>(i)];
+      }
+      flops += static_cast<double>(roww);
+      mpi.compute(roww * cfg.cost.vector_op_ns * 1e-9);
+    }
+
+    const int partner = l.transpose_partner();
+    const double* send_base =
+        w.data() + static_cast<std::ptrdiff_t>(l.transpose_half()) * colw;
+    if (partner == mpi.rank()) {
+      std::memcpy(qout.data(), send_base, static_cast<std::size_t>(colw) * sizeof(double));
+    } else {
+      mpi.sendrecv(send_base, static_cast<std::size_t>(colw) * sizeof(double),
+                   partner, kTransposeTag, qout.data(),
+                   static_cast<std::size_t>(colw) * sizeof(double), partner,
+                   kTransposeTag);
+      comm_bytes += static_cast<std::size_t>(colw) * sizeof(double);
+    }
+  };
+
+  // One CG solve of A z = x; returns ||x - A z||.
+  auto cg_solve = [&] {
+    std::fill(z.begin(), z.end(), 0.0);
+    r = x;
+    p = r;
+    double rho = dot(r, r);
+    for (int it = 0; it < cfg.cg_iterations; ++it) {
+      matvec(p, q);
+      const double d = dot(p, q);
+      const double alpha = rho / d;
+      for (int i = 0; i < colw; ++i) {
+        z[static_cast<std::size_t>(i)] += alpha * p[static_cast<std::size_t>(i)];
+        r[static_cast<std::size_t>(i)] -= alpha * q[static_cast<std::size_t>(i)];
+      }
+      flops += 4.0 * colw;
+      mpi.compute(4.0 * colw * cfg.cost.vector_op_ns * 1e-9);
+      const double rho0 = rho;
+      rho = dot(r, r);
+      const double beta = rho / rho0;
+      for (int i = 0; i < colw; ++i) {
+        p[static_cast<std::size_t>(i)] =
+            r[static_cast<std::size_t>(i)] + beta * p[static_cast<std::size_t>(i)];
+      }
+      flops += 2.0 * colw;
+      mpi.compute(2.0 * colw * cfg.cost.vector_op_ns * 1e-9);
+    }
+    // Residual of the solve: ||x - A z||.
+    matvec(z, q);
+    double part = 0.0;
+    for (int i = 0; i < colw; ++i) {
+      const double dif = x[static_cast<std::size_t>(i)] - q[static_cast<std::size_t>(i)];
+      part += dif * dif;
+    }
+    flops += 3.0 * colw;
+    mpi.compute(3.0 * colw * cfg.cost.vector_op_ns * 1e-9);
+    return std::sqrt(rowsum_scalar(part));
+  };
+
+  // Untimed warm-up iteration (as the NPB driver does), then the timed run.
+  double zeta = 0.0, rnorm = 0.0;
+  rnorm = cg_solve();
+  {
+    const double xz = dot(x, z);
+    zeta = cfg.cls.shift + 1.0 / xz;
+    const double znorm = std::sqrt(dot(z, z));
+    for (int i = 0; i < colw; ++i) {
+      x[static_cast<std::size_t>(i)] = z[static_cast<std::size_t>(i)] / znorm;
+    }
+  }
+  std::fill(x.begin(), x.end(), 1.0);
+  flops = 0.0;
+  comm_bytes = 0;
+
+  mpi.barrier();
+  const double t0 = mpi.wtime();
+  for (int outer = 1; outer <= cfg.cls.niter; ++outer) {
+    rnorm = cg_solve();
+    const double xz = dot(x, z);
+    zeta = cfg.cls.shift + 1.0 / xz;
+    const double znorm = std::sqrt(dot(z, z));
+    for (int i = 0; i < colw; ++i) {
+      x[static_cast<std::size_t>(i)] = z[static_cast<std::size_t>(i)] / znorm;
+    }
+    flops += 4.0 * colw;
+    mpi.compute(4.0 * colw * cfg.cost.vector_op_ns * 1e-9);
+  }
+  mpi.barrier();
+  const double t1 = mpi.wtime();
+
+  CgResult result;
+  result.zeta = zeta;
+  result.seconds = t1 - t0;
+  result.final_rnorm = rnorm;
+  const double total_flops = mpi.allreduce(flops, mpi::ReduceOp::sum);
+  result.mops_total = total_flops / result.seconds / 1e6;
+  result.mops_per_process = result.mops_total / mpi.size();
+  const double cb = static_cast<double>(comm_bytes);
+  result.comm_bytes =
+      static_cast<std::uint64_t>(mpi.allreduce(cb, mpi::ReduceOp::sum));
+  return result;
+}
+
+}  // namespace icsim::apps::npb

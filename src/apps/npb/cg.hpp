@@ -1,0 +1,52 @@
+#pragma once
+// NAS Parallel Benchmark CG (paper Section 2.2.3).
+//
+// The benchmark estimates the largest eigenvalue of a random sparse SPD
+// matrix with inverse power iteration: `niter` outer iterations, each
+// solving A z = x with 25 unpreconditioned conjugate-gradient steps, then
+// zeta = shift + 1 / (x . z).
+//
+// Parallelization follows NPB's 2-D blocked scheme: P = nprows x npcols
+// (powers of two, npcols = nprows or 2*nprows).  Each processor owns an
+// (n/nprows) x (n/npcols) block.  One q = A p step is:
+//   1. local SpMV on the block;
+//   2. allreduce of the partial result across the processor ROW
+//      (recursive doubling, log2(npcols) exchanges);
+//   3. one exchange with the transpose processor to convert the
+//      row-distributed q into the column distribution the vectors use.
+// Scalar reductions (dot products) are log2(npcols) scalar exchanges along
+// the row.  This fixed-size, small-message pattern is why CG is the most
+// communication-dominated of the paper's benchmarks.
+
+#include <cstdint>
+
+#include "apps/npb/makea.hpp"
+#include "mpi/mpi.hpp"
+
+namespace icsim::apps::npb {
+
+struct CgCostModel {
+  /// Per-nonzero SpMV cost (2 flops + irregular load, cache-resident —
+  /// the paper chose class A so the data stays in cache).
+  double spmv_nonzero_ns = 4.0;
+  double vector_op_ns = 1.1;  ///< per element of axpy/dot work
+};
+
+struct CgConfig {
+  CgClass cls = class_A();
+  int cg_iterations = 25;  ///< inner CG steps per outer iteration
+  CgCostModel cost;
+};
+
+struct CgResult {
+  double zeta = 0.0;
+  double seconds = 0.0;         ///< timed region (all outer iterations)
+  double mops_total = 0.0;      ///< counted Mops across the job
+  double mops_per_process = 0.0;
+  double final_rnorm = 0.0;     ///< ||r|| of the last CG solve
+  std::uint64_t comm_bytes = 0; ///< global bytes exchanged
+};
+
+CgResult run_cg(mpi::Mpi& mpi, const CgConfig& config);
+
+}  // namespace icsim::apps::npb

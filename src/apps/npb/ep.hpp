@@ -1,0 +1,52 @@
+#pragma once
+// NAS Parallel Benchmark EP (Embarrassingly Parallel) — extension kernel.
+//
+// Generates 2^m pairs of Gaussian deviates with the Marsaglia polar
+// method from the NPB linear congruential stream, accumulates the sums
+// and the annulus counts, and combines them with one allreduce.  EP is
+// the anti-CG: virtually no communication, so it pins the "both networks
+// scale perfectly when the application doesn't talk" end of the spectrum.
+// Our generator is bit-faithful, so the published NPB verification sums
+// apply exactly.
+
+#include <array>
+#include <cstdint>
+
+#include "mpi/mpi.hpp"
+
+namespace icsim::apps::npb {
+
+struct EpClass {
+  const char* name = "S";
+  int m = 24;  ///< 2^m pairs
+  double ref_sx = 0.0, ref_sy = 0.0;  ///< NPB verification sums
+};
+
+[[nodiscard]] inline EpClass ep_class_S() {
+  return {"S", 24, -3.247834652034740e+3, -6.958407078382297e+3};
+}
+[[nodiscard]] inline EpClass ep_class_W() {
+  return {"W", 25, -2.863319731645753e+3, -6.320053679109499e+3};
+}
+[[nodiscard]] inline EpClass ep_class_A() {
+  return {"A", 28, -4.295875165629892e+3, -1.580732573678431e+4};
+}
+
+struct EpConfig {
+  EpClass cls = ep_class_S();
+  /// Compute cost per generated random number (generation + transform).
+  double per_number_ns = 18.0;
+};
+
+struct EpResult {
+  double sx = 0.0, sy = 0.0;
+  std::array<std::uint64_t, 10> counts{};  ///< annulus histogram
+  std::uint64_t gaussians = 0;             ///< accepted pairs
+  double seconds = 0.0;
+  double mops_per_process = 0.0;
+  bool verified = false;  ///< sums match the NPB reference to 1e-8
+};
+
+EpResult run_ep(mpi::Mpi& mpi, const EpConfig& config);
+
+}  // namespace icsim::apps::npb

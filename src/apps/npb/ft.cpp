@@ -1,0 +1,249 @@
+#include "apps/npb/ft.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "apps/npb/randlc.hpp"
+
+namespace icsim::apps::npb {
+
+void fft_line(std::complex<double>* data, int n, bool inverse) {
+  // Iterative radix-2 Cooley-Tukey with bit-reversal permutation.
+  for (int i = 1, j = 0; i < n; ++i) {
+    int bit = n >> 1;
+    for (; (j & bit) != 0; bit >>= 1) j &= ~bit;
+    j |= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (int len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 2.0 : -2.0) * M_PI / len;
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (int i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (int k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv = 1.0 / n;
+    for (int i = 0; i < n; ++i) data[i] *= inv;
+  }
+}
+
+namespace {
+
+using Cx = std::complex<double>;
+
+double butterflies(int n) {  // per line
+  double b = 0.0;
+  for (int len = 2; len <= n; len <<= 1) b += n / 2.0;
+  return b;
+}
+
+}  // namespace
+
+FtResult run_ft(mpi::Mpi& mpi, const FtConfig& cfg) {
+  const int nx = cfg.cls.nx, ny = cfg.cls.ny, nz = cfg.cls.nz;
+  const int P = mpi.size();
+  if (nz % P != 0 || nx % P != 0) {
+    throw std::invalid_argument("run_ft: nx and nz must divide the process count");
+  }
+  const int zl = nz / P;  // z planes in slab layout
+  const int xl = nx / P;  // x pencils in transposed layout
+  const int z0 = mpi.rank() * zl;
+  const int x0 = mpi.rank() * xl;
+
+  // A: slab layout [z_local][y][x], x contiguous.
+  std::vector<Cx> a(static_cast<std::size_t>(zl) * ny * nx);
+  auto ia = [&](int z, int y, int x) {
+    return (static_cast<std::size_t>(z) * ny + y) * static_cast<std::size_t>(nx) + x;
+  };
+  // B: transposed layout [x_local][y][z], z contiguous.
+  std::vector<Cx> b(static_cast<std::size_t>(xl) * ny * nz);
+  auto ib = [&](int x, int y, int z) {
+    return (static_cast<std::size_t>(x) * ny + y) * static_cast<std::size_t>(nz) + z;
+  };
+
+  std::uint64_t transpose_bytes = 0;
+  double flops = 0.0;
+
+  // ---- helpers -------------------------------------------------------
+  std::vector<Cx> line(static_cast<std::size_t>(std::max(ny, std::max(nx, nz))));
+  auto charge_ffts = [&](double lines, int n) {
+    const double bf = lines * butterflies(n);
+    flops += 10.0 * bf;
+    mpi.compute(bf * cfg.butterfly_ns * 1e-9);
+  };
+
+  auto fft_xy = [&](bool inverse) {
+    for (int z = 0; z < zl; ++z) {
+      for (int y = 0; y < ny; ++y) {
+        fft_line(&a[ia(z, y, 0)], nx, inverse);
+      }
+    }
+    charge_ffts(static_cast<double>(zl) * ny, nx);
+    for (int z = 0; z < zl; ++z) {
+      for (int x = 0; x < nx; ++x) {
+        for (int y = 0; y < ny; ++y) line[static_cast<std::size_t>(y)] = a[ia(z, y, x)];
+        fft_line(line.data(), ny, inverse);
+        for (int y = 0; y < ny; ++y) a[ia(z, y, x)] = line[static_cast<std::size_t>(y)];
+      }
+    }
+    charge_ffts(static_cast<double>(zl) * nx, ny);
+  };
+
+  auto fft_z = [&](bool inverse) {
+    for (int x = 0; x < xl; ++x) {
+      for (int y = 0; y < ny; ++y) {
+        fft_line(&b[ib(x, y, 0)], nz, inverse);
+      }
+    }
+    charge_ffts(static_cast<double>(xl) * ny, nz);
+  };
+
+  // Transpose A (slab) -> B (pencil) or back: a full alltoall where the
+  // block for peer p holds my z-planes restricted to p's x range.
+  const std::size_t block = static_cast<std::size_t>(zl) * ny * xl;
+  std::vector<Cx> sendbuf(block * static_cast<std::size_t>(P));
+  std::vector<Cx> recvbuf(block * static_cast<std::size_t>(P));
+  auto transpose_fwd = [&] {
+    for (int p = 0; p < P; ++p) {
+      std::size_t o = block * static_cast<std::size_t>(p);
+      for (int z = 0; z < zl; ++z) {
+        for (int y = 0; y < ny; ++y) {
+          for (int x = 0; x < xl; ++x) {
+            sendbuf[o++] = a[ia(z, y, p * xl + x)];
+          }
+        }
+      }
+    }
+    mpi.alltoall(sendbuf.data(), block, recvbuf.data());
+    transpose_bytes += sendbuf.size() * sizeof(Cx);
+    for (int p = 0; p < P; ++p) {
+      std::size_t o = block * static_cast<std::size_t>(p);
+      for (int z = 0; z < zl; ++z) {
+        for (int y = 0; y < ny; ++y) {
+          for (int x = 0; x < xl; ++x) {
+            b[ib(x, y, p * zl + z)] = recvbuf[o++];
+          }
+        }
+      }
+    }
+  };
+  auto transpose_bwd = [&] {
+    for (int p = 0; p < P; ++p) {
+      std::size_t o = block * static_cast<std::size_t>(p);
+      for (int z = 0; z < zl; ++z) {
+        for (int y = 0; y < ny; ++y) {
+          for (int x = 0; x < xl; ++x) {
+            sendbuf[o++] = b[ib(x, y, p * zl + z)];
+          }
+        }
+      }
+    }
+    mpi.alltoall(sendbuf.data(), block, recvbuf.data());
+    transpose_bytes += sendbuf.size() * sizeof(Cx);
+    for (int p = 0; p < P; ++p) {
+      std::size_t o = block * static_cast<std::size_t>(p);
+      for (int z = 0; z < zl; ++z) {
+        for (int y = 0; y < ny; ++y) {
+          for (int x = 0; x < xl; ++x) {
+            a[ia(z, y, p * xl + x)] = recvbuf[o++];
+          }
+        }
+      }
+    }
+  };
+
+  // ---- initial state from the NPB stream -----------------------------
+  {
+    double seed = 314159265.0;
+    const double a_mult = 1220703125.0;
+    const long long my_offset =
+        2ll * static_cast<long long>(z0) * ny * nx;  // 2 draws per point
+    if (my_offset > 0) {
+      const double jump = lcg_pow(a_mult, my_offset);
+      (void)randlc(&seed, jump);
+    }
+    for (int z = 0; z < zl; ++z) {
+      for (int y = 0; y < ny; ++y) {
+        for (int x = 0; x < nx; ++x) {
+          const double re = randlc(&seed, a_mult);
+          const double im = randlc(&seed, a_mult);
+          a[ia(z, y, x)] = Cx(re, im);
+        }
+      }
+    }
+  }
+
+  mpi.barrier();
+  const double t0 = mpi.wtime();
+
+  // Forward 3-D FFT into the spectrum (held in B / pencil layout).
+  fft_xy(/*inverse=*/false);
+  transpose_fwd();
+  fft_z(/*inverse=*/false);
+  std::vector<Cx> spectrum = b;  // U0
+
+  // Per-point single-step evolution factor exp(-4 alpha pi^2 |k|^2).
+  std::vector<double> step(b.size());
+  for (int x = 0; x < xl; ++x) {
+    const int gx = x0 + x;
+    const int kx = gx <= nx / 2 ? gx : gx - nx;
+    for (int y = 0; y < ny; ++y) {
+      const int ky = y <= ny / 2 ? y : y - ny;
+      for (int z = 0; z < nz; ++z) {
+        const int kz = z <= nz / 2 ? z : z - nz;
+        const double k2 = static_cast<double>(kx) * kx +
+                          static_cast<double>(ky) * ky +
+                          static_cast<double>(kz) * kz;
+        step[ib(x, y, z)] = std::exp(-4.0 * cfg.alpha * M_PI * M_PI * k2);
+      }
+    }
+  }
+
+  FtResult result;
+  for (int iter = 1; iter <= cfg.cls.niter; ++iter) {
+    // Evolve the running spectrum one more time step.
+    for (std::size_t i = 0; i < spectrum.size(); ++i) spectrum[i] *= step[i];
+    flops += 2.0 * static_cast<double>(spectrum.size());
+    mpi.compute(static_cast<double>(spectrum.size()) * cfg.point_ns * 1e-9);
+
+    // Inverse transform a copy to physical space for the checksum.
+    b = spectrum;
+    fft_z(/*inverse=*/true);
+    transpose_bwd();
+    fft_xy(/*inverse=*/true);
+
+    // NPB checksum: 1024 strided samples of the physical field.
+    Cx local(0.0, 0.0);
+    for (int j = 1; j <= 1024; ++j) {
+      const int q = j % nx;
+      const int r = (3 * j) % ny;
+      const int s = (5 * j) % nz;
+      if (s >= z0 && s < z0 + zl) {
+        local += a[ia(s - z0, r, q)];
+      }
+    }
+    double in[2] = {local.real(), local.imag()};
+    double out[2];
+    mpi.allreduce(in, out, 2, mpi::ReduceOp::sum);
+    result.checksums.emplace_back(out[0], out[1]);
+  }
+
+  mpi.barrier();
+  result.seconds = mpi.wtime() - t0;
+  const double total_flops = mpi.allreduce(flops, mpi::ReduceOp::sum);
+  result.mflops_per_process = total_flops / result.seconds / 1e6 / P;
+  const double tb = static_cast<double>(transpose_bytes);
+  result.transpose_bytes =
+      static_cast<std::uint64_t>(mpi.allreduce(tb, mpi::ReduceOp::sum));
+  return result;
+}
+
+}  // namespace icsim::apps::npb

@@ -1,0 +1,58 @@
+#pragma once
+// NAS Parallel Benchmark FT (3-D FFT PDE solver) — extension kernel.
+//
+// Solves the 3-D heat equation spectrally: FFT the random initial state
+// once, then each iteration scales the spectrum by the evolution factor
+// exp(-4 alpha pi^2 |k|^2 t) and inverse-transforms to compute the NPB
+// checksum.  The parallel structure is NPB's slab layout: x/y lines are
+// local, the z dimension is gathered by a full complex-array TRANSPOSE
+// (alltoall) — per iteration, every process exchanges its entire working
+// set.  This is the most bandwidth-hungry pattern in the suite, bigger
+// and burstier than IS.
+//
+// The initial state comes from the bit-faithful NPB randlc stream.  We do
+// not embed the published checksum magnitudes (kept out of scope — see
+// DESIGN.md); instead tests pin the strong invariants: inverse(forward) =
+// identity to roundoff, Parseval's theorem, checksum invariance across
+// decompositions and transports, and determinism.
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "mpi/mpi.hpp"
+
+namespace icsim::apps::npb {
+
+struct FtClass {
+  const char* name = "S";
+  int nx = 64, ny = 64, nz = 64;
+  int niter = 6;
+};
+
+[[nodiscard]] inline FtClass ft_class_S() { return {"S", 64, 64, 64, 6}; }
+[[nodiscard]] inline FtClass ft_class_W() { return {"W", 128, 128, 32, 6}; }
+[[nodiscard]] inline FtClass ft_class_A() { return {"A", 256, 256, 128, 6}; }
+
+struct FtConfig {
+  FtClass cls = ft_class_S();
+  double alpha = 1e-6;
+  /// Compute cost per complex butterfly (FFT) / per point (evolve).
+  double butterfly_ns = 7.0;
+  double point_ns = 4.0;
+};
+
+struct FtResult {
+  std::vector<std::complex<double>> checksums;  ///< one per iteration
+  double seconds = 0.0;
+  double mflops_per_process = 0.0;
+  std::uint64_t transpose_bytes = 0;  ///< global alltoall traffic
+};
+
+FtResult run_ft(mpi::Mpi& mpi, const FtConfig& config);
+
+/// In-place radix-2 complex FFT along a contiguous line (exposed for unit
+/// tests).  `inverse` includes the 1/n scaling.
+void fft_line(std::complex<double>* data, int n, bool inverse);
+
+}  // namespace icsim::apps::npb

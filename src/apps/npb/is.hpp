@@ -1,0 +1,50 @@
+#pragma once
+// NAS Parallel Benchmark IS (Integer Sort) — extension kernel.
+//
+// Ranks N integer keys drawn from the NPB random stream (each key is the
+// average of four uniforms, giving the benchmark's Gaussian-ish key
+// density).  Parallel structure follows NPB IS: every process generates
+// its block of keys, counts them into per-destination buckets by key
+// range, exchanges counts (alltoall) and then keys (alltoallv), and
+// count-sorts its received range.  IS is the *bandwidth*-dominated
+// counterpoint to CG's latency-dominated pattern: the alltoallv moves
+// large blocks, which is where 4X InfiniBand's fat links pay off.
+//
+// Verification is NPB's "full verification" idea: the concatenated key
+// ranges must be globally sorted (checked with a boundary exchange) and
+// the key population must be conserved.
+
+#include <cstdint>
+
+#include "mpi/mpi.hpp"
+
+namespace icsim::apps::npb {
+
+struct IsClass {
+  const char* name = "S";
+  int total_keys_log2 = 16;
+  int max_key_log2 = 11;
+};
+
+[[nodiscard]] inline IsClass is_class_S() { return {"S", 16, 11}; }
+[[nodiscard]] inline IsClass is_class_W() { return {"W", 20, 16}; }
+[[nodiscard]] inline IsClass is_class_A() { return {"A", 23, 19}; }
+
+struct IsConfig {
+  IsClass cls = is_class_S();
+  int iterations = 10;  ///< NPB IS performs 10 ranking iterations
+  double per_key_ns = 6.0;  ///< counting/ranking cost per key per pass
+};
+
+struct IsResult {
+  double seconds = 0.0;
+  double mkeys_per_sec_per_process = 0.0;
+  std::uint64_t keys_total = 0;
+  std::uint64_t comm_bytes = 0;
+  bool sorted = false;          ///< global order verified
+  bool conserved = false;       ///< key population conserved
+};
+
+IsResult run_is(mpi::Mpi& mpi, const IsConfig& config);
+
+}  // namespace icsim::apps::npb

@@ -1,0 +1,122 @@
+#include "apps/npb/makea.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "apps/npb/randlc.hpp"
+
+namespace icsim::apps::npb {
+
+namespace {
+
+/// Random sparse vector with `nz` distinct nonzero locations in [1, n]
+/// (NPB sprnvc): values and locations both come from the randlc stream.
+void sprnvc(int n, int nz, std::vector<double>& v, std::vector<int>& iv,
+            double* tran, double amult) {
+  int nn1 = 1;
+  while (nn1 < n) nn1 *= 2;
+
+  v.clear();
+  iv.clear();
+  while (static_cast<int>(v.size()) < nz) {
+    const double vecelt = randlc(tran, amult);
+    const double vecloc = randlc(tran, amult);
+    const int i = static_cast<int>(vecloc * nn1) + 1;
+    if (i > n) continue;
+    if (std::find(iv.begin(), iv.end(), i) != iv.end()) continue;
+    v.push_back(vecelt);
+    iv.push_back(i);
+  }
+}
+
+/// Ensure component `i` has value `val` (NPB vecset).
+void vecset(std::vector<double>& v, std::vector<int>& iv, int i, double val) {
+  for (std::size_t k = 0; k < iv.size(); ++k) {
+    if (iv[k] == i) {
+      v[k] = val;
+      return;
+    }
+  }
+  v.push_back(val);
+  iv.push_back(i);
+}
+
+}  // namespace
+
+Csr make_cg_matrix(const CgClass& cls) {
+  const int n = cls.n;
+  double tran = 314159265.0;
+  const double amult = 1220703125.0;
+  (void)randlc(&tran, amult);  // NPB warms the stream once in init
+
+  struct Triplet {
+    int row, col;
+    double val;
+  };
+  std::vector<Triplet> elts;
+  elts.reserve(static_cast<std::size_t>(n) *
+               static_cast<std::size_t>((cls.nonzer + 1) * (cls.nonzer + 1)));
+
+  std::vector<double> vc;
+  std::vector<int> ivc;
+  double size = 1.0;
+  const double ratio = std::pow(cls.rcond, 1.0 / n);
+
+  for (int iouter = 1; iouter <= n; ++iouter) {
+    sprnvc(n, cls.nonzer, vc, ivc, &tran, amult);
+    vecset(vc, ivc, iouter, 0.5);
+    for (std::size_t jv = 0; jv < ivc.size(); ++jv) {
+      const int jcol = ivc[jv];
+      const double scale = size * vc[jv];
+      for (std::size_t iv = 0; iv < ivc.size(); ++iv) {
+        elts.push_back(Triplet{ivc[iv], jcol, vc[iv] * scale});
+      }
+    }
+    size *= ratio;
+  }
+  for (int i = 1; i <= n; ++i) {
+    elts.push_back(Triplet{i, i, cls.rcond - cls.shift});
+  }
+
+  // Assemble CSR, summing duplicates (NPB sparse()).
+  std::sort(elts.begin(), elts.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+  Csr m;
+  m.n = n;
+  m.rowptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  m.col.reserve(elts.size());
+  m.val.reserve(elts.size());
+  int cur_row = -1, cur_col = -1;
+  for (const Triplet& t : elts) {
+    if (t.row == cur_row && t.col == cur_col) {
+      m.val.back() += t.val;
+    } else {
+      m.col.push_back(t.col - 1);  // to 0-based
+      m.val.push_back(t.val);
+      cur_row = t.row;
+      cur_col = t.col;
+    }
+    m.rowptr[static_cast<std::size_t>(t.row)] = static_cast<int>(m.col.size());
+  }
+  // rowptr currently holds end offsets at row positions; fill gaps.
+  for (int r = 1; r <= n; ++r) {
+    m.rowptr[static_cast<std::size_t>(r)] = std::max(
+        m.rowptr[static_cast<std::size_t>(r)], m.rowptr[static_cast<std::size_t>(r - 1)]);
+  }
+  return m;
+}
+
+const Csr& cached_cg_matrix(const CgClass& cls) {
+  static std::mutex mu;
+  static std::map<std::string, Csr> cache;
+  std::scoped_lock lock(mu);
+  auto [it, inserted] = cache.try_emplace(cls.name);
+  if (inserted) it->second = make_cg_matrix(cls);
+  return it->second;
+}
+
+}  // namespace icsim::apps::npb

@@ -1,0 +1,45 @@
+#pragma once
+// NPB CG sparse-matrix generation (the `makea` routine).
+//
+// Builds the benchmark's random sparse symmetric positive-definite matrix:
+// a sum of n sparse outer products x_i x_i^T with geometrically decreasing
+// weights (condition number rcond), plus (rcond - shift) on the diagonal.
+// Follows the NPB 2.x serial algorithm, including its randlc sequences, so
+// the matrix is deterministic and class-reproducible.
+
+#include <cstddef>
+#include <vector>
+
+namespace icsim::apps::npb {
+
+struct CgClass {
+  const char* name = "S";
+  int n = 1400;
+  int nonzer = 7;
+  int niter = 15;
+  double shift = 10.0;
+  double rcond = 0.1;
+};
+
+[[nodiscard]] inline CgClass class_S() { return {"S", 1400, 7, 15, 10.0, 0.1}; }
+[[nodiscard]] inline CgClass class_W() { return {"W", 7000, 8, 15, 12.0, 0.1}; }
+[[nodiscard]] inline CgClass class_A() { return {"A", 14000, 11, 15, 20.0, 0.1}; }
+[[nodiscard]] inline CgClass class_B() { return {"B", 75000, 13, 75, 60.0, 0.1}; }
+
+/// Compressed sparse row matrix (0-based indexing).
+struct Csr {
+  int n = 0;
+  std::vector<int> rowptr;  ///< size n+1
+  std::vector<int> col;
+  std::vector<double> val;
+  [[nodiscard]] std::size_t nnz() const { return col.size(); }
+};
+
+/// Generate the full benchmark matrix for a class (deterministic).
+[[nodiscard]] Csr make_cg_matrix(const CgClass& cls);
+
+/// Process-wide cache: ranks of one simulated job share the same matrix,
+/// so it is generated once per class per process.  Read-only after build.
+[[nodiscard]] const Csr& cached_cg_matrix(const CgClass& cls);
+
+}  // namespace icsim::apps::npb

@@ -1,0 +1,56 @@
+#pragma once
+// The NAS Parallel Benchmarks linear congruential generator:
+//   x_{k+1} = a * x_k  (mod 2^46)
+// implemented in double precision exactly as the NPB reference (randlc),
+// so the generated CG matrix is the reference one.
+
+namespace icsim::apps::npb {
+
+/// Multiplier that advances the stream by `n` steps in one randlc call:
+/// a^n mod 2^46, computed by binary powering in the same arithmetic.
+inline double lcg_pow(double a, long long n);
+
+inline double randlc(double* x, double a) {
+  constexpr double r23 = 0.5 / 4194304.0;   // 2^-23
+  constexpr double r46 = r23 * r23;          // 2^-46
+  constexpr double t23 = 8388608.0;          // 2^23
+  constexpr double t46 = t23 * t23;          // 2^46
+
+  double t1 = r23 * a;
+  const double a1 = static_cast<double>(static_cast<long long>(t1));
+  const double a2 = a - t23 * a1;
+
+  t1 = r23 * (*x);
+  const double x1 = static_cast<double>(static_cast<long long>(t1));
+  const double x2 = *x - t23 * x1;
+
+  t1 = a1 * x2 + a2 * x1;
+  const double t2 = static_cast<double>(static_cast<long long>(r23 * t1));
+  const double z = t1 - t23 * t2;
+  const double t3 = t23 * z + a2 * x2;
+  const double t4 = static_cast<double>(static_cast<long long>(r46 * t3));
+  *x = t3 - t46 * t4;
+  return r46 * (*x);
+}
+
+inline double lcg_pow(double a, long long n) {
+  double base = a;
+  double acc = 1.0;
+  bool acc_set = false;
+  while (n > 0) {
+    if (n & 1) {
+      if (!acc_set) {
+        acc = base;
+        acc_set = true;
+      } else {
+        (void)randlc(&acc, base);
+      }
+    }
+    double b = base;
+    (void)randlc(&base, b);
+    n >>= 1;
+  }
+  return acc_set ? acc : 1.0;
+}
+
+}  // namespace icsim::apps::npb

@@ -1,0 +1,94 @@
+#pragma once
+// Calibrated platform configurations — the "Table 1" of this reproduction.
+//
+// Every constant here is either taken from the paper, from the product
+// specifications of the hardware the paper used, or fitted so that the
+// micro-benchmarks of Figure 1 land on the magnitudes the paper and Liu et
+// al. (SC'03 / IEEE Micro 24(1)) report for the same parts:
+//
+//   target anchors (paper Section 4.1):
+//     * small-message ping-pong latency: Elan-4 about half of InfiniBand
+//       (about 2 us vs about 4.5-5.5 us);
+//     * InfiniBand latency jump between 1 KB and 2 KB (eager->rendezvous);
+//     * 8 KB ping-pong bandwidth: Elan-4 552 MB/s vs InfiniBand 249 MB/s;
+//     * both asymptote near the PCI-X ceiling (about 850-900 MB/s);
+//     * InfiniBand bandwidth collapse at 4 MB (registration thrash);
+//     * streaming small-message bandwidth ratio above 5x in Elan's favor.
+//
+// The defaults produced here are what every figure reproduction uses; the
+// ablation benches perturb individual fields.
+
+#include "elan/config.hpp"
+#include "ib/config.hpp"
+#include "mpi/mvapich_transport.hpp"
+#include "mpi/quadrics_transport.hpp"
+#include "net/fabric.hpp"
+#include "node/node.hpp"
+
+namespace icsim::core {
+
+/// Dell PowerEdge 1750 node (paper Table 1): dual 3.06 GHz Xeon, 533 MHz
+/// FSB, ServerWorks GC-LE, one 133 MHz / 64-bit PCI-X segment for the NIC.
+inline node::NodeConfig poweredge1750() {
+  node::NodeConfig c;
+  c.cpus = 2;
+  c.memory_copy_bandwidth = sim::Bandwidth::gb_per_sec(1.5);
+  c.memory_copy_overhead = sim::Time::ns(80);
+  // 133 MHz x 64 bit is 1066 MB/s raw; sustained DMA on the GC-LE chipset
+  // was measured well below that, hence the derated rate + per-burst cost.
+  c.pcix_bandwidth = sim::Bandwidth::mb_per_sec(950.0);
+  c.pcix_dma_overhead = sim::Time::ns(250);
+  c.smp_compute_slowdown = 1.06;
+  return c;
+}
+
+/// 4X InfiniBand fabric: 2.5 GHz x 4 lanes, 8b/10b -> 1 GB/s of data per
+/// direction; Voltaire ISR 9600 internals are a two-level Clos of 24-port
+/// crossbar chips (12 down / 12 up), so radix_down = 12.
+inline net::FabricConfig ib_fabric(int nodes) {
+  net::FabricConfig f;
+  f.radix_down = 12;
+  f.levels = 2;
+  while (nodes > 1 && [&] {
+    long cap = 1;
+    for (int i = 0; i < f.levels; ++i) cap *= f.radix_down;
+    return cap < nodes;
+  }()) {
+    ++f.levels;
+  }
+  f.link_bandwidth = sim::Bandwidth::gb_per_sec(1.0);
+  f.switch_latency = sim::Time::ns(200);  // InfiniBand switch hop, that era
+  f.wire_latency = sim::Time::ns(25);
+  f.mtu_bytes = 2048;
+  f.header_bytes = 40;  // LRH + BTH + CRCs
+  return f;
+}
+
+/// QsNetII fabric: 4-ary fat tree of radix-8 Elite-4 crossbars; the QS5A
+/// 64-port switch is the 3-level instance.  Link data rate about 1.06 GB/s
+/// per direction; the Elite switch hop is much faster than InfiniBand's.
+inline net::FabricConfig elan_fabric(int nodes) {
+  net::FabricConfig f;
+  f.radix_down = 4;
+  f.levels = 3;
+  while (nodes > 1 && [&] {
+    long cap = 1;
+    for (int i = 0; i < f.levels; ++i) cap *= f.radix_down;
+    return cap < nodes;
+  }()) {
+    ++f.levels;
+  }
+  f.link_bandwidth = sim::Bandwidth::gb_per_sec(1.3);  // QsNetII link rate
+  f.switch_latency = sim::Time::ns(35);  // Elite-4 crossbar hop
+  f.wire_latency = sim::Time::ns(25);
+  f.mtu_bytes = 1024;  // Elan packets are smaller than IB's MTU
+  f.header_bytes = 24;
+  return f;
+}
+
+inline ib::HcaConfig voltaire_hca400() { return ib::HcaConfig{}; }
+inline elan::ElanConfig elan4_qm500() { return elan::ElanConfig{}; }
+inline mpi::MvapichConfig mvapich_092() { return mpi::MvapichConfig{}; }
+inline mpi::QuadricsConfig quadrics_mpi() { return mpi::QuadricsConfig{}; }
+
+}  // namespace icsim::core

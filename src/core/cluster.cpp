@@ -1,0 +1,147 @@
+#include "core/cluster.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "myrinet/gm.hpp"
+
+namespace icsim::core {
+
+ClusterConfig myrinet_cluster(int nodes, int ppn) {
+  ClusterConfig c;
+  c.network = Network::myrinet;
+  c.nodes = nodes;
+  c.ppn = ppn;
+  c.hca = myrinet::lanai9_nic();
+  c.mvapich = myrinet::mpich_gm();
+  return c;
+}
+
+Cluster::Cluster(const ClusterConfig& config) : cfg_(config) {
+  if (cfg_.nodes < 1 || cfg_.ppn < 1) {
+    throw std::invalid_argument("Cluster: nodes and ppn must be >= 1");
+  }
+  const net::FabricConfig fabric_cfg =
+      cfg_.network == Network::infiniband ? ib_fabric(cfg_.nodes)
+      : cfg_.network == Network::quadrics ? elan_fabric(cfg_.nodes)
+                                          : myrinet::myrinet_fabric(cfg_.nodes);
+  fabric_ = std::make_unique<net::Fabric>(engine_, fabric_cfg, cfg_.nodes);
+
+  for (int n = 0; n < cfg_.nodes; ++n) {
+    nodes_.push_back(std::make_unique<node::Node>(engine_, n, cfg_.node));
+  }
+
+  const int nranks = ranks();
+  sim::Rng root_rng(cfg_.seed);
+
+  if (cfg_.network == Network::infiniband || cfg_.network == Network::myrinet) {
+    // Both stacks are "DMA NIC + host-progress MPI"; they differ only in
+    // the calibrated parameters installed by their cluster constructors.
+    for (int n = 0; n < cfg_.nodes; ++n) {
+      hcas_.push_back(
+          std::make_unique<ib::Hca>(engine_, *nodes_[static_cast<std::size_t>(n)],
+                                    fabric_.get(), cfg_.hca));
+    }
+    for (int r = 0; r < nranks; ++r) {
+      const int n = r / cfg_.ppn;  // block rank placement, as the study ran
+      mv_transports_.push_back(std::make_unique<mpi::MvapichTransport>(
+          engine_, r, *nodes_[static_cast<std::size_t>(n)],
+          *hcas_[static_cast<std::size_t>(n)], cfg_.mvapich));
+      transports_.push_back(mv_transports_.back().get());
+    }
+    std::vector<mpi::MvapichTransport*> world;
+    world.reserve(mv_transports_.size());
+    for (auto& t : mv_transports_) world.push_back(t.get());
+    init_cost_ = mpi::MvapichTransport::init_world(world);
+    if (cfg_.mvapich.independent_progress) {
+      for (auto& t : mv_transports_) t->enable_independent_progress();
+    }
+  } else {
+    for (int n = 0; n < cfg_.nodes; ++n) {
+      elan_nics_.push_back(std::make_unique<elan::ElanNic>(
+          engine_, *nodes_[static_cast<std::size_t>(n)], fabric_.get(),
+          cfg_.elan));
+    }
+    elan_world_.nic_of_rank.resize(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      const int n = r / cfg_.ppn;
+      elan_world_.nic_of_rank[static_cast<std::size_t>(r)] =
+          elan_nics_[static_cast<std::size_t>(n)].get();
+    }
+    for (auto& nic : elan_nics_) nic->set_world(&elan_world_);
+    for (int r = 0; r < nranks; ++r) {
+      const int n = r / cfg_.ppn;
+      qs_transports_.push_back(std::make_unique<mpi::QuadricsTransport>(
+          engine_, r, *nodes_[static_cast<std::size_t>(n)],
+          *elan_nics_[static_cast<std::size_t>(n)], cfg_.quadrics));
+      transports_.push_back(qs_transports_.back().get());
+    }
+    std::vector<mpi::QuadricsTransport*> world;
+    world.reserve(qs_transports_.size());
+    for (auto& t : qs_transports_) world.push_back(t.get());
+    init_cost_ = mpi::QuadricsTransport::init_world(world);
+  }
+
+  for (int r = 0; r < nranks; ++r) {
+    const int n = r / cfg_.ppn;
+    mpis_.push_back(std::make_unique<mpi::Mpi>(
+        engine_, *nodes_[static_cast<std::size_t>(n)],
+        *transports_[static_cast<std::size_t>(r)], r, nranks, root_rng.fork()));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+std::uint64_t Cluster::ib_ring_memory_per_rank() const {
+  if (mv_transports_.empty()) return 0;
+  return mv_transports_.front()->ring_memory_bytes();
+}
+
+Cluster::RunStats Cluster::stats() const {
+  RunStats s;
+  s.fabric_chunks = fabric_->chunks_sent();
+  s.max_link_busy_us = fabric_->max_link_busy_time().to_us();
+  s.events_processed = engine_.events_processed();
+  for (const auto& hca : hcas_) {
+    s.hca_writes += hca->writes_posted();
+    const auto& rc = hca->reg_cache().stats();
+    s.reg_hits += rc.hits;
+    s.reg_misses += rc.misses;
+    s.reg_evictions += rc.evictions;
+  }
+  for (const auto& nic : elan_nics_) {
+    s.nic_buffer_high_water =
+        std::max(s.nic_buffer_high_water, nic->nic_buffer_high_water());
+    s.nic_thread_busy_us =
+        std::max(s.nic_thread_busy_us, nic->nic_thread().busy_time().to_us());
+  }
+  return s;
+}
+
+sim::Time Cluster::run(const std::function<void(mpi::Mpi&)>& rank_main) {
+  const int nranks = ranks();
+  std::vector<std::unique_ptr<sim::Fiber>> fibers;
+  fibers.reserve(static_cast<std::size_t>(nranks));
+  int finished = 0;
+  for (int r = 0; r < nranks; ++r) {
+    mpi::Mpi& m = *mpis_[static_cast<std::size_t>(r)];
+    fibers.push_back(std::make_unique<sim::Fiber>([this, &m, &rank_main,
+                                                   &finished] {
+      if (cfg_.charge_init && init_cost_ > sim::Time::zero()) {
+        sim::sleep_for(engine_, init_cost_);
+      }
+      rank_main(m);
+      ++finished;
+    }));
+  }
+  for (auto& f : fibers) f->resume();
+  engine_.run();
+  if (finished != nranks) {
+    throw std::runtime_error(
+        "Cluster::run: deadlock — " + std::to_string(nranks - finished) +
+        " of " + std::to_string(nranks) + " ranks still blocked");
+  }
+  return engine_.now();
+}
+
+}  // namespace icsim::core

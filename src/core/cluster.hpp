@@ -1,0 +1,132 @@
+#pragma once
+// Cluster assembly: nodes + fabric + NICs + MPI ranks for one experiment.
+//
+// This is the reproduction of the study's two partitions.  A Cluster is
+// built for one network type, one node count and one processes-per-node
+// setting; run() executes an SPMD function in every rank (each rank is a
+// fiber) and returns when all ranks have finished.
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "elan/tports.hpp"
+#include "ib/hca.hpp"
+#include "mpi/mpi.hpp"
+#include "mpi/mvapich_transport.hpp"
+#include "mpi/quadrics_transport.hpp"
+#include "net/fabric.hpp"
+#include "node/node.hpp"
+#include "sim/engine.hpp"
+#include "sim/fiber.hpp"
+
+namespace icsim::core {
+
+enum class Network {
+  infiniband,
+  quadrics,
+  myrinet,  ///< extension: the third network of Liu et al. [11]
+};
+
+[[nodiscard]] inline const char* to_string(Network n) {
+  switch (n) {
+    case Network::infiniband: return "4X InfiniBand";
+    case Network::quadrics: return "Quadrics Elan-4";
+    case Network::myrinet: return "Myrinet 2000";
+  }
+  return "?";
+}
+
+struct ClusterConfig {
+  Network network = Network::quadrics;
+  int nodes = 2;
+  int ppn = 1;  ///< MPI processes per node (the paper uses 1 and 2)
+  node::NodeConfig node = poweredge1750();
+  ib::HcaConfig hca = voltaire_hca400();
+  mpi::MvapichConfig mvapich = mvapich_092();
+  elan::ElanConfig elan = elan4_qm500();
+  mpi::QuadricsConfig quadrics = quadrics_mpi();
+  std::uint64_t seed = 0x5eed;
+  /// Include MPI_Init cost (QP setup, ring pinning) in the timeline.
+  bool charge_init = false;
+};
+
+[[nodiscard]] inline ClusterConfig ib_cluster(int nodes, int ppn = 1) {
+  ClusterConfig c;
+  c.network = Network::infiniband;
+  c.nodes = nodes;
+  c.ppn = ppn;
+  return c;
+}
+
+[[nodiscard]] inline ClusterConfig elan_cluster(int nodes, int ppn = 1) {
+  ClusterConfig c;
+  c.network = Network::quadrics;
+  c.nodes = nodes;
+  c.ppn = ppn;
+  return c;
+}
+
+/// Extension: Myrinet 2000 with MPICH-GM (see myrinet/gm.hpp).
+[[nodiscard]] ClusterConfig myrinet_cluster(int nodes, int ppn = 1);
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] int ranks() const { return cfg_.nodes * cfg_.ppn; }
+  [[nodiscard]] const ClusterConfig& config() const { return cfg_; }
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] net::Fabric& fabric() { return *fabric_; }
+  [[nodiscard]] mpi::Mpi& mpi_of(int rank) { return *mpis_.at(static_cast<std::size_t>(rank)); }
+  [[nodiscard]] node::Node& node_of_rank(int rank) {
+    return *nodes_.at(static_cast<std::size_t>(rank / cfg_.ppn));
+  }
+
+  /// Run `rank_main` as an SPMD program across all ranks.  Returns the
+  /// simulated time at which the last rank finished.  Throws if any rank is
+  /// still blocked when the event queue drains (communication deadlock).
+  sim::Time run(const std::function<void(mpi::Mpi&)>& rank_main);
+
+  /// Eager-ring memory a single InfiniBand rank pins (0 for Quadrics) —
+  /// the Section 4.1 scalability observation about buffer space.
+  [[nodiscard]] std::uint64_t ib_ring_memory_per_rank() const;
+
+  /// Aggregate run statistics for post-run analysis.
+  struct RunStats {
+    std::uint64_t fabric_chunks = 0;       ///< wire chunks injected
+    double max_link_busy_us = 0.0;         ///< hottest link's busy time
+    std::uint64_t events_processed = 0;    ///< DES events
+    // InfiniBand side:
+    std::uint64_t hca_writes = 0;          ///< RDMA writes posted
+    std::uint64_t reg_hits = 0, reg_misses = 0, reg_evictions = 0;
+    // Quadrics side:
+    std::uint64_t nic_buffer_high_water = 0;  ///< unexpected bytes in SDRAM
+    double nic_thread_busy_us = 0.0;          ///< busiest NIC thread
+  };
+  [[nodiscard]] RunStats stats() const;
+
+ private:
+  ClusterConfig cfg_;
+  sim::Engine engine_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::vector<std::unique_ptr<node::Node>> nodes_;
+  // InfiniBand stack:
+  std::vector<std::unique_ptr<ib::Hca>> hcas_;
+  std::vector<std::unique_ptr<mpi::MvapichTransport>> mv_transports_;
+  // Quadrics stack:
+  std::vector<std::unique_ptr<elan::ElanNic>> elan_nics_;
+  elan::ElanWorld elan_world_;
+  std::vector<std::unique_ptr<mpi::QuadricsTransport>> qs_transports_;
+
+  std::vector<mpi::Transport*> transports_;
+  std::vector<std::unique_ptr<mpi::Mpi>> mpis_;
+  sim::Time init_cost_ = sim::Time::zero();
+};
+
+}  // namespace icsim::core

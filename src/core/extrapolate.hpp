@@ -1,0 +1,48 @@
+#pragma once
+// Scaling-trend extrapolation (paper Section 5, Figure 8).
+//
+// The paper extrapolates the membrane scaled study to 8192 processors by
+// assuming the 8->32-node efficiency trend continues exactly.  We fit the
+// same model: a constant multiplicative efficiency decay per doubling of
+// the node count, anchored at the measured points.
+
+#include <cmath>
+#include <stdexcept>
+
+namespace icsim::core {
+
+struct ScalingTrend {
+  int base_nodes = 8;
+  double base_efficiency = 1.0;  ///< measured at base_nodes (fraction)
+  double per_doubling = 1.0;     ///< efficiency multiplier per doubling
+
+  /// Efficiency the trend predicts at `nodes` (>= base_nodes).
+  [[nodiscard]] double efficiency_at(int nodes) const {
+    const double doublings =
+        std::log2(static_cast<double>(nodes) / base_nodes);
+    return base_efficiency * std::pow(per_doubling, doublings);
+  }
+
+  /// Scaled-study time the trend predicts, given the 1-node time.
+  [[nodiscard]] double time_at(int nodes, double t_single) const {
+    return t_single / efficiency_at(nodes);
+  }
+};
+
+/// Fit from a scaled-size study: times at 1, n1 and n2 nodes (n2 > n1).
+[[nodiscard]] inline ScalingTrend fit_scaled_trend(double t_single, int n1,
+                                                   double t_n1, int n2,
+                                                   double t_n2) {
+  if (n2 <= n1 || n1 < 1) {
+    throw std::invalid_argument("fit_scaled_trend: need n2 > n1 >= 1");
+  }
+  ScalingTrend tr;
+  tr.base_nodes = n1;
+  tr.base_efficiency = t_single / t_n1;
+  const double eff2 = t_single / t_n2;
+  const double doublings = std::log2(static_cast<double>(n2) / n1);
+  tr.per_doubling = std::pow(eff2 / tr.base_efficiency, 1.0 / doublings);
+  return tr;
+}
+
+}  // namespace icsim::core

@@ -1,0 +1,82 @@
+#include "cost/cost_model.hpp"
+
+#include <stdexcept>
+
+namespace icsim::cost {
+
+namespace {
+int ceil_div(int a, int b) { return (a + b - 1) / b; }
+}  // namespace
+
+NetworkCost quadrics_network(int nodes, const QuadricsPrices& p) {
+  if (nodes < 1) throw std::invalid_argument("quadrics_network: nodes >= 1");
+  NetworkCost c;
+  c.adapters = nodes * p.adapter;
+  const int chassis = ceil_div(nodes, p.node_chassis_ports);
+  c.switch_count = chassis;
+  c.switches = chassis * p.node_chassis;
+  c.cable_count = nodes;  // host cables
+  c.cables = nodes * p.cable_5m;
+  if (chassis > 1) {
+    // Federated configuration: top-level switches plus one uplink per node
+    // for full bisection, and clock distribution.
+    const int tops = ceil_div(chassis, p.top_switch_chassis);
+    c.switch_count += tops;
+    c.switches += tops * p.top_switch + p.clock_source;
+    c.cable_count += nodes;
+    c.cables += nodes * p.cable_3m;
+  }
+  return c;
+}
+
+NetworkCost ib96_network(int nodes, const IbPrices& p) {
+  if (nodes < 1) throw std::invalid_argument("ib96_network: nodes >= 1");
+  NetworkCost c;
+  c.adapters = nodes * p.hca;
+  c.cable_count = nodes;
+  c.cables = nodes * p.host_cable;
+  if (nodes <= 96) {
+    c.switch_count = 1;
+    c.switches = p.sw96_port;
+    return c;
+  }
+  // Two-level fat tree of 96-port units: 48 down / 48 up per leaf.
+  const int leaves = ceil_div(nodes, 48);
+  const int spines = ceil_div(leaves * 48, 96);
+  c.switch_count = leaves + spines;
+  c.switches = static_cast<double>(leaves + spines) * p.sw96_port;
+  c.cable_count += leaves * 48;
+  c.cables += static_cast<double>(leaves) * 48 * p.switch_cable;
+  return c;
+}
+
+NetworkCost ib_24_288_network(int nodes, bool full_bisection,
+                              const IbPrices& p) {
+  if (nodes < 1) throw std::invalid_argument("ib_24_288_network: nodes >= 1");
+  NetworkCost c;
+  c.adapters = nodes * p.hca;
+  c.cable_count = nodes;
+  c.cables = nodes * p.host_cable;
+  if (nodes <= 24) {
+    c.switch_count = 1;
+    c.switches = p.sw24_port;
+    return c;
+  }
+  if (nodes <= 288) {
+    c.switch_count = 1;
+    c.switches = p.sw288_port;
+    return c;
+  }
+  const int down = full_bisection ? 12 : 16;
+  const int up = full_bisection ? 12 : 8;
+  const int leaves = ceil_div(nodes, down);
+  const int spines = ceil_div(leaves * up, 288);
+  c.switch_count = leaves + spines;
+  c.switches = static_cast<double>(leaves) * p.sw24_port +
+               static_cast<double>(spines) * p.sw288_port;
+  c.cable_count += leaves * up;
+  c.cables += static_cast<double>(leaves) * up * p.switch_cable;
+  return c;
+}
+
+}  // namespace icsim::cost

@@ -1,0 +1,46 @@
+#pragma once
+// Network construction cost model (paper Section 5).
+//
+// Builds each network's bill of materials for a given node count:
+//   * Quadrics Elan-4: QM-500 adapter + cable per node, 64-port node-level
+//     chassis, and above 64 nodes a federated top level (top-level
+//     switches + one uplink cable per node + clock distribution);
+//   * InfiniBand from 96-port switches (the largest available when the
+//     study began): one switch up to 96 nodes, then a two-level fat tree
+//     of 96-port units (48 down / 48 up leaves);
+//   * InfiniBand from 24-port edge + 288-port director switches ("now
+//     available" in the paper): one director up to 288 nodes, then
+//     24-port leaves with either 2:1 oversubscription (16 down / 8 up,
+//     common practice) or full bisection (12 / 12).
+
+#include "cost/pricing.hpp"
+
+namespace icsim::cost {
+
+struct NetworkCost {
+  double adapters = 0.0;
+  double switches = 0.0;
+  double cables = 0.0;
+  int switch_count = 0;
+  int cable_count = 0;
+
+  [[nodiscard]] double total() const { return adapters + switches + cables; }
+  [[nodiscard]] double per_node(int nodes) const {
+    return total() / nodes;
+  }
+};
+
+[[nodiscard]] NetworkCost quadrics_network(int nodes,
+                                           const QuadricsPrices& p = {});
+[[nodiscard]] NetworkCost ib96_network(int nodes, const IbPrices& p = {});
+[[nodiscard]] NetworkCost ib_24_288_network(int nodes, bool full_bisection,
+                                            const IbPrices& p = {});
+
+/// Network cost + compute-node cost (the paper's $2,500 lower bound).
+[[nodiscard]] inline double total_system_per_node(const NetworkCost& net,
+                                                  int nodes,
+                                                  const NodePrice& np = {}) {
+  return net.per_node(nodes) + np.node;
+}
+
+}  // namespace icsim::cost

@@ -1,0 +1,50 @@
+#pragma once
+// Quadrics Elan-4 NIC model parameters.
+//
+// The defining architectural features (paper Section 3): a programmable
+// thread processor on the NIC performs MPI tag matching and protocol
+// processing (offload + independent progress); the NIC has an MMU and
+// cooperates with the OS on address translation, so there is *no* memory
+// registration; unexpected messages are buffered in NIC-local SDRAM.
+// Magnitudes follow QsNetII product data and Liu et al.'s measurements of
+// Elan-4 on the same PCI-X hosts.
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace icsim::elan {
+
+struct ElanConfig {
+  /// DES pipeline granularity for DMA + wire movement.  Elan-4 pipelines at
+  /// fine granularity, which is where its mid-size-message advantage over
+  /// the InfiniBand stack comes from.
+  std::uint32_t chunk_bytes = 2048;
+
+  /// Host cost to write a tx/rx command descriptor to the NIC (PIO).
+  sim::Time host_post_cost = sim::Time::us(0.22);
+  /// NIC thread service time per transmit descriptor.
+  sim::Time nic_tx_cost = sim::Time::us(0.15);
+  /// NIC thread base cost to process one arriving envelope.
+  sim::Time nic_rx_base = sim::Time::us(0.12);
+  /// NIC thread cost per match-queue entry scanned (the "long queues on a
+  /// slow network processor" effect of Section 3.3.4).
+  sim::Time match_per_entry = sim::Time::ns(40);
+  /// Event write to host memory + host pickup of a completion.
+  sim::Time completion_cost = sim::Time::us(0.45);
+  /// NIC-internal loopback latency for same-node peers.
+  sim::Time loopback_latency = sim::Time::us(0.35);
+
+  /// Payload carried inline in the descriptor PIO (no DMA read needed).
+  std::uint32_t inline_bytes = 128;
+  /// Elan SDRAM available for buffering unexpected messages.
+  std::uint64_t nic_buffer_bytes = 32ull << 20;
+  /// Above this size the sender ships only the envelope and the *receiver's
+  /// NIC thread* pulls the payload with a remote get once matched — still
+  /// fully offloaded, unlike InfiniBand's host-driven rendezvous.
+  std::uint32_t get_threshold = 32768;
+  /// Wire size of an envelope-only (get-mode) message or control packet.
+  std::uint32_t ctrl_bytes = 64;
+};
+
+}  // namespace icsim::elan

@@ -1,0 +1,263 @@
+#include "elan/tports.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace icsim::elan {
+
+ElanNic::ElanNic(sim::Engine& engine, node::Node& host, net::Fabric* fabric,
+                 const ElanConfig& config)
+    : engine_(engine),
+      host_(host),
+      fabric_(fabric),
+      cfg_(config),
+      nic_thread_(engine, "elan-thread") {}
+
+void ElanNic::attach_rank(int rank) { contexts_.emplace(rank, RxContext{}); }
+
+std::size_t ElanNic::posted_depth(int rank) const {
+  return contexts_.at(rank).matcher.posted_depth();
+}
+
+void ElanNic::tx(int src_rank, int dst_rank, int tag, int context,
+                 Payload payload, std::size_t bytes, TxCallback on_complete) {
+  if (world_ == nullptr) throw std::logic_error("ElanNic: world not wired");
+  auto msg = std::make_shared<Msg>();
+  msg->src_rank = src_rank;
+  msg->dst_rank = dst_rank;
+  msg->tag = tag;
+  msg->context = context;
+  msg->bytes = bytes;
+  msg->payload = std::move(payload);
+  msg->on_tx_complete = std::move(on_complete);
+  msg->src = this;
+  msg->dst = world_->nic_of_rank.at(static_cast<std::size_t>(dst_rank));
+  msg->mode = bytes > cfg_.get_threshold ? Mode::get : Mode::eager;
+
+  // Descriptor PIO across PCI-X (command word + any inline payload).
+  const std::uint32_t pio_bytes =
+      64 + static_cast<std::uint32_t>(std::min<std::size_t>(bytes, cfg_.inline_bytes));
+  host_.dma(pio_bytes, [this, msg] {
+    nic_thread_.acquire(cfg_.nic_tx_cost, [this, msg] { send_chunks(msg); });
+  });
+}
+
+void ElanNic::send_chunks(const MsgPtr& msg) {
+  if (msg->mode == Mode::get) {
+    // Envelope only; payload stays in host memory until the remote NIC
+    // pulls it.  tx completes when the pull finishes.
+    inject_envelope_ordered(msg, 0, engine_.now(), /*completes_tx=*/false);
+    return;
+  }
+  if (msg->bytes <= cfg_.inline_bytes) {
+    // Data already reached the NIC with the descriptor PIO; the send buffer
+    // is reusable once the envelope is on the wire.
+    inject_envelope_ordered(msg, static_cast<std::uint32_t>(msg->bytes),
+                            engine_.now(), /*completes_tx=*/true);
+    return;
+  }
+  // Chunked DMA read from host memory; each chunk goes to the wire as soon
+  // as it is on the NIC.  The first chunk doubles as the envelope (its
+  // injection is ordered behind earlier messages; trailing data chunks can
+  // inject as their DMA lands — the receive side tolerates data ahead of
+  // the envelope by buffering bytes until the match).
+  std::size_t remaining = msg->bytes;
+  bool first = true;
+  sim::Time last_done = sim::Time::zero();
+  while (remaining > 0) {
+    const auto chunk = static_cast<std::uint32_t>(
+        std::min<std::size_t>(remaining, cfg_.chunk_bytes));
+    remaining -= chunk;
+    const bool last = remaining == 0;
+    if (first) {
+      first = false;
+      const sim::Time env_dma_done = host_.dma(chunk, nullptr);
+      inject_envelope_ordered(msg, chunk, env_dma_done,
+                              /*completes_tx=*/last);
+      last_done = env_dma_done;
+      continue;
+    }
+    last_done = host_.dma(chunk, [this, msg, chunk, last] {
+      wire_chunk(msg, chunk, /*is_envelope=*/false);
+      if (last) complete_tx(msg);  // buffer fully read out of host memory
+    });
+  }
+  tx_stream_free_ = std::max(tx_stream_free_, last_done);
+}
+
+void ElanNic::inject_envelope_ordered(const MsgPtr& msg,
+                                      std::uint32_t payload_bytes,
+                                      sim::Time not_before, bool completes_tx) {
+  const sim::Time when = std::max({engine_.now(), tx_stream_free_, not_before});
+  tx_stream_free_ = when;
+  engine_.schedule_at(when, [this, msg, payload_bytes, completes_tx] {
+    wire_chunk(msg, payload_bytes, /*is_envelope=*/true);
+    if (completes_tx) complete_tx(msg);
+  });
+}
+
+void ElanNic::wire_chunk(const MsgPtr& msg, std::uint32_t payload_bytes,
+                         bool is_envelope) {
+  // Envelope chunks carry the Tports header; the per-MTU wire headers are
+  // charged by the fabric itself.
+  const std::uint32_t wire_bytes =
+      is_envelope ? std::max(payload_bytes + 40u, cfg_.ctrl_bytes) : payload_bytes;
+  auto deliver = [msg, payload_bytes, is_envelope] {
+    if (is_envelope) {
+      msg->dst->on_envelope(msg);
+      if (msg->mode == Mode::eager) msg->dst->on_data_chunk(msg, payload_bytes);
+    } else {
+      msg->dst->on_data_chunk(msg, payload_bytes);
+    }
+  };
+  if (msg->dst->host_.id() == host_.id()) {
+    engine_.schedule_in(cfg_.loopback_latency, std::move(deliver));
+  } else {
+    fabric_->inject(host_.id(), msg->dst->host_.id(), wire_bytes,
+                    std::move(deliver));
+  }
+}
+
+void ElanNic::on_envelope(const MsgPtr& msg) {
+  auto ctx_it = contexts_.find(msg->dst_rank);
+  if (ctx_it == contexts_.end()) {
+    throw std::logic_error("ElanNic: envelope for unattached rank");
+  }
+  RxContext& ctx = ctx_it->second;
+
+  mpi::Envelope env;
+  env.context = msg->context;
+  env.src = msg->src_rank;
+  env.tag = msg->tag;
+  env.bytes = msg->bytes;
+  env.id = next_id_++;
+
+  auto result = ctx.matcher.arrive(env);
+  const sim::Time cost = match_cost(result.scanned);
+  if (result.match) {
+    RxCallback cb = std::move(ctx.posted.at(result.match->id));
+    ctx.posted.erase(result.match->id);
+    nic_thread_.acquire(cost, [this, msg, cb = std::move(cb)]() mutable {
+      arm_matched(msg, std::move(cb));
+    });
+  } else {
+    // Unexpected: charge the scan; eager payload accumulates in NIC SDRAM.
+    ctx.unexpected.emplace(env.id, msg);
+    msg->match_id = env.id;
+    nic_thread_.acquire(cost, [] {});
+  }
+}
+
+void ElanNic::on_data_chunk(const MsgPtr& msg, std::uint32_t bytes) {
+  // Runs on the destination NIC.
+  ElanNic& self = *msg->dst;
+  msg->bytes_arrived += bytes;
+  if (msg->matched) {
+    self.dma_chunk_to_host(msg, bytes);
+  } else {
+    msg->bytes_buffered += bytes;
+    self.buf_used_ += bytes;
+    self.buf_high_water_ = std::max(self.buf_high_water_, self.buf_used_);
+  }
+}
+
+void ElanNic::dma_chunk_to_host(const MsgPtr& msg, std::uint64_t bytes) {
+  ElanNic& self = *msg->dst;
+  self.host_.dma(bytes, [msg, bytes] {
+    msg->bytes_dma_done += bytes;
+    if (msg->bytes_dma_done >= msg->bytes && !msg->rx_completed) {
+      msg->rx_completed = true;
+      msg->dst->complete_rx(msg);
+    }
+  });
+}
+
+void ElanNic::rx(int dst_rank, int src_sel, int tag_sel, int context,
+                 RxCallback on_complete) {
+  RxContext& ctx = contexts_.at(dst_rank);
+  mpi::PostedRecv p;
+  p.context = context;
+  p.src = src_sel;
+  p.tag = tag_sel;
+  p.id = next_id_++;
+
+  auto result = ctx.matcher.post(p);
+  const sim::Time cost = match_cost(result.scanned);
+  if (result.match) {
+    MsgPtr msg = ctx.unexpected.at(result.match->id);
+    ctx.unexpected.erase(result.match->id);
+    nic_thread_.acquire(cost, [this, msg, cb = std::move(on_complete)]() mutable {
+      arm_matched(msg, std::move(cb));
+    });
+  } else {
+    ctx.posted.emplace(p.id, std::move(on_complete));
+    nic_thread_.acquire(cost, [] {});
+  }
+}
+
+void ElanNic::arm_matched(const MsgPtr& msg, RxCallback cb) {
+  msg->matched = true;
+  msg->rx_cb = std::move(cb);
+  if (msg->mode == Mode::get) {
+    start_get(msg);
+    return;
+  }
+  // Replay whatever already sits in NIC SDRAM as one DMA burst (this also
+  // covers the envelope chunk's payload, which lands before the match
+  // decision takes effect); chunks still in flight DMA individually from
+  // on_data_chunk.  Zero-byte messages complete through the same path.
+  const std::uint64_t burst = msg->bytes_buffered;
+  msg->bytes_buffered = 0;
+  buf_used_ -= burst;
+  if (burst > 0 || msg->bytes == 0) dma_chunk_to_host(msg, burst);
+}
+
+void ElanNic::start_get(const MsgPtr& msg) {
+  // Runs on the destination NIC: request the payload from the source NIC.
+  msg->bytes_arrived = 0;
+  ElanNic* src = msg->src;
+  ElanNic* dst = msg->dst;
+  auto issue_pull = [src, msg] {
+    src->nic_thread_.acquire(src->cfg_.nic_tx_cost, [src, msg] {
+      // Source NIC DMAs the payload out of host memory and streams it.
+      std::size_t remaining = msg->bytes;
+      while (remaining > 0) {
+        const auto chunk = static_cast<std::uint32_t>(
+            std::min<std::size_t>(remaining, src->cfg_.chunk_bytes));
+        remaining -= chunk;
+        const bool last = remaining == 0;
+        src->host_.dma(chunk, [src, msg, chunk, last] {
+          src->wire_chunk(msg, chunk, /*is_envelope=*/false);
+          if (last) src->complete_tx(msg);  // source buffer reusable
+        });
+      }
+    });
+  };
+  if (src->host_.id() == dst->host_.id()) {
+    engine_.schedule_in(cfg_.loopback_latency, issue_pull);
+  } else {
+    fabric_->inject(dst->host_.id(), src->host_.id(), cfg_.ctrl_bytes,
+                    std::move(issue_pull));
+  }
+}
+
+void ElanNic::complete_rx(const MsgPtr& msg) {
+  engine_.schedule_in(cfg_.completion_cost, [msg] {
+    RxStatus st;
+    st.src_rank = msg->src_rank;
+    st.tag = msg->tag;
+    st.bytes = msg->bytes;
+    st.payload = msg->payload;
+    msg->rx_cb(st);
+  });
+}
+
+void ElanNic::complete_tx(const MsgPtr& msg) {
+  engine_.schedule_in(cfg_.completion_cost, [msg] {
+    if (msg->on_tx_complete) msg->on_tx_complete();
+  });
+}
+
+}  // namespace icsim::elan

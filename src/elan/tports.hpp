@@ -1,0 +1,159 @@
+#pragma once
+// Elan-4 NIC and Tagged Ports (Tports).
+//
+// Tports is the two-sided message-passing interface Quadrics MPI sits on
+// (Section 3.1 of the paper).  Everything interesting happens on the NIC's
+// thread processor, modeled as a FIFO resource shared by all ranks on the
+// node:
+//
+//   * tag matching against the posted-receive queue runs on the NIC, with a
+//     per-entry scan cost (offload, Section 3.3.4);
+//   * unexpected messages are buffered in NIC SDRAM without host
+//     involvement and replayed on a later matching post;
+//   * messages above `get_threshold` ship only their envelope; once the
+//     *receiver's* NIC matches it, the NIC pulls the payload with a remote
+//     get — long transfers make progress with both hosts computing
+//     (independent progress, Section 3.3.3, and overlap, Section 3.3.5);
+//   * there is no memory registration: the NIC MMU translates host
+//     addresses (Section 3.3.2).
+//
+// Completion is an event write to host memory; the host observes it without
+// having to drive the protocol.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "elan/config.hpp"
+#include "mpi/matcher.hpp"
+#include "net/fabric.hpp"
+#include "node/node.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace icsim::elan {
+
+using Payload = std::shared_ptr<std::vector<std::byte>>;
+
+/// Delivered-receive description handed to the receive callback.
+struct RxStatus {
+  int src_rank = -1;
+  int tag = -1;
+  std::size_t bytes = 0;
+  Payload payload;  ///< actual message data (copy into the user buffer)
+};
+
+using RxCallback = std::function<void(const RxStatus&)>;
+using TxCallback = std::function<void()>;
+
+class ElanNic;
+
+/// World wiring: which NIC serves each rank (set up by the cluster).
+struct ElanWorld {
+  std::vector<ElanNic*> nic_of_rank;
+};
+
+class ElanNic {
+ public:
+  ElanNic(sim::Engine& engine, node::Node& host, net::Fabric* fabric,
+          const ElanConfig& config);
+
+  void set_world(const ElanWorld* world) { world_ = world; }
+  /// Create the receive context (Tport) for a local rank.
+  void attach_rank(int rank);
+
+  /// Transmit: called by the transport after it charged the host-side post
+  /// cost.  `on_complete` fires when the send buffer is reusable.
+  void tx(int src_rank, int dst_rank, int tag, int context, Payload payload,
+          std::size_t bytes, TxCallback on_complete);
+
+  /// Post a receive for a local rank (wildcards per mpi::Matcher rules).
+  void rx(int dst_rank, int src_sel, int tag_sel, int context,
+          RxCallback on_complete);
+
+  /// Non-consuming query of the NIC-side unexpected queue (MPI_Iprobe).
+  [[nodiscard]] std::optional<mpi::Envelope> probe(int dst_rank, int src_sel,
+                                                   int tag_sel,
+                                                   int context) const {
+    mpi::PostedRecv p;
+    p.context = context;
+    p.src = src_sel;
+    p.tag = tag_sel;
+    return contexts_.at(dst_rank).matcher.probe(p);
+  }
+
+  [[nodiscard]] const ElanConfig& config() const { return cfg_; }
+  [[nodiscard]] node::Node& host() { return host_; }
+  [[nodiscard]] sim::FifoResource& nic_thread() { return nic_thread_; }
+  [[nodiscard]] std::uint64_t nic_buffer_high_water() const { return buf_high_water_; }
+  [[nodiscard]] std::size_t posted_depth(int rank) const;
+
+ private:
+  enum class Mode { eager, get };
+
+  /// One message in flight (created at the source, shared with the
+  /// destination NIC through the wire callbacks).
+  struct Msg {
+    int src_rank = -1, dst_rank = -1, tag = 0, context = 0;
+    std::size_t bytes = 0;
+    Mode mode = Mode::eager;
+    Payload payload;
+    TxCallback on_tx_complete;  // held at source until buffer reusable
+    ElanNic* src = nullptr;
+    ElanNic* dst = nullptr;
+    // Destination-side state (byte-granular so partial arrivals work):
+    std::uint64_t bytes_arrived = 0;
+    std::uint64_t bytes_buffered = 0;  // sitting unexpected in NIC SDRAM
+    std::uint64_t bytes_dma_done = 0;
+    std::uint64_t match_id = 0;        // unexpected-queue key
+    bool matched = false;              // a posted receive claimed it
+    bool rx_completed = false;
+    RxCallback rx_cb;  // set when matched
+  };
+  using MsgPtr = std::shared_ptr<Msg>;
+
+  struct RxContext {
+    mpi::Matcher matcher;
+    std::unordered_map<std::uint64_t, RxCallback> posted;  // id -> callback
+    std::unordered_map<std::uint64_t, MsgPtr> unexpected;  // id -> message
+  };
+
+  void send_chunks(const MsgPtr& msg);
+  /// Inject an envelope no earlier than every previously transmitted
+  /// byte of this NIC (per-pair Tports ordering on the single egress port).
+  void inject_envelope_ordered(const MsgPtr& msg, std::uint32_t payload_bytes,
+                               sim::Time not_before, bool completes_tx);
+  void wire_chunk(const MsgPtr& msg, std::uint32_t payload_bytes,
+                  bool is_envelope);
+  void on_envelope(const MsgPtr& msg);  // runs on dst NIC
+  void on_data_chunk(const MsgPtr& msg, std::uint32_t bytes);
+  void dma_chunk_to_host(const MsgPtr& msg, std::uint64_t bytes);
+  /// Mark matched and replay any SDRAM-buffered bytes (runs on dst NIC).
+  void arm_matched(const MsgPtr& msg, RxCallback cb);
+  void start_get(const MsgPtr& msg);  // dst NIC pulls the payload
+  void complete_rx(const MsgPtr& msg);
+  void complete_tx(const MsgPtr& msg);
+  [[nodiscard]] sim::Time match_cost(std::size_t scanned) const {
+    return cfg_.nic_rx_base + cfg_.match_per_entry * static_cast<std::int64_t>(scanned);
+  }
+
+  sim::Engine& engine_;
+  node::Node& host_;
+  net::Fabric* fabric_;
+  ElanConfig cfg_;
+  sim::FifoResource nic_thread_;
+  const ElanWorld* world_ = nullptr;
+  std::unordered_map<int, RxContext> contexts_;  // local rank -> Tport
+  std::uint64_t next_id_ = 1;
+  std::uint64_t buf_used_ = 0;
+  std::uint64_t buf_high_water_ = 0;
+  /// Instant after which a new envelope may enter the wire: the latest
+  /// point at which bytes of earlier messages left host memory.  Keeps
+  /// inline/get envelopes (which carry no bulk DMA) from overtaking the
+  /// still-draining chunks of an earlier message.
+  sim::Time tx_stream_free_ = sim::Time::zero();
+};
+
+}  // namespace icsim::elan

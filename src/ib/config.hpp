@@ -1,0 +1,51 @@
+#pragma once
+// 4X InfiniBand HCA model parameters.
+//
+// Defaults are calibrated to the study's hardware: a Voltaire HCA 400 (a
+// Mellanox InfiniHost derivative) on 133 MHz PCI-X, MVAPICH 0.9.2 era.
+// Sources for the magnitudes: the paper's Section 4.1 numbers and Liu et
+// al., "Performance comparison of MPI implementations over InfiniBand,
+// Myrinet and Quadrics" (SC'03) / IEEE Micro 24(1), which measured the same
+// generation of parts.  See core/calibration.hpp for the anchor table.
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace icsim::ib {
+
+struct HcaConfig {
+  /// InfiniBand wire MTU (payload per packet).
+  std::uint32_t mtu_bytes = 2048;
+  /// Granularity at which the simulator moves a message through the DMA and
+  /// fabric pipeline (coarser than the MTU to bound event counts; header
+  /// overhead is still charged per MTU packet by the fabric).
+  std::uint32_t chunk_bytes = 4096;
+
+  /// HCA processor time to fetch and execute one send WQE.  This is also
+  /// the InfiniHost-era message-rate bottleneck that the streaming
+  /// benchmark exposes (Figure 1(c): >5x in Elan's favour at small sizes).
+  sim::Time send_wqe_cost = sim::Time::us(1.8);
+  /// HCA time to retire a send completion into the CQ.
+  sim::Time send_cqe_cost = sim::Time::us(0.25);
+  /// Latency for an HCA-internal loopback hop (same-node peers; MVAPICH
+  /// 0.9.2 had no shared-memory channel, so on-node traffic crossed PCI-X).
+  sim::Time loopback_latency = sim::Time::us(0.6);
+
+  /// Memory registration: kernel pin + HCA TPT update.  The base covers the
+  /// syscall; the per-page term covers get_user_pages on the 2.4-era kernel.
+  sim::Time reg_base_cost = sim::Time::us(25.0);
+  sim::Time reg_per_page = sim::Time::us(1.0);
+  sim::Time dereg_base_cost = sim::Time::us(15.0);
+  sim::Time dereg_per_page = sim::Time::us(0.55);
+  std::uint32_t page_bytes = 4096;
+  /// Pinning budget of the registration cache.  A 4 MB ping-pong needs
+  /// ~8 MB of registered application buffers plus the preregistered eager
+  /// rings, which overflows this and thrashes — the Figure 1(b) dip.
+  std::uint64_t reg_cache_capacity = 7ull << 20;
+
+  /// One-time cost to bring up a reliable-connection queue pair.
+  sim::Time qp_connect_cost = sim::Time::us(80.0);
+};
+
+}  // namespace icsim::ib

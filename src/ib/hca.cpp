@@ -1,0 +1,110 @@
+#include "ib/hca.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace icsim::ib {
+
+namespace {
+std::uint64_t qp_key(int local_ep, int remote_ep) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(local_ep)) << 32) |
+         static_cast<std::uint32_t>(remote_ep);
+}
+}  // namespace
+
+Hca::Hca(sim::Engine& engine, node::Node& host, net::Fabric* fabric,
+         const HcaConfig& config)
+    : engine_(engine),
+      host_(host),
+      fabric_(fabric),
+      cfg_(config),
+      processor_(engine, "hca-proc"),
+      reg_cache_(config.reg_cache_capacity, config.page_bytes,
+                 config.reg_base_cost, config.reg_per_page,
+                 config.dereg_base_cost, config.dereg_per_page) {}
+
+void Hca::attach(int endpoint, Handler handler) {
+  handlers_[endpoint] = std::move(handler);
+}
+
+sim::Time Hca::connect(int local_ep, const Hca* remote_hca, int remote_ep) {
+  (void)remote_hca;
+  qp_up_[qp_key(local_ep, remote_ep)] = true;
+  return cfg_.qp_connect_cost;
+}
+
+void Hca::rdma_write(int src_ep, Hca& dst, int dst_ep, std::uint64_t bytes,
+                     std::shared_ptr<void> cargo,
+                     std::function<void()> on_local_complete) {
+  if (!qp_up_.count(qp_key(src_ep, dst_ep))) {
+    throw std::logic_error("Hca::rdma_write: queue pair not connected");
+  }
+  ++writes_;
+  auto msg = std::make_shared<InFlight>();
+  msg->delivery = Delivery{src_ep, dst_ep, bytes, std::move(cargo)};
+  msg->dst = &dst;
+  msg->remaining_chunks =
+      bytes == 0 ? 1 : (bytes + cfg_.chunk_bytes - 1) / cfg_.chunk_bytes;
+
+  // WQE fetch/execute on the HCA processor, then the DMA pipeline.
+  processor_.acquire(cfg_.send_wqe_cost,
+                     [this, msg, bytes,
+                      cb = std::move(on_local_complete)]() mutable {
+                       start_dma_chain(msg, bytes, std::move(cb));
+                     });
+}
+
+void Hca::start_dma_chain(const std::shared_ptr<InFlight>& msg,
+                          std::uint64_t bytes,
+                          std::function<void()> on_local_complete) {
+  const std::uint64_t nchunks = msg->remaining_chunks;
+  std::uint64_t remaining = bytes;
+  for (std::uint64_t i = 0; i < nchunks; ++i) {
+    const auto chunk = static_cast<std::uint32_t>(
+        remaining > cfg_.chunk_bytes ? cfg_.chunk_bytes
+                                     : (nchunks == 1 && bytes == 0 ? 0 : remaining));
+    remaining -= chunk;
+    const bool last = (i + 1 == nchunks);
+
+    // DMA the chunk out of host memory, then hand it to the wire.
+    host_.dma(chunk, [this, msg, chunk, last,
+                      cb = last ? std::move(on_local_complete)
+                                : std::function<void()>{}]() mutable {
+      Hca& dst = *msg->dst;
+      if (&dst == this) {
+        // Loopback: HCA turns the data around; it re-crosses PCI-X on the
+        // way back into host memory.
+        engine_.schedule_in(cfg_.loopback_latency, [this, msg, chunk] {
+          chunk_arrived_at_dst(msg, chunk);
+        });
+      } else {
+        fabric_->inject(host_.id(), dst.host_.id(), chunk,
+                        [msg, chunk] { msg->dst->chunk_arrived_at_dst(msg, chunk); });
+      }
+      if (last && cb) {
+        // Send buffer is reusable once the last byte left host memory;
+        // completion surfaces after CQE processing on the HCA.
+        processor_.acquire(cfg_.send_cqe_cost, std::move(cb));
+      }
+    });
+  }
+}
+
+void Hca::chunk_arrived_at_dst(const std::shared_ptr<InFlight>& msg,
+                               std::uint32_t chunk_bytes) {
+  // This runs on the destination HCA: DMA the chunk into host memory.
+  Hca& self = *msg->dst;
+  self.host_.dma(chunk_bytes, [msg, &self] {
+    assert(msg->remaining_chunks > 0);
+    if (--msg->remaining_chunks == 0) {
+      auto it = self.handlers_.find(msg->delivery.dst_ep);
+      if (it == self.handlers_.end()) {
+        throw std::logic_error("Hca: delivery to unattached endpoint");
+      }
+      it->second(msg->delivery);
+    }
+  });
+}
+
+}  // namespace icsim::ib

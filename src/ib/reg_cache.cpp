@@ -1,0 +1,38 @@
+#include "ib/reg_cache.hpp"
+
+namespace icsim::ib {
+
+sim::Time RegistrationCache::acquire(const void* ptr, std::uint64_t len) {
+  const Key key{reinterpret_cast<std::uintptr_t>(ptr), len};
+  if (auto it = map_.find(key); it != map_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+    return sim::Time::zero();
+  }
+
+  ++stats_.misses;
+  sim::Time cost = reg_time(len);
+
+  if (len >= capacity_) {
+    // Cannot be cached at all: register now, deregister when done.
+    cost += dereg_time(len);
+    ++stats_.evictions;
+    return cost;
+  }
+
+  while (stats_.registered_bytes + len > capacity_ && !lru_.empty()) {
+    const Key victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+    stats_.registered_bytes -= victim.len;
+    ++stats_.evictions;
+    cost += dereg_time(victim.len);
+  }
+
+  lru_.push_front(key);
+  map_.emplace(key, lru_.begin());
+  stats_.registered_bytes += len;
+  return cost;
+}
+
+}  // namespace icsim::ib

@@ -1,0 +1,85 @@
+#pragma once
+// Memory-registration cache (pin-down cache).
+//
+// InfiniBand requires every buffer involved in RDMA to be registered
+// (pinned and entered into the HCA's translation table); MVAPICH caches
+// registrations keyed by (address, length) and evicts least-recently-used
+// regions when the pinning budget is exceeded.  Section 3.3.2 of the paper
+// discusses this cost, and the Figure 1(b) bandwidth collapse at 4 MB is
+// registration thrash — reproduced here by the capacity bound.
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "sim/time.hpp"
+
+namespace icsim::ib {
+
+struct RegCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t registered_bytes = 0;  ///< currently pinned
+};
+
+class RegistrationCache {
+ public:
+  RegistrationCache(std::uint64_t capacity_bytes, std::uint32_t page_bytes,
+                    sim::Time reg_base, sim::Time reg_per_page,
+                    sim::Time dereg_base, sim::Time dereg_per_page)
+      : capacity_(capacity_bytes),
+        page_(page_bytes),
+        reg_base_(reg_base),
+        reg_per_page_(reg_per_page),
+        dereg_base_(dereg_base),
+        dereg_per_page_(dereg_per_page) {}
+
+  /// Ensure [ptr, ptr+len) is registered.  Returns the host time this costs
+  /// now: zero on a cache hit, registration (plus any evictions needed to
+  /// fit) on a miss.  Regions larger than the whole capacity register and
+  /// immediately deregister every time — maximal thrash.
+  sim::Time acquire(const void* ptr, std::uint64_t len);
+
+  /// Pin memory permanently outside the cache budget accounting (used for
+  /// the preregistered eager rings at init).  Returns the registration time.
+  sim::Time pin_permanent(std::uint64_t len) const {
+    return reg_base_ + reg_per_page_ * static_cast<std::int64_t>(pages(len));
+  }
+
+  [[nodiscard]] const RegCacheStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
+
+ private:
+  struct Key {
+    std::uintptr_t ptr;
+    std::uint64_t len;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::uintptr_t>{}(k.ptr) ^
+             (std::hash<std::uint64_t>{}(k.len) << 1);
+    }
+  };
+
+  [[nodiscard]] std::uint64_t pages(std::uint64_t len) const {
+    return (len + page_ - 1) / page_;
+  }
+  [[nodiscard]] sim::Time reg_time(std::uint64_t len) const {
+    return reg_base_ + reg_per_page_ * static_cast<std::int64_t>(pages(len));
+  }
+  [[nodiscard]] sim::Time dereg_time(std::uint64_t len) const {
+    return dereg_base_ + dereg_per_page_ * static_cast<std::int64_t>(pages(len));
+  }
+
+  std::uint64_t capacity_;
+  std::uint32_t page_;
+  sim::Time reg_base_, reg_per_page_, dereg_base_, dereg_per_page_;
+
+  std::list<Key> lru_;  // front = most recent
+  std::unordered_map<Key, std::list<Key>::iterator, KeyHash> map_;
+  RegCacheStats stats_;
+};
+
+}  // namespace icsim::ib

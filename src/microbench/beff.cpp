@@ -1,0 +1,139 @@
+#include "microbench/beff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sim/rng.hpp"
+
+namespace icsim::microbench {
+
+std::vector<std::size_t> beff_lengths(std::size_t lmax) {
+  std::vector<std::size_t> lengths;
+  for (std::size_t s = 1; s <= 4096; s *= 2) lengths.push_back(s);  // 13
+  for (int d = 128; d >= 1; d /= 2) lengths.push_back(lmax / static_cast<std::size_t>(d));
+  return lengths;  // 13 + 8 = 21
+}
+
+namespace {
+
+/// Ring orderings: each pattern is a permutation `order` of the ranks; each
+/// process exchanges with its successor and predecessor along the ring.
+std::vector<std::vector<int>> make_patterns(int nprocs, int random_patterns,
+                                            std::uint64_t seed) {
+  std::vector<std::vector<int>> patterns;
+
+  // 1-D ring: natural order.
+  std::vector<int> natural(static_cast<std::size_t>(nprocs));
+  std::iota(natural.begin(), natural.end(), 0);
+  patterns.push_back(natural);
+
+  // 2-D and 3-D rings: orderings that hop by row/plane strides, exercising
+  // longer fabric routes (only meaningful when the grid is nontrivial).
+  auto strided = [&](int stride) {
+    std::vector<int> order;
+    order.reserve(static_cast<std::size_t>(nprocs));
+    std::vector<bool> used(static_cast<std::size_t>(nprocs), false);
+    int start = 0;
+    while (static_cast<int>(order.size()) < nprocs) {
+      int cur = start;
+      while (!used[static_cast<std::size_t>(cur)]) {
+        used[static_cast<std::size_t>(cur)] = true;
+        order.push_back(cur);
+        cur = (cur + stride) % nprocs;
+      }
+      while (start < nprocs && used[static_cast<std::size_t>(start)]) ++start;
+      if (start >= nprocs) break;
+    }
+    return order;
+  };
+  if (nprocs >= 4) {
+    const int row = std::max(2, static_cast<int>(std::sqrt(nprocs)));
+    patterns.push_back(strided(row));
+  }
+  if (nprocs >= 8) {
+    const int plane = std::max(2, static_cast<int>(std::cbrt(nprocs)));
+    patterns.push_back(strided(plane * plane));
+  }
+
+  sim::Rng rng(seed);
+  for (int p = 0; p < random_patterns; ++p) {
+    std::vector<int> perm = natural;
+    rng.shuffle(perm);
+    patterns.push_back(perm);
+  }
+  return patterns;
+}
+
+}  // namespace
+
+BeffResult run_beff(const core::ClusterConfig& config,
+                    const BeffOptions& options) {
+  core::Cluster cluster(config);
+  const int nprocs = cluster.ranks();
+  const auto lengths = beff_lengths(options.lmax);
+  const auto patterns = make_patterns(nprocs, options.random_patterns,
+                                      options.seed);
+
+  // position_in_pattern[p][rank] -> index, to find ring neighbours.
+  std::vector<std::vector<int>> pos(patterns.size(),
+                                    std::vector<int>(static_cast<std::size_t>(nprocs)));
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    for (int i = 0; i < nprocs; ++i) {
+      pos[p][static_cast<std::size_t>(patterns[p][static_cast<std::size_t>(i)])] = i;
+    }
+  }
+
+  // elapsed[p][l] measured by rank 0 (barrier-synchronized).
+  std::vector<std::vector<double>> elapsed(
+      patterns.size(), std::vector<double>(lengths.size(), 0.0));
+
+  cluster.run([&](mpi::Mpi& mpi) {
+    std::vector<std::byte> sbuf(options.lmax), rbuf(options.lmax);
+    for (std::size_t p = 0; p < patterns.size(); ++p) {
+      const int me = pos[p][static_cast<std::size_t>(mpi.rank())];
+      const int right = patterns[p][static_cast<std::size_t>((me + 1) % nprocs)];
+      const int left =
+          patterns[p][static_cast<std::size_t>((me - 1 + nprocs) % nprocs)];
+      for (std::size_t l = 0; l < lengths.size(); ++l) {
+        const std::size_t bytes = lengths[l];
+        mpi.barrier();
+        const double t0 = mpi.wtime();
+        for (int r = 0; r < options.repetitions; ++r) {
+          // Exchange with both neighbours, as the b_eff rings do.
+          mpi.sendrecv(sbuf.data(), bytes, right, 21, rbuf.data(), rbuf.size(),
+                       left, 21);
+          mpi.sendrecv(sbuf.data(), bytes, left, 22, rbuf.data(), rbuf.size(),
+                       right, 22);
+        }
+        mpi.barrier();
+        if (mpi.rank() == 0) elapsed[p][l] = mpi.wtime() - t0;
+      }
+    }
+  });
+
+  BeffResult result;
+  result.lengths = lengths;
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    double log_sum = 0.0;
+    for (std::size_t l = 0; l < lengths.size(); ++l) {
+      // Aggregate bandwidth: every process moved 2 messages per rep in each
+      // direction accounting: 2 sendrecvs = 2 sends per process per rep.
+      const double total_bytes = 2.0 * options.repetitions *
+                                 static_cast<double>(nprocs) *
+                                 static_cast<double>(lengths[l]);
+      const double bw = total_bytes / elapsed[p][l] / 1e6;  // MB/s
+      log_sum += std::log(bw);
+    }
+    result.per_pattern_mbs.push_back(
+        std::exp(log_sum / static_cast<double>(lengths.size())));
+  }
+  result.beff_mbs =
+      std::accumulate(result.per_pattern_mbs.begin(),
+                      result.per_pattern_mbs.end(), 0.0) /
+      static_cast<double>(result.per_pattern_mbs.size());
+  result.beff_per_process_mbs = result.beff_mbs / nprocs;
+  return result;
+}
+
+}  // namespace icsim::microbench

@@ -1,0 +1,48 @@
+#pragma once
+// Effective Bandwidth (b_eff) benchmark (paper Section 2.1, refs [1, 21]).
+//
+// b_eff measures the aggregate communication bandwidth of the whole system
+// rather than a single link.  Following the published benchmark design:
+//   * 21 message lengths: 1, 2, 4, ..., 4096 bytes (13 geometric values)
+//     and Lmax/128 ... Lmax in powers of two (8 values), Lmax = 1 MB;
+//   * a set of communication patterns: ring orderings in 1-3 dimensions
+//     plus randomly permuted rings;
+//   * for each pattern and length, every process exchanges with its two
+//     ring neighbours (MPI_Sendrecv method);
+//   * per-pattern result is the *logarithmic* average over lengths of the
+//     aggregate bandwidth — which is why b_eff is dominated by short
+//     messages (the paper stresses this when reading Figure 1(d));
+//   * b_eff is the arithmetic mean over patterns.
+//
+// Simplification vs the original: the original also tries Alltoallv and
+// non-blocking methods and keeps the best; our transports' Sendrecv is the
+// best method for both networks, so only it is used (noted in
+// EXPERIMENTS.md).
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cluster.hpp"
+
+namespace icsim::microbench {
+
+struct BeffOptions {
+  std::size_t lmax = 1 << 20;
+  int repetitions = 3;
+  int random_patterns = 2;
+  std::uint64_t seed = 99;
+};
+
+struct BeffResult {
+  double beff_mbs = 0.0;            ///< aggregate b_eff of the system
+  double beff_per_process_mbs = 0.0;
+  std::vector<double> per_pattern_mbs;
+  std::vector<std::size_t> lengths;
+};
+
+[[nodiscard]] std::vector<std::size_t> beff_lengths(std::size_t lmax);
+
+[[nodiscard]] BeffResult run_beff(const core::ClusterConfig& config,
+                                  const BeffOptions& options);
+
+}  // namespace icsim::microbench

@@ -1,0 +1,119 @@
+#include "microbench/pingpong.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace icsim::microbench {
+
+std::vector<std::size_t> pallas_sizes(std::size_t max_bytes) {
+  std::vector<std::size_t> sizes{0};
+  for (std::size_t s = 1; s <= max_bytes; s *= 2) sizes.push_back(s);
+  return sizes;
+}
+
+std::vector<PingPongPoint> run_pingpong(const core::ClusterConfig& config,
+                                        const PingPongOptions& options) {
+  if (config.nodes * config.ppn < 2) {
+    throw std::invalid_argument("run_pingpong: need at least 2 ranks");
+  }
+  core::Cluster cluster(config);
+  std::vector<PingPongPoint> results;
+
+  cluster.run([&](mpi::Mpi& mpi) {
+    if (mpi.rank() > 1) return;  // extra ranks idle
+    const int peer = 1 - mpi.rank();
+    constexpr int kTag = 7;
+    // Distinct send/receive buffers, as the Pallas benchmark allocates: at
+    // 4 MB the pair of pinned application buffers overflows the MVAPICH
+    // registration cache, which is the Figure 1(b) bandwidth collapse.
+    const std::size_t cap = options.sizes.empty()
+                                ? 1
+                                : *std::max_element(options.sizes.begin(),
+                                                    options.sizes.end()) + 1;
+    std::vector<std::byte> sbuf(cap), rbuf(cap);
+    // The pair self-synchronizes: warmup exchanges align the two ranks
+    // before the timed region, so no global barrier is needed.
+    for (const std::size_t bytes : options.sizes) {
+      double t0 = 0.0;
+      for (int i = -options.warmup; i < options.repetitions; ++i) {
+        if (i == 0) t0 = mpi.wtime();
+        if (mpi.rank() == 0) {
+          mpi.send(sbuf.data(), bytes, peer, kTag);
+          mpi.recv(rbuf.data(), rbuf.size(), peer, kTag);
+        } else {
+          mpi.recv(rbuf.data(), rbuf.size(), peer, kTag);
+          mpi.send(sbuf.data(), bytes, peer, kTag);
+        }
+      }
+      if (mpi.rank() == 0) {
+        const double elapsed = mpi.wtime() - t0;
+        const double one_way = elapsed / (2.0 * options.repetitions);
+        PingPongPoint p;
+        p.bytes = bytes;
+        p.latency_us = one_way * 1e6;
+        p.bandwidth_mbs =
+            one_way > 0 ? static_cast<double>(bytes) / one_way / 1e6 : 0.0;
+        results.push_back(p);
+      }
+    }
+  });
+  return results;
+}
+
+std::vector<StreamingPoint> run_streaming(const core::ClusterConfig& config,
+                                          const StreamingOptions& options) {
+  if (config.nodes * config.ppn < 2) {
+    throw std::invalid_argument("run_streaming: need at least 2 ranks");
+  }
+  core::Cluster cluster(config);
+  std::vector<StreamingPoint> results;
+
+  cluster.run([&](mpi::Mpi& mpi) {
+    constexpr int kTag = 9;
+    constexpr int kAckTag = 10;
+    if (mpi.rank() > 1) return;
+    const int peer = 1 - mpi.rank();
+    std::vector<std::byte> buf(options.sizes.empty()
+                                   ? 1
+                                   : *std::max_element(options.sizes.begin(),
+                                                       options.sizes.end()) + 1);
+    std::vector<mpi::Request> reqs(static_cast<std::size_t>(options.window));
+    char ack = 0;
+
+    for (const std::size_t bytes : options.sizes) {
+      double t0 = 0.0;
+      for (int b = -options.warmup_batches; b < options.batches; ++b) {
+        if (b == 0) t0 = mpi.wtime();
+        if (mpi.rank() == 0) {
+          for (int w = 0; w < options.window; ++w) {
+            reqs[static_cast<std::size_t>(w)] =
+                mpi.isend(buf.data(), bytes, peer, kTag);
+          }
+          mpi.waitall(reqs);
+          mpi.recv(&ack, 1, peer, kAckTag);
+        } else {
+          for (int w = 0; w < options.window; ++w) {
+            reqs[static_cast<std::size_t>(w)] =
+                mpi.irecv(buf.data(), buf.size(), peer, kTag);
+          }
+          mpi.waitall(reqs);
+          mpi.send(&ack, 1, peer, kAckTag);
+        }
+      }
+      if (mpi.rank() == 0) {
+        const double elapsed = mpi.wtime() - t0;
+        const double total_msgs =
+            static_cast<double>(options.batches) * options.window;
+        StreamingPoint p;
+        p.bytes = bytes;
+        p.msg_rate_per_sec = total_msgs / elapsed;
+        p.bandwidth_mbs = total_msgs * static_cast<double>(bytes) / elapsed / 1e6;
+        results.push_back(p);
+      }
+    }
+  });
+  return results;
+}
+
+}  // namespace icsim::microbench

@@ -1,0 +1,53 @@
+#pragma once
+// Ping-pong and streaming micro-benchmarks (paper Section 2.1).
+//
+// Ping-pong is the Pallas MPI Benchmarks method: two ranks bounce one
+// message; latency = round-trip / 2 averaged over many exchanges.
+// Streaming is the non-blocking pattern of Liu et al. (IEEE Micro 24(1)):
+// the receiver pre-posts a window of receives, the sender fires the whole
+// window back-to-back, one ack closes the batch — this measures the
+// ability to fill the message pipeline, which ping-pong hides.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cluster.hpp"
+
+namespace icsim::microbench {
+
+struct PingPongPoint {
+  std::size_t bytes = 0;
+  double latency_us = 0.0;    ///< one-way
+  double bandwidth_mbs = 0.0; ///< bytes / one-way time
+};
+
+struct PingPongOptions {
+  std::vector<std::size_t> sizes;
+  int repetitions = 100;
+  int warmup = 10;
+};
+
+/// Standard Pallas-style size ladder 0,1,2,...,max_bytes (powers of two).
+[[nodiscard]] std::vector<std::size_t> pallas_sizes(std::size_t max_bytes);
+
+/// Runs on ranks 0 and 1 of a fresh cluster built from `config`.
+[[nodiscard]] std::vector<PingPongPoint> run_pingpong(
+    const core::ClusterConfig& config, const PingPongOptions& options);
+
+struct StreamingPoint {
+  std::size_t bytes = 0;
+  double bandwidth_mbs = 0.0;
+  double msg_rate_per_sec = 0.0;
+};
+
+struct StreamingOptions {
+  std::vector<std::size_t> sizes;
+  int window = 64;   ///< receives pre-posted / sends in flight per batch
+  int batches = 20;
+  int warmup_batches = 2;
+};
+
+[[nodiscard]] std::vector<StreamingPoint> run_streaming(
+    const core::ClusterConfig& config, const StreamingOptions& options);
+
+}  // namespace icsim::microbench

@@ -1,0 +1,207 @@
+#pragma once
+// Sub-communicators (MPI_Comm_split essentials).
+//
+// A Comm is a view over a subset of world ranks with its own matching
+// context, so traffic inside one communicator can never match traffic in
+// another even with identical tags.  Point-to-point goes through the
+// owning rank's Mpi with rank translation; the collectives the
+// applications need are reimplemented over the translated group.
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "mpi/mpi.hpp"
+
+namespace icsim::mpi {
+
+class Comm {
+ public:
+  /// The world communicator for a rank.
+  explicit Comm(Mpi& mpi)
+      : mpi_(&mpi), context_(kWorldContext), my_index_(mpi.rank()) {
+    members_.resize(static_cast<std::size_t>(mpi.size()));
+    for (int r = 0; r < mpi.size(); ++r) members_[static_cast<std::size_t>(r)] = r;
+  }
+
+  [[nodiscard]] int rank() const { return my_index_; }
+  [[nodiscard]] int size() const { return static_cast<int>(members_.size()); }
+  [[nodiscard]] Mpi& base() { return *mpi_; }
+
+  /// MPI_Comm_split over THIS communicator (collective).  Ranks with the
+  /// same color form a new communicator; `key` orders them (ties broken by
+  /// old rank).  Returns the caller's new communicator.
+  [[nodiscard]] Comm split(int color, int key) {
+    // Gather (color, key) pairs across the group.
+    std::vector<int> mine = {color, key};
+    std::vector<int> all(static_cast<std::size_t>(2 * size()));
+    allgather_int(mine.data(), 2, all.data());
+
+    struct Entry {
+      int color, key, old_index;
+    };
+    std::vector<Entry> same;
+    for (int r = 0; r < size(); ++r) {
+      const int c = all[static_cast<std::size_t>(2 * r)];
+      if (c == color) {
+        same.push_back({c, all[static_cast<std::size_t>(2 * r + 1)], r});
+      }
+    }
+    std::stable_sort(same.begin(), same.end(), [](const Entry& a, const Entry& b) {
+      return a.key != b.key ? a.key < b.key : a.old_index < b.old_index;
+    });
+
+    Comm result(*mpi_, /*private_tag=*/0);
+    result.context_ = next_context_id();
+    result.members_.clear();
+    for (std::size_t i = 0; i < same.size(); ++i) {
+      result.members_.push_back(
+          members_[static_cast<std::size_t>(same[i].old_index)]);
+      if (same[i].old_index == my_index_) {
+        result.my_index_ = static_cast<int>(i);
+      }
+    }
+    return result;
+  }
+
+  // ------------------------------------------------------- point to point
+
+  void send(const void* data, std::size_t bytes, int dst, int tag) {
+    mpi_->send(data, bytes, world_rank(dst), tag, context_);
+  }
+  Status recv(void* data, std::size_t capacity, int src = kAnySource,
+              int tag = kAnyTag) {
+    const int wsrc = src == kAnySource ? kAnySource : world_rank(src);
+    Status st = mpi_->recv(data, capacity, wsrc, tag, context_);
+    st.source = group_rank(st.source);
+    return st;
+  }
+  Request isend(const void* data, std::size_t bytes, int dst, int tag) {
+    return mpi_->isend(data, bytes, world_rank(dst), tag, context_);
+  }
+  Request irecv(void* data, std::size_t capacity, int src = kAnySource,
+                int tag = kAnyTag) {
+    const int wsrc = src == kAnySource ? kAnySource : world_rank(src);
+    return mpi_->irecv(data, capacity, wsrc, tag, context_);
+  }
+  void wait(Request& r) { mpi_->wait(r); }
+
+  // ---------------------------------------------------------- collectives
+
+  void barrier() {
+    const int tag = next_tag();
+    char token = 0;
+    for (int k = 1; k < size(); k <<= 1) {
+      const int to = (my_index_ + k) % size();
+      const int from = (my_index_ - k + size()) % size();
+      mpi_->sendrecv(&token, 1, world_rank(to), tag, &token, 1,
+                     world_rank(from), tag, context_);
+    }
+  }
+
+  template <typename T>
+  void bcast(T* data, std::size_t n, int root) {
+    if (size() == 1) return;
+    const int tag = next_tag();
+    const int vrank = (my_index_ - root + size()) % size();
+    int mask = 1;
+    while (mask < size()) {
+      if ((vrank & mask) != 0) {
+        const int src = ((vrank - mask) + root) % size();
+        (void)mpi_->recv(data, n * sizeof(T), world_rank(src), tag, context_);
+        break;
+      }
+      mask <<= 1;
+    }
+    mask >>= 1;
+    while (mask > 0) {
+      if (vrank + mask < size()) {
+        const int dst = (vrank + mask + root) % size();
+        mpi_->send(data, n * sizeof(T), world_rank(dst), tag, context_);
+      }
+      mask >>= 1;
+    }
+  }
+
+  template <typename T>
+  [[nodiscard]] T allreduce(T value, ReduceOp op) {
+    // Tree reduce to group root, then broadcast.
+    const int tag = next_tag();
+    T acc = value;
+    int mask = 1;
+    while (mask < size()) {
+      if ((my_index_ & mask) != 0) {
+        mpi_->send(&acc, sizeof(T), world_rank(my_index_ - mask), tag, context_);
+        break;
+      }
+      if (my_index_ + mask < size()) {
+        T in{};
+        (void)mpi_->recv(&in, sizeof(T), world_rank(my_index_ + mask), tag,
+                         context_);
+        switch (op) {
+          case ReduceOp::sum: acc = acc + in; break;
+          case ReduceOp::min: acc = in < acc ? in : acc; break;
+          case ReduceOp::max: acc = acc < in ? in : acc; break;
+          case ReduceOp::prod: acc = acc * in; break;
+        }
+      }
+      mask <<= 1;
+    }
+    bcast(&acc, 1, 0);
+    return acc;
+  }
+
+ private:
+  Comm(Mpi& mpi, int) : mpi_(&mpi) {}
+
+  [[nodiscard]] int world_rank(int group_idx) const {
+    return members_.at(static_cast<std::size_t>(group_idx));
+  }
+  [[nodiscard]] int group_rank(int world) const {
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      if (members_[i] == world) return static_cast<int>(i);
+    }
+    return kAnySource;
+  }
+  [[nodiscard]] int next_tag() { return static_cast<int>(seq_++ & 0xffffff); }
+
+  /// Context id for a child communicator.  split() is collective and every
+  /// member's Comm object carries identical logical state (context and
+  /// split count), so all members derive the same id with no extra
+  /// communication.  Sibling groups of one split share the id — they are
+  /// rank-disjoint, so their traffic can never cross-match.  Ids live in a
+  /// band below the collective-context offset.
+  [[nodiscard]] int next_context_id() {
+    ++splits_;
+    return 10'000 + context_ * 131 + splits_ * 7919;
+  }
+
+  /// Ring allgather of `n` ints per member over this communicator.
+  void allgather_int(const int* in, int n, int* out) {
+    std::memcpy(out + static_cast<std::ptrdiff_t>(my_index_) * n, in,
+                static_cast<std::size_t>(n) * sizeof(int));
+    const int tag = next_tag();
+    const int right = (my_index_ + 1) % size();
+    const int left = (my_index_ - 1 + size()) % size();
+    for (int step = 0; step < size() - 1; ++step) {
+      const int send_block = (my_index_ - step + size()) % size();
+      const int recv_block = (my_index_ - step - 1 + size()) % size();
+      mpi_->sendrecv(out + static_cast<std::ptrdiff_t>(send_block) * n,
+                     static_cast<std::size_t>(n) * sizeof(int),
+                     world_rank(right), tag,
+                     out + static_cast<std::ptrdiff_t>(recv_block) * n,
+                     static_cast<std::size_t>(n) * sizeof(int),
+                     world_rank(left), tag, context_);
+    }
+  }
+
+  Mpi* mpi_;
+  std::vector<int> members_;  ///< group index -> world rank
+  int context_ = kWorldContext;
+  int my_index_ = 0;
+  int splits_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace icsim::mpi

@@ -1,0 +1,53 @@
+#include "mpi/matcher.hpp"
+
+#include <algorithm>
+
+namespace icsim::mpi {
+
+MatchResult<PostedRecv> Matcher::arrive(const Envelope& env) {
+  std::size_t scanned = 0;
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    ++scanned;
+    if (matches(*it, env)) {
+      PostedRecv hit = *it;
+      posted_.erase(it);
+      return {hit, scanned};
+    }
+  }
+  unexpected_.push_back(env);
+  max_unexpected_ = std::max(max_unexpected_, unexpected_.size());
+  return {std::nullopt, scanned};
+}
+
+MatchResult<Envelope> Matcher::post(const PostedRecv& recv) {
+  std::size_t scanned = 0;
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    ++scanned;
+    if (matches(recv, *it)) {
+      Envelope hit = *it;
+      unexpected_.erase(it);
+      return {hit, scanned};
+    }
+  }
+  posted_.push_back(recv);
+  return {std::nullopt, scanned};
+}
+
+std::optional<Envelope> Matcher::probe(const PostedRecv& recv) const {
+  for (const auto& env : unexpected_) {
+    if (matches(recv, env)) return env;
+  }
+  return std::nullopt;
+}
+
+bool Matcher::cancel_posted(std::uint64_t id) {
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (it->id == id) {
+      posted_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace icsim::mpi

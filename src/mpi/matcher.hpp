@@ -1,0 +1,80 @@
+#pragma once
+// MPI message matching engine.
+//
+// Implements the standard two-queue scheme: a posted-receive queue and an
+// unexpected-envelope queue, both searched in order, with wildcard source
+// and tag on the receive side.  The *same* logic runs in two very different
+// places in the two networks under study — on the host CPU inside MVAPICH's
+// progress engine, and on the Elan-4 NIC thread inside Tports — so it is
+// factored out here and each transport charges its own per-entry search
+// cost using the scan counts this class reports.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+
+#include "mpi/types.hpp"
+
+namespace icsim::mpi {
+
+/// A receive posted by the application, waiting for a matching envelope.
+struct PostedRecv {
+  int context = kWorldContext;
+  int src = kAnySource;  ///< kAnySource matches any sender
+  int tag = kAnyTag;     ///< kAnyTag matches any tag
+  std::uint64_t id = 0;  ///< transport-assigned handle
+};
+
+/// The envelope of an arrived message (eager payload or rendezvous RTS).
+struct Envelope {
+  int context = kWorldContext;
+  int src = 0;
+  int tag = 0;
+  std::size_t bytes = 0;
+  std::uint64_t id = 0;  ///< transport-assigned handle
+};
+
+/// Outcome of a match attempt, with the number of queue entries the search
+/// walked (transports convert this into host or NIC-thread time).
+template <typename T>
+struct MatchResult {
+  std::optional<T> match;
+  std::size_t scanned = 0;
+};
+
+class Matcher {
+ public:
+  /// An envelope arrived: search posted receives in post order.
+  /// On a match the posted receive is consumed; otherwise the envelope is
+  /// appended to the unexpected queue.
+  MatchResult<PostedRecv> arrive(const Envelope& env);
+
+  /// A receive was posted: search the unexpected queue in arrival order.
+  /// On a match the envelope is consumed; otherwise the posting is appended
+  /// to the posted queue.
+  MatchResult<Envelope> post(const PostedRecv& recv);
+
+  /// Non-destructive probe: would this posting match an unexpected message?
+  [[nodiscard]] std::optional<Envelope> probe(const PostedRecv& recv) const;
+
+  /// Remove a posted receive (used for cancel); true if found.
+  bool cancel_posted(std::uint64_t id);
+
+  [[nodiscard]] std::size_t posted_depth() const { return posted_.size(); }
+  [[nodiscard]] std::size_t unexpected_depth() const { return unexpected_.size(); }
+  [[nodiscard]] std::size_t max_unexpected_depth() const { return max_unexpected_; }
+
+  [[nodiscard]] static bool matches(const PostedRecv& r, const Envelope& e) {
+    return r.context == e.context && (r.src == kAnySource || r.src == e.src) &&
+           (r.tag == kAnyTag || r.tag == e.tag);
+  }
+
+ private:
+  std::list<PostedRecv> posted_;
+  std::list<Envelope> unexpected_;
+  std::size_t max_unexpected_ = 0;
+};
+
+}  // namespace icsim::mpi

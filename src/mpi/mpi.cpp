@@ -1,0 +1,69 @@
+#include "mpi/mpi.hpp"
+
+namespace icsim::mpi {
+
+Request Mpi::isend(const void* data, std::size_t bytes, int dst, int tag,
+                   int context) {
+  assert(dst >= 0 && dst < size_);
+  auto state = std::make_shared<RequestState>(engine_, RequestState::Kind::send);
+  SendArgs args;
+  args.dst = dst;
+  args.tag = tag;
+  args.context = context;
+  args.data = static_cast<const std::byte*>(data);
+  args.bytes = bytes;
+  args.req = state;
+  transport_.post_send(args);
+  return Request(std::move(state));
+}
+
+Request Mpi::irecv(void* data, std::size_t capacity, int src, int tag,
+                   int context) {
+  assert(src == kAnySource || (src >= 0 && src < size_));
+  auto state = std::make_shared<RequestState>(engine_, RequestState::Kind::recv);
+  RecvArgs args;
+  args.src = src;
+  args.tag = tag;
+  args.context = context;
+  args.data = static_cast<std::byte*>(data);
+  args.capacity = capacity;
+  args.req = state;
+  transport_.post_recv(args);
+  return Request(std::move(state));
+}
+
+void Mpi::barrier() {
+  // Dissemination barrier: ceil(log2 P) rounds of pairwise exchanges.
+  const int tag = next_coll_tag();
+  char token = 0;
+  for (int k = 1; k < size_; k <<= 1) {
+    const int to = (rank_ + k) % size_;
+    const int from = (rank_ - k + size_) % size_;
+    sendrecv(&token, 1, to, tag, &token, 1, from, tag, coll_context());
+  }
+}
+
+void Mpi::bcast_bytes(void* data, std::size_t bytes, int root) {
+  if (size_ == 1) return;
+  const int tag = next_coll_tag();
+  const int vrank = (rank_ - root + size_) % size_;
+  int mask = 1;
+  while (mask < size_) {
+    if ((vrank & mask) != 0) {
+      const int src = ((vrank - mask) + root) % size_;
+      recv(data, bytes, src, tag, coll_context());
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < size_) {
+      const int dst = (vrank + mask + root) % size_;
+      send(data, bytes, dst, tag, coll_context());
+    }
+    mask >>= 1;
+  }
+}
+
+}  // namespace icsim::mpi

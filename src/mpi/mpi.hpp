@@ -1,0 +1,284 @@
+#pragma once
+// The per-rank MPI programming interface used by all applications,
+// micro-benchmarks and examples in this repository.
+//
+// It is a faithful subset of MPI's two-sided world: nonblocking point to
+// point with tag/source matching and wildcards, the blocking wrappers, and
+// the collectives the workloads need (implemented, as in MPICH of that
+// era, on top of point-to-point: dissemination barrier, binomial
+// broadcast/reduce, ring allgather, pairwise alltoall).  Every call runs in
+// the owning rank's fiber; simulated time advances through the transport.
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "mpi/request.hpp"
+#include "mpi/transport.hpp"
+#include "mpi/types.hpp"
+#include "node/node.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace icsim::mpi {
+
+class Mpi {
+ public:
+  Mpi(sim::Engine& engine, node::Node& node, Transport& transport, int rank,
+      int size, sim::Rng rng)
+      : engine_(engine),
+        node_(node),
+        transport_(transport),
+        rank_(rank),
+        size_(size),
+        rng_(rng) {}
+
+  Mpi(const Mpi&) = delete;
+  Mpi& operator=(const Mpi&) = delete;
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return size_; }
+
+  // ----------------------------------------------------------- point to point
+
+  Request isend(const void* data, std::size_t bytes, int dst, int tag,
+                int context = kWorldContext);
+  Request irecv(void* data, std::size_t capacity, int src = kAnySource,
+                int tag = kAnyTag, int context = kWorldContext);
+
+  void send(const void* data, std::size_t bytes, int dst, int tag,
+            int context = kWorldContext) {
+    Request r = isend(data, bytes, dst, tag, context);
+    wait(r);
+  }
+  Status recv(void* data, std::size_t capacity, int src = kAnySource,
+              int tag = kAnyTag, int context = kWorldContext) {
+    Request r = irecv(data, capacity, src, tag, context);
+    wait(r);
+    return r.status();
+  }
+
+  void wait(Request& r) {
+    if (r.valid()) transport_.wait(*r.state());
+  }
+  void waitall(std::span<Request> rs) {
+    for (Request& r : rs) wait(r);
+  }
+  bool test(Request& r) { return !r.valid() || transport_.test(*r.state()); }
+
+  /// MPI_Iprobe: nonblocking check for a matchable incoming message.
+  bool iprobe(int src = kAnySource, int tag = kAnyTag, Status* st = nullptr,
+              int context = kWorldContext) {
+    return transport_.iprobe(src, tag, context, st);
+  }
+
+  /// MPI_Probe: block until a matching message can be received.
+  Status probe(int src = kAnySource, int tag = kAnyTag,
+               int context = kWorldContext) {
+    Status st;
+    while (!iprobe(src, tag, &st, context)) {
+      node_.compute(sim::Time::us(0.5));  // poll interval
+    }
+    return st;
+  }
+
+  /// Combined send+receive (deadlock-free, as MPI_Sendrecv).
+  Status sendrecv(const void* sdata, std::size_t sbytes, int dst, int stag,
+                  void* rdata, std::size_t rcap, int src, int rtag,
+                  int context = kWorldContext) {
+    Request rr = irecv(rdata, rcap, src, rtag, context);
+    Request sr = isend(sdata, sbytes, dst, stag, context);
+    wait(sr);
+    wait(rr);
+    return rr.status();
+  }
+
+  // Typed conveniences.
+  template <typename T>
+  void send(std::span<const T> data, int dst, int tag) {
+    send(data.data(), data.size_bytes(), dst, tag);
+  }
+  template <typename T>
+  Status recv(std::span<T> data, int src = kAnySource, int tag = kAnyTag) {
+    return recv(data.data(), data.size_bytes(), src, tag);
+  }
+
+  // -------------------------------------------------------------- collectives
+
+  void barrier();
+
+  template <typename T>
+  void bcast(T* data, std::size_t n, int root) {
+    bcast_bytes(data, n * sizeof(T), root);
+  }
+
+  template <typename T>
+  void reduce(const T* in, T* out, std::size_t n, ReduceOp op, int root) {
+    // Binomial-tree reduce: leaves push partial results toward the root.
+    std::vector<T> acc(in, in + n);
+    std::vector<T> incoming(n);
+    const int tag = next_coll_tag();
+    const int vrank = (rank_ - root + size_) % size_;
+    int mask = 1;
+    while (mask < size_) {
+      if ((vrank & mask) != 0) {
+        const int peer = ((vrank - mask) % size_ + root) % size_;
+        send(acc.data(), n * sizeof(T), peer, tag, coll_context());
+        break;
+      }
+      const int vpeer = vrank + mask;
+      if (vpeer < size_) {
+        const int peer = (vpeer + root) % size_;
+        recv(incoming.data(), n * sizeof(T), peer, tag, coll_context());
+        combine(acc.data(), incoming.data(), n, op);
+      }
+      mask <<= 1;
+    }
+    if (rank_ == root && out != nullptr) {
+      std::memcpy(out, acc.data(), n * sizeof(T));
+    }
+  }
+
+  template <typename T>
+  void allreduce(const T* in, T* out, std::size_t n, ReduceOp op) {
+    reduce(in, out, n, op, 0);
+    bcast(out, n, 0);
+  }
+  template <typename T>
+  [[nodiscard]] T allreduce(T value, ReduceOp op) {
+    T out{};
+    allreduce(&value, &out, 1, op);
+    return out;
+  }
+
+  /// Ring allgather: `n` elements contributed per rank, `out` holds size*n.
+  template <typename T>
+  void allgather(const T* in, std::size_t n, T* out) {
+    std::memcpy(out + static_cast<std::size_t>(rank_) * n, in, n * sizeof(T));
+    const int tag = next_coll_tag();
+    const int right = (rank_ + 1) % size_;
+    const int left = (rank_ - 1 + size_) % size_;
+    for (int step = 0; step < size_ - 1; ++step) {
+      const int send_block = (rank_ - step + size_) % size_;
+      const int recv_block = (rank_ - step - 1 + size_) % size_;
+      sendrecv(out + static_cast<std::size_t>(send_block) * n, n * sizeof(T),
+               right, tag, out + static_cast<std::size_t>(recv_block) * n,
+               n * sizeof(T), left, tag, coll_context());
+    }
+  }
+
+  /// Pairwise-exchange alltoall: `n` elements per destination rank.
+  template <typename T>
+  void alltoall(const T* in, std::size_t n, T* out) {
+    std::memcpy(out + static_cast<std::size_t>(rank_) * n,
+                in + static_cast<std::size_t>(rank_) * n, n * sizeof(T));
+    const int tag = next_coll_tag();
+    for (int step = 1; step < size_; ++step) {
+      const int to = (rank_ + step) % size_;
+      const int from = (rank_ - step + size_) % size_;
+      sendrecv(in + static_cast<std::size_t>(to) * n, n * sizeof(T), to, tag,
+               out + static_cast<std::size_t>(from) * n, n * sizeof(T), from,
+               tag, coll_context());
+    }
+  }
+
+  /// Inclusive prefix reduction (MPI_Scan), chained rank by rank.
+  template <typename T>
+  [[nodiscard]] T scan(T value, ReduceOp op) {
+    const int tag = next_coll_tag();
+    T acc = value;
+    if (rank_ > 0) {
+      T incoming{};
+      recv(&incoming, sizeof(T), rank_ - 1, tag, coll_context());
+      T tmp = incoming;
+      combine(&tmp, &acc, 1, op);
+      acc = tmp;
+    }
+    if (rank_ + 1 < size_) {
+      send(&acc, sizeof(T), rank_ + 1, tag, coll_context());
+    }
+    return acc;
+  }
+
+  /// Variable-count alltoall (as MPI_Alltoallv): element counts and
+  /// displacements per peer.  Implemented as pairwise exchanges with
+  /// rotating partners, like the fixed-size version.
+  template <typename T>
+  void alltoallv(const T* in, const std::vector<int>& send_counts,
+                 const std::vector<int>& send_displs, T* out,
+                 const std::vector<int>& recv_counts,
+                 const std::vector<int>& recv_displs) {
+    assert(static_cast<int>(send_counts.size()) == size_);
+    const int tag = next_coll_tag();
+    const auto self = static_cast<std::size_t>(rank_);
+    std::memcpy(out + recv_displs[self], in + send_displs[self],
+                static_cast<std::size_t>(send_counts[self]) * sizeof(T));
+    for (int step = 1; step < size_; ++step) {
+      const auto to = static_cast<std::size_t>((rank_ + step) % size_);
+      const auto from = static_cast<std::size_t>((rank_ - step + size_) % size_);
+      sendrecv(in + send_displs[to],
+               static_cast<std::size_t>(send_counts[to]) * sizeof(T),
+               static_cast<int>(to), tag, out + recv_displs[from],
+               static_cast<std::size_t>(recv_counts[from]) * sizeof(T),
+               static_cast<int>(from), tag, coll_context());
+    }
+  }
+
+  template <typename T>
+  void gather(const T* in, std::size_t n, T* out, int root) {
+    const int tag = next_coll_tag();
+    if (rank_ == root) {
+      std::memcpy(out + static_cast<std::size_t>(rank_) * n, in, n * sizeof(T));
+      for (int r = 0; r < size_; ++r) {
+        if (r == root) continue;
+        recv(out + static_cast<std::size_t>(r) * n, n * sizeof(T), r, tag,
+             coll_context());
+      }
+    } else {
+      send(in, n * sizeof(T), root, tag, coll_context());
+    }
+  }
+
+  // ------------------------------------------------------------------- misc
+
+  /// Simulated MPI_Wtime.
+  [[nodiscard]] double wtime() const { return engine_.now().to_seconds(); }
+
+  /// Charge modeled computation to this rank's CPU (SMP contention applies).
+  void compute(double seconds) { node_.compute(sim::Time::sec(seconds)); }
+
+  [[nodiscard]] sim::Rng& rng() { return rng_; }
+  [[nodiscard]] node::Node& node() { return node_; }
+  [[nodiscard]] Transport& transport() { return transport_; }
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+
+ private:
+  void bcast_bytes(void* data, std::size_t bytes, int root);
+  [[nodiscard]] int coll_context() const { return kCollectiveContextOffset; }
+  int next_coll_tag() { return static_cast<int>(coll_seq_++ & 0xffffff); }
+
+  template <typename T>
+  static void combine(T* acc, const T* in, std::size_t n, ReduceOp op) {
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (op) {
+        case ReduceOp::sum: acc[i] = acc[i] + in[i]; break;
+        case ReduceOp::min: acc[i] = in[i] < acc[i] ? in[i] : acc[i]; break;
+        case ReduceOp::max: acc[i] = acc[i] < in[i] ? in[i] : acc[i]; break;
+        case ReduceOp::prod: acc[i] = acc[i] * in[i]; break;
+      }
+    }
+  }
+
+  sim::Engine& engine_;
+  node::Node& node_;
+  Transport& transport_;
+  int rank_;
+  int size_;
+  sim::Rng rng_;
+  std::uint64_t coll_seq_ = 0;
+};
+
+}  // namespace icsim::mpi

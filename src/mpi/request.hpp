@@ -1,0 +1,49 @@
+#pragma once
+// Nonblocking-operation state shared between the MPI API and transports.
+
+#include <cstddef>
+#include <memory>
+
+#include "mpi/types.hpp"
+#include "sim/blocking.hpp"
+
+namespace icsim::mpi {
+
+struct RequestState {
+  enum class Kind { send, recv };
+
+  RequestState(sim::Engine& engine, Kind k) : kind(k), trigger(engine) {}
+
+  Kind kind;
+  bool complete = false;
+  Status status{};       ///< filled for receives
+  sim::Trigger trigger;  ///< fired on completion
+
+  void finish(const Status& st) {
+    status = st;
+    complete = true;
+    trigger.fire();
+  }
+  void finish() {
+    complete = true;
+    trigger.fire();
+  }
+};
+
+/// Cheap handle; a default-constructed Request is "null" and already
+/// complete (like MPI_REQUEST_NULL).
+class Request {
+ public:
+  Request() = default;
+  explicit Request(std::shared_ptr<RequestState> s) : state_(std::move(s)) {}
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] bool complete() const { return !state_ || state_->complete; }
+  [[nodiscard]] RequestState* state() { return state_.get(); }
+  [[nodiscard]] const Status& status() const { return state_->status; }
+
+ private:
+  std::shared_ptr<RequestState> state_;
+};
+
+}  // namespace icsim::mpi

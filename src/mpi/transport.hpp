@@ -1,0 +1,66 @@
+#pragma once
+// Transport abstraction under the MPI API.
+//
+// One Transport instance exists per rank.  The two implementations embody
+// the paper's Section 3 contrast:
+//   * MvapichTransport (mvapich_transport.hpp): connection-oriented RDMA,
+//     host-side matching, progress only inside MPI calls;
+//   * QuadricsTransport (quadrics_transport.hpp): connectionless Tports,
+//     NIC-side matching, independent progress.
+
+#include <cstddef>
+#include <memory>
+
+#include "mpi/request.hpp"
+#include "mpi/types.hpp"
+
+namespace icsim::mpi {
+
+struct SendArgs {
+  int dst = 0;
+  int tag = 0;
+  int context = kWorldContext;
+  const std::byte* data = nullptr;
+  std::size_t bytes = 0;
+  std::shared_ptr<RequestState> req;
+};
+
+struct RecvArgs {
+  int src = kAnySource;
+  int tag = kAnyTag;
+  int context = kWorldContext;
+  std::byte* data = nullptr;
+  std::size_t capacity = 0;
+  std::shared_ptr<RequestState> req;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Start a nonblocking send/receive.  Both charge the host-side posting
+  /// overhead to the calling fiber and return once posted.
+  virtual void post_send(const SendArgs& args) = 0;
+  virtual void post_recv(const RecvArgs& args) = 0;
+
+  /// Block the calling fiber until the request completes.  How blocking
+  /// behaves is the core transport difference: MVAPICH spins in the
+  /// progress engine; Tports sleeps on the NIC's completion event.
+  virtual void wait(RequestState& req) = 0;
+
+  /// Nonblocking completion check (drives progress where required).
+  virtual bool test(RequestState& req) = 0;
+
+  /// MPI_Iprobe: is there a matchable message (without receiving it)?
+  /// Fills `st` with the envelope on a hit.
+  virtual bool iprobe(int src, int tag, int context, Status* st) = 0;
+
+  /// Give the implementation a chance to advance protocol state.  No-op
+  /// for transports with independent progress.
+  virtual void progress() = 0;
+
+  [[nodiscard]] virtual int rank() const = 0;
+  [[nodiscard]] virtual int size() const = 0;
+};
+
+}  // namespace icsim::mpi

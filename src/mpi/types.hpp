@@ -1,0 +1,27 @@
+#pragma once
+// Shared MPI-layer vocabulary types.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace icsim::mpi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Result of a completed receive.
+struct Status {
+  int source = -1;
+  int tag = -1;
+  std::size_t bytes = 0;
+};
+
+enum class ReduceOp { sum, min, max, prod };
+
+/// Communicator context ids separate matching domains (MPI "contexts").
+/// World point-to-point uses kWorldContext; collectives use a shifted
+/// context so application tags can never collide with internal traffic.
+inline constexpr int kWorldContext = 0;
+inline constexpr int kCollectiveContextOffset = 1 << 20;
+
+}  // namespace icsim::mpi

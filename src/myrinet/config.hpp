@@ -1,0 +1,56 @@
+#pragma once
+// Myrinet 2000 + GM model parameters (extension beyond the paper's two
+// networks).
+//
+// The paper's predecessor study (Liu et al., reference [11]) compared
+// InfiniBand, Quadrics AND Myrinet, and Section 3.3.2 of the paper uses
+// MPICH-GM's behaviour — messages below 16 kB are copied through
+// preregistered "copy blocks", which is why buffer-reuse benchmarks are
+// flat below that size — as its canonical example of hiding registration
+// cost.  This module adds the third network so that three-way comparison
+// can be regenerated.
+//
+// Architecture (M3F-PCI64C class NIC, LANai 9 @ 133 MHz, GM 1.x,
+// MPICH-GM): 2.0 Gbit/s links; 16-port crossbar switches in a Clos
+// spreader; GM is CONNECTIONLESS (ports, not connections — send/receive
+// tokens bound the queues, so per-process memory does not grow with job
+// size); MPI matching runs on the HOST and progress happens only inside
+// MPI calls, like MVAPICH and unlike Tports.
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace icsim::myrinet {
+
+struct GmNicConfig {
+  /// DES pipeline granularity.
+  std::uint32_t chunk_bytes = 4096;
+  /// LANai processor time per send descriptor (a 133 MHz embedded CPU —
+  /// much slower than the InfiniHost's engines at small messages).
+  sim::Time lanai_tx_cost = sim::Time::us(1.1);
+  /// LANai time to deliver an arriving message into a host receive chunk.
+  sim::Time lanai_rx_cost = sim::Time::us(0.9);
+  /// Host completion pickup from the GM event queue.
+  sim::Time event_cost = sim::Time::us(0.3);
+  sim::Time loopback_latency = sim::Time::us(0.7);
+  /// GM receive tokens the process provides (global, not per peer).
+  int recv_tokens = 256;
+};
+
+struct MpichGmConfig {
+  /// MPICH-GM copy-block threshold: below this, both sides copy through
+  /// preregistered chunks and registration cost never shows (paper 3.3.2).
+  std::size_t eager_threshold = 16384;
+  sim::Time o_send = sim::Time::us(0.5);
+  sim::Time o_recv = sim::Time::us(0.35);
+  sim::Time o_arrival = sim::Time::us(0.9);
+  sim::Time o_match_per_entry = sim::Time::ns(30);
+  sim::Time rndv_accept_cost = sim::Time::us(0.5);
+  sim::Time cts_handle_cost = sim::Time::us(0.5);
+  std::size_t envelope_bytes = 40;
+  std::uint32_t ctrl_bytes = 48;
+  double smp_host_penalty = 1.8;
+};
+
+}  // namespace icsim::myrinet

@@ -1,0 +1,97 @@
+#include "net/fabric.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace icsim::net {
+
+Fabric::Fabric(sim::Engine& engine, const FabricConfig& config, int num_nodes)
+    : engine_(engine),
+      cfg_(config),
+      topo_(config.radix_down, config.levels),
+      num_nodes_(num_nodes) {
+  if (num_nodes > topo_.capacity()) {
+    throw std::invalid_argument("Fabric: more nodes than the tree can attach");
+  }
+}
+
+sim::Time Fabric::serialization_time(std::uint32_t bytes) const {
+  const std::uint64_t packets =
+      bytes == 0 ? 1 : (bytes + cfg_.mtu_bytes - 1) / cfg_.mtu_bytes;
+  const std::uint64_t wire_bytes =
+      static_cast<std::uint64_t>(bytes) + packets * cfg_.header_bytes;
+  return cfg_.link_bandwidth.transfer_time(wire_bytes);
+}
+
+std::uint64_t Fabric::key_of(const Hop& hop) const {
+  switch (hop.kind) {
+    case Hop::Kind::node_to_switch:
+      return (1ull << 63) | static_cast<std::uint64_t>(hop.node);
+    case Hop::Kind::switch_to_node:
+      return (1ull << 63) | (1ull << 62) | static_cast<std::uint64_t>(hop.node);
+    case Hop::Kind::switch_to_switch:
+      return (topo_.switch_id(hop.from) << 31) | topo_.switch_id(hop.to);
+  }
+  return 0;  // unreachable
+}
+
+Fabric::DirectedLink& Fabric::link_for(const Hop& hop) {
+  const std::uint64_t key = key_of(hop);
+  auto it = links_.find(key);
+  if (it == links_.end()) {
+    it = links_.emplace(key, std::make_unique<DirectedLink>(engine_, "link"))
+             .first;
+  }
+  return *it->second;
+}
+
+void Fabric::forward(std::shared_ptr<std::vector<Hop>> route, std::size_t index,
+                     std::uint32_t bytes, std::function<void()> on_delivered,
+                     sim::Time* first_tx_done) {
+  const Hop& hop = (*route)[index];
+  DirectedLink& link = link_for(hop);
+
+  const sim::Time ser = serialization_time(bytes);
+  // Entering a switch costs its pipeline latency; the endpoint hop does not.
+  const sim::Time entry_latency =
+      hop.kind == Hop::Kind::switch_to_node ? sim::Time::zero() : cfg_.switch_latency;
+
+  const sim::Time tx_done = link.tx.acquire(ser);
+  if (first_tx_done != nullptr) *first_tx_done = tx_done;
+
+  const sim::Time arrival = tx_done + cfg_.wire_latency + entry_latency;
+  const bool last = index + 1 == route->size();
+  engine_.schedule_at(
+      arrival, [this, route = std::move(route), index, bytes,
+                on_delivered = std::move(on_delivered), last]() mutable {
+        if (last) {
+          if (on_delivered) on_delivered();
+        } else {
+          forward(std::move(route), index + 1, bytes, std::move(on_delivered),
+                  nullptr);
+        }
+      });
+}
+
+sim::Time Fabric::inject(int src, int dst, std::uint32_t bytes,
+                         std::function<void()> on_delivered) {
+  assert(src != dst && "Fabric::inject: local sends bypass the fabric");
+  assert(src >= 0 && src < num_nodes_ && dst >= 0 && dst < num_nodes_);
+  ++chunks_;
+  auto route = std::make_shared<std::vector<Hop>>(topo_.route(src, dst));
+  sim::Time tx_done = sim::Time::zero();
+  forward(std::move(route), 0, bytes, std::move(on_delivered), &tx_done);
+  return tx_done;
+}
+
+sim::Time Fabric::max_link_busy_time() const {
+  sim::Time best = sim::Time::zero();
+  for (const auto& [key, link] : links_) {
+    (void)key;
+    if (link->tx.busy_time() > best) best = link->tx.busy_time();
+  }
+  return best;
+}
+
+}  // namespace icsim::net

@@ -1,0 +1,88 @@
+#pragma once
+// Packet-level message fabric over a fat tree.
+//
+// Switches are modeled as output-queued crossbars: each directed link owns a
+// FIFO serialization resource (the output queue + transmitter), and each
+// switch traversal charges a fixed pipeline latency.  A message is injected
+// by the NIC models in chunks; each chunk flows hop-by-hop, so chunks of a
+// long message pipeline across the route while competing flows interleave on
+// shared links.  Per-packet wire headers are charged as a bandwidth
+// efficiency factor: a chunk's serialization time covers
+// payload + ceil(payload / mtu) * header_bytes.
+//
+// The fabric carries no payload bytes — data movement is performed by the
+// transport layers at delivery time — so it is a pure timing model.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/time.hpp"
+
+namespace icsim::net {
+
+struct FabricConfig {
+  int radix_down = 4;  ///< k of the k-ary n-tree
+  int levels = 3;      ///< n
+  sim::Bandwidth link_bandwidth = sim::Bandwidth::gb_per_sec(1.0);
+  sim::Time switch_latency = sim::Time::ns(100);  ///< per switch traversal
+  sim::Time wire_latency = sim::Time::ns(20);     ///< per link propagation
+  std::uint32_t mtu_bytes = 2048;                 ///< wire packet payload
+  std::uint32_t header_bytes = 32;                ///< per wire packet
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Engine& engine, const FabricConfig& config, int num_nodes);
+
+  /// Inject one chunk of `bytes` payload; `on_delivered` fires when the last
+  /// byte reaches the destination endpoint.  Returns the time at which the
+  /// source link finishes serializing the chunk (NICs use this to pace DMA).
+  /// src == dst is not routed here; transports loop back locally.
+  sim::Time inject(int src, int dst, std::uint32_t bytes,
+                   std::function<void()> on_delivered);
+
+  [[nodiscard]] int num_nodes() const { return num_nodes_; }
+  [[nodiscard]] const FatTreeTopology& topology() const { return topo_; }
+  [[nodiscard]] const FabricConfig& config() const { return cfg_; }
+
+  /// Total chunks injected (for instrumentation).
+  [[nodiscard]] std::uint64_t chunks_sent() const { return chunks_; }
+
+  /// Serialization time of a chunk including per-MTU header overhead.
+  [[nodiscard]] sim::Time serialization_time(std::uint32_t bytes) const;
+
+  /// Busy-time observed on the most utilized link (contention diagnostics).
+  [[nodiscard]] sim::Time max_link_busy_time() const;
+
+ private:
+  struct DirectedLink {
+    explicit DirectedLink(sim::Engine& e, std::string name)
+        : tx(e, std::move(name)) {}
+    sim::FifoResource tx;
+  };
+
+  // Key layout: bit 63 set => endpoint link (node id in low bits, bit 62
+  // selects direction); otherwise (from_switch_id << 31) | to_switch_id.
+  [[nodiscard]] std::uint64_t key_of(const Hop& hop) const;
+  DirectedLink& link_for(const Hop& hop);
+
+  void forward(std::shared_ptr<std::vector<Hop>> route, std::size_t index,
+               std::uint32_t bytes, std::function<void()> on_delivered,
+               sim::Time* first_tx_done);
+
+  sim::Engine& engine_;
+  FabricConfig cfg_;
+  FatTreeTopology topo_;
+  int num_nodes_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<DirectedLink>> links_;
+  std::uint64_t chunks_ = 0;
+};
+
+}  // namespace icsim::net

@@ -1,0 +1,89 @@
+#include "net/topology.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace icsim::net {
+
+FatTreeTopology::FatTreeTopology(int radix_down, int levels)
+    : k_(radix_down), n_(levels) {
+  if (k_ < 2) throw std::invalid_argument("FatTreeTopology: radix_down must be >= 2");
+  if (n_ < 1) throw std::invalid_argument("FatTreeTopology: levels must be >= 1");
+  pow_k_.resize(static_cast<std::size_t>(n_) + 1);
+  pow_k_[0] = 1;
+  for (int i = 1; i <= n_; ++i) {
+    const std::uint64_t p = static_cast<std::uint64_t>(pow_k_[static_cast<std::size_t>(i - 1)]) *
+                            static_cast<std::uint64_t>(k_);
+    if (p > 1u << 30) throw std::invalid_argument("FatTreeTopology: too large");
+    pow_k_[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(p);
+  }
+  capacity_ = static_cast<int>(pow_k_[static_cast<std::size_t>(n_)]);
+  switches_per_level_ = static_cast<int>(pow_k_[static_cast<std::size_t>(n_ - 1)]);
+}
+
+std::uint32_t FatTreeTopology::digit(std::uint32_t value, int pos) const {
+  return (value / pow_k_[static_cast<std::size_t>(pos)]) % static_cast<std::uint32_t>(k_);
+}
+
+std::uint32_t FatTreeTopology::with_digit(std::uint32_t value, int pos,
+                                          std::uint32_t d) const {
+  const std::uint32_t p = pow_k_[static_cast<std::size_t>(pos)];
+  const std::uint32_t old = digit(value, pos);
+  return value - old * p + d * p;
+}
+
+SwitchCoord FatTreeTopology::leaf_switch_of(int node) const {
+  assert(node >= 0 && node < capacity_);
+  // Leaf switch word = node digits x_{n-1}..x_1, i.e. node / k.
+  return SwitchCoord{0, static_cast<std::uint32_t>(node) / static_cast<std::uint32_t>(k_)};
+}
+
+int FatTreeTopology::ancestor_level(int a, int b) const {
+  assert(a != b);
+  const auto ua = static_cast<std::uint32_t>(a);
+  const auto ub = static_cast<std::uint32_t>(b);
+  int lvl = 0;
+  for (int pos = 1; pos < n_; ++pos) {
+    if (digit(ua, pos) != digit(ub, pos)) lvl = pos;
+  }
+  return lvl;
+}
+
+std::vector<Hop> FatTreeTopology::route(int src, int dst) const {
+  if (src == dst) throw std::invalid_argument("FatTreeTopology::route: src == dst");
+  assert(src >= 0 && src < capacity_ && dst >= 0 && dst < capacity_);
+
+  std::vector<Hop> hops;
+  const int m = ancestor_level(src, dst);
+  hops.reserve(static_cast<std::size_t>(2 * m + 2));
+
+  SwitchCoord cur = leaf_switch_of(src);
+  hops.push_back(Hop{Hop::Kind::node_to_switch, src, {}, cur});
+
+  const auto udst = static_cast<std::uint32_t>(dst);
+  // Climb: moving from level l to l+1 may change word digit l; D-mod-k picks
+  // the destination's digit so the descent below is already aligned.
+  // Word digit j corresponds to node digit j+1, so at level l we install the
+  // destination's node digit l+1 into word position l.
+  for (int l = 0; l < m; ++l) {
+    SwitchCoord up{l + 1, with_digit(cur.word, l, digit(udst, l + 1))};
+    hops.push_back(Hop{Hop::Kind::switch_to_switch, -1, cur, up});
+    cur = up;
+  }
+  // Descend: from level l to l-1 the word digit l-1 must become the
+  // destination's node digit l; the climb already installed digits below m.
+  for (int l = m; l > 0; --l) {
+    SwitchCoord down{l - 1, with_digit(cur.word, l - 1, digit(udst, l))};
+    hops.push_back(Hop{Hop::Kind::switch_to_switch, -1, cur, down});
+    cur = down;
+  }
+  assert(cur == leaf_switch_of(dst));
+  hops.push_back(Hop{Hop::Kind::switch_to_node, dst, cur, {}});
+  return hops;
+}
+
+int FatTreeTopology::switch_hops(int src, int dst) const {
+  return 2 * ancestor_level(src, dst);
+}
+
+}  // namespace icsim::net

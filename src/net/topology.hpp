@@ -1,0 +1,93 @@
+#pragma once
+// k-ary n-tree (fat-tree) topology and deterministic routing.
+//
+// Both networks in the study are fat trees built from constant-radix
+// crossbars: the Voltaire ISR 9600 is a two-level Clos of 24-port chips
+// (12 down / 12 up per leaf), and Quadrics QsNetII is the classical 4-ary
+// fat tree of radix-8 Elan switch chips.  We model both with the standard
+// k-ary n-tree construction:
+//
+//   * k^n endpoints; n switch levels, k^(n-1) switches per level;
+//   * a switch is identified by (level l, word w) where w has n-1 base-k
+//     digits; switch (l, w) connects up to the k switches (l+1, w') whose
+//     words agree with w in every digit except digit l;
+//   * node x (digits x_{n-1}..x_0) attaches to leaf switch word
+//     x_{n-1}..x_1 at down-port x_0.
+//
+// Routing is deterministic destination-based ("D-mod-k") up/down: climb to
+// the nearest common ancestor level, choosing at each up-hop the switch
+// whose free digit matches the destination's digit, then descend along the
+// forced down-path.  This is the scheme InfiniBand subnet managers and the
+// Elan route tables both approximate, it is deadlock-free, and it spreads
+// load across the spine by destination.
+
+#include <cstdint>
+#include <vector>
+
+namespace icsim::net {
+
+/// A switch in the tree, identified by level and base-k word.
+struct SwitchCoord {
+  int level = 0;
+  std::uint32_t word = 0;
+
+  friend bool operator==(const SwitchCoord&, const SwitchCoord&) = default;
+};
+
+/// One directed hop of a route.  Endpoint hops use kNode for one side.
+struct Hop {
+  enum class Kind { node_to_switch, switch_to_switch, switch_to_node };
+  Kind kind{};
+  // For node hops, `node` names the endpoint; for switch hops it is unused.
+  int node = -1;
+  SwitchCoord from{};  // valid unless kind == node_to_switch
+  SwitchCoord to{};    // valid unless kind == switch_to_node
+};
+
+class FatTreeTopology {
+ public:
+  /// A tree of `levels` levels built from switches with `radix_down` down
+  /// ports (and the same number of up ports, except the top level which
+  /// folds its up ports back as extra capacity).
+  FatTreeTopology(int radix_down, int levels);
+
+  [[nodiscard]] int radix() const { return k_; }
+  [[nodiscard]] int levels() const { return n_; }
+  /// Maximum number of endpoints (k^n).
+  [[nodiscard]] int capacity() const { return capacity_; }
+  [[nodiscard]] int switches_per_level() const { return switches_per_level_; }
+  [[nodiscard]] int total_switches() const { return n_ * switches_per_level_; }
+
+  [[nodiscard]] SwitchCoord leaf_switch_of(int node) const;
+
+  /// Level of the nearest common ancestor switch of two nodes; 0 means they
+  /// share a leaf switch.
+  [[nodiscard]] int ancestor_level(int a, int b) const;
+
+  /// The full directed route src -> dst, including the two endpoint hops.
+  /// src == dst is a contract violation (callers short-circuit self sends).
+  [[nodiscard]] std::vector<Hop> route(int src, int dst) const;
+
+  /// Number of switch-to-switch hops on the route (2 * ancestor_level).
+  [[nodiscard]] int switch_hops(int src, int dst) const;
+
+  /// Compact unique id for a switch (used as a map key).
+  [[nodiscard]] std::uint64_t switch_id(SwitchCoord c) const {
+    return static_cast<std::uint64_t>(c.level) *
+               static_cast<std::uint64_t>(switches_per_level_) +
+           c.word;
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t digit(std::uint32_t value, int pos) const;
+  [[nodiscard]] std::uint32_t with_digit(std::uint32_t value, int pos,
+                                         std::uint32_t d) const;
+
+  int k_;
+  int n_;
+  int capacity_;
+  int switches_per_level_;
+  std::vector<std::uint32_t> pow_k_;  // pow_k_[i] = k^i
+};
+
+}  // namespace icsim::net

@@ -1,0 +1,61 @@
+#pragma once
+// Fiber-side blocking primitives that bridge fibers and the event engine.
+
+#include <cassert>
+#include <functional>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/fiber.hpp"
+#include "sim/time.hpp"
+
+namespace icsim::sim {
+
+/// Suspend the current fiber for a simulated duration.
+inline void sleep_for(Engine& engine, Time d) {
+  Fiber* const f = Fiber::current();
+  assert(f != nullptr && "sleep_for outside a fiber");
+  engine.schedule_in(d, [f] { f->resume(); });
+  Fiber::yield();
+}
+
+/// Suspend the current fiber until an absolute simulated time.
+inline void sleep_until(Engine& engine, Time t) {
+  const Time now = engine.now();
+  sleep_for(engine, t > now ? t - now : Time::zero());
+}
+
+/// One-shot condition: fibers wait(); once fire() is called they are resumed
+/// (and later waiters return immediately).  Used for message completions.
+class Trigger {
+ public:
+  explicit Trigger(Engine& engine) : engine_(&engine) {}
+
+  [[nodiscard]] bool fired() const { return fired_; }
+
+  void wait() {
+    if (fired_) return;
+    Fiber* const f = Fiber::current();
+    assert(f != nullptr && "Trigger::wait outside a fiber");
+    waiters_.push_back(f);
+    Fiber::yield();
+  }
+
+  void fire() {
+    if (fired_) return;
+    fired_ = true;
+    // Resume waiters via scheduled events so fire() is safe to call from any
+    // context (fiber or engine callback) without unbounded recursion.
+    for (Fiber* f : waiters_) {
+      engine_->schedule_in(Time::zero(), [f] { f->resume(); });
+    }
+    waiters_.clear();
+  }
+
+ private:
+  Engine* engine_;
+  bool fired_ = false;
+  std::vector<Fiber*> waiters_;
+};
+
+}  // namespace icsim::sim

@@ -1,0 +1,53 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace icsim::sim {
+
+EventHandle Engine::schedule_at(Time t, std::function<void()> fn) {
+  if (t < now_) {
+    throw std::invalid_argument("Engine::schedule_at: time is in the past");
+  }
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Entry{t, next_seq_++, std::move(fn), alive});
+  return EventHandle{std::move(alive)};
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the closure must be moved out, so pop a
+    // copy of the control fields first and steal the function via const_cast
+    // (safe: the entry is removed immediately afterwards).
+    auto& top = const_cast<Entry&>(queue_.top());
+    Entry e{top.t, top.seq, std::move(top.fn), std::move(top.alive)};
+    queue_.pop();
+    if (!*e.alive) continue;  // cancelled
+    assert(e.t >= now_);
+    now_ = e.t;
+    ++processed_;
+    e.fn();
+    return true;
+  }
+  return false;
+}
+
+Time Engine::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+Time Engine::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.top().t <= deadline) {
+    if (!step()) break;
+  }
+  if (now_ < deadline && queue_.empty()) {
+    return now_;
+  }
+  now_ = deadline > now_ ? deadline : now_;
+  return now_;
+}
+
+}  // namespace icsim::sim

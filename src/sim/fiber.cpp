@@ -1,0 +1,114 @@
+#include "sim/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cstdint>
+#include <new>
+#include <stdexcept>
+#include <utility>
+
+namespace icsim::sim {
+
+namespace {
+Fiber* g_current = nullptr;
+
+std::size_t page_size() {
+  static const auto sz = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return sz;
+}
+
+std::size_t round_up_pages(std::size_t bytes) {
+  const std::size_t p = page_size();
+  return (bytes + p - 1) / p * p;
+}
+}  // namespace
+
+Fiber::Fiber(Fn fn, std::size_t stack_bytes) : fn_(std::move(fn)) {
+  const std::size_t usable = round_up_pages(stack_bytes);
+  stack_total_ = usable + page_size();  // +1 guard page at the low end
+  stack_ = ::mmap(nullptr, stack_total_, PROT_READ | PROT_WRITE,
+                  MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  if (stack_ == MAP_FAILED) {
+    stack_ = nullptr;
+    throw std::bad_alloc();
+  }
+  if (::mprotect(stack_, page_size(), PROT_NONE) != 0) {
+    ::munmap(stack_, stack_total_);
+    stack_ = nullptr;
+    throw std::runtime_error("Fiber: mprotect guard page failed");
+  }
+
+  if (::getcontext(&ctx_) != 0) {
+    ::munmap(stack_, stack_total_);
+    stack_ = nullptr;
+    throw std::runtime_error("Fiber: getcontext failed");
+  }
+  ctx_.uc_stack.ss_sp = static_cast<char*>(stack_) + page_size();
+  ctx_.uc_stack.ss_size = usable;
+  ctx_.uc_link = &caller_ctx_;  // falling off the end returns to the resumer
+
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  ::makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+                static_cast<unsigned>(self >> 32),
+                static_cast<unsigned>(self & 0xffffffffu));
+}
+
+Fiber::~Fiber() {
+  // Destroying a suspended-but-unfinished fiber leaks whatever it holds on
+  // its stack; models always run fibers to completion, so just release the
+  // stack memory.
+  if (stack_ != nullptr) {
+    ::munmap(stack_, stack_total_);
+  }
+}
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  const auto self = (static_cast<std::uintptr_t>(hi) << 32) |
+                    static_cast<std::uintptr_t>(lo);
+  reinterpret_cast<Fiber*>(self)->body();
+}
+
+void Fiber::body() {
+  try {
+    fn_();
+  } catch (...) {
+    // Letting an exception unwind through makecontext is undefined
+    // behaviour; park it and rethrow from resume() in the caller's context.
+    pending_exception_ = std::current_exception();
+  }
+  finished_ = true;
+  // uc_link switches back to caller_ctx_ when this function returns, but the
+  // resume() bookkeeping below must run first; do the switch explicitly.
+  Fiber* const self = this;
+  g_current = nullptr;
+  ::swapcontext(&self->ctx_, &self->caller_ctx_);
+  assert(false && "resumed a finished fiber");
+}
+
+void Fiber::resume() {
+  assert(!finished_ && "resume() on a finished fiber");
+  assert(g_current != this && "resume() from inside the fiber itself");
+  Fiber* const prev = g_current;
+  g_current = this;
+  started_ = true;
+  ::swapcontext(&caller_ctx_, &ctx_);
+  g_current = prev;
+  if (pending_exception_) {
+    auto ex = pending_exception_;
+    pending_exception_ = nullptr;
+    std::rethrow_exception(ex);
+  }
+}
+
+void Fiber::yield() {
+  Fiber* const self = g_current;
+  assert(self != nullptr && "Fiber::yield() outside any fiber");
+  g_current = nullptr;
+  ::swapcontext(&self->ctx_, &self->caller_ctx_);
+}
+
+Fiber* Fiber::current() { return g_current; }
+
+}  // namespace icsim::sim

@@ -1,0 +1,93 @@
+#pragma once
+// Contended, FIFO-served resources.
+//
+// A FifoResource models anything that serves one request at a time in
+// arrival order — a PCI-X bus doing DMA bursts, the Elan-4 NIC thread
+// processor, a link transmitter.  The classic busy-until formulation gives
+// exact FIFO semantics in O(1) per request:
+//
+//     start  = max(now, next_free)
+//     finish = start + service_time
+//
+// The completion callback fires at `finish`.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace icsim::sim {
+
+class FifoResource {
+ public:
+  FifoResource(Engine& engine, std::string name)
+      : engine_(&engine), name_(std::move(name)) {}
+
+  /// Enqueue a request needing `service` time; `on_done` fires when served.
+  /// Returns the completion time.
+  Time acquire(Time service, std::function<void()> on_done) {
+    const Time start = next_free_ > engine_->now() ? next_free_ : engine_->now();
+    const Time finish = start + service;
+    next_free_ = finish;
+    busy_accum_ += service;
+    ++requests_;
+    if (on_done) {
+      engine_->schedule_at(finish, std::move(on_done));
+    }
+    return finish;
+  }
+
+  /// Reserve without a callback (caller tracks the returned finish time).
+  Time acquire(Time service) { return acquire(service, nullptr); }
+
+  /// Earliest instant a new request could start service.
+  [[nodiscard]] Time next_free() const { return next_free_; }
+  [[nodiscard]] bool busy() const { return next_free_ > engine_->now(); }
+
+  [[nodiscard]] std::uint64_t requests() const { return requests_; }
+  /// Total service time accumulated (utilization = busy_time / elapsed).
+  [[nodiscard]] Time busy_time() const { return busy_accum_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  Engine* engine_;
+  std::string name_;
+  Time next_free_ = Time::zero();
+  Time busy_accum_ = Time::zero();
+  std::uint64_t requests_ = 0;
+};
+
+/// A FifoResource whose service time is derived from a byte count at a fixed
+/// rate — buses and memory channels.
+class BandwidthResource {
+ public:
+  BandwidthResource(Engine& engine, std::string name, Bandwidth bw,
+                    Time per_request_overhead = Time::zero())
+      : fifo_(engine, std::move(name)), bw_(bw), overhead_(per_request_overhead) {}
+
+  Time transfer(std::uint64_t bytes, std::function<void()> on_done) {
+    return fifo_.acquire(overhead_ + bw_.transfer_time(bytes), std::move(on_done));
+  }
+  Time transfer(std::uint64_t bytes) { return transfer(bytes, nullptr); }
+
+  /// Ordering point: fires after everything already queued, costing no
+  /// service time (not even the per-request overhead).
+  Time transfer_ordered(std::function<void()> on_done) {
+    return fifo_.acquire(Time::zero(), std::move(on_done));
+  }
+
+  [[nodiscard]] Bandwidth rate() const { return bw_; }
+  [[nodiscard]] Time next_free() const { return fifo_.next_free(); }
+  [[nodiscard]] std::uint64_t requests() const { return fifo_.requests(); }
+  [[nodiscard]] Time busy_time() const { return fifo_.busy_time(); }
+
+ private:
+  FifoResource fifo_;
+  Bandwidth bw_;
+  Time overhead_;
+};
+
+}  // namespace icsim::sim

@@ -1,0 +1,22 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace icsim::sim {
+
+std::string Time::to_string() const {
+  char buf[64];
+  const double abs_ps = static_cast<double>(ps_ < 0 ? -ps_ : ps_);
+  if (abs_ps >= 1e12) {
+    std::snprintf(buf, sizeof buf, "%.6f s", to_seconds());
+  } else if (abs_ps >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", to_ms());
+  } else if (abs_ps >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3f us", to_us());
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f ns", to_ns());
+  }
+  return buf;
+}
+
+}  // namespace icsim::sim

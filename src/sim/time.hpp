@@ -1,0 +1,85 @@
+#pragma once
+// Simulated time for the discrete-event engine.
+//
+// Time is an integer count of picoseconds.  Picosecond resolution lets us
+// represent single-byte serialization on multi-GB/s links exactly enough
+// (1 byte at 1 GB/s = 1 ns = 1000 ps) while int64 still covers ~106 days of
+// simulated time, far beyond any experiment in this repository.
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace icsim::sim {
+
+/// Strongly typed simulated time (duration or absolute instant).
+class Time {
+ public:
+  constexpr Time() = default;
+
+  [[nodiscard]] static constexpr Time ps(std::int64_t v) { return Time{v}; }
+  [[nodiscard]] static constexpr Time ns(double v) { return Time{round_ps(v * 1e3)}; }
+  [[nodiscard]] static constexpr Time us(double v) { return Time{round_ps(v * 1e6)}; }
+  [[nodiscard]] static constexpr Time ms(double v) { return Time{round_ps(v * 1e9)}; }
+  [[nodiscard]] static constexpr Time sec(double v) { return Time{round_ps(v * 1e12)}; }
+  [[nodiscard]] static constexpr Time zero() { return Time{0}; }
+  [[nodiscard]] static constexpr Time max() {
+    return Time{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t picoseconds() const { return ps_; }
+  [[nodiscard]] constexpr double to_ns() const { return static_cast<double>(ps_) * 1e-3; }
+  [[nodiscard]] constexpr double to_us() const { return static_cast<double>(ps_) * 1e-6; }
+  [[nodiscard]] constexpr double to_ms() const { return static_cast<double>(ps_) * 1e-9; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ps_) * 1e-12; }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time& operator+=(Time o) { ps_ += o.ps_; return *this; }
+  constexpr Time& operator-=(Time o) { ps_ -= o.ps_; return *this; }
+  friend constexpr Time operator+(Time a, Time b) { return Time{a.ps_ + b.ps_}; }
+  friend constexpr Time operator-(Time a, Time b) { return Time{a.ps_ - b.ps_}; }
+  friend constexpr Time operator*(Time a, std::int64_t k) { return Time{a.ps_ * k}; }
+  friend constexpr Time operator*(std::int64_t k, Time a) { return Time{a.ps_ * k}; }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit Time(std::int64_t v) : ps_(v) {}
+  /// Round-to-nearest conversion so 10 us * 1.5 is exactly 15 us even when
+  /// the double arithmetic lands at 14999999999.999998 ps.
+  [[nodiscard]] static constexpr std::int64_t round_ps(double v) {
+    return static_cast<std::int64_t>(v >= 0 ? v + 0.5 : v - 0.5);
+  }
+  std::int64_t ps_ = 0;
+};
+
+/// Link/bus throughput.  Stored as bytes per second; converts a byte count
+/// into the simulated time needed to serialize it.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+
+  [[nodiscard]] static constexpr Bandwidth bytes_per_sec(double v) { return Bandwidth{v}; }
+  [[nodiscard]] static constexpr Bandwidth mb_per_sec(double v) { return Bandwidth{v * 1e6}; }
+  [[nodiscard]] static constexpr Bandwidth gb_per_sec(double v) { return Bandwidth{v * 1e9}; }
+  /// Link signalling rate in Gbit/s of *data* (after encoding overhead).
+  [[nodiscard]] static constexpr Bandwidth gbit_per_sec(double v) { return Bandwidth{v * 1e9 / 8.0}; }
+
+  [[nodiscard]] constexpr double bytes_per_second() const { return bps_; }
+  [[nodiscard]] constexpr double mb_per_second() const { return bps_ * 1e-6; }
+
+  /// Time to push `bytes` through this pipe.
+  [[nodiscard]] Time transfer_time(std::uint64_t bytes) const {
+    return Time::sec(static_cast<double>(bytes) / bps_);
+  }
+
+  constexpr auto operator<=>(const Bandwidth&) const = default;
+
+ private:
+  constexpr explicit Bandwidth(double v) : bps_(v) {}
+  double bps_ = 1.0;
+};
+
+}  // namespace icsim::sim

@@ -1,0 +1,158 @@
+// Extension kernels: NPB EP (exact verification), NPB IS (sortedness and
+// conservation), and the multigrid solver (contraction + invariance).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/mg/mg.hpp"
+#include "apps/npb/ep.hpp"
+#include "apps/npb/is.hpp"
+#include "core/cluster.hpp"
+
+namespace icsim::apps {
+namespace {
+
+template <typename Result, typename Fn>
+Result run_on(const core::ClusterConfig& cc, Fn&& fn) {
+  core::Cluster cluster(cc);
+  Result result{};
+  cluster.run([&](mpi::Mpi& mpi) {
+    Result r = fn(mpi);
+    if (mpi.rank() == 0) result = r;
+  });
+  return result;
+}
+
+// ------------------------------------------------------------------- EP
+
+TEST(Ep, ClassSVerifiesAgainstNpbSums) {
+  npb::EpConfig cfg;
+  cfg.cls = npb::ep_class_S();
+  const auto r = run_on<npb::EpResult>(
+      core::elan_cluster(4), [&](mpi::Mpi& m) { return npb::run_ep(m, cfg); });
+  EXPECT_TRUE(r.verified);
+  EXPECT_NEAR(r.sx, cfg.cls.ref_sx, 1e-6);
+  EXPECT_NEAR(r.sy, cfg.cls.ref_sy, 1e-6);
+  EXPECT_GT(r.gaussians, 13'000'000u);  // ~pi/4 acceptance of 2^24 pairs
+  EXPECT_LT(r.gaussians, 13'400'000u);
+}
+
+TEST(Ep, ResultIndependentOfProcessCount) {
+  npb::EpConfig cfg;
+  cfg.cls = npb::ep_class_S();
+  const auto r1 = run_on<npb::EpResult>(
+      core::elan_cluster(1), [&](mpi::Mpi& m) { return npb::run_ep(m, cfg); });
+  const auto r8 = run_on<npb::EpResult>(
+      core::ib_cluster(8), [&](mpi::Mpi& m) { return npb::run_ep(m, cfg); });
+  EXPECT_NEAR(r1.sx, r8.sx, 1e-9 * std::abs(r1.sx));
+  EXPECT_EQ(r1.counts, r8.counts);
+}
+
+TEST(Ep, ScalesNearlyPerfectly) {
+  // EP barely communicates: efficiency at 8 ranks should be ~100% on both
+  // networks — the opposite end of the spectrum from CG.
+  npb::EpConfig cfg;
+  cfg.cls = npb::ep_class_S();
+  const auto r1 = run_on<npb::EpResult>(
+      core::ib_cluster(1), [&](mpi::Mpi& m) { return npb::run_ep(m, cfg); });
+  const auto r8 = run_on<npb::EpResult>(
+      core::ib_cluster(8), [&](mpi::Mpi& m) { return npb::run_ep(m, cfg); });
+  const double eff = r1.seconds / (8.0 * r8.seconds);
+  EXPECT_GT(eff, 0.97);
+}
+
+// ------------------------------------------------------------------- IS
+
+TEST(Is, SortsAndConserves) {
+  npb::IsConfig cfg;
+  cfg.cls = npb::is_class_S();
+  for (const int ranks : {1, 4, 8}) {
+    const auto r = run_on<npb::IsResult>(
+        core::elan_cluster(ranks),
+        [&](mpi::Mpi& m) { return npb::run_is(m, cfg); });
+    EXPECT_TRUE(r.sorted) << ranks;
+    EXPECT_TRUE(r.conserved) << ranks;
+    EXPECT_EQ(r.keys_total, 1ull << 16);
+  }
+}
+
+TEST(Is, TransportInvariant) {
+  npb::IsConfig cfg;
+  cfg.cls = npb::is_class_S();
+  const auto ib = run_on<npb::IsResult>(
+      core::ib_cluster(4), [&](mpi::Mpi& m) { return npb::run_is(m, cfg); });
+  const auto el = run_on<npb::IsResult>(
+      core::elan_cluster(4), [&](mpi::Mpi& m) { return npb::run_is(m, cfg); });
+  EXPECT_TRUE(ib.sorted && el.sorted);
+  EXPECT_EQ(ib.comm_bytes, el.comm_bytes);  // same data moved
+  EXPECT_NE(ib.seconds, el.seconds);        // different clocks
+}
+
+TEST(Is, MovesBulkData) {
+  npb::IsConfig cfg;
+  cfg.cls = npb::is_class_W();
+  const auto r = run_on<npb::IsResult>(
+      core::ib_cluster(8), [&](mpi::Mpi& m) { return npb::run_is(m, cfg); });
+  EXPECT_GT(r.comm_bytes, 10'000'000u);  // the alltoallv is bandwidth-bound
+}
+
+// ------------------------------------------------------------------- MG
+
+TEST(Mg, VcyclesContractTheResidual) {
+  mg::MgConfig cfg;
+  cfg.n = 32;
+  cfg.vcycles = 4;
+  const auto r = run_on<mg::MgResult>(
+      core::elan_cluster(1), [&](mpi::Mpi& m) { return mg::run_mg(m, cfg); });
+  EXPECT_GT(r.levels, 3);
+  EXPECT_LT(r.rnorm, r.rnorm0 * 0.05);  // solid contraction over 4 cycles
+}
+
+TEST(Mg, DecompositionInvariance) {
+  // Identical hierarchies (capped depth) must give identical numerics.
+  mg::MgConfig cfg;
+  cfg.n = 32;
+  cfg.vcycles = 2;
+  cfg.max_levels = 4;  // both decompositions support 4 levels
+  const auto r1 = run_on<mg::MgResult>(
+      core::elan_cluster(1), [&](mpi::Mpi& m) { return mg::run_mg(m, cfg); });
+  const auto r8 = run_on<mg::MgResult>(
+      core::elan_cluster(8), [&](mpi::Mpi& m) { return mg::run_mg(m, cfg); });
+  EXPECT_EQ(r1.levels, r8.levels);
+  EXPECT_NEAR(r8.rnorm, r1.rnorm, 1e-10 * r1.rnorm);
+  EXPECT_NEAR(r8.rnorm0, r1.rnorm0, 1e-10 * r1.rnorm0);
+}
+
+TEST(Mg, TransportInvariance) {
+  mg::MgConfig cfg;
+  cfg.n = 32;
+  cfg.vcycles = 2;
+  const auto ib = run_on<mg::MgResult>(
+      core::ib_cluster(4), [&](mpi::Mpi& m) { return mg::run_mg(m, cfg); });
+  const auto el = run_on<mg::MgResult>(
+      core::elan_cluster(4), [&](mpi::Mpi& m) { return mg::run_mg(m, cfg); });
+  EXPECT_DOUBLE_EQ(ib.rnorm, el.rnorm);
+}
+
+TEST(Mg, MoreRanksShallowerHierarchy) {
+  mg::MgConfig cfg;
+  cfg.n = 32;
+  const auto r1 = run_on<mg::MgResult>(
+      core::elan_cluster(1), [&](mpi::Mpi& m) { return mg::run_mg(m, cfg); });
+  const auto r8 = run_on<mg::MgResult>(
+      core::elan_cluster(8), [&](mpi::Mpi& m) { return mg::run_mg(m, cfg); });
+  EXPECT_GE(r1.levels, r8.levels);  // coarsening stops at min_local per rank
+  EXPECT_GT(r8.halo_bytes, 0u);
+}
+
+TEST(Mg, RejectsNonPowerOfTwo) {
+  mg::MgConfig cfg;
+  cfg.n = 24;
+  core::Cluster cluster(core::elan_cluster(1));
+  EXPECT_THROW(cluster.run([&](mpi::Mpi& m) { mg::run_mg(m, cfg); }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace icsim::apps

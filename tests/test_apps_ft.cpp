@@ -1,0 +1,139 @@
+// FT kernel: FFT correctness (identity, Parseval, analytic cases),
+// decomposition/transport invariance of the NPB-style checksums, and the
+// transpose traffic accounting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "apps/npb/ft.hpp"
+#include "core/cluster.hpp"
+
+namespace icsim::apps::npb {
+namespace {
+
+using Cx = std::complex<double>;
+
+TEST(FftLine, DeltaTransformsToConstant) {
+  std::vector<Cx> v(8, Cx(0, 0));
+  v[0] = Cx(1, 0);
+  fft_line(v.data(), 8, false);
+  for (const auto& c : v) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftLine, SingleModeLandsInOneBin) {
+  constexpr int n = 16;
+  std::vector<Cx> v(n);
+  for (int i = 0; i < n; ++i) {
+    const double ang = 2.0 * M_PI * 3.0 * i / n;  // mode k = 3
+    v[static_cast<std::size_t>(i)] = Cx(std::cos(ang), std::sin(ang));
+  }
+  fft_line(v.data(), n, false);
+  for (int k = 0; k < n; ++k) {
+    const double mag = std::abs(v[static_cast<std::size_t>(k)]);
+    if (k == 3) {
+      EXPECT_NEAR(mag, n, 1e-9);
+    } else {
+      EXPECT_NEAR(mag, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(FftLine, InverseRecoversInput) {
+  constexpr int n = 64;
+  std::vector<Cx> v(n), orig(n);
+  for (int i = 0; i < n; ++i) {
+    orig[static_cast<std::size_t>(i)] = v[static_cast<std::size_t>(i)] =
+        Cx(std::sin(0.1 * i) + 0.3, std::cos(0.2 * i));
+  }
+  fft_line(v.data(), n, false);
+  fft_line(v.data(), n, true);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(v[static_cast<std::size_t>(i)] - orig[static_cast<std::size_t>(i)]),
+                0.0, 1e-12);
+  }
+}
+
+TEST(FftLine, ParsevalHolds) {
+  constexpr int n = 32;
+  std::vector<Cx> v(n);
+  double time_energy = 0.0;
+  for (int i = 0; i < n; ++i) {
+    v[static_cast<std::size_t>(i)] = Cx(0.01 * i * i - 1.0, 0.5 - 0.02 * i);
+    time_energy += std::norm(v[static_cast<std::size_t>(i)]);
+  }
+  fft_line(v.data(), n, false);
+  double freq_energy = 0.0;
+  for (const auto& c : v) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / n, time_energy, 1e-9 * time_energy);
+}
+
+FtResult run_on(const core::ClusterConfig& cc, const FtConfig& cfg) {
+  core::Cluster cluster(cc);
+  FtResult result;
+  cluster.run([&](mpi::Mpi& mpi) {
+    FtResult r = run_ft(mpi, cfg);
+    if (mpi.rank() == 0) result = r;
+  });
+  return result;
+}
+
+FtConfig tiny_ft() {
+  FtConfig cfg;
+  cfg.cls = FtClass{"T", 16, 16, 16, 3};
+  return cfg;
+}
+
+TEST(Ft, ChecksumsFiniteAndDistinctPerIteration) {
+  const auto r = run_on(core::elan_cluster(2), tiny_ft());
+  ASSERT_EQ(r.checksums.size(), 3u);
+  for (const auto& c : r.checksums) {
+    EXPECT_TRUE(std::isfinite(c.real()));
+    EXPECT_TRUE(std::isfinite(c.imag()));
+    EXPECT_GT(std::abs(c), 1.0);  // 1024 O(0.5)-mean samples
+  }
+  EXPECT_NE(r.checksums[0], r.checksums[1]);  // evolution changes the field
+}
+
+TEST(Ft, DecompositionInvariance) {
+  const auto r1 = run_on(core::elan_cluster(1), tiny_ft());
+  const auto r4 = run_on(core::elan_cluster(4), tiny_ft());
+  ASSERT_EQ(r1.checksums.size(), r4.checksums.size());
+  for (std::size_t i = 0; i < r1.checksums.size(); ++i) {
+    EXPECT_NEAR(std::abs(r1.checksums[i] - r4.checksums[i]), 0.0,
+                1e-8 * std::abs(r1.checksums[i]));
+  }
+}
+
+TEST(Ft, TransportInvariance) {
+  const auto ib = run_on(core::ib_cluster(4), tiny_ft());
+  const auto el = run_on(core::elan_cluster(4), tiny_ft());
+  for (std::size_t i = 0; i < ib.checksums.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ib.checksums[i].real(), el.checksums[i].real());
+    EXPECT_DOUBLE_EQ(ib.checksums[i].imag(), el.checksums[i].imag());
+  }
+}
+
+TEST(Ft, TransposeTrafficScalesWithIterations) {
+  FtConfig three = tiny_ft();
+  FtConfig one = tiny_ft();
+  one.cls.niter = 1;
+  const auto r3 = run_on(core::elan_cluster(4), three);
+  const auto r1 = run_on(core::elan_cluster(4), one);
+  // Forward transpose + one per iteration.
+  EXPECT_EQ(r1.transpose_bytes / 2, r3.transpose_bytes / 4);
+}
+
+TEST(Ft, RejectsIndivisibleGrid) {
+  FtConfig cfg = tiny_ft();
+  core::Cluster cluster(core::elan_cluster(3));
+  EXPECT_THROW(cluster.run([&](mpi::Mpi& m) { run_ft(m, cfg); }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace icsim::apps::npb

@@ -1,0 +1,166 @@
+// Physics and parallel-correctness tests for the mini-MD application.
+//
+// The decisive checks: the physics must be invariant under the domain
+// decomposition (1 rank vs 8 ranks agree), under the transport (InfiniBand
+// and Quadrics runs produce identical trajectories — only time differs),
+// and under the overlap optimization.  Plus the classical MD invariants:
+// energy conservation, momentum conservation, neighbour-list correctness.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/lammps/md.hpp"
+#include "core/cluster.hpp"
+
+namespace icsim::apps::md {
+namespace {
+
+MdConfig small_ljs(int cells) {
+  MdConfig c = ljs_config();
+  c.cells_x = c.cells_y = c.cells_z = cells;
+  c.steps = 25;
+  return c;
+}
+
+MdResult run_on(const core::ClusterConfig& cc, const MdConfig& mc) {
+  core::Cluster cluster(cc);
+  MdResult result;
+  cluster.run([&](mpi::Mpi& mpi) {
+    MdResult r = run_md(mpi, mc);
+    if (mpi.rank() == 0) result = r;
+  });
+  return result;
+}
+
+TEST(MdPhysics, EnergyConservationLjs) {
+  const auto r = run_on(core::elan_cluster(1), small_ljs(5));
+  EXPECT_LT(r.total_energy_drift, 5e-3);
+  EXPECT_GT(r.pair_evals, 0u);
+}
+
+TEST(MdPhysics, MomentumConservation) {
+  const auto r = run_on(core::elan_cluster(1), small_ljs(5));
+  // Started at zero; symplectic integration + pairwise forces keep it ~0.
+  EXPECT_LT(r.momentum_abs, 1e-9 * std::sqrt(static_cast<double>(r.natoms_global)));
+}
+
+TEST(MdPhysics, EnergyConservationMembrane) {
+  MdConfig c = membrane_config();
+  c.cells_x = c.cells_y = c.cells_z = 5;
+  c.steps = 25;
+  const auto r = run_on(core::elan_cluster(4), c);
+  EXPECT_LT(r.total_energy_drift, 5e-3);
+}
+
+TEST(MdPhysics, AtomCountConservedAcrossMigration) {
+  MdConfig c = small_ljs(4);
+  c.steps = 30;  // crosses three migration events
+  const auto r = run_on(core::elan_cluster(8), c);
+  EXPECT_EQ(r.natoms_global, 8ull * 4 * 4 * 4 * 4);  // ranks * cells^3 * 4
+}
+
+TEST(MdPhysics, DecompositionInvariance) {
+  // Same GLOBAL problem on 1 rank and on 8 ranks: identical physics.
+  MdConfig one = small_ljs(8);
+  MdConfig eight = small_ljs(4);  // 2x2x2 grid of 4-cell bricks = 8 cells
+  const auto r1 = run_on(core::elan_cluster(1), one);
+  const auto r8 = run_on(core::elan_cluster(8), eight);
+  EXPECT_EQ(r1.natoms_global, r8.natoms_global);
+  EXPECT_NEAR(r1.final_potential, r8.final_potential,
+              1e-7 * std::abs(r1.final_potential));
+  EXPECT_NEAR(r1.final_kinetic, r8.final_kinetic,
+              1e-7 * std::abs(r1.final_kinetic));
+}
+
+TEST(MdPhysics, TransportInvariance) {
+  // InfiniBand and Quadrics must move identical data: same physics, and
+  // only the simulated clock may differ.
+  const MdConfig c = small_ljs(4);
+  const auto ib = run_on(core::ib_cluster(4), c);
+  const auto el = run_on(core::elan_cluster(4), c);
+  EXPECT_DOUBLE_EQ(ib.final_potential, el.final_potential);
+  EXPECT_DOUBLE_EQ(ib.final_kinetic, el.final_kinetic);
+  EXPECT_EQ(ib.pair_evals, el.pair_evals);
+}
+
+TEST(MdPhysics, OverlapInvariance) {
+  // The overlapped force path must not change the trajectory.
+  MdConfig plain = small_ljs(4);
+  MdConfig over = plain;
+  over.overlap_comm = true;
+  const auto a = run_on(core::elan_cluster(8), plain);
+  const auto b = run_on(core::elan_cluster(8), over);
+  EXPECT_DOUBLE_EQ(a.final_potential, b.final_potential);
+  EXPECT_DOUBLE_EQ(a.final_kinetic, b.final_kinetic);
+}
+
+TEST(MdPhysics, ScaledProblemGrowsWithRanks) {
+  const MdConfig c = small_ljs(4);
+  const auto r1 = run_on(core::elan_cluster(1), c);
+  const auto r4 = run_on(core::elan_cluster(4), c);
+  EXPECT_EQ(r4.natoms_global, 4 * r1.natoms_global);
+}
+
+TEST(MdPhysics, HaloTrafficExists) {
+  const auto r = run_on(core::elan_cluster(8), small_ljs(4));
+  EXPECT_GT(r.halo_bytes, 100000u);
+}
+
+TEST(MdPhysics, RejectsTooSmallBox) {
+  MdConfig c = small_ljs(1);  // 1 cell < cutoff+skin
+  core::Cluster cluster(core::elan_cluster(1));
+  EXPECT_THROW(cluster.run([&](mpi::Mpi& mpi) { run_md(mpi, c); }),
+               std::invalid_argument);
+}
+
+TEST(MdNeighbor, MatchesBruteForce) {
+  // Build a small single-rank system and compare the binned list against
+  // an O(N^2) reference.
+  core::Cluster cluster(core::elan_cluster(1));
+  cluster.run([&](mpi::Mpi& mpi) {
+    MdConfig c = small_ljs(3);
+    MdSimulation sim(mpi, c);
+    sim.setup();
+    const Atoms& a = sim.atoms();
+    const NeighborList& list = sim.neighbor_list();
+    const double cutneigh = c.cutoff + c.skin;
+    const double cutsq = cutneigh * cutneigh;
+    for (int i = 0; i < a.nlocal; ++i) {
+      std::size_t count = 0;
+      for (int j = 0; j < a.nall; ++j) {
+        if (j == i) continue;
+        const double dx = a.x[static_cast<std::size_t>(i)] - a.x[static_cast<std::size_t>(j)];
+        const double dy = a.y[static_cast<std::size_t>(i)] - a.y[static_cast<std::size_t>(j)];
+        const double dz = a.z[static_cast<std::size_t>(i)] - a.z[static_cast<std::size_t>(j)];
+        if (dx * dx + dy * dy + dz * dz <= cutsq) ++count;
+      }
+      const auto in_list = static_cast<std::size_t>(
+          list.first[static_cast<std::size_t>(i) + 1] -
+          list.first[static_cast<std::size_t>(i)]);
+      ASSERT_EQ(in_list, count) << "atom " << i;
+    }
+  });
+}
+
+TEST(MdGrid, FactorizationsAreCubic) {
+  const ProcGrid g8(8, 0);
+  EXPECT_EQ(g8.px * g8.py * g8.pz, 8);
+  EXPECT_EQ(g8.px, 2);
+  EXPECT_EQ(g8.py, 2);
+  EXPECT_EQ(g8.pz, 2);
+  const ProcGrid g12(12, 5);
+  EXPECT_EQ(g12.px * g12.py * g12.pz, 12);
+  const ProcGrid g1(1, 0);
+  EXPECT_EQ(g1.px, 1);
+}
+
+TEST(MdGrid, NeighbourWraps) {
+  const ProcGrid g(8, 0);  // 2x2x2, my coords (0,0,0)
+  EXPECT_EQ(g.neighbour(0, -1), g.neighbour(0, +1));  // wrap with dims 2
+  const ProcGrid g2(27, 13);  // 3x3x3 center
+  EXPECT_NE(g2.neighbour(0, -1), g2.neighbour(0, +1));
+}
+
+}  // namespace
+}  // namespace icsim::apps::md

@@ -1,0 +1,94 @@
+// Cost model: bill-of-materials construction and the paper's Section 5
+// conclusions as numeric anchors.
+
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.hpp"
+
+namespace icsim::cost {
+namespace {
+
+TEST(Cost, SingleSwitchCases) {
+  const auto q = quadrics_network(32);
+  EXPECT_EQ(q.switch_count, 1);  // one 64-port chassis
+  const auto i96 = ib96_network(96);
+  EXPECT_EQ(i96.switch_count, 1);
+  const auto i24 = ib_24_288_network(20, false);
+  EXPECT_EQ(i24.switch_count, 1);
+  const auto i288 = ib_24_288_network(200, false);
+  EXPECT_EQ(i288.switch_count, 1);
+}
+
+TEST(Cost, RejectsNonPositiveNodes) {
+  EXPECT_THROW((void)quadrics_network(0), std::invalid_argument);
+  EXPECT_THROW((void)ib96_network(-1), std::invalid_argument);
+  EXPECT_THROW((void)ib_24_288_network(0, true), std::invalid_argument);
+}
+
+TEST(Cost, FederationKicksInAbove64Nodes) {
+  const auto small = quadrics_network(64);
+  const auto big = quadrics_network(65);
+  EXPECT_EQ(small.switch_count, 1);
+  EXPECT_GE(big.switch_count, 3);  // 2 chassis + 1 top switch
+  EXPECT_GT(big.cable_count, small.cable_count + 1);  // uplink per node
+}
+
+TEST(Cost, Ib96FatTreeAbove96Nodes) {
+  const auto c = ib96_network(1024);
+  // 22 leaves + 11 spines.
+  EXPECT_EQ(c.switch_count, 33);
+  EXPECT_EQ(c.cable_count, 1024 + 22 * 48);
+}
+
+TEST(Cost, FullBisectionCostsMoreThanOversubscribed) {
+  const auto fb = ib_24_288_network(1024, true);
+  const auto os = ib_24_288_network(1024, false);
+  EXPECT_GT(fb.total(), os.total());
+}
+
+TEST(Cost, QuadricsIsTheMostExpensiveNetworkAtScale) {
+  // Figure 7's ordering: Elan-4 on top, IB-96 next, the 24/288 builds far
+  // cheaper.
+  for (const int n : {128, 512, 1024, 4096}) {
+    const double q = quadrics_network(n).per_node(n);
+    const double i96 = ib96_network(n).per_node(n);
+    const double i24 = ib_24_288_network(n, false).per_node(n);
+    EXPECT_GT(q, i96) << n;
+    EXPECT_GT(i96, i24) << n;
+  }
+}
+
+TEST(Cost, PaperNetworkPerNodeDeltaAnchor) {
+  // Section 5: network cost per node differs by about 6.5% at large scale
+  // (Quadrics vs InfiniBand-96).
+  const int n = 1024;
+  const double q = quadrics_network(n).per_node(n);
+  const double i96 = ib96_network(n).per_node(n);
+  const double delta = (q - i96) / i96;
+  EXPECT_NEAR(delta, 0.065, 0.02);
+}
+
+TEST(Cost, PaperTotalSystemAnchors) {
+  // Section 5 with a $2,500 node: Elan-4 total system cost is ~4% above
+  // the 96-port InfiniBand build and ~51% above the 24/288 build.
+  const int n = 1024;
+  const double q = total_system_per_node(quadrics_network(n), n);
+  const double i96 = total_system_per_node(ib96_network(n), n);
+  const double i24 = total_system_per_node(ib_24_288_network(n, false), n);
+  EXPECT_NEAR(q / i96, 1.04, 0.02);
+  EXPECT_NEAR(q / i24, 1.51, 0.04);
+}
+
+TEST(Cost, PerPortCostFallsWithScaleWithinASwitchTier) {
+  // Amortizing a big switch over more ports gets cheaper until the next
+  // tier of switching is needed.
+  const double at8 = ib96_network(8).per_node(8);
+  const double at96 = ib96_network(96).per_node(96);
+  EXPECT_GT(at8, at96);
+  const double q8 = quadrics_network(8).per_node(8);
+  const double q64 = quadrics_network(64).per_node(64);
+  EXPECT_GT(q8, q64);
+}
+
+}  // namespace
+}  // namespace icsim::cost

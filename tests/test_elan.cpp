@@ -1,0 +1,159 @@
+// Elan-4 NIC / Tports model: NIC-side matching, unexpected buffering in
+// NIC SDRAM, the get protocol for large messages, and independent progress
+// (completions fire without any host MPI activity).
+
+#include <gtest/gtest.h>
+
+#include "elan/tports.hpp"
+#include "net/fabric.hpp"
+#include "node/node.hpp"
+#include "sim/engine.hpp"
+
+namespace icsim::elan {
+namespace {
+
+class ElanFixture : public ::testing::Test {
+ protected:
+  ElanFixture()
+      : fabric_(engine_, net::FabricConfig{}, 4),
+        node0_(engine_, 0, node::NodeConfig{}),
+        node1_(engine_, 1, node::NodeConfig{}),
+        nic0_(engine_, node0_, &fabric_, ElanConfig{}),
+        nic1_(engine_, node1_, &fabric_, ElanConfig{}) {
+    world_.nic_of_rank = {&nic0_, &nic1_};
+    nic0_.set_world(&world_);
+    nic1_.set_world(&world_);
+    nic0_.attach_rank(0);
+    nic1_.attach_rank(1);
+  }
+
+  Payload payload(std::size_t n) {
+    auto p = std::make_shared<std::vector<std::byte>>(n);
+    for (std::size_t i = 0; i < n; ++i) (*p)[i] = static_cast<std::byte>(i & 0xff);
+    return p;
+  }
+
+  sim::Engine engine_;
+  net::Fabric fabric_;
+  node::Node node0_, node1_;
+  ElanNic nic0_, nic1_;
+  ElanWorld world_;
+};
+
+TEST_F(ElanFixture, PostedReceiveGetsMessage) {
+  RxStatus seen;
+  nic1_.rx(1, 0, 7, 0, [&](const RxStatus& st) { seen = st; });
+  bool tx_done = false;
+  nic0_.tx(0, 1, 7, 0, payload(256), 256, [&] { tx_done = true; });
+  engine_.run();
+  EXPECT_EQ(seen.src_rank, 0);
+  EXPECT_EQ(seen.tag, 7);
+  EXPECT_EQ(seen.bytes, 256u);
+  ASSERT_TRUE(seen.payload != nullptr);
+  EXPECT_EQ((*seen.payload)[10], static_cast<std::byte>(10));
+  EXPECT_TRUE(tx_done);
+}
+
+TEST_F(ElanFixture, UnexpectedMessageBuffersInNicMemory) {
+  bool rx_done = false;
+  nic0_.tx(0, 1, 3, 0, payload(5000), 5000, nullptr);
+  engine_.run();  // message fully arrived, nobody posted
+  EXPECT_GE(nic1_.nic_buffer_high_water(), 5000u);
+  nic1_.rx(1, 0, 3, 0, [&](const RxStatus& st) {
+    rx_done = true;
+    EXPECT_EQ(st.bytes, 5000u);
+  });
+  engine_.run();
+  EXPECT_TRUE(rx_done);
+}
+
+TEST_F(ElanFixture, LargeMessageUsesGetAndCompletesBothSides) {
+  const std::size_t big = 100000;  // above get_threshold
+  bool rx_done = false, tx_done = false;
+  sim::Time tx_time, rx_time;
+  nic1_.rx(1, 0, 1, 0, [&](const RxStatus& st) {
+    rx_done = true;
+    rx_time = engine_.now();
+    EXPECT_EQ(st.bytes, big);
+  });
+  nic0_.tx(0, 1, 1, 0, payload(big), big, [&] {
+    tx_done = true;
+    tx_time = engine_.now();
+  });
+  engine_.run();
+  EXPECT_TRUE(rx_done);
+  EXPECT_TRUE(tx_done);
+  // The get keeps the payload at the source until matched, so the source
+  // completes only once the pull has drained its host memory.
+  EXPECT_GT(tx_time, sim::Time::us(50));
+  EXPECT_GT(rx_time, tx_time - sim::Time::us(200));
+}
+
+TEST_F(ElanFixture, GetDefersUntilMatched) {
+  // Send a big message with no receive posted: only the envelope moves.
+  nic0_.tx(0, 1, 9, 0, payload(200000), 200000, nullptr);
+  engine_.run();
+  EXPECT_LT(nic1_.nic_buffer_high_water(), 1000u);  // no payload buffered
+  bool rx_done = false;
+  nic1_.rx(1, 0, 9, 0, [&](const RxStatus&) { rx_done = true; });
+  engine_.run();
+  EXPECT_TRUE(rx_done);
+}
+
+TEST_F(ElanFixture, WildcardMatchOnNic) {
+  RxStatus seen;
+  nic1_.rx(1, mpi::kAnySource, mpi::kAnyTag, 0,
+           [&](const RxStatus& st) { seen = st; });
+  nic0_.tx(0, 1, 42, 0, payload(16), 16, nullptr);
+  engine_.run();
+  EXPECT_EQ(seen.tag, 42);
+}
+
+TEST_F(ElanFixture, SameNodeLoopback) {
+  nic0_.attach_rank(2);
+  world_.nic_of_rank.push_back(&nic0_);  // rank 2 shares node 0's NIC
+  bool rx_done = false;
+  nic0_.rx(2, 0, 1, 0, [&](const RxStatus& st) {
+    rx_done = true;
+    EXPECT_EQ(st.bytes, 64u);
+  });
+  nic0_.tx(0, 2, 1, 0, payload(64), 64, nullptr);
+  engine_.run();
+  EXPECT_TRUE(rx_done);
+}
+
+TEST_F(ElanFixture, NicThreadChargesPerMessage) {
+  // The NIC thread is a FIFO resource: 20 tiny messages serialize on it.
+  int received = 0;
+  for (int i = 0; i < 20; ++i) {
+    nic1_.rx(1, 0, i, 0, [&](const RxStatus&) { ++received; });
+  }
+  for (int i = 0; i < 20; ++i) {
+    nic0_.tx(0, 1, i, 0, payload(8), 8, nullptr);
+  }
+  engine_.run();
+  EXPECT_EQ(received, 20);
+  EXPECT_GE(nic1_.nic_thread().requests(), 20u);
+  EXPECT_GE(nic1_.nic_thread().busy_time(), sim::Time::us(2.0));
+}
+
+TEST_F(ElanFixture, ZeroByteMessageCompletes) {
+  bool rx_done = false;
+  nic1_.rx(1, 0, 0, 0, [&](const RxStatus& st) {
+    rx_done = true;
+    EXPECT_EQ(st.bytes, 0u);
+  });
+  nic0_.tx(0, 1, 0, 0, payload(0), 0, nullptr);
+  engine_.run();
+  EXPECT_TRUE(rx_done);
+}
+
+TEST_F(ElanFixture, PostedDepthVisible) {
+  nic1_.rx(1, 0, 1, 0, [](const RxStatus&) {});
+  nic1_.rx(1, 0, 2, 0, [](const RxStatus&) {});
+  engine_.run();
+  EXPECT_EQ(nic1_.posted_depth(1), 2u);
+}
+
+}  // namespace
+}  // namespace icsim::elan

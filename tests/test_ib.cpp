@@ -1,0 +1,169 @@
+// InfiniBand HCA model: registration cache behaviour (the 4 MB thrash),
+// queue-pair discipline, RDMA write timing and loopback.
+
+#include <gtest/gtest.h>
+
+#include "ib/hca.hpp"
+#include "net/fabric.hpp"
+#include "node/node.hpp"
+#include "sim/engine.hpp"
+
+namespace icsim::ib {
+namespace {
+
+RegistrationCache make_cache(std::uint64_t capacity) {
+  return RegistrationCache(capacity, 4096, sim::Time::us(25), sim::Time::us(1),
+                           sim::Time::us(15), sim::Time::us(0.55));
+}
+
+TEST(RegCache, FirstAcquireCostsRegistration) {
+  auto c = make_cache(1 << 20);
+  char buf[1];
+  const auto t = c.acquire(buf, 8192);  // 2 pages
+  EXPECT_EQ(t, sim::Time::us(27));
+  EXPECT_EQ(c.stats().misses, 1u);
+  EXPECT_EQ(c.stats().registered_bytes, 8192u);
+}
+
+TEST(RegCache, RepeatAcquireIsFree) {
+  auto c = make_cache(1 << 20);
+  char buf[1];
+  (void)c.acquire(buf, 4096);
+  EXPECT_EQ(c.acquire(buf, 4096), sim::Time::zero());
+  EXPECT_EQ(c.stats().hits, 1u);
+}
+
+TEST(RegCache, DifferentLengthIsADifferentRegion) {
+  auto c = make_cache(1 << 20);
+  char buf[1];
+  (void)c.acquire(buf, 4096);
+  EXPECT_GT(c.acquire(buf, 8192), sim::Time::zero());
+  EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(RegCache, EvictsLruWhenOverCapacity) {
+  auto c = make_cache(10000);  // fits two 4 kB pages + change
+  char a[1], b[1], d[1];
+  (void)c.acquire(a, 4096);
+  (void)c.acquire(b, 4096);
+  // Touch a so b is the LRU victim.
+  (void)c.acquire(a, 4096);
+  const auto t = c.acquire(d, 4096);  // must evict b (dereg cost included)
+  EXPECT_GT(t, sim::Time::us(26));    // reg + at least one dereg
+  EXPECT_EQ(c.stats().evictions, 1u);
+  // a stays cached, b was evicted.
+  EXPECT_EQ(c.acquire(a, 4096), sim::Time::zero());
+  EXPECT_GT(c.acquire(b, 4096), sim::Time::zero());
+}
+
+TEST(RegCache, OversizeRegionAlwaysThrashes) {
+  auto c = make_cache(1 << 20);
+  char buf[1];
+  const auto t1 = c.acquire(buf, 2 << 20);
+  const auto t2 = c.acquire(buf, 2 << 20);
+  EXPECT_GT(t1, sim::Time::zero());
+  EXPECT_EQ(t1, t2);  // never cached: same cost every time
+  EXPECT_EQ(c.stats().registered_bytes, 0u);
+}
+
+TEST(RegCache, PingPongPairUnderCapacityThrashes) {
+  // The Figure 1(b) mechanism: two 4 MB application buffers against a 7 MB
+  // pin budget evict each other every iteration.
+  auto c = make_cache(7ull << 20);
+  char s[1], r[1];
+  (void)c.acquire(s, 4 << 20);
+  (void)c.acquire(r, 4 << 20);  // evicts s
+  std::uint64_t before = c.stats().evictions;
+  (void)c.acquire(s, 4 << 20);  // evicts r
+  (void)c.acquire(r, 4 << 20);  // evicts s again
+  EXPECT_EQ(c.stats().evictions, before + 2);
+  EXPECT_EQ(c.stats().hits, 0u);
+}
+
+class HcaFixture : public ::testing::Test {
+ protected:
+  HcaFixture()
+      : fabric_(engine_, net::FabricConfig{}, 4),
+        node0_(engine_, 0, node::NodeConfig{}),
+        node1_(engine_, 1, node::NodeConfig{}),
+        hca0_(engine_, node0_, &fabric_, HcaConfig{}),
+        hca1_(engine_, node1_, &fabric_, HcaConfig{}) {}
+
+  sim::Engine engine_;
+  net::Fabric fabric_;
+  node::Node node0_, node1_;
+  Hca hca0_, hca1_;
+};
+
+TEST_F(HcaFixture, WriteWithoutConnectThrows) {
+  hca0_.attach(0, [](const Delivery&) {});
+  hca1_.attach(1, [](const Delivery&) {});
+  EXPECT_THROW(hca0_.rdma_write(0, hca1_, 1, 64, nullptr, nullptr),
+               std::logic_error);
+}
+
+TEST_F(HcaFixture, WriteDeliversAfterConnect) {
+  bool delivered = false;
+  hca1_.attach(1, [&](const Delivery& d) {
+    delivered = true;
+    EXPECT_EQ(d.src_ep, 0);
+    EXPECT_EQ(d.bytes, 4096u);
+  });
+  EXPECT_GT(hca0_.connect(0, &hca1_, 1), sim::Time::zero());
+  bool local_done = false;
+  hca0_.rdma_write(0, hca1_, 1, 4096, nullptr, [&] { local_done = true; });
+  engine_.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_TRUE(local_done);
+  EXPECT_EQ(hca0_.writes_posted(), 1u);
+}
+
+TEST_F(HcaFixture, LocalCompletionPrecedesRemoteDelivery) {
+  sim::Time local = sim::Time::zero(), remote = sim::Time::zero();
+  hca1_.attach(1, [&](const Delivery&) { remote = engine_.now(); });
+  (void)hca0_.connect(0, &hca1_, 1);
+  hca0_.rdma_write(0, hca1_, 1, 65536, nullptr, [&] { local = engine_.now(); });
+  engine_.run();
+  EXPECT_LT(local, remote);  // buffer reusable before last byte lands
+  EXPECT_GT(remote, sim::Time::us(60));  // 64 kB through two PCI-X crossings
+}
+
+TEST_F(HcaFixture, LoopbackDeliversOnSameNode) {
+  bool delivered = false;
+  hca0_.attach(0, [](const Delivery&) {});
+  hca0_.attach(2, [&](const Delivery&) { delivered = true; });
+  (void)hca0_.connect(0, &hca0_, 2);
+  hca0_.rdma_write(0, hca0_, 2, 1024, nullptr, nullptr);
+  engine_.run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST_F(HcaFixture, WritesToSamePeerDeliverInOrder) {
+  std::vector<int> order;
+  hca1_.attach(1, [&](const Delivery& d) {
+    order.push_back(static_cast<int>(d.bytes));
+  });
+  (void)hca0_.connect(0, &hca1_, 1);
+  for (int i = 1; i <= 8; ++i) {
+    hca0_.rdma_write(0, hca1_, 1, static_cast<std::uint64_t>(i), nullptr, nullptr);
+  }
+  engine_.run();
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i + 1);
+}
+
+TEST_F(HcaFixture, HcaProcessorSerializesWqes) {
+  // Two zero-byte writes: second delivery trails by >= one WQE cost.
+  std::vector<sim::Time> arrivals;
+  hca1_.attach(1, [&](const Delivery&) { arrivals.push_back(engine_.now()); });
+  (void)hca0_.connect(0, &hca1_, 1);
+  hca0_.rdma_write(0, hca1_, 1, 0, nullptr, nullptr);
+  hca0_.rdma_write(0, hca1_, 1, 0, nullptr, nullptr);
+  engine_.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_GE((arrivals[1] - arrivals[0]).to_us(),
+            HcaConfig{}.send_wqe_cost.to_us() * 0.99);
+}
+
+}  // namespace
+}  // namespace icsim::ib

@@ -1,0 +1,118 @@
+// Integration tests pinning the PAPER-SHAPE facts the reproduction is
+// calibrated to.  If a refactor or recalibration breaks one of the study's
+// qualitative conclusions, these fail.
+
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+#include "apps/lammps/md.hpp"
+#include "microbench/beff.hpp"
+#include "microbench/pingpong.hpp"
+
+namespace icsim {
+namespace {
+
+microbench::PingPongOptions pp_opts(std::vector<std::size_t> sizes) {
+  microbench::PingPongOptions o;
+  o.sizes = std::move(sizes);
+  o.repetitions = 30;
+  o.warmup = 4;
+  return o;
+}
+
+TEST(PaperShape, ElanLatencyAboutHalfOfInfiniBand) {
+  const auto ib = microbench::run_pingpong(core::ib_cluster(2), pp_opts({0}));
+  const auto el = microbench::run_pingpong(core::elan_cluster(2), pp_opts({0}));
+  const double ratio = ib[0].latency_us / el[0].latency_us;
+  EXPECT_GT(ratio, 1.7);  // "approximately half" (Section 4.1)
+  EXPECT_LT(ratio, 3.2);
+  EXPECT_LT(el[0].latency_us, 3.0);  // sub-10 us class, Elan ~2 us
+  EXPECT_LT(ib[0].latency_us, 7.0);
+}
+
+TEST(PaperShape, InfiniBandLatencyJumpBetween1KBand2KB) {
+  const auto ib =
+      microbench::run_pingpong(core::ib_cluster(2), pp_opts({512, 1024, 2048}));
+  const double step_small = ib[1].latency_us / ib[0].latency_us;
+  const double step_jump = ib[2].latency_us / ib[1].latency_us;
+  EXPECT_GT(step_jump, 1.6);             // the protocol switch
+  EXPECT_GT(step_jump, step_small * 1.2);  // sharper than the regular growth
+}
+
+TEST(PaperShape, EightKilobyteBandwidthRatioAboutTwo) {
+  // Paper: Elan-4 552 MB/s vs InfiniBand 249 MB/s at 8 kB.
+  const auto ib = microbench::run_pingpong(core::ib_cluster(2), pp_opts({8192}));
+  const auto el = microbench::run_pingpong(core::elan_cluster(2), pp_opts({8192}));
+  const double ratio = el[0].bandwidth_mbs / ib[0].bandwidth_mbs;
+  EXPECT_GT(ratio, 1.6);
+  EXPECT_LT(ratio, 2.8);
+  EXPECT_NEAR(ib[0].bandwidth_mbs, 249.0, 80.0);
+  EXPECT_NEAR(el[0].bandwidth_mbs, 552.0, 120.0);
+}
+
+TEST(PaperShape, AsymptoticBandwidthsSimilar) {
+  const auto ib =
+      microbench::run_pingpong(core::ib_cluster(2), pp_opts({2u << 20}));
+  const auto el =
+      microbench::run_pingpong(core::elan_cluster(2), pp_opts({2u << 20}));
+  EXPECT_NEAR(ib[0].bandwidth_mbs / el[0].bandwidth_mbs, 1.0, 0.15);
+  EXPECT_GT(ib[0].bandwidth_mbs, 800.0);  // PCI-X bound, both
+}
+
+TEST(PaperShape, FourMegabyteRegistrationThrash) {
+  const auto ib = microbench::run_pingpong(core::ib_cluster(2),
+                                           pp_opts({2u << 20, 4u << 20}));
+  const auto el = microbench::run_pingpong(core::elan_cluster(2),
+                                           pp_opts({2u << 20, 4u << 20}));
+  // InfiniBand collapses at 4 MB; Elan (no registration) does not.
+  EXPECT_LT(ib[1].bandwidth_mbs, ib[0].bandwidth_mbs * 0.75);
+  EXPECT_GT(el[1].bandwidth_mbs, el[0].bandwidth_mbs * 0.95);
+}
+
+TEST(PaperShape, StreamingSmallMessageRatioOverFour) {
+  microbench::StreamingOptions o;
+  o.sizes = {64};
+  o.window = 64;
+  o.batches = 8;
+  o.warmup_batches = 2;
+  const auto ib = microbench::run_streaming(core::ib_cluster(2), o);
+  const auto el = microbench::run_streaming(core::elan_cluster(2), o);
+  EXPECT_GT(el[0].bandwidth_mbs / ib[0].bandwidth_mbs, 3.5);  // paper: >5x
+}
+
+TEST(PaperShape, BeffElanAboveInfiniBand) {
+  microbench::BeffOptions o;
+  o.lmax = 1 << 17;  // trimmed for test speed
+  o.repetitions = 1;
+  o.random_patterns = 1;
+  const auto ib = microbench::run_beff(core::ib_cluster(8), o);
+  const auto el = microbench::run_beff(core::elan_cluster(8), o);
+  EXPECT_GT(el.beff_per_process_mbs, ib.beff_per_process_mbs * 1.3);
+}
+
+TEST(PaperShape, TwoPpnHurtsInfiniBandMoreThanElan) {
+  // Figure 2 in miniature: the LJS workload's 1->2 PPN degradation must be
+  // worse on InfiniBand than on Elan-4 (Section 4.2.1).
+  auto md_time = [](const core::ClusterConfig& cc) {
+    apps::md::MdConfig mc = apps::md::ljs_config();
+    mc.cells_x = mc.cells_y = mc.cells_z = 5;
+    mc.steps = 12;
+    core::Cluster cluster(cc);
+    double t = 0.0;
+    cluster.run([&](mpi::Mpi& mpi) {
+      const auto r = apps::md::run_md(mpi, mc);
+      if (mpi.rank() == 0) t = r.loop_seconds;
+    });
+    return t;
+  };
+  const double ib1 = md_time(core::ib_cluster(4, 1));
+  const double ib2 = md_time(core::ib_cluster(4, 2));
+  const double el1 = md_time(core::elan_cluster(4, 1));
+  const double el2 = md_time(core::elan_cluster(4, 2));
+  EXPECT_GT(ib2, ib1);  // 2 PPN costs something on both networks
+  EXPECT_GT(el2, el1);
+  EXPECT_GT(ib2 / ib1, el2 / el1);  // ...but more on InfiniBand
+}
+
+}  // namespace
+}  // namespace icsim

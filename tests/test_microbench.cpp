@@ -1,0 +1,98 @@
+// Micro-benchmark harness unit tests: size ladders, result plausibility
+// and internal consistency.
+
+#include <gtest/gtest.h>
+
+#include "microbench/beff.hpp"
+#include "microbench/pingpong.hpp"
+
+namespace icsim::microbench {
+namespace {
+
+TEST(Pallas, SizeLadder) {
+  const auto s = pallas_sizes(16);
+  EXPECT_EQ(s, (std::vector<std::size_t>{0, 1, 2, 4, 8, 16}));
+}
+
+TEST(Beff, TwentyOneLengths) {
+  const auto l = beff_lengths(1 << 20);
+  ASSERT_EQ(l.size(), 21u);
+  EXPECT_EQ(l.front(), 1u);
+  EXPECT_EQ(l.back(), 1u << 20);
+  for (std::size_t i = 1; i < l.size(); ++i) EXPECT_GT(l[i], l[i - 1]);
+}
+
+TEST(PingPong, NeedsTwoRanks) {
+  PingPongOptions o;
+  o.sizes = {8};
+  EXPECT_THROW((void)run_pingpong(core::elan_cluster(1), o),
+               std::invalid_argument);
+}
+
+TEST(PingPong, LatencyMonotoneInSizeRoughly) {
+  PingPongOptions o;
+  o.sizes = {64, 4096, 262144};
+  o.repetitions = 20;
+  o.warmup = 2;
+  const auto r = run_pingpong(core::elan_cluster(2), o);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_LT(r[0].latency_us, r[1].latency_us);
+  EXPECT_LT(r[1].latency_us, r[2].latency_us);
+}
+
+TEST(PingPong, BandwidthConsistentWithLatency) {
+  PingPongOptions o;
+  o.sizes = {65536};
+  o.repetitions = 10;
+  o.warmup = 2;
+  const auto r = run_pingpong(core::ib_cluster(2), o);
+  EXPECT_NEAR(r[0].bandwidth_mbs,
+              65536.0 / r[0].latency_us, 1.0);
+}
+
+TEST(Streaming, BeatsPingPongBandwidthAtSmallSizes) {
+  PingPongOptions p;
+  p.sizes = {128};
+  p.repetitions = 20;
+  p.warmup = 2;
+  StreamingOptions s;
+  s.sizes = {128};
+  s.batches = 6;
+  s.warmup_batches = 1;
+  const auto pp = run_pingpong(core::elan_cluster(2), p);
+  const auto st = run_streaming(core::elan_cluster(2), s);
+  EXPECT_GT(st[0].bandwidth_mbs, pp[0].bandwidth_mbs * 2.0);
+}
+
+TEST(Streaming, MessageRateTimesBytesIsBandwidth) {
+  StreamingOptions s;
+  s.sizes = {1024};
+  s.batches = 5;
+  s.warmup_batches = 1;
+  const auto st = run_streaming(core::ib_cluster(2), s);
+  EXPECT_NEAR(st[0].bandwidth_mbs, st[0].msg_rate_per_sec * 1024 / 1e6, 0.01);
+}
+
+TEST(Beff, RunsOnSmallJob) {
+  BeffOptions o;
+  o.lmax = 1 << 14;
+  o.repetitions = 1;
+  o.random_patterns = 1;
+  const auto r = run_beff(core::elan_cluster(4), o);
+  EXPECT_GT(r.beff_mbs, 0.0);
+  EXPECT_NEAR(r.beff_per_process_mbs * 4, r.beff_mbs, 1e-9);
+  EXPECT_GE(r.per_pattern_mbs.size(), 2u);
+}
+
+TEST(Beff, DeterministicAcrossRuns) {
+  BeffOptions o;
+  o.lmax = 1 << 12;
+  o.repetitions = 1;
+  o.random_patterns = 1;
+  const auto a = run_beff(core::elan_cluster(4), o);
+  const auto b = run_beff(core::elan_cluster(4), o);
+  EXPECT_DOUBLE_EQ(a.beff_mbs, b.beff_mbs);
+}
+
+}  // namespace
+}  // namespace icsim::microbench

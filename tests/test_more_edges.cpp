@@ -1,0 +1,130 @@
+// Additional edge coverage: rectangular FT grids, nested communicator
+// splits, fabric contention arithmetic, PPN > 2, and zero-size collective
+// corner cases.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/npb/ft.hpp"
+#include "core/cluster.hpp"
+#include "mpi/comm.hpp"
+#include "net/fabric.hpp"
+
+namespace icsim {
+namespace {
+
+TEST(FtEdges, RectangularClassWShape) {
+  // 128 x 128 x 32, the class-W shape, on 8 ranks (both 128%8 and 32%8 ok).
+  apps::npb::FtConfig cfg;
+  cfg.cls = apps::npb::FtClass{"w8", 64, 64, 32, 2};  // scaled-down W shape
+  core::Cluster cluster(core::elan_cluster(8));
+  std::vector<std::complex<double>> sums;
+  cluster.run([&](mpi::Mpi& mpi) {
+    const auto r = apps::npb::run_ft(mpi, cfg);
+    if (mpi.rank() == 0) sums = r.checksums;
+  });
+  ASSERT_EQ(sums.size(), 2u);
+  EXPECT_TRUE(std::isfinite(sums[0].real()));
+
+  // Same shape serially: identical checksums.
+  core::Cluster serial(core::elan_cluster(1));
+  serial.run([&](mpi::Mpi& mpi) {
+    const auto r = apps::npb::run_ft(mpi, cfg);
+    EXPECT_NEAR(std::abs(r.checksums[1] - sums[1]), 0.0,
+                1e-8 * std::abs(sums[1]));
+  });
+}
+
+TEST(CommEdges, NestedSplits) {
+  core::Cluster cluster(core::elan_cluster(8));
+  cluster.run([&](mpi::Mpi& mpi) {
+    mpi::Comm world(mpi);
+    mpi::Comm half = world.split(mpi.rank() / 4, mpi.rank());  // two groups of 4
+    mpi::Comm quarter = half.split(half.rank() / 2, half.rank());  // of 2
+    EXPECT_EQ(quarter.size(), 2);
+    const double s = quarter.allreduce(1.0, mpi::ReduceOp::sum);
+    EXPECT_DOUBLE_EQ(s, 2.0);
+    // The three levels must not cross-match even with identical tags.
+    int a = mpi.rank(), b = -1;
+    quarter.send(&a, sizeof a, 1 - quarter.rank(), 0);
+    (void)quarter.recv(&b, sizeof b, 1 - quarter.rank(), 0);
+    EXPECT_EQ(b / 2, mpi.rank() / 2);  // partner is my quarter-neighbour
+  });
+}
+
+TEST(CommEdges, SingletonCommunicatorWorks) {
+  core::Cluster cluster(core::elan_cluster(3));
+  cluster.run([&](mpi::Mpi& mpi) {
+    mpi::Comm world(mpi);
+    mpi::Comm solo = world.split(mpi.rank(), 0);  // everyone alone
+    EXPECT_EQ(solo.size(), 1);
+    EXPECT_EQ(solo.rank(), 0);
+    solo.barrier();
+    EXPECT_DOUBLE_EQ(solo.allreduce(5.0, mpi::ReduceOp::sum), 5.0);
+  });
+}
+
+TEST(FabricEdges, ContentionIsAdditive) {
+  // N flows over one shared link: delivery of the last message scales
+  // linearly with N (exact FIFO arithmetic).
+  auto last_delivery_us = [](int flows) {
+    sim::Engine e;
+    net::FabricConfig cfg;
+    cfg.radix_down = 4;
+    cfg.levels = 1;
+    cfg.header_bytes = 0;
+    net::Fabric f(e, cfg, 4);
+    sim::Time last = sim::Time::zero();
+    for (int i = 0; i < flows; ++i) {
+      // All from distinct sources into node 3: share its ingress link.
+      f.inject(i % 3, 3, 10000, [&] { last = e.now(); });
+    }
+    e.run();
+    return last.to_us();
+  };
+  const double one = last_delivery_us(1);
+  const double four = last_delivery_us(4);
+  EXPECT_NEAR(four - one, 3 * 10.0, 0.5);  // 3 extra 10 kB serializations
+}
+
+TEST(PpnEdges, FourRanksPerNode) {
+  // The model allows PPN > 2 (more ranks than CPUs): compute phases
+  // contend but communication still works.
+  core::ClusterConfig cc = core::elan_cluster(2, 4);
+  cc.node.cpus = 4;
+  core::Cluster cluster(cc);
+  cluster.run([&](mpi::Mpi& mpi) {
+    EXPECT_EQ(mpi.size(), 8);
+    const double s = mpi.allreduce(1.0, mpi::ReduceOp::sum);
+    EXPECT_DOUBLE_EQ(s, 8.0);
+  });
+}
+
+TEST(CollectiveEdges, SingleRankCollectivesAreLocal) {
+  core::Cluster cluster(core::ib_cluster(1, 1));
+  cluster.run([&](mpi::Mpi& mpi) {
+    mpi.barrier();
+    double v = 7.0;
+    mpi.bcast(&v, 1, 0);
+    EXPECT_DOUBLE_EQ(mpi.allreduce(v, mpi::ReduceOp::sum), 7.0);
+    std::vector<int> in(1, 3), out(1, 0);
+    mpi.alltoall(in.data(), 1, out.data());
+    EXPECT_EQ(out[0], 3);
+    EXPECT_EQ(mpi.scan(4, mpi::ReduceOp::sum), 4);
+  });
+}
+
+TEST(CollectiveEdges, ZeroByteBcastAndBarrierInterleave) {
+  core::Cluster cluster(core::elan_cluster(4));
+  cluster.run([&](mpi::Mpi& mpi) {
+    for (int i = 0; i < 5; ++i) {
+      char nothing = 0;
+      mpi.bcast(&nothing, 0, i % mpi.size());
+      mpi.barrier();
+    }
+  });
+}
+
+}  // namespace
+}  // namespace icsim

@@ -1,0 +1,180 @@
+// Extended MPI API: probe/iprobe, scan, alltoallv and communicator split —
+// over both study networks.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "mpi/comm.hpp"
+
+namespace icsim {
+namespace {
+
+using core::Network;
+
+class MpiApiExt : public ::testing::TestWithParam<Network> {
+ protected:
+  [[nodiscard]] core::ClusterConfig cfg(int nodes, int ppn = 1) const {
+    return GetParam() == Network::infiniband ? core::ib_cluster(nodes, ppn)
+                                             : core::elan_cluster(nodes, ppn);
+  }
+};
+
+TEST_P(MpiApiExt, IprobeSeesPendingMessage) {
+  core::Cluster cluster(cfg(2));
+  cluster.run([&](mpi::Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      int v = 5;
+      mpi.send(&v, sizeof v, 1, 9);
+    } else {
+      mpi::Status st;
+      EXPECT_FALSE(mpi.iprobe(0, 8, &st));  // wrong tag: never matches
+      while (!mpi.iprobe(0, 9, &st)) mpi.compute(1e-6);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 9);
+      EXPECT_EQ(st.bytes, sizeof(int));
+      int v = 0;
+      mpi.recv(&v, sizeof v, st.source, st.tag);
+      EXPECT_EQ(v, 5);
+      EXPECT_FALSE(mpi.iprobe(0, 9, &st));  // consumed
+    }
+  });
+}
+
+TEST_P(MpiApiExt, BlockingProbeWaits) {
+  core::Cluster cluster(cfg(2));
+  cluster.run([&](mpi::Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      mpi.compute(1e-3);
+      double v = 2.5;
+      mpi.send(&v, sizeof v, 1, 4);
+    } else {
+      const auto st = mpi.probe(0, 4);
+      EXPECT_GE(mpi.wtime(), 1e-3);  // really waited
+      EXPECT_EQ(st.bytes, sizeof(double));
+      double v = 0;
+      mpi.recv(&v, sizeof v, 0, 4);
+      EXPECT_DOUBLE_EQ(v, 2.5);
+    }
+  });
+}
+
+TEST_P(MpiApiExt, ScanComputesPrefixSums) {
+  core::Cluster cluster(cfg(5));
+  cluster.run([&](mpi::Mpi& mpi) {
+    const long v = mpi.rank() + 1;
+    const long prefix = mpi.scan(v, mpi::ReduceOp::sum);
+    EXPECT_EQ(prefix, (mpi.rank() + 1) * (mpi.rank() + 2) / 2);
+    const long m = mpi.scan(static_cast<long>(mpi.rank()), mpi::ReduceOp::max);
+    EXPECT_EQ(m, mpi.rank());
+  });
+}
+
+TEST_P(MpiApiExt, AlltoallvVariableCounts) {
+  core::Cluster cluster(cfg(4));
+  cluster.run([&](mpi::Mpi& mpi) {
+    const int n = mpi.size();
+    // Rank r sends (d+1) ints to destination d: value = r*100+d.
+    std::vector<int> send_counts(static_cast<std::size_t>(n));
+    std::vector<int> recv_counts(static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d) {
+      send_counts[static_cast<std::size_t>(d)] = d + 1;
+      recv_counts[static_cast<std::size_t>(d)] = mpi.rank() + 1;
+    }
+    std::vector<int> sdispl(static_cast<std::size_t>(n), 0), rdispl(static_cast<std::size_t>(n), 0);
+    for (int d = 1; d < n; ++d) {
+      sdispl[static_cast<std::size_t>(d)] = sdispl[static_cast<std::size_t>(d - 1)] + send_counts[static_cast<std::size_t>(d - 1)];
+      rdispl[static_cast<std::size_t>(d)] = rdispl[static_cast<std::size_t>(d - 1)] + recv_counts[static_cast<std::size_t>(d - 1)];
+    }
+    std::vector<int> out(static_cast<std::size_t>(sdispl.back() + n));
+    for (int d = 0; d < n; ++d) {
+      for (int i = 0; i <= d; ++i) {
+        out[static_cast<std::size_t>(sdispl[static_cast<std::size_t>(d)] + i)] =
+            mpi.rank() * 100 + d;
+      }
+    }
+    std::vector<int> in(static_cast<std::size_t>(rdispl.back() + mpi.rank() + 1));
+    mpi.alltoallv(out.data(), send_counts, sdispl, in.data(), recv_counts, rdispl);
+    for (int s = 0; s < n; ++s) {
+      for (int i = 0; i <= mpi.rank(); ++i) {
+        EXPECT_EQ(in[static_cast<std::size_t>(rdispl[static_cast<std::size_t>(s)] + i)],
+                  s * 100 + mpi.rank());
+      }
+    }
+  });
+}
+
+TEST_P(MpiApiExt, CommSplitEvenOdd) {
+  core::Cluster cluster(cfg(6));
+  cluster.run([&](mpi::Mpi& mpi) {
+    mpi::Comm world(mpi);
+    EXPECT_EQ(world.rank(), mpi.rank());
+    EXPECT_EQ(world.size(), mpi.size());
+
+    mpi::Comm half = world.split(mpi.rank() % 2, mpi.rank());
+    EXPECT_EQ(half.size(), 3);
+    EXPECT_EQ(half.rank(), mpi.rank() / 2);
+
+    // Collectives stay inside the split group.
+    const double sum = half.allreduce(static_cast<double>(mpi.rank()),
+                                      mpi::ReduceOp::sum);
+    const double expect = mpi.rank() % 2 == 0 ? 0 + 2 + 4 : 1 + 3 + 5;
+    EXPECT_DOUBLE_EQ(sum, expect);
+
+    // Point-to-point with group-rank addressing.
+    if (half.rank() == 0) {
+      const int v = 1000 + mpi.rank();
+      half.send(&v, sizeof v, 2, 1);
+    } else if (half.rank() == 2) {
+      int v = 0;
+      const auto st = half.recv(&v, sizeof v, 0, 1);
+      EXPECT_EQ(st.source, 0);  // group rank, not world rank
+      EXPECT_EQ(v, 1000 + (mpi.rank() % 2 == 0 ? 0 : 1));
+    }
+    half.barrier();
+  });
+}
+
+TEST_P(MpiApiExt, SplitKeyReordersRanks) {
+  core::Cluster cluster(cfg(4));
+  cluster.run([&](mpi::Mpi& mpi) {
+    mpi::Comm world(mpi);
+    // Same color, key = -world_rank: reversed order.
+    mpi::Comm rev = world.split(0, -mpi.rank());
+    EXPECT_EQ(rev.size(), mpi.size());
+    EXPECT_EQ(rev.rank(), mpi.size() - 1 - mpi.rank());
+    int v = mpi.rank();
+    rev.bcast(&v, 1, 0);  // group root 0 = world rank size-1
+    EXPECT_EQ(v, mpi.size() - 1);
+  });
+}
+
+TEST_P(MpiApiExt, DisjointCommunicatorsDoNotCrossMatch) {
+  core::Cluster cluster(cfg(4));
+  cluster.run([&](mpi::Mpi& mpi) {
+    mpi::Comm world(mpi);
+    mpi::Comm grp = world.split(mpi.rank() % 2, mpi.rank());
+    // Everyone sends inside its group with the SAME tag; a cross-match
+    // would corrupt values.
+    const int peer = 1 - grp.rank() % 2 == 0 ? (grp.rank() + 1) % grp.size()
+                                             : (grp.rank() + 1) % grp.size();
+    int out = 10 * (mpi.rank() % 2) + grp.rank(), in = -1;
+    mpi::Request rr = grp.irecv(&in, sizeof in, mpi::kAnySource, 1);
+    grp.send(&out, sizeof out, peer, 1);
+    grp.wait(rr);
+    EXPECT_EQ(in / 10, mpi.rank() % 2);  // came from my own group
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Networks, MpiApiExt,
+                         ::testing::Values(Network::infiniband,
+                                           Network::quadrics),
+                         [](const auto& info) {
+                           return info.param == Network::infiniband ? "IB"
+                                                                    : "Elan4";
+                         });
+
+}  // namespace
+}  // namespace icsim

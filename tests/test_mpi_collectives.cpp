@@ -1,0 +1,168 @@
+// Collective operations: correctness against serial references over both
+// transports, several rank counts and payload sizes (parameterized).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/cluster.hpp"
+
+namespace icsim {
+namespace {
+
+using core::ClusterConfig;
+using core::Network;
+
+class Collectives
+    : public ::testing::TestWithParam<std::tuple<Network, int>> {
+ protected:
+  [[nodiscard]] core::Cluster make_cluster() const {
+    const auto [net, ranks] = GetParam();
+    return core::Cluster(net == Network::infiniband
+                             ? core::ib_cluster(ranks, 1)
+                             : core::elan_cluster(ranks, 1));
+  }
+};
+
+TEST_P(Collectives, BarrierCompletes) {
+  auto cluster = make_cluster();
+  int through = 0;
+  cluster.run([&](mpi::Mpi& mpi) {
+    for (int i = 0; i < 3; ++i) mpi.barrier();
+    ++through;
+  });
+  EXPECT_EQ(through, cluster.ranks());
+}
+
+TEST_P(Collectives, BarrierSynchronizes) {
+  auto cluster = make_cluster();
+  if (cluster.ranks() < 2) return;
+  cluster.run([&](mpi::Mpi& mpi) {
+    // Rank 0 computes long before the barrier; everyone must leave the
+    // barrier no earlier than rank 0's arrival.
+    if (mpi.rank() == 0) mpi.compute(5e-3);
+    mpi.barrier();
+    EXPECT_GE(mpi.wtime(), 5e-3);
+  });
+}
+
+TEST_P(Collectives, BcastFromEveryRoot) {
+  auto cluster = make_cluster();
+  cluster.run([&](mpi::Mpi& mpi) {
+    for (int root = 0; root < mpi.size(); ++root) {
+      std::vector<int> data(64, mpi.rank() == root ? root + 100 : -1);
+      mpi.bcast(data.data(), data.size(), root);
+      EXPECT_EQ(data[0], root + 100);
+      EXPECT_EQ(data[63], root + 100);
+    }
+  });
+}
+
+TEST_P(Collectives, AllreduceSum) {
+  auto cluster = make_cluster();
+  const int n = cluster.ranks();
+  cluster.run([&](mpi::Mpi& mpi) {
+    const double v = mpi.rank() + 1.0;
+    EXPECT_DOUBLE_EQ(mpi.allreduce(v, mpi::ReduceOp::sum),
+                     n * (n + 1) / 2.0);
+  });
+}
+
+TEST_P(Collectives, AllreduceMinMax) {
+  auto cluster = make_cluster();
+  const int n = cluster.ranks();
+  cluster.run([&](mpi::Mpi& mpi) {
+    const double v = static_cast<double>(mpi.rank());
+    EXPECT_DOUBLE_EQ(mpi.allreduce(v, mpi::ReduceOp::max), n - 1.0);
+    EXPECT_DOUBLE_EQ(mpi.allreduce(v, mpi::ReduceOp::min), 0.0);
+  });
+}
+
+TEST_P(Collectives, AllreduceVector) {
+  auto cluster = make_cluster();
+  const int n = cluster.ranks();
+  cluster.run([&](mpi::Mpi& mpi) {
+    std::vector<long> in(100), out(100);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      in[i] = static_cast<long>(i) * (mpi.rank() + 1);
+    }
+    mpi.allreduce(in.data(), out.data(), in.size(), mpi::ReduceOp::sum);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], static_cast<long>(i) * n * (n + 1) / 2);
+    }
+  });
+}
+
+TEST_P(Collectives, ReduceToNonzeroRoot) {
+  auto cluster = make_cluster();
+  if (cluster.ranks() < 2) return;
+  const int n = cluster.ranks();
+  cluster.run([&](mpi::Mpi& mpi) {
+    const int root = n - 1;
+    double in = 2.0, out = 0.0;
+    mpi.reduce(&in, &out, 1, mpi::ReduceOp::prod, root);
+    if (mpi.rank() == root) {
+      EXPECT_DOUBLE_EQ(out, std::pow(2.0, n));
+    }
+  });
+}
+
+TEST_P(Collectives, AllgatherCollectsInRankOrder) {
+  auto cluster = make_cluster();
+  const int n = cluster.ranks();
+  cluster.run([&](mpi::Mpi& mpi) {
+    std::array<int, 3> mine = {mpi.rank(), mpi.rank() * 10, mpi.rank() * 100};
+    std::vector<int> all(static_cast<std::size_t>(3 * n));
+    mpi.allgather(mine.data(), 3, all.data());
+    for (int r = 0; r < n; ++r) {
+      EXPECT_EQ(all[static_cast<std::size_t>(3 * r)], r);
+      EXPECT_EQ(all[static_cast<std::size_t>(3 * r + 2)], r * 100);
+    }
+  });
+}
+
+TEST_P(Collectives, AlltoallTransposes) {
+  auto cluster = make_cluster();
+  const int n = cluster.ranks();
+  cluster.run([&](mpi::Mpi& mpi) {
+    std::vector<int> out(static_cast<std::size_t>(n)), in(static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d) {
+      out[static_cast<std::size_t>(d)] = mpi.rank() * 1000 + d;
+    }
+    mpi.alltoall(out.data(), 1, in.data());
+    for (int s = 0; s < n; ++s) {
+      EXPECT_EQ(in[static_cast<std::size_t>(s)], s * 1000 + mpi.rank());
+    }
+  });
+}
+
+TEST_P(Collectives, GatherToRoot) {
+  auto cluster = make_cluster();
+  const int n = cluster.ranks();
+  cluster.run([&](mpi::Mpi& mpi) {
+    const double mine = mpi.rank() * 2.5;
+    std::vector<double> all(static_cast<std::size_t>(n), -1.0);
+    mpi.gather(&mine, 1, all.data(), 0);
+    if (mpi.rank() == 0) {
+      for (int r = 0; r < n; ++r) {
+        EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(r)], r * 2.5);
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NetworksAndSizes, Collectives,
+    ::testing::Combine(::testing::Values(Network::infiniband,
+                                         Network::quadrics),
+                       ::testing::Values(1, 2, 3, 4, 7, 8, 16)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) == Network::infiniband
+                             ? "IB"
+                             : "Elan4") +
+             "_" + std::to_string(std::get<1>(info.param)) + "ranks";
+    });
+
+}  // namespace
+}  // namespace icsim

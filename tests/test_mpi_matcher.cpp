@@ -1,0 +1,127 @@
+// Matching engine unit tests: the two-queue algorithm, wildcards, ordering
+// and scan accounting that both transports build on.
+
+#include <gtest/gtest.h>
+
+#include "mpi/matcher.hpp"
+
+namespace icsim::mpi {
+namespace {
+
+Envelope env(int src, int tag, std::uint64_t id = 0, int context = 0) {
+  Envelope e;
+  e.src = src;
+  e.tag = tag;
+  e.id = id;
+  e.context = context;
+  e.bytes = 8;
+  return e;
+}
+
+PostedRecv recv(int src, int tag, std::uint64_t id = 0, int context = 0) {
+  PostedRecv r;
+  r.src = src;
+  r.tag = tag;
+  r.id = id;
+  r.context = context;
+  return r;
+}
+
+TEST(Matcher, ArrivalMatchesPostedRecv) {
+  Matcher m;
+  EXPECT_FALSE(m.post(recv(1, 7, 42)).match.has_value());
+  const auto res = m.arrive(env(1, 7));
+  ASSERT_TRUE(res.match.has_value());
+  EXPECT_EQ(res.match->id, 42u);
+  EXPECT_EQ(m.posted_depth(), 0u);
+}
+
+TEST(Matcher, UnmatchedArrivalGoesUnexpected) {
+  Matcher m;
+  EXPECT_FALSE(m.arrive(env(0, 1, 5)).match.has_value());
+  EXPECT_EQ(m.unexpected_depth(), 1u);
+  const auto res = m.post(recv(0, 1));
+  ASSERT_TRUE(res.match.has_value());
+  EXPECT_EQ(res.match->id, 5u);
+  EXPECT_EQ(m.unexpected_depth(), 0u);
+}
+
+TEST(Matcher, WildcardSourceMatches) {
+  Matcher m;
+  (void)m.post(recv(kAnySource, 3, 1));
+  EXPECT_TRUE(m.arrive(env(9, 3)).match.has_value());
+}
+
+TEST(Matcher, WildcardTagMatches) {
+  Matcher m;
+  (void)m.post(recv(2, kAnyTag, 1));
+  EXPECT_TRUE(m.arrive(env(2, 999)).match.has_value());
+}
+
+TEST(Matcher, ContextSeparatesDomains) {
+  Matcher m;
+  (void)m.post(recv(0, 1, 1, /*context=*/5));
+  EXPECT_FALSE(m.arrive(env(0, 1, 2, /*context=*/6)).match.has_value());
+  EXPECT_TRUE(m.arrive(env(0, 1, 3, /*context=*/5)).match.has_value());
+}
+
+TEST(Matcher, PostedQueueSearchedInPostOrder) {
+  Matcher m;
+  (void)m.post(recv(kAnySource, kAnyTag, 1));
+  (void)m.post(recv(kAnySource, kAnyTag, 2));
+  EXPECT_EQ(m.arrive(env(0, 0)).match->id, 1u);
+  EXPECT_EQ(m.arrive(env(0, 0)).match->id, 2u);
+}
+
+TEST(Matcher, UnexpectedQueueSearchedInArrivalOrder) {
+  Matcher m;
+  (void)m.arrive(env(3, 1, 10));
+  (void)m.arrive(env(3, 1, 11));
+  EXPECT_EQ(m.post(recv(3, 1)).match->id, 10u);
+  EXPECT_EQ(m.post(recv(3, 1)).match->id, 11u);
+}
+
+TEST(Matcher, SelectiveRecvSkipsNonMatching) {
+  Matcher m;
+  (void)m.arrive(env(1, 1, 10));
+  (void)m.arrive(env(2, 2, 11));
+  const auto res = m.post(recv(2, 2));
+  ASSERT_TRUE(res.match.has_value());
+  EXPECT_EQ(res.match->id, 11u);
+  EXPECT_EQ(res.scanned, 2u);  // walked past the non-matching entry
+  EXPECT_EQ(m.unexpected_depth(), 1u);
+}
+
+TEST(Matcher, ScanCountsReflectQueueDepth) {
+  Matcher m;
+  for (int i = 0; i < 10; ++i) (void)m.post(recv(i, i, static_cast<std::uint64_t>(i)));
+  const auto res = m.arrive(env(9, 9));
+  EXPECT_EQ(res.scanned, 10u);
+}
+
+TEST(Matcher, ProbeDoesNotConsume) {
+  Matcher m;
+  (void)m.arrive(env(1, 1, 10));
+  EXPECT_TRUE(m.probe(recv(1, 1)).has_value());
+  EXPECT_EQ(m.unexpected_depth(), 1u);
+  EXPECT_FALSE(m.probe(recv(2, 2)).has_value());
+}
+
+TEST(Matcher, CancelPosted) {
+  Matcher m;
+  (void)m.post(recv(1, 1, 77));
+  EXPECT_TRUE(m.cancel_posted(77));
+  EXPECT_FALSE(m.cancel_posted(77));
+  EXPECT_FALSE(m.arrive(env(1, 1)).match.has_value());
+}
+
+TEST(Matcher, TracksMaxUnexpectedDepth) {
+  Matcher m;
+  for (int i = 0; i < 5; ++i) (void)m.arrive(env(0, i, static_cast<std::uint64_t>(i)));
+  (void)m.post(recv(0, 0));
+  EXPECT_EQ(m.unexpected_depth(), 4u);
+  EXPECT_EQ(m.max_unexpected_depth(), 5u);
+}
+
+}  // namespace
+}  // namespace icsim::mpi

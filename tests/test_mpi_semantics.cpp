@@ -1,0 +1,357 @@
+// MPI semantics over BOTH transports: data integrity across the eager and
+// rendezvous paths, non-overtaking order, wildcards, nonblocking
+// completion, sendrecv, and deadlock detection.  Everything is
+// parameterized over the network so the two radically different protocol
+// stacks must satisfy the same contract.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "core/cluster.hpp"
+
+namespace icsim {
+namespace {
+
+using core::ClusterConfig;
+using core::Network;
+
+class MpiSemantics : public ::testing::TestWithParam<Network> {
+ protected:
+  [[nodiscard]] ClusterConfig cfg(int nodes, int ppn = 1) const {
+    switch (GetParam()) {
+      case Network::infiniband: return core::ib_cluster(nodes, ppn);
+      case Network::quadrics: return core::elan_cluster(nodes, ppn);
+      case Network::myrinet: return core::myrinet_cluster(nodes, ppn);
+    }
+    return core::ib_cluster(nodes, ppn);
+  }
+};
+
+std::vector<std::byte> pattern_bytes(std::size_t n, int seed) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((i * 131 + static_cast<std::size_t>(seed) * 7) & 0xff);
+  }
+  return v;
+}
+
+TEST_P(MpiSemantics, SmallMessageRoundTripsIntact) {
+  core::Cluster cluster(cfg(2));
+  bool checked = false;
+  cluster.run([&](mpi::Mpi& mpi) {
+    const auto data = pattern_bytes(64, 3);
+    if (mpi.rank() == 0) {
+      mpi.send(data.data(), data.size(), 1, 5);
+    } else {
+      std::vector<std::byte> buf(64);
+      const auto st = mpi.recv(buf.data(), buf.size(), 0, 5);
+      EXPECT_EQ(st.bytes, 64u);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 5);
+      EXPECT_EQ(buf, data);
+      checked = true;
+    }
+  });
+  EXPECT_TRUE(checked);
+}
+
+// Sweep across the eager threshold, the chunking boundary, and into
+// rendezvous/get territory on both transports.
+class MpiMessageSizes
+    : public ::testing::TestWithParam<std::tuple<Network, std::size_t>> {};
+
+TEST_P(MpiMessageSizes, PayloadIntactAtEverySize) {
+  const auto [network, bytes] = GetParam();
+  ClusterConfig c = network == Network::infiniband ? core::ib_cluster(2)
+                                                   : core::elan_cluster(2);
+  core::Cluster cluster(c);
+  bool checked = false;
+  cluster.run([&](mpi::Mpi& mpi) {
+    const auto data = pattern_bytes(bytes, static_cast<int>(bytes % 97));
+    if (mpi.rank() == 0) {
+      mpi.send(data.data(), data.size(), 1, 1);
+    } else {
+      std::vector<std::byte> buf(bytes + 8, std::byte{0});
+      const auto st = mpi.recv(buf.data(), buf.size(), 0, 1);
+      EXPECT_EQ(st.bytes, bytes);
+      EXPECT_TRUE(std::equal(data.begin(), data.end(), buf.begin()));
+      checked = true;
+    }
+  });
+  EXPECT_TRUE(checked);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, MpiMessageSizes,
+    ::testing::Combine(::testing::Values(Network::infiniband, Network::quadrics),
+                       ::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{100}, std::size_t{1024},
+                                         std::size_t{1025}, std::size_t{2048},
+                                         std::size_t{8192}, std::size_t{40000},
+                                         std::size_t{100000},
+                                         std::size_t{1000000})));
+
+TEST_P(MpiSemantics, NonOvertakingSameSourceSameTag) {
+  // 40 messages of mixed sizes (eager interleaved with rendezvous) must be
+  // received in send order.
+  core::Cluster cluster(cfg(2));
+  cluster.run([&](mpi::Mpi& mpi) {
+    constexpr int kCount = 40;
+    if (mpi.rank() == 0) {
+      for (int i = 0; i < kCount; ++i) {
+        const std::size_t sz = (i % 3 == 0) ? 30000 : 64;  // mix protocols
+        std::vector<std::byte> data(sz, std::byte{static_cast<unsigned char>(i)});
+        mpi.send(data.data(), data.size(), 1, 4);
+      }
+    } else {
+      std::vector<std::byte> buf(30000);
+      for (int i = 0; i < kCount; ++i) {
+        const auto st = mpi.recv(buf.data(), buf.size(), 0, 4);
+        ASSERT_GT(st.bytes, 0u);
+        EXPECT_EQ(static_cast<int>(buf[0]), i) << "message " << i << " overtaken";
+      }
+    }
+  });
+}
+
+TEST_P(MpiSemantics, TagSelectionPicksAcrossArrivalOrder) {
+  core::Cluster cluster(cfg(2));
+  cluster.run([&](mpi::Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      int a = 111, b = 222;
+      mpi.send(&a, sizeof a, 1, 1);
+      mpi.send(&b, sizeof b, 1, 2);
+    } else {
+      // Receive tag 2 first even though tag 1 arrived first.
+      int x = 0, y = 0;
+      mpi.recv(&x, sizeof x, 0, 2);
+      mpi.recv(&y, sizeof y, 0, 1);
+      EXPECT_EQ(x, 222);
+      EXPECT_EQ(y, 111);
+    }
+  });
+}
+
+TEST_P(MpiSemantics, WildcardSourceAndTag) {
+  core::Cluster cluster(cfg(3));
+  cluster.run([&](mpi::Mpi& mpi) {
+    if (mpi.rank() != 0) {
+      const int v = mpi.rank() * 10;
+      mpi.send(&v, sizeof v, 0, mpi.rank());
+    } else {
+      int sum = 0;
+      for (int i = 0; i < 2; ++i) {
+        int v = 0;
+        const auto st = mpi.recv(&v, sizeof v, mpi::kAnySource, mpi::kAnyTag);
+        EXPECT_EQ(v, st.source * 10);
+        EXPECT_EQ(st.tag, st.source);
+        sum += v;
+      }
+      EXPECT_EQ(sum, 30);
+    }
+  });
+}
+
+TEST_P(MpiSemantics, UnexpectedMessagesBufferUntilPosted) {
+  core::Cluster cluster(cfg(2));
+  cluster.run([&](mpi::Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      for (int i = 0; i < 5; ++i) {
+        std::vector<int> data(10, i);
+        mpi.send(data.data(), data.size() * sizeof(int), 1, i);
+      }
+    } else {
+      mpi.compute(1e-3);  // let everything arrive unexpected
+      for (int i = 4; i >= 0; --i) {  // post in reverse tag order
+        std::vector<int> buf(10);
+        mpi.recv(buf.data(), buf.size() * sizeof(int), 0, i);
+        EXPECT_EQ(buf[0], i);
+        EXPECT_EQ(buf[9], i);
+      }
+    }
+  });
+}
+
+TEST_P(MpiSemantics, UnexpectedLargeMessage) {
+  // Rendezvous/get path with the receive posted long after the RTS arrives.
+  core::Cluster cluster(cfg(2));
+  cluster.run([&](mpi::Mpi& mpi) {
+    const std::size_t bytes = 500000;
+    if (mpi.rank() == 0) {
+      const auto data = pattern_bytes(bytes, 1);
+      mpi.send(data.data(), bytes, 1, 8);
+    } else {
+      mpi.compute(2e-3);
+      std::vector<std::byte> buf(bytes);
+      const auto st = mpi.recv(buf.data(), buf.size(), 0, 8);
+      EXPECT_EQ(st.bytes, bytes);
+      EXPECT_EQ(buf, pattern_bytes(bytes, 1));
+    }
+  });
+}
+
+TEST_P(MpiSemantics, IsendIrecvWaitall) {
+  core::Cluster cluster(cfg(2));
+  cluster.run([&](mpi::Mpi& mpi) {
+    constexpr int kN = 16;
+    std::vector<std::vector<int>> bufs(kN, std::vector<int>(100));
+    std::vector<mpi::Request> reqs;
+    if (mpi.rank() == 0) {
+      for (int i = 0; i < kN; ++i) {
+        std::fill(bufs[static_cast<std::size_t>(i)].begin(),
+                  bufs[static_cast<std::size_t>(i)].end(), i);
+        reqs.push_back(mpi.isend(bufs[static_cast<std::size_t>(i)].data(),
+                                 100 * sizeof(int), 1, i));
+      }
+      mpi.waitall(reqs);
+    } else {
+      for (int i = 0; i < kN; ++i) {
+        reqs.push_back(mpi.irecv(bufs[static_cast<std::size_t>(i)].data(),
+                                 100 * sizeof(int), 0, i));
+      }
+      mpi.waitall(reqs);
+      for (int i = 0; i < kN; ++i) {
+        EXPECT_EQ(bufs[static_cast<std::size_t>(i)][50], i);
+      }
+    }
+  });
+}
+
+TEST_P(MpiSemantics, TestReturnsFalseThenTrue) {
+  core::Cluster cluster(cfg(2));
+  cluster.run([&](mpi::Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      mpi.compute(1e-3);
+      int v = 42;
+      mpi.send(&v, sizeof v, 1, 0);
+    } else {
+      int v = 0;
+      auto r = mpi.irecv(&v, sizeof v, 0, 0);
+      EXPECT_FALSE(mpi.test(r));  // nothing sent yet
+      while (!mpi.test(r)) mpi.compute(50e-6);
+      EXPECT_EQ(v, 42);
+    }
+  });
+}
+
+TEST_P(MpiSemantics, SendrecvExchanges) {
+  core::Cluster cluster(cfg(2));
+  cluster.run([&](mpi::Mpi& mpi) {
+    const int peer = 1 - mpi.rank();
+    int out = mpi.rank() + 100, in = -1;
+    mpi.sendrecv(&out, sizeof out, peer, 3, &in, sizeof in, peer, 3);
+    EXPECT_EQ(in, peer + 100);
+  });
+}
+
+TEST_P(MpiSemantics, TruncationThrows) {
+  core::Cluster cluster(cfg(2));
+  EXPECT_THROW(
+      cluster.run([&](mpi::Mpi& mpi) {
+        if (mpi.rank() == 0) {
+          std::vector<std::byte> big(256);
+          mpi.send(big.data(), big.size(), 1, 0);
+        } else {
+          std::byte tiny[8];
+          mpi.recv(tiny, sizeof tiny, 0, 0);
+        }
+      }),
+      std::runtime_error);
+}
+
+TEST_P(MpiSemantics, DeadlockIsDetected) {
+  core::Cluster cluster(cfg(2));
+  EXPECT_THROW(cluster.run([&](mpi::Mpi& mpi) {
+                 int v = 0;
+                 mpi.recv(&v, sizeof v, 1 - mpi.rank(), 0);  // nobody sends
+               }),
+               std::runtime_error);
+}
+
+TEST_P(MpiSemantics, ManyToOneFanIn) {
+  core::Cluster cluster(cfg(8));
+  cluster.run([&](mpi::Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      long sum = 0;
+      for (int i = 1; i < mpi.size(); ++i) {
+        long v = 0;
+        mpi.recv(&v, sizeof v, mpi::kAnySource, 7);
+        sum += v;
+      }
+      EXPECT_EQ(sum, 7L * 8 / 2);  // 1+2+...+7
+    } else {
+      const long v = mpi.rank();
+      mpi.send(&v, sizeof v, 0, 7);
+    }
+  });
+}
+
+TEST_P(MpiSemantics, TwoPpnRanksShareNodes) {
+  core::Cluster cluster(cfg(2, 2));  // 4 ranks on 2 nodes
+  cluster.run([&](mpi::Mpi& mpi) {
+    EXPECT_EQ(mpi.size(), 4);
+    // Ring exchange crossing both intra-node and inter-node paths.
+    const int right = (mpi.rank() + 1) % 4;
+    const int left = (mpi.rank() + 3) % 4;
+    int out = mpi.rank(), in = -1;
+    mpi.sendrecv(&out, sizeof out, right, 1, &in, sizeof in, left, 1);
+    EXPECT_EQ(in, left);
+  });
+}
+
+TEST_P(MpiSemantics, SameNodeLargeMessage) {
+  core::Cluster cluster(cfg(1, 2));
+  cluster.run([&](mpi::Mpi& mpi) {
+    const std::size_t bytes = 200000;
+    if (mpi.rank() == 0) {
+      const auto data = pattern_bytes(bytes, 2);
+      mpi.send(data.data(), bytes, 1, 0);
+    } else {
+      std::vector<std::byte> buf(bytes);
+      mpi.recv(buf.data(), buf.size(), 0, 0);
+      EXPECT_EQ(buf, pattern_bytes(bytes, 2));
+    }
+  });
+}
+
+TEST_P(MpiSemantics, StreamOfEagerMessagesExceedsRingDepth) {
+  // More back-to-back small sends than any credit window; flow control (IB)
+  // and NIC buffering (Elan) must both survive it.
+  core::Cluster cluster(cfg(2));
+  cluster.run([&](mpi::Mpi& mpi) {
+    constexpr int kCount = 300;
+    if (mpi.rank() == 0) {
+      std::vector<mpi::Request> reqs;
+      for (int i = 0; i < kCount; ++i) {
+        reqs.push_back(mpi.isend(&i, sizeof i, 1, 2));
+        // isend copies eagerly in our model, so reusing &i is benign here;
+        // real codes would keep distinct buffers.
+      }
+      mpi.waitall(reqs);
+    } else {
+      mpi.compute(1e-4);
+      int expected = 0;
+      for (int i = 0; i < kCount; ++i) {
+        int v = -1;
+        mpi.recv(&v, sizeof v, 0, 2);
+        EXPECT_EQ(v, expected++);
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Networks, MpiSemantics,
+                         ::testing::Values(Network::infiniband,
+                                           Network::quadrics,
+                                           Network::myrinet),
+                         [](const auto& info) {
+                           return info.param == Network::infiniband ? "IB"
+                                  : info.param == Network::quadrics ? "Elan4"
+                                                                    : "Myri";
+                         });
+
+}  // namespace
+}  // namespace icsim

@@ -1,0 +1,151 @@
+// Fat-tree topology: structure, routing correctness, and invariants checked
+// exhaustively over all source/destination pairs for several tree shapes.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "net/topology.hpp"
+
+namespace icsim::net {
+namespace {
+
+TEST(FatTree, CapacityAndSwitchCounts) {
+  const FatTreeTopology quadrics(4, 3);  // QsNetII style: 4-ary 3-tree
+  EXPECT_EQ(quadrics.capacity(), 64);
+  EXPECT_EQ(quadrics.switches_per_level(), 16);
+  EXPECT_EQ(quadrics.total_switches(), 48);
+
+  const FatTreeTopology ib(12, 2);  // ISR 9600 style: 2-level of 24p chips
+  EXPECT_EQ(ib.capacity(), 144);
+  EXPECT_EQ(ib.switches_per_level(), 12);
+}
+
+TEST(FatTree, RejectsBadParameters) {
+  EXPECT_THROW(FatTreeTopology(1, 3), std::invalid_argument);
+  EXPECT_THROW(FatTreeTopology(4, 0), std::invalid_argument);
+  EXPECT_THROW(FatTreeTopology(1024, 4), std::invalid_argument);
+}
+
+TEST(FatTree, LeafAttachment) {
+  const FatTreeTopology t(4, 3);
+  EXPECT_EQ(t.leaf_switch_of(0).word, 0u);
+  EXPECT_EQ(t.leaf_switch_of(3).word, 0u);
+  EXPECT_EQ(t.leaf_switch_of(4).word, 1u);
+  EXPECT_EQ(t.leaf_switch_of(63).word, 15u);
+  EXPECT_EQ(t.leaf_switch_of(63).level, 0);
+}
+
+TEST(FatTree, AncestorLevelSameLeaf) {
+  const FatTreeTopology t(4, 3);
+  EXPECT_EQ(t.ancestor_level(0, 1), 0);   // same leaf switch
+  EXPECT_EQ(t.ancestor_level(0, 4), 1);   // adjacent leaf, same l1 subtree
+  EXPECT_EQ(t.ancestor_level(0, 63), 2);  // opposite corners, full climb
+}
+
+TEST(FatTree, RouteSameLeafIsTwoHops) {
+  const FatTreeTopology t(4, 3);
+  const auto r = t.route(0, 1);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0].kind, Hop::Kind::node_to_switch);
+  EXPECT_EQ(r[1].kind, Hop::Kind::switch_to_node);
+  EXPECT_EQ(r[0].to, t.leaf_switch_of(0));
+}
+
+TEST(FatTree, RouteSelfThrows) {
+  const FatTreeTopology t(4, 3);
+  EXPECT_THROW(t.route(5, 5), std::invalid_argument);
+}
+
+// Route validity over all pairs: starts at src, ends at dst, climbs then
+// descends, uses only valid adjacencies, and has the predicted length.
+class FatTreeAllPairs : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FatTreeAllPairs, RoutesAreValidEverywhere) {
+  const auto [k, n] = GetParam();
+  const FatTreeTopology t(k, n);
+  const int cap = t.capacity();
+  for (int s = 0; s < cap; ++s) {
+    for (int d = 0; d < cap; ++d) {
+      if (s == d) continue;
+      const auto r = t.route(s, d);
+      const int m = t.ancestor_level(s, d);
+      ASSERT_EQ(static_cast<int>(r.size()), 2 * m + 2) << s << "->" << d;
+      ASSERT_EQ(r.front().kind, Hop::Kind::node_to_switch);
+      ASSERT_EQ(r.front().node, s);
+      ASSERT_EQ(r.front().to, t.leaf_switch_of(s));
+      ASSERT_EQ(r.back().kind, Hop::Kind::switch_to_node);
+      ASSERT_EQ(r.back().node, d);
+      ASSERT_EQ(r.back().from, t.leaf_switch_of(d));
+      // Contiguity and the up-then-down profile.
+      int prev_level = 0;
+      bool descending = false;
+      for (std::size_t i = 1; i + 1 < r.size(); ++i) {
+        ASSERT_EQ(r[i].kind, Hop::Kind::switch_to_switch);
+        ASSERT_EQ(r[i].from, (i == 1 ? r.front().to : r[i - 1].to));
+        const int dl = r[i].to.level - r[i].from.level;
+        ASSERT_TRUE(dl == 1 || dl == -1);
+        if (dl == -1) descending = true;
+        if (descending) {
+          ASSERT_EQ(dl, -1) << "route climbed after descending";
+        }
+        prev_level = r[i].to.level;
+      }
+      (void)prev_level;
+    }
+  }
+}
+
+TEST_P(FatTreeAllPairs, SwitchHopCountMatchesRoute) {
+  const auto [k, n] = GetParam();
+  const FatTreeTopology t(k, n);
+  for (int s = 0; s < t.capacity(); s += 3) {
+    for (int d = 0; d < t.capacity(); d += 5) {
+      if (s == d) continue;
+      EXPECT_EQ(t.switch_hops(s, d), static_cast<int>(t.route(s, d).size()) - 2);
+    }
+  }
+}
+
+TEST_P(FatTreeAllPairs, RoutesNeverRevisitASwitch) {
+  const auto [k, n] = GetParam();
+  const FatTreeTopology t(k, n);
+  for (int s = 0; s < t.capacity(); s += 2) {
+    for (int d = 0; d < t.capacity(); d += 3) {
+      if (s == d) continue;
+      std::set<std::uint64_t> seen;
+      for (const auto& hop : t.route(s, d)) {
+        if (hop.kind == Hop::Kind::switch_to_node) continue;
+        const auto id = t.switch_id(hop.to);
+        ASSERT_TRUE(seen.insert(id).second) << "switch revisited";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, FatTreeAllPairs,
+                         ::testing::Values(std::make_tuple(2, 2),
+                                           std::make_tuple(2, 4),
+                                           std::make_tuple(4, 3),
+                                           std::make_tuple(12, 2),
+                                           std::make_tuple(3, 3)));
+
+// D-mod-k up-routing: traffic to distinct destinations from one source
+// spreads over distinct top-level switches.
+TEST(FatTree, DestinationRoutingSpreadsSpineLoad) {
+  const FatTreeTopology t(4, 3);
+  std::set<std::uint64_t> spines;
+  for (int d = 16; d < 32; ++d) {  // destinations in another subtree
+    for (const auto& hop : t.route(0, d)) {
+      if (hop.kind == Hop::Kind::switch_to_switch && hop.to.level == 2) {
+        spines.insert(t.switch_id(hop.to));
+      }
+    }
+  }
+  // 16 destinations spread over more than one spine switch.
+  EXPECT_GT(spines.size(), 3u);
+}
+
+}  // namespace
+}  // namespace icsim::net

@@ -1,0 +1,124 @@
+// Node model: compute contention, host copies, and PCI-X DMA sharing.
+
+#include <gtest/gtest.h>
+
+#include "node/node.hpp"
+#include "sim/fiber.hpp"
+
+namespace icsim::node {
+namespace {
+
+NodeConfig test_config() {
+  NodeConfig c;
+  c.cpus = 2;
+  c.memory_copy_bandwidth = sim::Bandwidth::gb_per_sec(1.0);
+  c.memory_copy_overhead = sim::Time::zero();
+  c.pcix_bandwidth = sim::Bandwidth::mb_per_sec(1000.0);
+  c.pcix_dma_overhead = sim::Time::zero();
+  c.smp_compute_slowdown = 1.5;  // exaggerated for test visibility
+  return c;
+}
+
+TEST(Node, RejectsZeroCpus) {
+  sim::Engine e;
+  auto cfg = test_config();
+  cfg.cpus = 0;
+  EXPECT_THROW(Node(e, 0, cfg), std::invalid_argument);
+}
+
+TEST(Node, UncontendedComputeTakesNominalTime) {
+  sim::Engine e;
+  Node n(e, 0, test_config());
+  sim::Time done = sim::Time::zero();
+  sim::Fiber f([&] {
+    n.compute(sim::Time::us(10));
+    done = e.now();
+  });
+  f.resume();
+  e.run();
+  EXPECT_EQ(done, sim::Time::us(10));
+}
+
+TEST(Node, ConcurrentComputeSlowsTheSecondRank) {
+  sim::Engine e;
+  Node n(e, 0, test_config());
+  sim::Time done_a = sim::Time::zero(), done_b = sim::Time::zero();
+  sim::Fiber a([&] {
+    n.compute(sim::Time::us(10));
+    done_a = e.now();
+  });
+  sim::Fiber b([&] {
+    n.compute(sim::Time::us(10));
+    done_b = e.now();
+  });
+  a.resume();  // starts alone: nominal duration
+  b.resume();  // overlaps with a: stretched by 1.5x
+  e.run();
+  EXPECT_EQ(done_a, sim::Time::us(10));
+  EXPECT_EQ(done_b, sim::Time::us(15));
+}
+
+TEST(Node, SingleCpuNodeHasNoSmpSlowdown) {
+  sim::Engine e;
+  auto cfg = test_config();
+  cfg.cpus = 1;
+  Node n(e, 0, cfg);
+  sim::Time done_b = sim::Time::zero();
+  sim::Fiber a([&] { n.compute(sim::Time::us(10)); });
+  sim::Fiber b([&] {
+    n.compute(sim::Time::us(10));
+    done_b = e.now();
+  });
+  a.resume();
+  b.resume();
+  e.run();
+  EXPECT_EQ(done_b, sim::Time::us(10));
+}
+
+TEST(Node, HostCopyChargesMemoryBus) {
+  sim::Engine e;
+  Node n(e, 0, test_config());
+  sim::Time done = sim::Time::zero();
+  sim::Fiber f([&] {
+    n.host_copy(10'000);  // 10 kB at 1 GB/s = 10 us
+    done = e.now();
+  });
+  f.resume();
+  e.run();
+  EXPECT_EQ(done, sim::Time::us(10));
+}
+
+TEST(Node, ConcurrentHostCopiesSerializeOnMembus) {
+  sim::Engine e;
+  Node n(e, 0, test_config());
+  sim::Time done_b = sim::Time::zero();
+  sim::Fiber a([&] { n.host_copy(10'000); });
+  sim::Fiber b([&] {
+    n.host_copy(10'000);
+    done_b = e.now();
+  });
+  a.resume();
+  b.resume();
+  e.run();
+  EXPECT_EQ(done_b, sim::Time::us(20));
+}
+
+TEST(Node, DmaSharesPcixFifo) {
+  sim::Engine e;
+  Node n(e, 0, test_config());
+  const sim::Time t1 = n.dma(1'000'000, nullptr);  // 1 MB at 1000 MB/s = 1 ms
+  const sim::Time t2 = n.dma(1'000'000, nullptr);
+  EXPECT_EQ(t1, sim::Time::ms(1));
+  EXPECT_EQ(t2, sim::Time::ms(2));
+}
+
+TEST(Node, DmaOverheadPerTransaction) {
+  sim::Engine e;
+  auto cfg = test_config();
+  cfg.pcix_dma_overhead = sim::Time::ns(250);
+  Node n(e, 0, cfg);
+  EXPECT_EQ(n.dma(1000, nullptr), sim::Time::us(1) + sim::Time::ns(250));
+}
+
+}  // namespace
+}  // namespace icsim::node

@@ -1,0 +1,135 @@
+// Unit tests for the discrete-event engine: ordering, determinism,
+// cancellation, and the run/run_until contracts.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace icsim::sim {
+namespace {
+
+TEST(Time, UnitConversionsRoundTrip) {
+  EXPECT_EQ(Time::us(1).picoseconds(), 1'000'000);
+  EXPECT_EQ(Time::ns(2.5).picoseconds(), 2'500);
+  EXPECT_DOUBLE_EQ(Time::sec(1.5).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(Time::ms(3).to_us(), 3000.0);
+  EXPECT_EQ(Time::zero().picoseconds(), 0);
+}
+
+TEST(Time, ArithmeticAndComparison) {
+  const Time a = Time::us(2);
+  const Time b = Time::us(3);
+  EXPECT_EQ((a + b).to_us(), 5.0);
+  EXPECT_EQ((b - a).to_us(), 1.0);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a * 3, Time::us(6));
+}
+
+TEST(Bandwidth, TransferTime) {
+  const auto bw = Bandwidth::gb_per_sec(1.0);
+  EXPECT_EQ(bw.transfer_time(1000).picoseconds(), Time::us(1).picoseconds());
+  EXPECT_EQ(Bandwidth::mb_per_sec(1.0).transfer_time(1).picoseconds(),
+            Time::us(1).picoseconds());
+  // 10 Gbit/s of data = 1.25 GB/s.
+  EXPECT_NEAR(Bandwidth::gbit_per_sec(10).bytes_per_second(), 1.25e9, 1.0);
+}
+
+TEST(Engine, FiresEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(Time::us(3), [&] { order.push_back(3); });
+  e.schedule_at(Time::us(1), [&] { order.push_back(1); });
+  e.schedule_at(Time::us(2), [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), Time::us(3));
+}
+
+TEST(Engine, EqualTimesFireInSchedulingOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    e.schedule_at(Time::us(5), [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, EventsMayScheduleMoreEvents) {
+  Engine e;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) e.schedule_in(Time::us(1), chain);
+  };
+  e.schedule_in(Time::us(1), chain);
+  e.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(e.now(), Time::us(10));
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine e;
+  e.schedule_at(Time::us(2), [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(Time::us(1), [] {}), std::invalid_argument);
+}
+
+TEST(Engine, CancelledEventDoesNotFire) {
+  Engine e;
+  bool fired = false;
+  EventHandle h = e.schedule_at(Time::us(1), [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(Time::us(1), [&] { ++fired; });
+  e.schedule_at(Time::us(10), [&] { ++fired; });
+  e.run_until(Time::us(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), Time::us(5));
+  e.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, RunUntilIncludesEventsAtDeadline) {
+  Engine e;
+  bool fired = false;
+  e.schedule_at(Time::us(5), [&] { fired = true; });
+  e.run_until(Time::us(5));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, CountsProcessedEvents) {
+  Engine e;
+  for (int i = 0; i < 7; ++i) e.schedule_at(Time::us(i + 1), [] {});
+  e.run();
+  EXPECT_EQ(e.events_processed(), 7u);
+  EXPECT_EQ(e.events_pending(), 0u);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine e;
+    std::int64_t checksum = 0;
+    for (int i = 0; i < 100; ++i) {
+      e.schedule_at(Time::us((i * 37) % 50), [&checksum, &e, i] {
+        checksum = checksum * 31 + i + e.now().picoseconds() % 1000;
+      });
+    }
+    e.run();
+    return checksum;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace icsim::sim
