@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_loggp.dir/bench_ext_loggp.cpp.o"
+  "CMakeFiles/bench_ext_loggp.dir/bench_ext_loggp.cpp.o.d"
+  "bench_ext_loggp"
+  "bench_ext_loggp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_loggp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

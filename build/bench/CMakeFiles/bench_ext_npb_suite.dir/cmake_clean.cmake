@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_npb_suite.dir/bench_ext_npb_suite.cpp.o"
+  "CMakeFiles/bench_ext_npb_suite.dir/bench_ext_npb_suite.cpp.o.d"
+  "bench_ext_npb_suite"
+  "bench_ext_npb_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_npb_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_scale.dir/bench_ext_scale.cpp.o"
+  "CMakeFiles/bench_ext_scale.dir/bench_ext_scale.cpp.o.d"
+  "bench_ext_scale"
+  "bench_ext_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_threeway.dir/bench_ext_threeway.cpp.o"
+  "CMakeFiles/bench_ext_threeway.dir/bench_ext_threeway.cpp.o.d"
+  "bench_ext_threeway"
+  "bench_ext_threeway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_threeway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_beff.dir/bench_fig1_beff.cpp.o"
+  "CMakeFiles/bench_fig1_beff.dir/bench_fig1_beff.cpp.o.d"
+  "bench_fig1_beff"
+  "bench_fig1_beff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_beff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_lammps_ljs.dir/bench_fig2_lammps_ljs.cpp.o"
+  "CMakeFiles/bench_fig2_lammps_ljs.dir/bench_fig2_lammps_ljs.cpp.o.d"
+  "bench_fig2_lammps_ljs"
+  "bench_fig2_lammps_ljs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_lammps_ljs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig2_lammps_ljs.
+# This may be replaced when dependencies are built.

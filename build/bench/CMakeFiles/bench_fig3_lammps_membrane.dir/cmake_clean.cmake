@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_lammps_membrane.dir/bench_fig3_lammps_membrane.cpp.o"
+  "CMakeFiles/bench_fig3_lammps_membrane.dir/bench_fig3_lammps_membrane.cpp.o.d"
+  "bench_fig3_lammps_membrane"
+  "bench_fig3_lammps_membrane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_lammps_membrane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_sweep3d_inputs.dir/bench_fig5_sweep3d_inputs.cpp.o"
+  "CMakeFiles/bench_fig5_sweep3d_inputs.dir/bench_fig5_sweep3d_inputs.cpp.o.d"
+  "bench_fig5_sweep3d_inputs"
+  "bench_fig5_sweep3d_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_sweep3d_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_npb_cg.dir/bench_fig6_npb_cg.cpp.o"
+  "CMakeFiles/bench_fig6_npb_cg.dir/bench_fig6_npb_cg.cpp.o.d"
+  "bench_fig6_npb_cg"
+  "bench_fig6_npb_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_npb_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

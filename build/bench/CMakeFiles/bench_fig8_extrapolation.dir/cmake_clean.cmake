@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_extrapolation.dir/bench_fig8_extrapolation.cpp.o"
+  "CMakeFiles/bench_fig8_extrapolation.dir/bench_fig8_extrapolation.cpp.o.d"
+  "bench_fig8_extrapolation"
+  "bench_fig8_extrapolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_extrapolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_simcore.cpp" "bench/CMakeFiles/bench_simcore.dir/bench_simcore.cpp.o" "gcc" "bench/CMakeFiles/bench_simcore.dir/bench_simcore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/icsim_mpi_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/ib/CMakeFiles/icsim_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/icsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/icsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

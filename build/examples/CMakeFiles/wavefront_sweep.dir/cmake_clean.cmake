@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavefront_sweep.dir/wavefront_sweep.cpp.o"
+  "CMakeFiles/wavefront_sweep.dir/wavefront_sweep.cpp.o.d"
+  "wavefront_sweep"
+  "wavefront_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavefront_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/lammps/force.cpp" "src/apps/CMakeFiles/icsim_apps.dir/lammps/force.cpp.o" "gcc" "src/apps/CMakeFiles/icsim_apps.dir/lammps/force.cpp.o.d"
+  "/root/repo/src/apps/lammps/md.cpp" "src/apps/CMakeFiles/icsim_apps.dir/lammps/md.cpp.o" "gcc" "src/apps/CMakeFiles/icsim_apps.dir/lammps/md.cpp.o.d"
+  "/root/repo/src/apps/lammps/neighbor.cpp" "src/apps/CMakeFiles/icsim_apps.dir/lammps/neighbor.cpp.o" "gcc" "src/apps/CMakeFiles/icsim_apps.dir/lammps/neighbor.cpp.o.d"
+  "/root/repo/src/apps/mg/mg.cpp" "src/apps/CMakeFiles/icsim_apps.dir/mg/mg.cpp.o" "gcc" "src/apps/CMakeFiles/icsim_apps.dir/mg/mg.cpp.o.d"
+  "/root/repo/src/apps/npb/cg.cpp" "src/apps/CMakeFiles/icsim_apps.dir/npb/cg.cpp.o" "gcc" "src/apps/CMakeFiles/icsim_apps.dir/npb/cg.cpp.o.d"
+  "/root/repo/src/apps/npb/ep.cpp" "src/apps/CMakeFiles/icsim_apps.dir/npb/ep.cpp.o" "gcc" "src/apps/CMakeFiles/icsim_apps.dir/npb/ep.cpp.o.d"
+  "/root/repo/src/apps/npb/ft.cpp" "src/apps/CMakeFiles/icsim_apps.dir/npb/ft.cpp.o" "gcc" "src/apps/CMakeFiles/icsim_apps.dir/npb/ft.cpp.o.d"
+  "/root/repo/src/apps/npb/is.cpp" "src/apps/CMakeFiles/icsim_apps.dir/npb/is.cpp.o" "gcc" "src/apps/CMakeFiles/icsim_apps.dir/npb/is.cpp.o.d"
+  "/root/repo/src/apps/npb/makea.cpp" "src/apps/CMakeFiles/icsim_apps.dir/npb/makea.cpp.o" "gcc" "src/apps/CMakeFiles/icsim_apps.dir/npb/makea.cpp.o.d"
+  "/root/repo/src/apps/sweep3d/sweep.cpp" "src/apps/CMakeFiles/icsim_apps.dir/sweep3d/sweep.cpp.o" "gcc" "src/apps/CMakeFiles/icsim_apps.dir/sweep3d/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/icsim_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/icsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ib/CMakeFiles/icsim_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/elan/CMakeFiles/icsim_elan.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/icsim_mpi_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/icsim_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

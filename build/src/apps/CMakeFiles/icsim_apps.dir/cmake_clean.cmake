@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icsim_apps.dir/lammps/force.cpp.o"
+  "CMakeFiles/icsim_apps.dir/lammps/force.cpp.o.d"
+  "CMakeFiles/icsim_apps.dir/lammps/md.cpp.o"
+  "CMakeFiles/icsim_apps.dir/lammps/md.cpp.o.d"
+  "CMakeFiles/icsim_apps.dir/lammps/neighbor.cpp.o"
+  "CMakeFiles/icsim_apps.dir/lammps/neighbor.cpp.o.d"
+  "CMakeFiles/icsim_apps.dir/mg/mg.cpp.o"
+  "CMakeFiles/icsim_apps.dir/mg/mg.cpp.o.d"
+  "CMakeFiles/icsim_apps.dir/npb/cg.cpp.o"
+  "CMakeFiles/icsim_apps.dir/npb/cg.cpp.o.d"
+  "CMakeFiles/icsim_apps.dir/npb/ep.cpp.o"
+  "CMakeFiles/icsim_apps.dir/npb/ep.cpp.o.d"
+  "CMakeFiles/icsim_apps.dir/npb/ft.cpp.o"
+  "CMakeFiles/icsim_apps.dir/npb/ft.cpp.o.d"
+  "CMakeFiles/icsim_apps.dir/npb/is.cpp.o"
+  "CMakeFiles/icsim_apps.dir/npb/is.cpp.o.d"
+  "CMakeFiles/icsim_apps.dir/npb/makea.cpp.o"
+  "CMakeFiles/icsim_apps.dir/npb/makea.cpp.o.d"
+  "CMakeFiles/icsim_apps.dir/sweep3d/sweep.cpp.o"
+  "CMakeFiles/icsim_apps.dir/sweep3d/sweep.cpp.o.d"
+  "libicsim_apps.a"
+  "libicsim_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icsim_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

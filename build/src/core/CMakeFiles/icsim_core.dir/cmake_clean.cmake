@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icsim_core.dir/cluster.cpp.o"
+  "CMakeFiles/icsim_core.dir/cluster.cpp.o.d"
+  "libicsim_core.a"
+  "libicsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

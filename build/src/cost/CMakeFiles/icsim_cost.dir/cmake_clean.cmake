@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icsim_cost.dir/cost_model.cpp.o"
+  "CMakeFiles/icsim_cost.dir/cost_model.cpp.o.d"
+  "libicsim_cost.a"
+  "libicsim_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icsim_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icsim_elan.dir/tports.cpp.o"
+  "CMakeFiles/icsim_elan.dir/tports.cpp.o.d"
+  "libicsim_elan.a"
+  "libicsim_elan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icsim_elan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

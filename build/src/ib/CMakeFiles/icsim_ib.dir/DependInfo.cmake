@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ib/hca.cpp" "src/ib/CMakeFiles/icsim_ib.dir/hca.cpp.o" "gcc" "src/ib/CMakeFiles/icsim_ib.dir/hca.cpp.o.d"
+  "/root/repo/src/ib/reg_cache.cpp" "src/ib/CMakeFiles/icsim_ib.dir/reg_cache.cpp.o" "gcc" "src/ib/CMakeFiles/icsim_ib.dir/reg_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/icsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/icsim_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

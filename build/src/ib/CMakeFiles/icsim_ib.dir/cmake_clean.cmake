@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icsim_ib.dir/hca.cpp.o"
+  "CMakeFiles/icsim_ib.dir/hca.cpp.o.d"
+  "CMakeFiles/icsim_ib.dir/reg_cache.cpp.o"
+  "CMakeFiles/icsim_ib.dir/reg_cache.cpp.o.d"
+  "libicsim_ib.a"
+  "libicsim_ib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icsim_ib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

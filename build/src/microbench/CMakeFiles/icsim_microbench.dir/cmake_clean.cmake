@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icsim_microbench.dir/beff.cpp.o"
+  "CMakeFiles/icsim_microbench.dir/beff.cpp.o.d"
+  "CMakeFiles/icsim_microbench.dir/pingpong.cpp.o"
+  "CMakeFiles/icsim_microbench.dir/pingpong.cpp.o.d"
+  "libicsim_microbench.a"
+  "libicsim_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icsim_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

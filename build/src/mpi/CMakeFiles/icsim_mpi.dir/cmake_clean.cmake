@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icsim_mpi.dir/mpi.cpp.o"
+  "CMakeFiles/icsim_mpi.dir/mpi.cpp.o.d"
+  "CMakeFiles/icsim_mpi.dir/mvapich_transport.cpp.o"
+  "CMakeFiles/icsim_mpi.dir/mvapich_transport.cpp.o.d"
+  "CMakeFiles/icsim_mpi.dir/quadrics_transport.cpp.o"
+  "CMakeFiles/icsim_mpi.dir/quadrics_transport.cpp.o.d"
+  "libicsim_mpi.a"
+  "libicsim_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icsim_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icsim_mpi_base.dir/matcher.cpp.o"
+  "CMakeFiles/icsim_mpi_base.dir/matcher.cpp.o.d"
+  "libicsim_mpi_base.a"
+  "libicsim_mpi_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icsim_mpi_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

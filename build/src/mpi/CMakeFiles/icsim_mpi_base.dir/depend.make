@@ -1,0 +1,2 @@
+# Empty dependencies file for icsim_mpi_base.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icsim_net.dir/fabric.cpp.o"
+  "CMakeFiles/icsim_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/icsim_net.dir/topology.cpp.o"
+  "CMakeFiles/icsim_net.dir/topology.cpp.o.d"
+  "libicsim_net.a"
+  "libicsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icsim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libicsim_net.a"
+)

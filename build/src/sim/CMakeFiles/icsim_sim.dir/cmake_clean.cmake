@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icsim_sim.dir/engine.cpp.o"
+  "CMakeFiles/icsim_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/icsim_sim.dir/fiber.cpp.o"
+  "CMakeFiles/icsim_sim.dir/fiber.cpp.o.d"
+  "CMakeFiles/icsim_sim.dir/time.cpp.o"
+  "CMakeFiles/icsim_sim.dir/time.cpp.o.d"
+  "libicsim_sim.a"
+  "libicsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_cg.dir/test_apps_cg.cpp.o"
+  "CMakeFiles/test_apps_cg.dir/test_apps_cg.cpp.o.d"
+  "test_apps_cg"
+  "test_apps_cg.pdb"
+  "test_apps_cg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

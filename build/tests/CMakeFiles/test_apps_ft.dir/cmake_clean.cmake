@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_ft.dir/test_apps_ft.cpp.o"
+  "CMakeFiles/test_apps_ft.dir/test_apps_ft.cpp.o.d"
+  "test_apps_ft"
+  "test_apps_ft.pdb"
+  "test_apps_ft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_ft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

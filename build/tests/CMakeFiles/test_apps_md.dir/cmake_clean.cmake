@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_md.dir/test_apps_md.cpp.o"
+  "CMakeFiles/test_apps_md.dir/test_apps_md.cpp.o.d"
+  "test_apps_md"
+  "test_apps_md.pdb"
+  "test_apps_md[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

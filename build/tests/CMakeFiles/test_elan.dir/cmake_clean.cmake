@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elan.dir/test_elan.cpp.o"
+  "CMakeFiles/test_elan.dir/test_elan.cpp.o.d"
+  "test_elan"
+  "test_elan.pdb"
+  "test_elan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

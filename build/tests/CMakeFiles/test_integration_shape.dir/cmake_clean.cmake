@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_shape.dir/test_integration_shape.cpp.o"
+  "CMakeFiles/test_integration_shape.dir/test_integration_shape.cpp.o.d"
+  "test_integration_shape"
+  "test_integration_shape.pdb"
+  "test_integration_shape[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_more_edges.dir/test_more_edges.cpp.o"
+  "CMakeFiles/test_more_edges.dir/test_more_edges.cpp.o.d"
+  "test_more_edges"
+  "test_more_edges.pdb"
+  "test_more_edges[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_more_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mpi_api_ext.cpp" "tests/CMakeFiles/test_mpi_api_ext.dir/test_mpi_api_ext.cpp.o" "gcc" "tests/CMakeFiles/test_mpi_api_ext.dir/test_mpi_api_ext.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/icsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/microbench/CMakeFiles/icsim_microbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/icsim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/icsim_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ib/CMakeFiles/icsim_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/elan/CMakeFiles/icsim_elan.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/icsim_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/icsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/icsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/icsim_mpi_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpi_api_ext.dir/test_mpi_api_ext.cpp.o"
+  "CMakeFiles/test_mpi_api_ext.dir/test_mpi_api_ext.cpp.o.d"
+  "test_mpi_api_ext"
+  "test_mpi_api_ext.pdb"
+  "test_mpi_api_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpi_api_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

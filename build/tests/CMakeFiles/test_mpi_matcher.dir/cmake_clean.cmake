@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpi_matcher.dir/test_mpi_matcher.cpp.o"
+  "CMakeFiles/test_mpi_matcher.dir/test_mpi_matcher.cpp.o.d"
+  "test_mpi_matcher"
+  "test_mpi_matcher.pdb"
+  "test_mpi_matcher[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpi_matcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/test_sim_engine.cpp.o"
+  "CMakeFiles/test_sim.dir/test_sim_engine.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_sim_fiber.cpp.o"
+  "CMakeFiles/test_sim.dir/test_sim_fiber.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_sim_resource.cpp.o"
+  "CMakeFiles/test_sim.dir/test_sim_resource.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_sim_stats.cpp.o"
+  "CMakeFiles/test_sim.dir/test_sim_stats.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stress_random.dir/test_stress_random.cpp.o"
+  "CMakeFiles/test_stress_random.dir/test_stress_random.cpp.o.d"
+  "test_stress_random"
+  "test_stress_random.pdb"
+  "test_stress_random[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stress_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

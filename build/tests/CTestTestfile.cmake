@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_node[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_md[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_cg[1]_include.cmake")
+include("/root/repo/build/tests/test_cost[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi_matcher[1]_include.cmake")
+include("/root/repo/build/tests/test_ib[1]_include.cmake")
+include("/root/repo/build/tests/test_elan[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi_collectives[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_shape[1]_include.cmake")
+include("/root/repo/build/tests/test_microbench[1]_include.cmake")
+include("/root/repo/build/tests/test_myrinet[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_ext[1]_include.cmake")
+include("/root/repo/build/tests/test_stress_random[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_ft[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi_api_ext[1]_include.cmake")
+include("/root/repo/build/tests/test_more_edges[1]_include.cmake")
