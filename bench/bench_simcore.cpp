@@ -28,6 +28,20 @@ void BM_EventSchedule(benchmark::State& state) {
 }
 BENCHMARK(BM_EventSchedule);
 
+// The handle-free fast path (no cancellation tombstone allocated): what
+// every internal model callback uses.
+void BM_EventPost(benchmark::State& state) {
+  sim::Engine e;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    e.post_at(sim::Time::ps(++t), [] {});
+    if (t % 1024 == 0) e.run();
+  }
+  e.run();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventPost);
+
 void BM_EventDispatch(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
@@ -94,7 +108,7 @@ BENCHMARK(BM_MatcherArrivePosted)->Arg(8)->Arg(64)->Arg(512);
 void BM_RegCacheHit(benchmark::State& state) {
   ib::RegistrationCache c(64 << 20, 4096, sim::Time::us(25), sim::Time::us(1),
                           sim::Time::us(15), sim::Time::us(0.55));
-  char buf[16];
+  char buf[16] = {};
   (void)c.acquire(buf, 8192);
   for (auto _ : state) {
     benchmark::DoNotOptimize(c.acquire(buf, 8192));

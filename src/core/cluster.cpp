@@ -1,11 +1,41 @@
 #include "core/cluster.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
 #include <string>
 
 #include "myrinet/gm.hpp"
+#include "trace/export.hpp"
 
 namespace icsim::core {
+
+namespace {
+
+/// "trace.json" -> "trace.2.json" for the nth tracing Cluster in a process,
+/// so benches that build several clusters don't clobber the first trace.
+std::string numbered(const std::string& path, int n) {
+  if (n <= 1) return path;
+  const auto dot = path.rfind('.');
+  const auto slash = path.rfind('/');
+  const bool has_ext = dot != std::string::npos &&
+                       (slash == std::string::npos || dot > slash);
+  const std::string stem = has_ext ? path.substr(0, dot) : path;
+  const std::string ext = has_ext ? path.substr(dot) : "";
+  return stem + "." + std::to_string(n) + ext;
+}
+
+std::string sibling(const std::string& path, const char* suffix) {
+  const auto dot = path.rfind('.');
+  const auto slash = path.rfind('/');
+  const bool has_ext = dot != std::string::npos &&
+                       (slash == std::string::npos || dot > slash);
+  return (has_ext ? path.substr(0, dot) : path) + suffix;
+}
+
+}  // namespace
 
 ClusterConfig myrinet_cluster(int nodes, int ppn) {
   ClusterConfig c;
@@ -20,6 +50,25 @@ ClusterConfig myrinet_cluster(int nodes, int ppn) {
 Cluster::Cluster(const ClusterConfig& config) : cfg_(config) {
   if (cfg_.nodes < 1 || cfg_.ppn < 1) {
     throw std::invalid_argument("Cluster: nodes and ppn must be >= 1");
+  }
+
+  std::string path = cfg_.trace_path;
+  std::size_t events = cfg_.trace_events;
+  if (path.empty()) {
+    if (const char* env = std::getenv("ICSIM_TRACE"); env != nullptr && *env != '\0') {
+      path = env;
+      if (const char* n = std::getenv("ICSIM_TRACE_EVENTS"); n != nullptr) {
+        events = static_cast<std::size_t>(std::strtoull(n, nullptr, 10));
+      }
+    }
+  }
+  if (!path.empty()) {
+    // Per-path instance counter: a bench that builds several clusters with
+    // the same ICSIM_TRACE value gets trace.json, trace.2.json, ...
+    static std::map<std::string, int> trace_instances;
+    trace_path_ = numbered(path, ++trace_instances[path]);
+    trace_sink_ = std::make_unique<trace::RingBufferSink>(events);
+    engine_.tracer().enable(*trace_sink_);
   }
   const net::FabricConfig fabric_cfg =
       cfg_.network == Network::infiniband ? ib_fabric(cfg_.nodes)
@@ -118,6 +167,88 @@ Cluster::RunStats Cluster::stats() const {
   return s;
 }
 
+void Cluster::publish_metrics(trace::MetricsRegistry& m, sim::Time elapsed) const {
+  // Snapshot counters use assignment, not +=, so publishing into the
+  // engine's own registry (where some are incremented live) stays correct.
+  m.counter("sim.events_processed") = engine_.events_processed();
+  m.counter("sim.schedule_past_clamped") = engine_.past_schedules_clamped();
+  fabric_->publish_metrics(m, elapsed);
+
+  if (!hcas_.empty()) {
+    std::uint64_t writes = 0, hits = 0, misses = 0, evictions = 0;
+    for (const auto& hca : hcas_) {
+      writes += hca->writes_posted();
+      const auto& rc = hca->reg_cache().stats();
+      hits += rc.hits;
+      misses += rc.misses;
+      evictions += rc.evictions;
+    }
+    m.counter("ib.hca.writes") = writes;
+    m.counter("ib.regcache.hits") = hits;
+    m.counter("ib.regcache.misses") = misses;
+    m.counter("ib.regcache.evictions") = evictions;
+    if (hits + misses > 0) {
+      m.stat("ib.regcache.hit_rate")
+          .add(static_cast<double>(hits) / static_cast<double>(hits + misses));
+    }
+    auto& uq = m.stat("mpi.max_unexpected_depth");
+    for (const auto& t : mv_transports_) {
+      uq.add(static_cast<double>(t->matcher().max_unexpected_depth()));
+    }
+  }
+  if (!elan_nics_.empty()) {
+    std::uint64_t high_water = 0;
+    double nic_busy = 0.0;
+    for (const auto& nic : elan_nics_) {
+      high_water = std::max(high_water, nic->nic_buffer_high_water());
+      nic_busy = std::max(nic_busy, nic->nic_thread().busy_time().to_us());
+    }
+    m.counter("elan.nic_buffer_high_water") = high_water;
+    m.stat("elan.nic_thread_busy_us").add(nic_busy);
+    auto& uq = m.stat("elan.max_unexpected_depth");
+    for (std::size_t r = 0; r < elan_world_.nic_of_rank.size(); ++r) {
+      uq.add(static_cast<double>(
+          elan_world_.nic_of_rank[r]->max_unexpected_depth(static_cast<int>(r))));
+    }
+  }
+}
+
+void Cluster::write_trace_files(sim::Time elapsed) {
+  if (trace_path_.empty()) return;
+  trace::Tracer& tr = engine_.tracer();
+  publish_metrics(tr.metrics(), elapsed);
+  const std::vector<trace::Event> events = trace_sink_->snapshot();
+  bool ok = true;
+  {
+    std::ofstream out(trace_path_);
+    trace::write_chrome_trace(out, tr, events);
+    ok = ok && out.good();
+  }
+  const std::string metrics_path = sibling(trace_path_, ".metrics.json");
+  {
+    std::ofstream out(metrics_path);
+    out << tr.metrics().to_json() << '\n';
+    ok = ok && out.good();
+  }
+  const std::string csv_path = sibling(trace_path_, ".counters.csv");
+  {
+    std::ofstream out(csv_path);
+    trace::write_counters_csv(out, tr, events);
+    ok = ok && out.good();
+  }
+  if (ok) {
+    std::fprintf(stderr,
+                 "[icsim] wrote %s (%llu events, %llu dropped), %s, %s\n",
+                 trace_path_.c_str(),
+                 static_cast<unsigned long long>(trace_sink_->recorded()),
+                 static_cast<unsigned long long>(trace_sink_->dropped()),
+                 metrics_path.c_str(), csv_path.c_str());
+  } else {
+    std::fprintf(stderr, "[icsim] warning: could not write trace files to %s\n",
+                 trace_path_.c_str());
+  }
+}
+
 sim::Time Cluster::run(const std::function<void(mpi::Mpi&)>& rank_main) {
   const int nranks = ranks();
   std::vector<std::unique_ptr<sim::Fiber>> fibers;
@@ -136,6 +267,7 @@ sim::Time Cluster::run(const std::function<void(mpi::Mpi&)>& rank_main) {
   }
   for (auto& f : fibers) f->resume();
   engine_.run();
+  write_trace_files(engine_.now());
   if (finished != nranks) {
     throw std::runtime_error(
         "Cluster::run: deadlock — " + std::to_string(nranks - finished) +

@@ -21,6 +21,7 @@
 #include "node/node.hpp"
 #include "sim/engine.hpp"
 #include "sim/fiber.hpp"
+#include "trace/sink.hpp"
 
 namespace icsim::core {
 
@@ -51,6 +52,16 @@ struct ClusterConfig {
   std::uint64_t seed = 0x5eed;
   /// Include MPI_Init cost (QP setup, ring pinning) in the timeline.
   bool charge_init = false;
+  /// Opt-in tracing: when non-empty, run() writes a Chrome/Perfetto trace to
+  /// this path, plus `<stem>.metrics.json` and `<stem>.counters.csv` next to
+  /// it.  Left empty, the `ICSIM_TRACE` environment variable is consulted
+  /// instead (value = output path), so any bench or example can emit a
+  /// trace without a rebuild.  A second Cluster in the same process writes
+  /// to `<stem>.2<ext>`, a third to `<stem>.3<ext>`, and so on.
+  std::string trace_path;
+  /// Ring-buffer capacity in events (newest kept); `ICSIM_TRACE_EVENTS`
+  /// overrides when the path came from the environment.
+  std::size_t trace_events = 1u << 20;
 };
 
 [[nodiscard]] inline ClusterConfig ib_cluster(int nodes, int ppn = 1) {
@@ -111,9 +122,18 @@ class Cluster {
   };
   [[nodiscard]] RunStats stats() const;
 
+  /// Fold end-of-run aggregates (link utilization, reg-cache hit rate,
+  /// matcher queue depths, engine counters) into a metrics registry.
+  /// Called automatically by run() when tracing; public for tests.
+  void publish_metrics(trace::MetricsRegistry& m, sim::Time elapsed) const;
+
  private:
+  void write_trace_files(sim::Time elapsed);
+
   ClusterConfig cfg_;
   sim::Engine engine_;
+  std::unique_ptr<trace::RingBufferSink> trace_sink_;
+  std::string trace_path_;  ///< resolved output path ("" = tracing off)
   std::unique_ptr<net::Fabric> fabric_;
   std::vector<std::unique_ptr<node::Node>> nodes_;
   // InfiniBand stack:

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "trace/trace.hpp"
 
 namespace icsim::elan {
 
@@ -21,6 +24,10 @@ std::size_t ElanNic::posted_depth(int rank) const {
   return contexts_.at(rank).matcher.posted_depth();
 }
 
+std::size_t ElanNic::max_unexpected_depth(int rank) const {
+  return contexts_.at(rank).matcher.max_unexpected_depth();
+}
+
 void ElanNic::tx(int src_rank, int dst_rank, int tag, int context,
                  Payload payload, std::size_t bytes, TxCallback on_complete) {
   if (world_ == nullptr) throw std::logic_error("ElanNic: world not wired");
@@ -35,6 +42,7 @@ void ElanNic::tx(int src_rank, int dst_rank, int tag, int context,
   msg->src = this;
   msg->dst = world_->nic_of_rank.at(static_cast<std::size_t>(dst_rank));
   msg->mode = bytes > cfg_.get_threshold ? Mode::get : Mode::eager;
+  msg->t_post = engine_.now();
 
   // Descriptor PIO across PCI-X (command word + any inline payload).
   const std::uint32_t pio_bytes =
@@ -92,7 +100,7 @@ void ElanNic::inject_envelope_ordered(const MsgPtr& msg,
                                       sim::Time not_before, bool completes_tx) {
   const sim::Time when = std::max({engine_.now(), tx_stream_free_, not_before});
   tx_stream_free_ = when;
-  engine_.schedule_at(when, [this, msg, payload_bytes, completes_tx] {
+  engine_.post_at(when, [this, msg, payload_bytes, completes_tx] {
     wire_chunk(msg, payload_bytes, /*is_envelope=*/true);
     if (completes_tx) complete_tx(msg);
   });
@@ -113,10 +121,37 @@ void ElanNic::wire_chunk(const MsgPtr& msg, std::uint32_t payload_bytes,
     }
   };
   if (msg->dst->host_.id() == host_.id()) {
-    engine_.schedule_in(cfg_.loopback_latency, std::move(deliver));
+    engine_.post_in(cfg_.loopback_latency, std::move(deliver));
   } else {
     fabric_->inject(host_.id(), msg->dst->host_.id(), wire_bytes,
                     std::move(deliver));
+  }
+}
+
+std::uint32_t ElanNic::trace_component() {
+  if (trace_id_ == 0) {
+    trace_id_ = engine_.tracer().register_component(
+        trace::Category::tports, "elan" + std::to_string(host_.id()));
+  }
+  return trace_id_;
+}
+
+void ElanNic::trace_match(const RxContext& ctx, sim::Time cost) {
+  ICSIM_TRACE_WITH(engine_, tr) {
+    const auto comp = trace_component();
+    const auto now = engine_.now();
+    tr.span(trace::Category::tports, comp, "match", now.picoseconds(),
+            (now + cost).picoseconds());
+    tr.counter(trace::Category::tports, comp, "unexpected_depth",
+               now.picoseconds(),
+               static_cast<double>(ctx.matcher.unexpected_depth()));
+    tr.counter(trace::Category::tports, comp, "posted_depth",
+               now.picoseconds(),
+               static_cast<double>(ctx.matcher.posted_depth()));
+    if (uq_depth_stat_ == nullptr) {
+      uq_depth_stat_ = &tr.metrics().stat("elan.unexpected_depth");
+    }
+    uq_depth_stat_->add(static_cast<double>(ctx.matcher.unexpected_depth()));
   }
 }
 
@@ -126,6 +161,7 @@ void ElanNic::on_envelope(const MsgPtr& msg) {
     throw std::logic_error("ElanNic: envelope for unattached rank");
   }
   RxContext& ctx = ctx_it->second;
+  msg->t_envelope = engine_.now();
 
   mpi::Envelope env;
   env.context = msg->context;
@@ -136,6 +172,7 @@ void ElanNic::on_envelope(const MsgPtr& msg) {
 
   auto result = ctx.matcher.arrive(env);
   const sim::Time cost = match_cost(result.scanned);
+  trace_match(ctx, cost);
   if (result.match) {
     RxCallback cb = std::move(ctx.posted.at(result.match->id));
     ctx.posted.erase(result.match->id);
@@ -185,6 +222,7 @@ void ElanNic::rx(int dst_rank, int src_sel, int tag_sel, int context,
 
   auto result = ctx.matcher.post(p);
   const sim::Time cost = match_cost(result.scanned);
+  trace_match(ctx, cost);
   if (result.match) {
     MsgPtr msg = ctx.unexpected.at(result.match->id);
     ctx.unexpected.erase(result.match->id);
@@ -236,7 +274,7 @@ void ElanNic::start_get(const MsgPtr& msg) {
     });
   };
   if (src->host_.id() == dst->host_.id()) {
-    engine_.schedule_in(cfg_.loopback_latency, issue_pull);
+    engine_.post_in(cfg_.loopback_latency, issue_pull);
   } else {
     fabric_->inject(dst->host_.id(), src->host_.id(), cfg_.ctrl_bytes,
                     std::move(issue_pull));
@@ -244,7 +282,14 @@ void ElanNic::start_get(const MsgPtr& msg) {
 }
 
 void ElanNic::complete_rx(const MsgPtr& msg) {
-  engine_.schedule_in(cfg_.completion_cost, [msg] {
+  // Envelope arrival -> event write visible to the host: the NIC-resident
+  // receive pipeline (match, SDRAM replay/get, DMA, completion event).
+  ICSIM_TRACE_WITH(engine_, tr) {
+    tr.span(trace::Category::tports, trace_component(), "rx",
+            msg->t_envelope.picoseconds(),
+            (engine_.now() + cfg_.completion_cost).picoseconds());
+  }
+  engine_.post_in(cfg_.completion_cost, [msg] {
     RxStatus st;
     st.src_rank = msg->src_rank;
     st.tag = msg->tag;
@@ -255,7 +300,13 @@ void ElanNic::complete_rx(const MsgPtr& msg) {
 }
 
 void ElanNic::complete_tx(const MsgPtr& msg) {
-  engine_.schedule_in(cfg_.completion_cost, [msg] {
+  // Host posted the descriptor -> send buffer reusable (STEN/DMA done).
+  ICSIM_TRACE_WITH(engine_, tr) {
+    tr.span(trace::Category::tports, msg->src->trace_component(), "tx",
+            msg->t_post.picoseconds(),
+            (engine_.now() + cfg_.completion_cost).picoseconds());
+  }
+  engine_.post_in(cfg_.completion_cost, [msg] {
     if (msg->on_tx_complete) msg->on_tx_complete();
   });
 }

@@ -32,6 +32,7 @@
 #include "node/node.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
+#include "sim/stats.hpp"
 
 namespace icsim::elan {
 
@@ -89,6 +90,7 @@ class ElanNic {
   [[nodiscard]] sim::FifoResource& nic_thread() { return nic_thread_; }
   [[nodiscard]] std::uint64_t nic_buffer_high_water() const { return buf_high_water_; }
   [[nodiscard]] std::size_t posted_depth(int rank) const;
+  [[nodiscard]] std::size_t max_unexpected_depth(int rank) const;
 
  private:
   enum class Mode { eager, get };
@@ -111,6 +113,8 @@ class ElanNic {
     bool matched = false;              // a posted receive claimed it
     bool rx_completed = false;
     RxCallback rx_cb;  // set when matched
+    sim::Time t_post;      // host posted the send (trace span start)
+    sim::Time t_envelope;  // envelope reached the dst NIC (trace span start)
   };
   using MsgPtr = std::shared_ptr<Msg>;
 
@@ -138,6 +142,10 @@ class ElanNic {
   [[nodiscard]] sim::Time match_cost(std::size_t scanned) const {
     return cfg_.nic_rx_base + cfg_.match_per_entry * static_cast<std::int64_t>(scanned);
   }
+  /// Lazily registered trace component ("elan<node>").
+  std::uint32_t trace_component();
+  /// NIC-thread match span + unexpected/posted queue depth samples.
+  void trace_match(const RxContext& ctx, sim::Time cost);
 
   sim::Engine& engine_;
   node::Node& host_;
@@ -154,6 +162,8 @@ class ElanNic {
   /// inline/get envelopes (which carry no bulk DMA) from overtaking the
   /// still-draining chunks of an earlier message.
   sim::Time tx_stream_free_ = sim::Time::zero();
+  std::uint32_t trace_id_ = 0;
+  sim::RunningStat* uq_depth_stat_ = nullptr;  ///< cached metrics accumulator
 };
 
 }  // namespace icsim::elan

@@ -2,7 +2,10 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "trace/trace.hpp"
 
 namespace icsim::ib {
 
@@ -43,7 +46,9 @@ void Hca::rdma_write(int src_ep, Hca& dst, int dst_ep, std::uint64_t bytes,
   ++writes_;
   auto msg = std::make_shared<InFlight>();
   msg->delivery = Delivery{src_ep, dst_ep, bytes, std::move(cargo)};
+  msg->src = this;
   msg->dst = &dst;
+  msg->t_post = engine_.now();
   msg->remaining_chunks =
       bytes == 0 ? 1 : (bytes + cfg_.chunk_bytes - 1) / cfg_.chunk_bytes;
 
@@ -75,7 +80,7 @@ void Hca::start_dma_chain(const std::shared_ptr<InFlight>& msg,
       if (&dst == this) {
         // Loopback: HCA turns the data around; it re-crosses PCI-X on the
         // way back into host memory.
-        engine_.schedule_in(cfg_.loopback_latency, [this, msg, chunk] {
+        engine_.post_in(cfg_.loopback_latency, [this, msg, chunk] {
           chunk_arrived_at_dst(msg, chunk);
         });
       } else {
@@ -85,6 +90,10 @@ void Hca::start_dma_chain(const std::shared_ptr<InFlight>& msg,
       if (last && cb) {
         // Send buffer is reusable once the last byte left host memory;
         // completion surfaces after CQE processing on the HCA.
+        ICSIM_TRACE_WITH(engine_, tr) {
+          tr.span(trace::Category::hca, trace_component(), "dma_out",
+                  msg->t_post.picoseconds(), engine_.now().picoseconds());
+        }
         processor_.acquire(cfg_.send_cqe_cost, std::move(cb));
       }
     });
@@ -98,6 +107,13 @@ void Hca::chunk_arrived_at_dst(const std::shared_ptr<InFlight>& msg,
   self.host_.dma(chunk_bytes, [msg, &self] {
     assert(msg->remaining_chunks > 0);
     if (--msg->remaining_chunks == 0) {
+      // Doorbell -> last byte visible in remote host memory, on the source
+      // HCA's track: the full one-sided write pipeline.
+      ICSIM_TRACE_WITH(self.engine_, tr) {
+        tr.span(trace::Category::hca, msg->src->trace_component(),
+                "rdma_write", msg->t_post.picoseconds(),
+                self.engine_.now().picoseconds());
+      }
       auto it = self.handlers_.find(msg->delivery.dst_ep);
       if (it == self.handlers_.end()) {
         throw std::logic_error("Hca: delivery to unattached endpoint");
@@ -105,6 +121,14 @@ void Hca::chunk_arrived_at_dst(const std::shared_ptr<InFlight>& msg,
       it->second(msg->delivery);
     }
   });
+}
+
+std::uint32_t Hca::trace_component() {
+  if (trace_id_ == 0) {
+    trace_id_ = engine_.tracer().register_component(
+        trace::Category::hca, "hca" + std::to_string(host_.id()));
+  }
+  return trace_id_;
 }
 
 }  // namespace icsim::ib

@@ -74,8 +74,13 @@ class Hca {
   struct InFlight {
     Delivery delivery;
     std::uint64_t remaining_chunks = 0;
+    Hca* src = nullptr;
     Hca* dst = nullptr;
+    sim::Time t_post;  ///< doorbell time, for the posted->visible trace span
   };
+
+  /// Lazily registered trace component ("hca<node>").
+  std::uint32_t trace_component();
 
   void start_dma_chain(const std::shared_ptr<InFlight>& msg, std::uint64_t bytes,
                        std::function<void()> on_local_complete);
@@ -91,6 +96,7 @@ class Hca {
   std::unordered_map<int, Handler> handlers_;
   std::unordered_map<std::uint64_t, bool> qp_up_;
   std::uint64_t writes_ = 0;
+  std::uint32_t trace_id_ = 0;
 };
 
 }  // namespace icsim::ib

@@ -3,6 +3,9 @@
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
+#include <string>
+
+#include "trace/trace.hpp"
 
 namespace icsim::mpi {
 
@@ -75,9 +78,35 @@ std::uint32_t MvapichTransport::wire_bytes(const WireMsg& m) const {
   return cfg_.ctrl_bytes;
 }
 
+std::uint32_t MvapichTransport::trace_component() {
+  if (trace_id_ == 0) {
+    trace_id_ = engine_.tracer().register_component(
+        trace::Category::mpi, "rank" + std::to_string(rank_));
+  }
+  return trace_id_;
+}
+
+void MvapichTransport::trace_match(std::size_t scanned) {
+  ICSIM_TRACE_WITH(engine_, tr) {
+    const auto comp = trace_component();
+    const auto t = engine_.now().picoseconds();
+    tr.counter(trace::Category::mpi, comp, "unexpected_depth", t,
+               static_cast<double>(matcher_.unexpected_depth()));
+    tr.counter(trace::Category::mpi, comp, "posted_depth", t,
+               static_cast<double>(matcher_.posted_depth()));
+    if (uq_depth_stat_ == nullptr) {
+      uq_depth_stat_ = &tr.metrics().stat("mpi.unexpected_depth");
+      match_scan_stat_ = &tr.metrics().stat("mpi.match_scanned");
+    }
+    uq_depth_stat_->add(static_cast<double>(matcher_.unexpected_depth()));
+    match_scan_stat_->add(static_cast<double>(scanned));
+  }
+}
+
 // ---------------------------------------------------------------- sending
 
 void MvapichTransport::post_send(const SendArgs& args) {
+  const sim::Time t0 = engine_.now();
   charge(cfg_.o_send);
   auto m = std::make_shared<WireMsg>();
   m->src = rank_;
@@ -103,6 +132,13 @@ void MvapichTransport::post_send(const SendArgs& args) {
     m->sender_rec = next_id_++;
     rndv_sends_.emplace(m->sender_rec, PendingSendRec{args});
     send_ring_message(m, /*complete_req_on_post=*/false);
+  }
+  // Host-side posting work (overheads + vbuf copy), before the HCA takes
+  // over — the "o_send" layer of the latency budget.
+  ICSIM_TRACE_WITH(engine_, tr) {
+    tr.span(trace::Category::mpi, trace_component(),
+            args.bytes <= cfg_.eager_threshold ? "send.eager" : "send.rndv",
+            t0.picoseconds(), engine_.now().picoseconds());
   }
 }
 
@@ -156,6 +192,7 @@ void MvapichTransport::post_recv(const RecvArgs& args) {
 
   auto result = matcher_.post(p);
   charge(cfg_.o_match_per_entry * static_cast<std::int64_t>(result.scanned));
+  trace_match(result.scanned);
   if (!result.match) {
     posted_recvs_.emplace(p.id, PostedRecvRec{args});
     return;
@@ -189,7 +226,13 @@ void MvapichTransport::accept_rts(const WireMsgPtr& rts, PostedRecvRec rec) {
   }
   charge_host(cfg_.rndv_accept_cost);
   // Pin the application receive buffer (pin-down cache).
-  charge(hca_.reg_cache().acquire(rec.args.data, rts->bytes));
+  const sim::Time reg = hca_.reg_cache().acquire(rec.args.data, rts->bytes);
+  ICSIM_TRACE_WITH(engine_, tr) {
+    tr.instant(trace::Category::regcache, trace_component(),
+               reg > sim::Time::zero() ? "pin.miss" : "pin.hit",
+               engine_.now().picoseconds(), reg.to_us());
+  }
+  charge(reg);
 
   const std::uint64_t receiver_rec = next_id_++;
   posted_recvs_.emplace(receiver_rec, std::move(rec));
@@ -210,7 +253,7 @@ void MvapichTransport::on_delivery(const ib::Delivery& d) {
   pending_.push_back(std::static_pointer_cast<WireMsg>(d.cargo));
   if (blocked_ != nullptr && !wake_scheduled_) {
     wake_scheduled_ = true;
-    engine_.schedule_in(sim::Time::zero(), [this] {
+    engine_.post_in(sim::Time::zero(), [this] {
       wake_scheduled_ = false;
       if (blocked_ != nullptr) blocked_->resume();
     });
@@ -244,7 +287,7 @@ void MvapichTransport::service_loop() {
 void MvapichTransport::wake_service() {
   if (service_fiber_ && service_parked_ && !service_wake_scheduled_) {
     service_wake_scheduled_ = true;
-    engine_.schedule_in(sim::Time::zero(), [this] {
+    engine_.post_in(sim::Time::zero(), [this] {
       service_wake_scheduled_ = false;
       if (service_parked_) service_fiber_->resume();
     });
@@ -319,6 +362,7 @@ void MvapichTransport::handle_eager(const WireMsgPtr& m) {
   env.id = next_id_++;
   auto result = matcher_.arrive(env);
   charge(cfg_.o_match_per_entry * static_cast<std::int64_t>(result.scanned));
+  trace_match(result.scanned);
   if (result.match) {
     auto it = posted_recvs_.find(result.match->id);
     assert(it != posted_recvs_.end());
@@ -341,6 +385,7 @@ void MvapichTransport::handle_rts(const WireMsgPtr& m) {
   env.id = next_id_++;
   auto result = matcher_.arrive(env);
   charge(cfg_.o_match_per_entry * static_cast<std::int64_t>(result.scanned));
+  trace_match(result.scanned);
   if (result.match) {
     auto it = posted_recvs_.find(result.match->id);
     assert(it != posted_recvs_.end());
@@ -360,7 +405,13 @@ void MvapichTransport::handle_cts(const WireMsgPtr& m) {
 
   charge_host(cfg_.cts_handle_cost);
   // Pin the send buffer, then RDMA-write the payload zero-copy.
-  charge(hca_.reg_cache().acquire(rec.args.data, rec.args.bytes));
+  const sim::Time reg = hca_.reg_cache().acquire(rec.args.data, rec.args.bytes);
+  ICSIM_TRACE_WITH(engine_, tr) {
+    tr.instant(trace::Category::regcache, trace_component(),
+               reg > sim::Time::zero() ? "pin.miss" : "pin.hit",
+               engine_.now().picoseconds(), reg.to_us());
+  }
+  charge(reg);
 
   auto data = std::make_shared<WireMsg>();
   data->kind = WireMsg::Kind::rndv_data;
@@ -382,7 +433,7 @@ void MvapichTransport::handle_cts(const WireMsgPtr& m) {
                     local_completions_.push_back(req);
                     if (blocked_ != nullptr && !wake_scheduled_) {
                       wake_scheduled_ = true;
-                      engine_.schedule_in(sim::Time::zero(), [this] {
+                      engine_.post_in(sim::Time::zero(), [this] {
                         wake_scheduled_ = false;
                         if (blocked_ != nullptr) blocked_->resume();
                       });

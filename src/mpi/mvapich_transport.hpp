@@ -28,6 +28,7 @@
 #include "mpi/transport.hpp"
 #include "node/node.hpp"
 #include "sim/engine.hpp"
+#include "sim/stats.hpp"
 
 namespace icsim::mpi {
 
@@ -85,6 +86,7 @@ class MvapichTransport final : public Transport {
   void enable_independent_progress();
   [[nodiscard]] const MvapichConfig& config() const { return cfg_; }
   [[nodiscard]] ib::Hca& hca() { return hca_; }
+  [[nodiscard]] const Matcher& matcher() const { return matcher_; }
 
  private:
   struct WireMsg {
@@ -128,6 +130,10 @@ class MvapichTransport final : public Transport {
   void charge(sim::Time t);  // fiber sleep on this rank's host CPU
   void charge_host(sim::Time t);  // protocol work: SMP penalty applies
   [[nodiscard]] std::uint32_t wire_bytes(const WireMsg& m) const;
+  /// Lazily registered trace component ("rank<r>").
+  std::uint32_t trace_component();
+  /// Queue-depth counters + match-scan metrics after a matcher operation.
+  void trace_match(std::size_t scanned);
 
   sim::Engine& engine_;
   int rank_;
@@ -143,6 +149,10 @@ class MvapichTransport final : public Transport {
   std::unordered_map<std::uint64_t, PostedRecvRec> posted_recvs_;
   std::unordered_map<std::uint64_t, WireMsgPtr> unexpected_;  // env.id -> msg
   std::uint64_t next_id_ = 1;
+
+  std::uint32_t trace_id_ = 0;
+  sim::RunningStat* uq_depth_stat_ = nullptr;   ///< cached metrics accumulator
+  sim::RunningStat* match_scan_stat_ = nullptr;
 
   std::deque<WireMsgPtr> pending_;  ///< arrived, awaiting host processing
   std::deque<std::shared_ptr<RequestState>> local_completions_;

@@ -2,10 +2,22 @@
 
 #include <cstring>
 #include <stdexcept>
+#include <string>
+
+#include "trace/trace.hpp"
 
 namespace icsim::mpi {
 
+std::uint32_t QuadricsTransport::trace_component() {
+  if (trace_id_ == 0) {
+    trace_id_ = engine_.tracer().register_component(
+        trace::Category::mpi, "rank" + std::to_string(rank_));
+  }
+  return trace_id_;
+}
+
 void QuadricsTransport::post_send(const SendArgs& args) {
+  const sim::Time t0 = engine_.now();
   charge(cfg_.o_send);
   // Snapshot the payload: the NIC DMA engine reads the user buffer directly
   // (zero copy — no host memory-bus charge); the snapshot is only for data
@@ -15,9 +27,14 @@ void QuadricsTransport::post_send(const SendArgs& args) {
   auto req = args.req;
   nic_.tx(rank_, args.dst, args.tag, args.context, std::move(payload),
           args.bytes, [req] { req->finish(); });
+  ICSIM_TRACE_WITH(engine_, tr) {
+    tr.span(trace::Category::mpi, trace_component(), "send",
+            t0.picoseconds(), engine_.now().picoseconds());
+  }
 }
 
 void QuadricsTransport::post_recv(const RecvArgs& args) {
+  const sim::Time t0 = engine_.now();
   charge(cfg_.o_recv);
   auto req = args.req;
   std::byte* const dst = args.data;
@@ -33,6 +50,10 @@ void QuadricsTransport::post_recv(const RecvArgs& args) {
             }
             req->finish(Status{st.src_rank, st.tag, st.bytes});
           });
+  ICSIM_TRACE_WITH(engine_, tr) {
+    tr.span(trace::Category::mpi, trace_component(), "recv.post",
+            t0.picoseconds(), engine_.now().picoseconds());
+  }
 }
 
 void QuadricsTransport::wait(RequestState& req) {

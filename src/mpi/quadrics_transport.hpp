@@ -63,6 +63,8 @@ class QuadricsTransport final : public Transport {
   void charge(sim::Time t) {
     if (t > sim::Time::zero()) sim::sleep_for(engine_, t);
   }
+  /// Lazily registered trace component ("rank<r>").
+  std::uint32_t trace_component();
 
   sim::Engine& engine_;
   int rank_;
@@ -70,6 +72,7 @@ class QuadricsTransport final : public Transport {
   elan::ElanNic& nic_;
   QuadricsConfig cfg_;
   int world_size_ = 0;
+  std::uint32_t trace_id_ = 0;
 };
 
 }  // namespace icsim::mpi

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "trace/trace.hpp"
+
 namespace icsim::net {
 
 Fabric::Fabric(sim::Engine& engine, const FabricConfig& config, int num_nodes)
@@ -36,11 +38,25 @@ std::uint64_t Fabric::key_of(const Hop& hop) const {
   return 0;  // unreachable
 }
 
+std::string Fabric::link_name(const Hop& hop) const {
+  switch (hop.kind) {
+    case Hop::Kind::node_to_switch:
+      return "node" + std::to_string(hop.node) + "->sw";
+    case Hop::Kind::switch_to_node:
+      return "sw->node" + std::to_string(hop.node);
+    case Hop::Kind::switch_to_switch:
+      return "sw" + std::to_string(topo_.switch_id(hop.from)) + "->sw" +
+             std::to_string(topo_.switch_id(hop.to));
+  }
+  return "link";
+}
+
 Fabric::DirectedLink& Fabric::link_for(const Hop& hop) {
   const std::uint64_t key = key_of(hop);
   auto it = links_.find(key);
   if (it == links_.end()) {
-    it = links_.emplace(key, std::make_unique<DirectedLink>(engine_, "link"))
+    it = links_.emplace(key,
+                        std::make_unique<DirectedLink>(engine_, link_name(hop)))
              .first;
   }
   return *it->second;
@@ -60,9 +76,21 @@ void Fabric::forward(std::shared_ptr<std::vector<Hop>> route, std::size_t index,
   const sim::Time tx_done = link.tx.acquire(ser);
   if (first_tx_done != nullptr) *first_tx_done = tx_done;
 
+  // Per-hop packet span: occupancy of this link's transmitter (queueing
+  // excluded — the span covers serialization, which is what utilization
+  // means; a gap between spans of consecutive hops is switch/wire latency).
+  ICSIM_TRACE_WITH(engine_, tr) {
+    if (link.trace_id == 0) {
+      link.trace_id = tr.register_component(trace::Category::link,
+                                            link.tx.name());
+    }
+    tr.span(trace::Category::link, link.trace_id, "pkt",
+            (tx_done - ser).picoseconds(), tx_done.picoseconds());
+  }
+
   const sim::Time arrival = tx_done + cfg_.wire_latency + entry_latency;
   const bool last = index + 1 == route->size();
-  engine_.schedule_at(
+  engine_.post_at(
       arrival, [this, route = std::move(route), index, bytes,
                 on_delivered = std::move(on_delivered), last]() mutable {
         if (last) {
@@ -92,6 +120,22 @@ sim::Time Fabric::max_link_busy_time() const {
     if (link->tx.busy_time() > best) best = link->tx.busy_time();
   }
   return best;
+}
+
+void Fabric::publish_metrics(trace::MetricsRegistry& m,
+                             sim::Time elapsed) const {
+  m.counter("net.chunks_sent") = chunks_;
+  m.counter("net.links_used") = links_.size();
+  auto& util = m.stat("net.link_utilization");
+  auto& busy = m.stat("net.link_busy_us");
+  const double span_s = elapsed.to_seconds();
+  for (const auto& [key, link] : links_) {
+    (void)key;
+    busy.add(link->tx.busy_time().to_us());
+    if (span_s > 0.0) {
+      util.add(link->tx.busy_time().to_seconds() / span_s);
+    }
+  }
 }
 
 }  // namespace icsim::net

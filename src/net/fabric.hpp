@@ -24,6 +24,7 @@
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
 #include "sim/time.hpp"
+#include "trace/metrics.hpp"
 
 namespace icsim::net {
 
@@ -61,17 +62,23 @@ class Fabric {
   /// Busy-time observed on the most utilized link (contention diagnostics).
   [[nodiscard]] sim::Time max_link_busy_time() const;
 
+  /// Fold per-link utilization/traffic into `m` ("net.link_utilization"
+  /// samples one value per directed link; utilization = busy / elapsed).
+  void publish_metrics(trace::MetricsRegistry& m, sim::Time elapsed) const;
+
  private:
   struct DirectedLink {
     explicit DirectedLink(sim::Engine& e, std::string name)
         : tx(e, std::move(name)) {}
     sim::FifoResource tx;
+    std::uint32_t trace_id = 0;  ///< lazily registered trace component
   };
 
   // Key layout: bit 63 set => endpoint link (node id in low bits, bit 62
   // selects direction); otherwise (from_switch_id << 31) | to_switch_id.
   [[nodiscard]] std::uint64_t key_of(const Hop& hop) const;
   DirectedLink& link_for(const Hop& hop);
+  [[nodiscard]] std::string link_name(const Hop& hop) const;
 
   void forward(std::shared_ptr<std::vector<Hop>> route, std::size_t index,
                std::uint32_t bytes, std::function<void()> on_delivered,

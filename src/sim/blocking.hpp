@@ -15,7 +15,7 @@ namespace icsim::sim {
 inline void sleep_for(Engine& engine, Time d) {
   Fiber* const f = Fiber::current();
   assert(f != nullptr && "sleep_for outside a fiber");
-  engine.schedule_in(d, [f] { f->resume(); });
+  engine.post_in(d, [f] { f->resume(); });
   Fiber::yield();
 }
 
@@ -47,7 +47,7 @@ class Trigger {
     // Resume waiters via scheduled events so fire() is safe to call from any
     // context (fiber or engine callback) without unbounded recursion.
     for (Fiber* f : waiters_) {
-      engine_->schedule_in(Time::zero(), [f] { f->resume(); });
+      engine_->post_in(Time::zero(), [f] { f->resume(); });
     }
     waiters_.clear();
   }

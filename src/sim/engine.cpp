@@ -1,18 +1,34 @@
 #include "sim/engine.hpp"
 
 #include <cassert>
-#include <stdexcept>
 #include <utility>
 
 namespace icsim::sim {
 
-EventHandle Engine::schedule_at(Time t, std::function<void()> fn) {
-  if (t < now_) {
-    throw std::invalid_argument("Engine::schedule_at: time is in the past");
+Time Engine::clamped(Time t) {
+  if (t >= now_) return t;
+  if (past_clamped_ == nullptr) {
+    past_clamped_ = &tracer_.metrics().counter("sim.schedule_past_clamped");
   }
+  ++*past_clamped_;
+  return now_;
+}
+
+EventHandle Engine::schedule_at(Time t, std::function<void()> fn) {
   auto alive = std::make_shared<bool>(true);
-  queue_.push(Entry{t, next_seq_++, std::move(fn), alive});
+  queue_.push(Entry{clamped(t), next_seq_++, std::move(fn), alive});
   return EventHandle{std::move(alive)};
+}
+
+void Engine::sample_queue_depth() {
+  if (trace_id_ == 0) {
+    trace_id_ = tracer_.register_component(trace::Category::engine, "engine");
+  }
+  const auto t = now_.picoseconds();
+  tracer_.counter(trace::Category::engine, trace_id_, "queue_depth", t,
+                  static_cast<double>(queue_.size()));
+  tracer_.counter(trace::Category::engine, trace_id_, "events_processed", t,
+                  static_cast<double>(processed_));
 }
 
 bool Engine::step() {
@@ -23,10 +39,13 @@ bool Engine::step() {
     auto& top = const_cast<Entry&>(queue_.top());
     Entry e{top.t, top.seq, std::move(top.fn), std::move(top.alive)};
     queue_.pop();
-    if (!*e.alive) continue;  // cancelled
+    if (e.alive && !*e.alive) continue;  // cancelled
     assert(e.t >= now_);
     now_ = e.t;
     ++processed_;
+    // Periodic self-observation: queue depth + throughput, cheap enough to
+    // key off the processed-event count (one branch when tracing is off).
+    if (tracer_.enabled() && (processed_ & 1023u) == 0) sample_queue_depth();
     e.fn();
     return true;
   }

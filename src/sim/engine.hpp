@@ -4,6 +4,15 @@
 // Single-threaded and fully deterministic: events at equal timestamps fire in
 // scheduling order (a monotone sequence number breaks ties).  All model
 // components — links, NICs, CPUs, MPI transports — schedule closures here.
+//
+// Two scheduling flavors:
+//   * post_at/post_in   — fire-and-forget, no cancellation, no allocation
+//                         beyond the closure itself (the hot path);
+//   * schedule_at/..._in — returns an EventHandle that can cancel the event
+//                         (allocates a shared tombstone per call).
+//
+// The engine owns the trace::Tracer so every component holding an Engine&
+// can emit trace events and metrics without extra wiring (see trace/).
 
 #include <cstdint>
 #include <functional>
@@ -12,6 +21,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "trace/tracer.hpp"
 
 namespace icsim::sim {
 
@@ -41,12 +51,24 @@ class Engine {
 
   [[nodiscard]] Time now() const { return now_; }
 
-  /// Schedule `fn` to run at absolute time `t` (>= now).
+  /// Schedule cancellable `fn` at absolute time `t`; `t < now()` clamps to
+  /// now() and counts (see past_schedules_clamped).
   EventHandle schedule_at(Time t, std::function<void()> fn);
 
-  /// Schedule `fn` to run `delay` after now.
+  /// Schedule cancellable `fn` to run `delay` after now.
   EventHandle schedule_in(Time delay, std::function<void()> fn) {
     return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Fast path: schedule `fn` at absolute time `t` with no cancellation
+  /// handle — skips the per-event tombstone allocation entirely.
+  void post_at(Time t, std::function<void()> fn) {
+    queue_.push(Entry{clamped(t), next_seq_++, std::move(fn), nullptr});
+  }
+
+  /// Fast path: schedule `fn` to run `delay` after now (not cancellable).
+  void post_in(Time delay, std::function<void()> fn) {
+    post_at(now_ + delay, std::move(fn));
   }
 
   /// Run until the event queue drains.  Returns the final simulated time.
@@ -59,12 +81,25 @@ class Engine {
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
   [[nodiscard]] std::size_t events_pending() const { return queue_.size(); }
 
+  /// How many schedule requests asked for a time in the past and were
+  /// clamped to now().  Also surfaced in the metrics registry as
+  /// "sim.schedule_past_clamped".  A nonzero count usually means a model
+  /// component computed a timestamp from stale state.
+  [[nodiscard]] std::uint64_t past_schedules_clamped() const {
+    return past_clamped_ != nullptr ? *past_clamped_ : 0;
+  }
+
+  /// Tracing & metrics attached to this engine (see trace/trace.hpp for
+  /// the instrumentation macros).
+  [[nodiscard]] trace::Tracer& tracer() { return tracer_; }
+  [[nodiscard]] const trace::Tracer& tracer() const { return tracer_; }
+
  private:
   struct Entry {
     Time t;
     std::uint64_t seq;
     std::function<void()> fn;
-    std::shared_ptr<bool> alive;
+    std::shared_ptr<bool> alive;  ///< null for post_at (not cancellable)
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -74,11 +109,16 @@ class Engine {
   };
 
   bool step();
+  Time clamped(Time t);
+  void sample_queue_depth();
 
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  trace::Tracer tracer_;
+  std::uint64_t* past_clamped_ = nullptr;  ///< lazily bound metrics counter
+  std::uint32_t trace_id_ = 0;             ///< lazily registered component
 };
 
 }  // namespace icsim::sim

@@ -35,7 +35,7 @@ class FifoResource {
     busy_accum_ += service;
     ++requests_;
     if (on_done) {
-      engine_->schedule_at(finish, std::move(on_done));
+      engine_->post_at(finish, std::move(on_done));
     }
     return finish;
   }

@@ -58,6 +58,8 @@ class Histogram {
 
   [[nodiscard]] std::uint64_t total() const { return total_; }
   [[nodiscard]] const std::vector<std::uint64_t>& buckets() const { return counts_; }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
 
   /// Value below which `q` (0..1) of the samples fall (bucket upper edge).
   [[nodiscard]] double quantile(double q) const {

@@ -1,0 +1,61 @@
+#pragma once
+// Trace event records.
+//
+// One fixed-size POD per event so the ring-buffer recorder is a straight
+// array store — no allocation, no string copies.  `name` must point at a
+// string with static storage duration (literal or interned component name);
+// exporters read it long after the instrumented call returned.
+//
+// Times are raw simulated picoseconds rather than sim::Time so this layer
+// has no dependency on the engine (the engine depends on *us*: it owns the
+// Tracer).  Exporters convert to the microseconds Chrome/Perfetto expect.
+
+#include <cstdint>
+
+namespace icsim::trace {
+
+/// Which layer of the model emitted the event.  Exporters map each category
+/// to one Perfetto "process" so the timeline groups by layer.
+enum class Category : std::uint8_t {
+  engine,    ///< the discrete-event engine itself
+  link,      ///< fabric directed links (per-hop packet spans)
+  node,      ///< host resources (memory bus, PCI-X)
+  hca,       ///< InfiniBand HCA (doorbell -> completion)
+  regcache,  ///< pin-down cache activity
+  tports,    ///< Elan-4 NIC thread / STEN events
+  mpi,       ///< transport + matcher activity, one track per rank
+  app,       ///< application-level phases
+};
+inline constexpr int kNumCategories = 8;
+
+[[nodiscard]] constexpr const char* to_string(Category c) {
+  switch (c) {
+    case Category::engine: return "engine";
+    case Category::link: return "net.link";
+    case Category::node: return "node";
+    case Category::hca: return "ib.hca";
+    case Category::regcache: return "ib.regcache";
+    case Category::tports: return "elan.tports";
+    case Category::mpi: return "mpi";
+    case Category::app: return "app";
+  }
+  return "?";
+}
+
+struct Event {
+  enum class Kind : std::uint8_t {
+    span,     ///< complete slice: [t_ps, t_ps + dur_ps) on one component
+    instant,  ///< point-in-time marker
+    counter,  ///< sampled value of a named series
+  };
+
+  Kind kind = Kind::instant;
+  Category cat = Category::engine;
+  std::uint32_t component = 0;  ///< id from Tracer::register_component
+  const char* name = nullptr;   ///< static string
+  std::int64_t t_ps = 0;        ///< simulated start time
+  std::int64_t dur_ps = 0;      ///< span duration (0 otherwise)
+  double value = 0.0;           ///< counter value (0 otherwise)
+};
+
+}  // namespace icsim::trace

@@ -1,0 +1,113 @@
+#include "trace/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+namespace icsim::trace {
+
+namespace {
+
+/// JSON string escaping for names (component names may contain '>' etc.,
+/// which are legal, but be safe about quotes/backslashes/control chars).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Trace timestamps are microseconds; keep picosecond resolution by
+/// printing six decimal places (1 ps = 1e-6 us).
+std::string us_of_ps(std::int64_t ps) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%" PRId64 ".%06" PRId64,
+                ps / 1'000'000, ps % 1'000'000);
+  return buf;
+}
+
+int pid_of(Category cat) { return static_cast<int>(cat) + 1; }
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const Tracer& tracer,
+                        const std::vector<Event>& events) {
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit_comma = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+
+  // Metadata: name the per-category processes and per-component threads.
+  bool cat_seen[kNumCategories] = {};
+  for (const auto& c : tracer.components()) cat_seen[static_cast<int>(c.cat)] = true;
+  for (const auto& e : events) cat_seen[static_cast<int>(e.cat)] = true;
+  for (int i = 0; i < kNumCategories; ++i) {
+    if (!cat_seen[i]) continue;
+    emit_comma();
+    os << "{\"ph\":\"M\",\"pid\":" << (i + 1)
+       << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\""
+       << to_string(static_cast<Category>(i)) << "\"}}";
+  }
+  for (std::size_t i = 0; i < tracer.components().size(); ++i) {
+    const Component& c = tracer.components()[i];
+    emit_comma();
+    os << "{\"ph\":\"M\",\"pid\":" << pid_of(c.cat) << ",\"tid\":" << (i + 1)
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+       << json_escape(c.name) << "\"}}";
+  }
+
+  for (const auto& e : events) {
+    emit_comma();
+    const char* name = e.name != nullptr ? e.name : "?";
+    os << "{\"pid\":" << pid_of(e.cat) << ",\"tid\":" << e.component
+       << ",\"name\":\"" << json_escape(name) << "\",\"cat\":\""
+       << to_string(e.cat) << "\",\"ts\":" << us_of_ps(e.t_ps);
+    switch (e.kind) {
+      case Event::Kind::span:
+        os << ",\"ph\":\"X\",\"dur\":" << us_of_ps(e.dur_ps) << "}";
+        break;
+      case Event::Kind::instant:
+        os << ",\"ph\":\"i\",\"s\":\"t\",\"args\":{\"value\":" << e.value
+           << "}}";
+        break;
+      case Event::Kind::counter:
+        os << ",\"ph\":\"C\",\"args\":{\"value\":" << e.value << "}}";
+        break;
+    }
+  }
+  os << "\n]}\n";
+}
+
+void write_counters_csv(std::ostream& os, const Tracer& tracer,
+                        const std::vector<Event>& events) {
+  os << "t_us,category,component,name,value\n";
+  for (const auto& e : events) {
+    if (e.kind != Event::Kind::counter) continue;
+    const std::string comp =
+        e.component >= 1 && e.component <= tracer.components().size()
+            ? tracer.components()[e.component - 1].name
+            : std::to_string(e.component);
+    os << us_of_ps(e.t_ps) << "," << to_string(e.cat) << "," << comp << ","
+       << (e.name != nullptr ? e.name : "?") << "," << e.value << "\n";
+  }
+}
+
+}  // namespace icsim::trace

@@ -1,0 +1,29 @@
+#pragma once
+// Trace exporters.
+//
+//   * write_chrome_trace — the Chrome/Perfetto "trace event" JSON format
+//     (open in https://ui.perfetto.dev or chrome://tracing).  Simulated
+//     picoseconds become trace microseconds; each Category becomes a
+//     process, each registered component a named thread, so the timeline
+//     reads top-down as the layer diagram: mpi -> hca/tports -> links.
+//   * write_counters_csv — every counter event as one flat CSV row, for
+//     plotting utilization/queue-depth series without a trace viewer.
+//
+// Both take the event list (a RingBufferSink snapshot) plus the Tracer for
+// the component table.
+
+#include <ostream>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "trace/tracer.hpp"
+
+namespace icsim::trace {
+
+void write_chrome_trace(std::ostream& os, const Tracer& tracer,
+                        const std::vector<Event>& events);
+
+void write_counters_csv(std::ostream& os, const Tracer& tracer,
+                        const std::vector<Event>& events);
+
+}  // namespace icsim::trace

@@ -1,0 +1,74 @@
+#include "trace/metrics.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace icsim::trace {
+
+namespace {
+
+/// %g prints doubles compactly but never as bare "inf"/"nan" (invalid
+/// JSON); empty accumulators report zeros upstream so this is a backstop.
+void put_double(std::ostringstream& os, double v) {
+  if (v != v || v > 1e308 || v < -1e308) {
+    os << "0";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  os << buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters_) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": " << v;
+    first = false;
+  }
+  os << "\n  },\n  \"stats\": {";
+  first = true;
+  for (const auto& [name, s] : stats_) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": {\"count\": "
+       << s.count() << ", \"mean\": ";
+    put_double(os, s.mean());
+    os << ", \"min\": ";
+    put_double(os, s.min());
+    os << ", \"max\": ";
+    put_double(os, s.max());
+    os << ", \"stddev\": ";
+    put_double(os, s.stddev());
+    os << ", \"sum\": ";
+    put_double(os, s.sum());
+    os << "}";
+    first = false;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": {\"total\": "
+       << h.total() << ", \"lo\": ";
+    put_double(os, h.lo());
+    os << ", \"hi\": ";
+    put_double(os, h.hi());
+    os << ", \"p50\": ";
+    put_double(os, h.quantile(0.5));
+    os << ", \"p90\": ";
+    put_double(os, h.quantile(0.9));
+    os << ", \"p99\": ";
+    put_double(os, h.quantile(0.99));
+    os << ", \"buckets\": [";
+    for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+      os << (i ? "," : "") << h.buckets()[i];
+    }
+    os << "]}";
+    first = false;
+  }
+  os << "\n  }\n}\n";
+  return os.str();
+}
+
+}  // namespace icsim::trace

@@ -1,0 +1,63 @@
+#pragma once
+// End-of-run aggregate metrics.
+//
+// A MetricsRegistry holds named counters, RunningStat accumulators and
+// Histograms (reusing sim/stats.hpp) and serializes them as one JSON
+// object.  Lookup by name is a map walk, so instrumented code should call
+// counter()/stat() once and cache the returned reference — references are
+// stable for the registry's lifetime (node-based containers).
+//
+// Unlike trace events, metrics are always collected: they are a handful of
+// O(1) accumulators whose cost is invisible next to the event-queue work,
+// and they give every run (traced or not) a machine-readable summary.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/stats.hpp"  // header-only: RunningStat, Histogram
+
+namespace icsim::trace {
+
+class MetricsRegistry {
+ public:
+  /// Monotonic counter, created at zero on first use.
+  [[nodiscard]] std::uint64_t& counter(const std::string& name) {
+    return counters_[name];
+  }
+
+  /// Streaming mean/min/max/stddev accumulator, created empty on first use.
+  [[nodiscard]] sim::RunningStat& stat(const std::string& name) {
+    return stats_[name];
+  }
+
+  /// Fixed-bucket histogram; [lo, hi) and bucket count apply only on first
+  /// use — later calls with the same name return the existing instance.
+  [[nodiscard]] sim::Histogram& histogram(const std::string& name, double lo,
+                                          double hi, std::size_t buckets) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(name, sim::Histogram(lo, hi, buckets)).first;
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, sim::RunningStat>& stats() const {
+    return stats_;
+  }
+
+  /// Serialize everything as a JSON object:
+  ///   { "counters": {...}, "stats": {name: {count,mean,min,max,stddev,sum}},
+  ///     "histograms": {name: {total, p50, p90, p99, buckets: [...]}} }
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, sim::RunningStat> stats_;
+  std::map<std::string, sim::Histogram> histograms_;
+};
+
+}  // namespace icsim::trace

@@ -1,0 +1,58 @@
+#pragma once
+// Instrumentation helpers for model code.
+//
+// Every macro is gated on the engine's tracer being enabled, so a disabled
+// run pays exactly one well-predicted branch per site; defining
+// ICSIM_TRACE_DISABLE at compile time removes even that.  Times are
+// sim::Time; conversion to raw picoseconds happens inside the macro.
+//
+// Usage pattern (component ids are lazily self-registered):
+//
+//   std::uint32_t trace_id_ = 0;   // member of the instrumented class
+//   ...
+//   ICSIM_TRACE_WITH(engine_, tr) {
+//     if (trace_id_ == 0)
+//       trace_id_ = tr.register_component(trace::Category::hca, "hca3");
+//     tr.span(trace::Category::hca, trace_id_, "rdma_write", t0, t1);
+//   }
+
+#include "sim/engine.hpp"
+#include "trace/tracer.hpp"
+
+namespace icsim::trace {
+
+/// Picoseconds of a sim::Time (macro glue).
+[[nodiscard]] inline std::int64_t ps(sim::Time t) { return t.picoseconds(); }
+
+}  // namespace icsim::trace
+
+#ifdef ICSIM_TRACE_DISABLE
+#define ICSIM_TRACE_WITH(engine, tr) \
+  if constexpr (false)               \
+    for (auto& tr = (engine).tracer(); false;)
+#else
+/// Open a block that runs only while tracing is enabled, with `tr` bound to
+/// the engine's tracer:  ICSIM_TRACE_WITH(engine_, tr) { tr.instant(...); }
+#define ICSIM_TRACE_WITH(engine, tr)                             \
+  if (auto& tr = (engine).tracer(); !tr.enabled()) { /* skip */  \
+  } else
+#endif
+
+/// One-line helpers for the common cases.  `t0`/`t1` are sim::Time.
+#define ICSIM_TRACE_SPAN(engine, cat, comp, name, t0, t1)                     \
+  ICSIM_TRACE_WITH(engine, icsim_tr_) {                                       \
+    icsim_tr_.span((cat), (comp), (name), ::icsim::trace::ps(t0),             \
+                   ::icsim::trace::ps(t1));                                   \
+  }
+
+#define ICSIM_TRACE_INSTANT(engine, cat, comp, name, value)                   \
+  ICSIM_TRACE_WITH(engine, icsim_tr_) {                                       \
+    icsim_tr_.instant((cat), (comp), (name),                                  \
+                      ::icsim::trace::ps((engine).now()), (value));           \
+  }
+
+#define ICSIM_TRACE_COUNTER(engine, cat, comp, name, value)                   \
+  ICSIM_TRACE_WITH(engine, icsim_tr_) {                                       \
+    icsim_tr_.counter((cat), (comp), (name),                                  \
+                      ::icsim::trace::ps((engine).now()), (value));           \
+  }

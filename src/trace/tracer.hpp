@@ -1,0 +1,104 @@
+#pragma once
+// The recording front-end instrumented code talks to.
+//
+// A Tracer is owned by the sim::Engine, so every model component that holds
+// an engine reference can emit events without extra plumbing.  Design rules:
+//
+//   * disabled is the common case and must cost one predictable branch —
+//     all record helpers are inline and gated on `enabled()`;
+//   * components name themselves once via register_component() and store
+//     the returned id (a small integer, 0 = unregistered);
+//   * event recording takes raw picoseconds so this library never links
+//     against the engine (only the header-only stats/event types).
+//
+// The MetricsRegistry lives here too: metrics are always on (cheap
+// accumulators), trace *events* only flow while a sink is installed.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "trace/metrics.hpp"
+#include "trace/sink.hpp"
+
+namespace icsim::trace {
+
+/// A named timeline ("thread" in the Chrome trace): one NIC, one directed
+/// link, one MPI rank...
+struct Component {
+  Category cat = Category::engine;
+  std::string name;
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  [[nodiscard]] bool enabled() const { return sink_ != nullptr; }
+
+  /// Install a sink and start recording.  The sink is borrowed, not owned;
+  /// it must outlive the tracer or a later disable() call.
+  void enable(TraceSink& sink) { sink_ = &sink; }
+  void disable() { sink_ = nullptr; }
+
+  /// Register a timeline and get its id (>= 1; 0 means "not registered").
+  /// Components do this lazily on their first event so an untraced run
+  /// never builds the table.
+  std::uint32_t register_component(Category cat, std::string name) {
+    components_.push_back(Component{cat, std::move(name)});
+    return static_cast<std::uint32_t>(components_.size());
+  }
+  [[nodiscard]] const std::vector<Component>& components() const {
+    return components_;
+  }
+
+  /// Complete slice [t0_ps, t1_ps) on `comp`.  Call only when enabled().
+  void span(Category cat, std::uint32_t comp, const char* name,
+            std::int64_t t0_ps, std::int64_t t1_ps) {
+    Event e;
+    e.kind = Event::Kind::span;
+    e.cat = cat;
+    e.component = comp;
+    e.name = name;
+    e.t_ps = t0_ps;
+    e.dur_ps = t1_ps > t0_ps ? t1_ps - t0_ps : 0;
+    sink_->record(e);
+  }
+
+  void instant(Category cat, std::uint32_t comp, const char* name,
+               std::int64_t t_ps, double value = 0.0) {
+    Event e;
+    e.kind = Event::Kind::instant;
+    e.cat = cat;
+    e.component = comp;
+    e.name = name;
+    e.t_ps = t_ps;
+    e.value = value;
+    sink_->record(e);
+  }
+
+  void counter(Category cat, std::uint32_t comp, const char* name,
+               std::int64_t t_ps, double value) {
+    Event e;
+    e.kind = Event::Kind::counter;
+    e.cat = cat;
+    e.component = comp;
+    e.name = name;
+    e.t_ps = t_ps;
+    e.value = value;
+    sink_->record(e);
+  }
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+
+ private:
+  TraceSink* sink_ = nullptr;
+  std::vector<Component> components_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace icsim::trace

@@ -70,11 +70,37 @@ TEST(Engine, EventsMayScheduleMoreEvents) {
   EXPECT_EQ(e.now(), Time::us(10));
 }
 
-TEST(Engine, SchedulingInThePastThrows) {
+TEST(Engine, SchedulingInThePastClampsToNowAndCounts) {
   Engine e;
   e.schedule_at(Time::us(2), [] {});
   e.run();
-  EXPECT_THROW(e.schedule_at(Time::us(1), [] {}), std::invalid_argument);
+  EXPECT_EQ(e.past_schedules_clamped(), 0u);
+  bool fired = false;
+  Time fired_at = Time::zero();
+  e.schedule_at(Time::us(1), [&] {
+    fired = true;
+    fired_at = e.now();
+  });
+  e.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(fired_at, Time::us(2));  // clamped to now(), not back in time
+  EXPECT_EQ(e.past_schedules_clamped(), 1u);
+  EXPECT_EQ(e.tracer().metrics().counter("sim.schedule_past_clamped"), 1u);
+
+  e.post_at(Time::us(1), [] {});  // fast path clamps and counts too
+  e.run();
+  EXPECT_EQ(e.past_schedules_clamped(), 2u);
+}
+
+TEST(Engine, PostedEventsInterleaveWithScheduledInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(Time::us(3), [&] { order.push_back(3); });
+  e.post_at(Time::us(1), [&] { order.push_back(1); });
+  e.post_in(Time::us(2), [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.events_processed(), 3u);
 }
 
 TEST(Engine, CancelledEventDoesNotFire) {

@@ -54,5 +54,61 @@ TEST(Histogram, QuantileMonotone) {
   EXPECT_NEAR(h.quantile(0.99), 99.0, 2.0);
 }
 
+TEST(RunningStat, NegativeAndMixedSigns) {
+  RunningStat s;
+  for (double v : {-5.0, -1.0, 1.0, 5.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStat, ConstantSamplesHaveZeroVariance) {
+  RunningStat s;
+  for (int i = 0; i < 1000; ++i) s.add(7.25);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.25);
+  EXPECT_NEAR(s.variance(), 0.0, 1e-12);
+}
+
+TEST(Histogram, EmptyQuantileReturnsBounds) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_EQ(h.total(), 0u);
+  // No samples: any quantile lands on a bucket edge within [lo, hi].
+  const double q = h.quantile(0.5);
+  EXPECT_GE(q, h.lo());
+  EXPECT_LE(q, h.hi());
+}
+
+TEST(Histogram, QuantileExtremes) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(5.0);  // all in one bucket
+  const double lo_q = h.quantile(0.0);
+  const double hi_q = h.quantile(1.0);
+  EXPECT_LE(lo_q, hi_q);
+  EXPECT_GE(lo_q, 0.0);
+  EXPECT_LE(hi_q, 10.0);
+  // Every sample is 5.0, so any mass quantile is the bucket containing it.
+  EXPECT_NEAR(h.quantile(0.5), 6.0, 1.0);  // upper edge of bucket [5,6)
+}
+
+TEST(Histogram, SingleBucketDegenerateRange) {
+  Histogram h(0.0, 1.0, 1);
+  h.add(0.0);
+  h.add(0.5);
+  h.add(2.0);  // clamps
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.buckets()[0], 3u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+}
+
+TEST(Histogram, BoundaryValuesLandInExpectedBuckets) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);            // first bucket
+  h.add(10.0);           // at hi: clamps into last bucket
+  h.add(9.9999999);      // last bucket
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[9], 2u);
+}
+
 }  // namespace
 }  // namespace icsim::sim
