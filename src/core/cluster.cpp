@@ -70,6 +70,17 @@ Cluster::Cluster(const ClusterConfig& config) : cfg_(config) {
     trace_sink_ = std::make_unique<trace::RingBufferSink>(events);
     engine_.tracer().enable(*trace_sink_);
   }
+  if (cfg_.faults.empty()) {
+    if (const char* env = std::getenv("ICSIM_FAULTS");
+        env != nullptr && *env != '\0') {
+      cfg_.faults = fault::FaultPlan::parse(env);
+    }
+  }
+  if (cfg_.faults.watchdog > sim::Time::zero()) {
+    cfg_.mvapich.watchdog_timeout = cfg_.faults.watchdog;
+    cfg_.quadrics.watchdog_timeout = cfg_.faults.watchdog;
+  }
+
   const net::FabricConfig fabric_cfg =
       cfg_.network == Network::infiniband ? ib_fabric(cfg_.nodes)
       : cfg_.network == Network::quadrics ? elan_fabric(cfg_.nodes)
@@ -78,6 +89,16 @@ Cluster::Cluster(const ClusterConfig& config) : cfg_(config) {
 
   for (int n = 0; n < cfg_.nodes; ++n) {
     nodes_.push_back(std::make_unique<node::Node>(engine_, n, cfg_.node));
+  }
+
+  if (!cfg_.faults.empty()) {
+    injector_ =
+        std::make_unique<fault::FaultInjector>(engine_, cfg_.faults, cfg_.seed);
+    injector_->install(*fabric_);
+    std::vector<node::Node*> node_ptrs;
+    node_ptrs.reserve(nodes_.size());
+    for (auto& n : nodes_) node_ptrs.push_back(n.get());
+    injector_->install_node_stalls(node_ptrs);
   }
 
   const int nranks = ranks();
@@ -151,8 +172,14 @@ Cluster::RunStats Cluster::stats() const {
   s.fabric_chunks = fabric_->chunks_sent();
   s.max_link_busy_us = fabric_->max_link_busy_time().to_us();
   s.events_processed = engine_.events_processed();
+  s.chunks_corrupted = fabric_->chunks_corrupted();
+  s.chunks_rerouted = fabric_->chunks_rerouted();
+  s.chunks_dropped_link_down = fabric_->chunks_dropped_link_down();
   for (const auto& hca : hcas_) {
     s.hca_writes += hca->writes_posted();
+    s.rc_retries += hca->rc_retries();
+    s.rc_retry_exhausted += hca->rc_retry_exhausted();
+    s.retransmitted_bytes += hca->retransmitted_bytes();
     const auto& rc = hca->reg_cache().stats();
     s.reg_hits += rc.hits;
     s.reg_misses += rc.misses;
@@ -163,7 +190,11 @@ Cluster::RunStats Cluster::stats() const {
         std::max(s.nic_buffer_high_water, nic->nic_buffer_high_water());
     s.nic_thread_busy_us =
         std::max(s.nic_thread_busy_us, nic->nic_thread().busy_time().to_us());
+    s.elan_link_retries += nic->link_retries();
+    s.elan_link_retry_exhausted += nic->link_retry_exhausted();
   }
+  for (const auto& t : mv_transports_) s.watchdog_timeouts += t->watchdog_timeouts();
+  for (const auto& t : qs_transports_) s.watchdog_timeouts += t->watchdog_timeouts();
   return s;
 }
 
@@ -183,6 +214,15 @@ void Cluster::publish_metrics(trace::MetricsRegistry& m, sim::Time elapsed) cons
       misses += rc.misses;
       evictions += rc.evictions;
     }
+    std::uint64_t retries = 0, exhausted = 0, rebytes = 0;
+    for (const auto& hca : hcas_) {
+      retries += hca->rc_retries();
+      exhausted += hca->rc_retry_exhausted();
+      rebytes += hca->retransmitted_bytes();
+    }
+    m.counter("ib.rc_retries") = retries;
+    m.counter("ib.rc_retry_exhausted") = exhausted;
+    m.counter("ib.retransmitted_bytes") = rebytes;
     m.counter("ib.hca.writes") = writes;
     m.counter("ib.regcache.hits") = hits;
     m.counter("ib.regcache.misses") = misses;
@@ -203,6 +243,13 @@ void Cluster::publish_metrics(trace::MetricsRegistry& m, sim::Time elapsed) cons
       high_water = std::max(high_water, nic->nic_buffer_high_water());
       nic_busy = std::max(nic_busy, nic->nic_thread().busy_time().to_us());
     }
+    std::uint64_t retries = 0, exhausted = 0;
+    for (const auto& nic : elan_nics_) {
+      retries += nic->link_retries();
+      exhausted += nic->link_retry_exhausted();
+    }
+    m.counter("elan.link_retries") = retries;
+    m.counter("elan.link_retry_exhausted") = exhausted;
     m.counter("elan.nic_buffer_high_water") = high_water;
     m.stat("elan.nic_thread_busy_us").add(nic_busy);
     auto& uq = m.stat("elan.max_unexpected_depth");
@@ -211,6 +258,11 @@ void Cluster::publish_metrics(trace::MetricsRegistry& m, sim::Time elapsed) cons
           elan_world_.nic_of_rank[r]->max_unexpected_depth(static_cast<int>(r))));
     }
   }
+  std::uint64_t wd = 0;
+  for (const auto& t : mv_transports_) wd += t->watchdog_timeouts();
+  for (const auto& t : qs_transports_) wd += t->watchdog_timeouts();
+  m.counter("mpi.watchdog_timeouts") = wd;
+  if (injector_) injector_->publish_metrics(m);
 }
 
 void Cluster::write_trace_files(sim::Time elapsed) {

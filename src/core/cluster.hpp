@@ -13,6 +13,8 @@
 
 #include "core/calibration.hpp"
 #include "elan/tports.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
 #include "ib/hca.hpp"
 #include "mpi/mpi.hpp"
 #include "mpi/mvapich_transport.hpp"
@@ -62,6 +64,11 @@ struct ClusterConfig {
   /// Ring-buffer capacity in events (newest kept); `ICSIM_TRACE_EVENTS`
   /// overrides when the path came from the environment.
   std::size_t trace_events = 1u << 20;
+  /// Fault plan to install on the fabric (see fault/plan.hpp).  Left empty,
+  /// the `ICSIM_FAULTS` environment variable is parsed instead, so any bench
+  /// or example can run on a degraded fabric without a rebuild.  The plan's
+  /// `watchdog` field, when set, arms both transports' watchdog timeouts.
+  fault::FaultPlan faults;
 };
 
 [[nodiscard]] inline ClusterConfig ib_cluster(int nodes, int ppn = 1) {
@@ -119,8 +126,23 @@ class Cluster {
     // Quadrics side:
     std::uint64_t nic_buffer_high_water = 0;  ///< unexpected bytes in SDRAM
     double nic_thread_busy_us = 0.0;          ///< busiest NIC thread
+    // Fault/reliability (all zero on a clean fabric):
+    std::uint64_t chunks_corrupted = 0;       ///< CRC-dropped wire chunks
+    std::uint64_t chunks_rerouted = 0;        ///< took a non-default climb
+    std::uint64_t chunks_dropped_link_down = 0;
+    std::uint64_t rc_retries = 0;             ///< IB RC retransmissions
+    std::uint64_t rc_retry_exhausted = 0;     ///< IB writes that gave up
+    std::uint64_t retransmitted_bytes = 0;    ///< IB retransmission payload
+    std::uint64_t elan_link_retries = 0;      ///< Elan hardware link retries
+    std::uint64_t elan_link_retry_exhausted = 0;
+    std::uint64_t watchdog_timeouts = 0;      ///< failed blocking waits
   };
   [[nodiscard]] RunStats stats() const;
+
+  /// The installed fault injector, or nullptr when the plan is empty.
+  [[nodiscard]] const fault::FaultInjector* injector() const {
+    return injector_.get();
+  }
 
   /// Fold end-of-run aggregates (link utilization, reg-cache hit rate,
   /// matcher queue depths, engine counters) into a metrics registry.
@@ -135,6 +157,7 @@ class Cluster {
   std::unique_ptr<trace::RingBufferSink> trace_sink_;
   std::string trace_path_;  ///< resolved output path ("" = tracing off)
   std::unique_ptr<net::Fabric> fabric_;
+  std::unique_ptr<fault::FaultInjector> injector_;
   std::vector<std::unique_ptr<node::Node>> nodes_;
   // InfiniBand stack:
   std::vector<std::unique_ptr<ib::Hca>> hcas_;

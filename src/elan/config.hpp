@@ -45,6 +45,15 @@ struct ElanConfig {
   std::uint32_t get_threshold = 32768;
   /// Wire size of an envelope-only (get-mode) message or control packet.
   std::uint32_t ctrl_bytes = 64;
+
+  /// Hardware link-level recovery: QsNetII CRC-checks every packet at each
+  /// link stage and the sending link retransmits from its own buffer after
+  /// a short turnaround — no host or NIC-thread involvement, which is why
+  /// Elan rides out lossy links far more cheaply than the IB RC timeout
+  /// path.  After link_retry_limit attempts the packet is abandoned (a real
+  /// Elan would raise a network error to the kernel).
+  sim::Time link_retry_delay = sim::Time::us(0.5);
+  int link_retry_limit = 15;
 };
 
 }  // namespace icsim::elan

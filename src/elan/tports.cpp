@@ -123,9 +123,45 @@ void ElanNic::wire_chunk(const MsgPtr& msg, std::uint32_t payload_bytes,
   if (msg->dst->host_.id() == host_.id()) {
     engine_.post_in(cfg_.loopback_latency, std::move(deliver));
   } else {
-    fabric_->inject(host_.id(), msg->dst->host_.id(), wire_bytes,
-                    std::move(deliver));
+    fabric_send(host_.id(), msg->dst->host_.id(), wire_bytes, /*attempt=*/0,
+                std::move(deliver));
   }
+}
+
+void ElanNic::fabric_send(int from_node, int to_node, std::uint32_t wire_bytes,
+                          int attempt, std::function<void()> deliver) {
+  fabric_->inject(
+      from_node, to_node, wire_bytes,
+      [this, from_node, to_node, wire_bytes, attempt,
+       deliver = std::move(deliver)](net::DeliveryStatus st) mutable {
+        if (st == net::DeliveryStatus::delivered) {
+          if (deliver) deliver();
+          return;
+        }
+        if (attempt >= cfg_.link_retry_limit) {
+          ++link_retry_exhausted_;
+          ICSIM_TRACE_WITH(engine_, tr) {
+            tr.instant(trace::Category::tports, trace_component(),
+                       "link_retry_exhausted", engine_.now().picoseconds());
+          }
+          return;
+        }
+        ++link_retries_;
+        ICSIM_TRACE_WITH(engine_, tr) {
+          tr.instant(trace::Category::tports, trace_component(), "link_retry",
+                     engine_.now().picoseconds(),
+                     static_cast<double>(attempt + 1));
+        }
+        // Retransmit from the link buffer — no host DMA re-read; the fresh
+        // inject() recomputes the route, so a failed link is avoided on the
+        // very next attempt.
+        engine_.post_in(cfg_.link_retry_delay,
+                        [this, from_node, to_node, wire_bytes, attempt,
+                         deliver = std::move(deliver)]() mutable {
+                          fabric_send(from_node, to_node, wire_bytes,
+                                      attempt + 1, std::move(deliver));
+                        });
+      });
 }
 
 std::uint32_t ElanNic::trace_component() {
@@ -276,8 +312,8 @@ void ElanNic::start_get(const MsgPtr& msg) {
   if (src->host_.id() == dst->host_.id()) {
     engine_.post_in(cfg_.loopback_latency, issue_pull);
   } else {
-    fabric_->inject(dst->host_.id(), src->host_.id(), cfg_.ctrl_bytes,
-                    std::move(issue_pull));
+    fabric_send(dst->host_.id(), src->host_.id(), cfg_.ctrl_bytes,
+                /*attempt=*/0, std::move(issue_pull));
   }
 }
 

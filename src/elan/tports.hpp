@@ -92,6 +92,13 @@ class ElanNic {
   [[nodiscard]] std::size_t posted_depth(int rank) const;
   [[nodiscard]] std::size_t max_unexpected_depth(int rank) const;
 
+  /// Packets this NIC's egress link retransmitted after a CRC drop.
+  [[nodiscard]] std::uint64_t link_retries() const { return link_retries_; }
+  /// Packets abandoned after the hardware retry budget (network error).
+  [[nodiscard]] std::uint64_t link_retry_exhausted() const {
+    return link_retry_exhausted_;
+  }
+
  private:
   enum class Mode { eager, get };
 
@@ -131,6 +138,11 @@ class ElanNic {
                                sim::Time not_before, bool completes_tx);
   void wire_chunk(const MsgPtr& msg, std::uint32_t payload_bytes,
                   bool is_envelope);
+  /// Inject with hardware link-level retry: a packet dropped by a CRC check
+  /// (or a just-failed link) is retransmitted from the link buffer after
+  /// `link_retry_delay`, re-routing around downed links on each attempt.
+  void fabric_send(int from_node, int to_node, std::uint32_t wire_bytes,
+                   int attempt, std::function<void()> deliver);
   void on_envelope(const MsgPtr& msg);  // runs on dst NIC
   void on_data_chunk(const MsgPtr& msg, std::uint32_t bytes);
   void dma_chunk_to_host(const MsgPtr& msg, std::uint64_t bytes);
@@ -157,6 +169,8 @@ class ElanNic {
   std::uint64_t next_id_ = 1;
   std::uint64_t buf_used_ = 0;
   std::uint64_t buf_high_water_ = 0;
+  std::uint64_t link_retries_ = 0;
+  std::uint64_t link_retry_exhausted_ = 0;
   /// Instant after which a new envelope may enter the wire: the latest
   /// point at which bytes of earlier messages left host memory.  Keeps
   /// inline/get envelopes (which carry no bulk DMA) from overtaking the

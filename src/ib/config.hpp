@@ -46,6 +46,16 @@ struct HcaConfig {
 
   /// One-time cost to bring up a reliable-connection queue pair.
   sim::Time qp_connect_cost = sim::Time::us(80.0);
+
+  /// Reliable-connection recovery.  A packet train dropped by a link-level
+  /// CRC check (or swallowed by a dead link) is detected by the requester's
+  /// transport timer and retransmitted: attempt n waits
+  /// rc_timeout * rc_backoff^n, and after rc_retry_limit retransmissions the
+  /// QP errors out (surfaced via attach_error).  Magnitudes follow the IBTA
+  /// Local Ack Timeout / Retry Count model at 2004-era firmware defaults.
+  sim::Time rc_timeout = sim::Time::us(20.0);
+  double rc_backoff = 2.0;
+  int rc_retry_limit = 7;
 };
 
 }  // namespace icsim::ib

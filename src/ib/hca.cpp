@@ -1,6 +1,7 @@
 #include "ib/hca.hpp"
 
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -29,6 +30,10 @@ Hca::Hca(sim::Engine& engine, node::Node& host, net::Fabric* fabric,
 
 void Hca::attach(int endpoint, Handler handler) {
   handlers_[endpoint] = std::move(handler);
+}
+
+void Hca::attach_error(int endpoint, Handler handler) {
+  error_handlers_[endpoint] = std::move(handler);
 }
 
 sim::Time Hca::connect(int local_ep, const Hca* remote_hca, int remote_ep) {
@@ -76,20 +81,12 @@ void Hca::start_dma_chain(const std::shared_ptr<InFlight>& msg,
     host_.dma(chunk, [this, msg, chunk, last,
                       cb = last ? std::move(on_local_complete)
                                 : std::function<void()>{}]() mutable {
-      Hca& dst = *msg->dst;
-      if (&dst == this) {
-        // Loopback: HCA turns the data around; it re-crosses PCI-X on the
-        // way back into host memory.
-        engine_.post_in(cfg_.loopback_latency, [this, msg, chunk] {
-          chunk_arrived_at_dst(msg, chunk);
-        });
-      } else {
-        fabric_->inject(host_.id(), dst.host_.id(), chunk,
-                        [msg, chunk] { msg->dst->chunk_arrived_at_dst(msg, chunk); });
-      }
+      send_chunk_to_wire(msg, chunk, /*attempt=*/0);
       if (last && cb) {
         // Send buffer is reusable once the last byte left host memory;
-        // completion surfaces after CQE processing on the HCA.
+        // completion surfaces after CQE processing on the HCA.  (A lossy
+        // fabric may still be retransmitting from the HCA's retry state at
+        // this point; we do not model the extra buffer hold.)
         ICSIM_TRACE_WITH(engine_, tr) {
           tr.span(trace::Category::hca, trace_component(), "dma_out",
                   msg->t_post.picoseconds(), engine_.now().picoseconds());
@@ -98,6 +95,57 @@ void Hca::start_dma_chain(const std::shared_ptr<InFlight>& msg,
       }
     });
   }
+}
+
+void Hca::send_chunk_to_wire(const std::shared_ptr<InFlight>& msg,
+                             std::uint32_t chunk_bytes, int attempt) {
+  Hca& dst = *msg->dst;
+  if (&dst == this) {
+    // Loopback: HCA turns the data around; it re-crosses PCI-X on the
+    // way back into host memory.  Never touches the fabric, never fails.
+    engine_.post_in(cfg_.loopback_latency, [this, msg, chunk_bytes] {
+      chunk_arrived_at_dst(msg, chunk_bytes);
+    });
+    return;
+  }
+  fabric_->inject(host_.id(), dst.host_.id(), chunk_bytes,
+                  [this, msg, chunk_bytes, attempt](net::DeliveryStatus st) {
+                    if (st == net::DeliveryStatus::delivered) {
+                      msg->dst->chunk_arrived_at_dst(msg, chunk_bytes);
+                    } else {
+                      retry_chunk(msg, chunk_bytes, attempt);
+                    }
+                  });
+}
+
+void Hca::retry_chunk(const std::shared_ptr<InFlight>& msg,
+                      std::uint32_t chunk_bytes, int attempt) {
+  // The requester never hears an ACK for the dropped packets; its transport
+  // timer expires and it retransmits the chunk, backing off exponentially.
+  if (attempt >= cfg_.rc_retry_limit) {
+    ++rc_exhausted_;
+    ICSIM_TRACE_WITH(engine_, tr) {
+      tr.instant(trace::Category::hca, trace_component(), "rc_retry_exhausted",
+                 engine_.now().picoseconds());
+    }
+    auto it = error_handlers_.find(msg->delivery.src_ep);
+    if (it != error_handlers_.end()) it->second(msg->delivery);
+    return;
+  }
+  ++rc_retries_;
+  retransmitted_bytes_ += chunk_bytes;
+  const sim::Time wait = sim::Time::sec(cfg_.rc_timeout.to_seconds() *
+                                        std::pow(cfg_.rc_backoff, attempt));
+  ICSIM_TRACE_WITH(engine_, tr) {
+    tr.instant(trace::Category::hca, trace_component(), "rc_retry",
+               engine_.now().picoseconds(), static_cast<double>(attempt + 1));
+  }
+  engine_.post_in(wait, [this, msg, chunk_bytes, attempt] {
+    // Retransmission re-reads the chunk from host memory over PCI-X.
+    host_.dma(chunk_bytes, [this, msg, chunk_bytes, attempt] {
+      send_chunk_to_wire(msg, chunk_bytes, attempt + 1);
+    });
+  });
 }
 
 void Hca::chunk_arrived_at_dst(const std::shared_ptr<InFlight>& msg,

@@ -51,6 +51,13 @@ class Hca {
   /// Register the delivery handler for a local endpoint (rank).
   void attach(int endpoint, Handler handler);
 
+  /// Register the transport-error handler for a local *sending* endpoint:
+  /// fires when a write burns through the whole RC retry budget (the real
+  /// HCA would move the QP to the error state and complete the WQE with a
+  /// retry-exceeded status).  Optional; without one, exhaustion is only
+  /// counted.
+  void attach_error(int endpoint, Handler handler);
+
   /// Establish the reliable connection to a remote endpoint.  Returns the
   /// host time the connection setup costs (charged by the transport during
   /// init).  Calling rdma_write without connecting first throws.
@@ -70,6 +77,17 @@ class Hca {
   [[nodiscard]] std::uint64_t writes_posted() const { return writes_; }
   [[nodiscard]] sim::FifoResource& processor() { return processor_; }
 
+  /// Chunks retransmitted after an RC transport timeout.
+  [[nodiscard]] std::uint64_t rc_retries() const { return rc_retries_; }
+  /// Bytes carried by those retransmissions.
+  [[nodiscard]] std::uint64_t retransmitted_bytes() const {
+    return retransmitted_bytes_;
+  }
+  /// Writes that exhausted the retry budget (QP would enter error state).
+  [[nodiscard]] std::uint64_t rc_retry_exhausted() const {
+    return rc_exhausted_;
+  }
+
  private:
   struct InFlight {
     Delivery delivery;
@@ -84,6 +102,10 @@ class Hca {
 
   void start_dma_chain(const std::shared_ptr<InFlight>& msg, std::uint64_t bytes,
                        std::function<void()> on_local_complete);
+  void send_chunk_to_wire(const std::shared_ptr<InFlight>& msg,
+                          std::uint32_t chunk_bytes, int attempt);
+  void retry_chunk(const std::shared_ptr<InFlight>& msg,
+                   std::uint32_t chunk_bytes, int attempt);
   void chunk_arrived_at_dst(const std::shared_ptr<InFlight>& msg,
                             std::uint32_t chunk_bytes);
 
@@ -94,8 +116,12 @@ class Hca {
   sim::FifoResource processor_;
   RegistrationCache reg_cache_;
   std::unordered_map<int, Handler> handlers_;
+  std::unordered_map<int, Handler> error_handlers_;
   std::unordered_map<std::uint64_t, bool> qp_up_;
   std::uint64_t writes_ = 0;
+  std::uint64_t rc_retries_ = 0;
+  std::uint64_t retransmitted_bytes_ = 0;
+  std::uint64_t rc_exhausted_ = 0;
   std::uint32_t trace_id_ = 0;
 };
 

@@ -455,19 +455,49 @@ void MvapichTransport::handle_rndv_data(const WireMsgPtr& m) {
 // ------------------------------------------------------------ completion
 
 void MvapichTransport::wait(RequestState& req) {
+  const bool watchdog = cfg_.watchdog_timeout > sim::Time::zero();
   if (cfg_.independent_progress) {
     // Ablation mode: the service fiber drives the protocol; waiting is a
     // sleep on the completion event, as on an offloaded NIC.
     progress();
-    if (!req.complete) req.trigger.wait();
+    if (!req.complete) {
+      if (watchdog) {
+        sim::EventHandle wd =
+            engine_.schedule_in(cfg_.watchdog_timeout, [this, &req] {
+              if (!req.complete) {
+                ++watchdog_timeouts_;
+                req.fail();
+              }
+            });
+        req.trigger.wait();
+        wd.cancel();  // immediate cancel keeps the &req capture safe
+      } else {
+        req.trigger.wait();
+      }
+    }
     return;
   }
   progress();
+  const sim::Time deadline = engine_.now() + cfg_.watchdog_timeout;
   while (!req.complete) {
+    if (watchdog && engine_.now() >= deadline) {
+      ++watchdog_timeouts_;
+      req.fail();
+      break;
+    }
     blocked_ = sim::Fiber::current();
     assert(blocked_ != nullptr);
+    sim::EventHandle wake;
+    if (watchdog) {
+      // Make sure the spin loop regains control at the deadline even if no
+      // delivery ever arrives to wake it.
+      wake = engine_.schedule_at(deadline, [this] {
+        if (blocked_ != nullptr) blocked_->resume();
+      });
+    }
     sim::Fiber::yield();
     blocked_ = nullptr;
+    wake.cancel();
     progress();
   }
 }

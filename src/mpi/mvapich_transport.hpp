@@ -56,6 +56,11 @@ struct MvapichConfig {
   /// MPIs of the day lacked (Section 3.3.3); enabling it isolates how much
   /// of the application gap that one property explains.
   bool independent_progress = false;
+  /// Watchdog for blocking waits: when nonzero, a wait that sees no
+  /// completion for this long fails the request (RequestState::fail) and
+  /// counts a timeout instead of blocking the fiber forever.  Zero (the
+  /// default) keeps waits unbounded — the fault-free fast path is untouched.
+  sim::Time watchdog_timeout = sim::Time::zero();
 };
 
 class MvapichTransport final : public Transport {
@@ -87,6 +92,10 @@ class MvapichTransport final : public Transport {
   [[nodiscard]] const MvapichConfig& config() const { return cfg_; }
   [[nodiscard]] ib::Hca& hca() { return hca_; }
   [[nodiscard]] const Matcher& matcher() const { return matcher_; }
+  /// Requests failed by the wait watchdog on this rank.
+  [[nodiscard]] std::uint64_t watchdog_timeouts() const {
+    return watchdog_timeouts_;
+  }
 
  private:
   struct WireMsg {
@@ -151,6 +160,7 @@ class MvapichTransport final : public Transport {
   std::uint64_t next_id_ = 1;
 
   std::uint32_t trace_id_ = 0;
+  std::uint64_t watchdog_timeouts_ = 0;
   sim::RunningStat* uq_depth_stat_ = nullptr;   ///< cached metrics accumulator
   sim::RunningStat* match_scan_stat_ = nullptr;
 

@@ -58,7 +58,19 @@ void QuadricsTransport::post_recv(const RecvArgs& args) {
 
 void QuadricsTransport::wait(RequestState& req) {
   if (!req.complete) {
-    req.trigger.wait();
+    if (cfg_.watchdog_timeout > sim::Time::zero()) {
+      sim::EventHandle wd =
+          engine_.schedule_in(cfg_.watchdog_timeout, [this, &req] {
+            if (!req.complete) {
+              ++watchdog_timeouts_;
+              req.fail();
+            }
+          });
+      req.trigger.wait();
+      wd.cancel();  // immediate cancel keeps the &req capture safe
+    } else {
+      req.trigger.wait();
+    }
   }
   charge(cfg_.o_complete);
 }

@@ -25,6 +25,10 @@ struct QuadricsConfig {
   sim::Time o_recv = sim::Time::us(0.12);
   /// Host cost to pick a completion out of the event queue.
   sim::Time o_complete = sim::Time::us(0.08);
+  /// Watchdog for blocking waits: when nonzero, a wait with no completion
+  /// for this long fails the request and counts a timeout instead of
+  /// blocking forever.  Zero (default) keeps waits unbounded.
+  sim::Time watchdog_timeout = sim::Time::zero();
 };
 
 class QuadricsTransport final : public Transport {
@@ -58,6 +62,10 @@ class QuadricsTransport final : public Transport {
   [[nodiscard]] int size() const override { return world_size_; }
 
   [[nodiscard]] elan::ElanNic& nic() { return nic_; }
+  /// Requests failed by the wait watchdog on this rank.
+  [[nodiscard]] std::uint64_t watchdog_timeouts() const {
+    return watchdog_timeouts_;
+  }
 
  private:
   void charge(sim::Time t) {
@@ -73,6 +81,7 @@ class QuadricsTransport final : public Transport {
   QuadricsConfig cfg_;
   int world_size_ = 0;
   std::uint32_t trace_id_ = 0;
+  std::uint64_t watchdog_timeouts_ = 0;
 };
 
 }  // namespace icsim::mpi

@@ -16,6 +16,7 @@ struct RequestState {
 
   Kind kind;
   bool complete = false;
+  bool failed = false;   ///< completed by a transport watchdog, not delivery
   Status status{};       ///< filled for receives
   sim::Trigger trigger;  ///< fired on completion
 
@@ -25,6 +26,14 @@ struct RequestState {
     trigger.fire();
   }
   void finish() {
+    complete = true;
+    trigger.fire();
+  }
+  /// Watchdog path: mark the operation errored-but-complete so the waiting
+  /// fiber unblocks (a lost message surfaces as a counted failure instead of
+  /// a deadlocked rank).  `status` keeps its defaults (source/tag -1).
+  void fail() {
+    failed = true;
     complete = true;
     trigger.fire();
   }

@@ -19,11 +19,13 @@ Fabric::Fabric(sim::Engine& engine, const FabricConfig& config, int num_nodes)
 }
 
 sim::Time Fabric::serialization_time(std::uint32_t bytes) const {
+  return cfg_.link_bandwidth.transfer_time(wire_bytes(bytes));
+}
+
+std::uint64_t Fabric::wire_bytes(std::uint32_t bytes) const {
   const std::uint64_t packets =
       bytes == 0 ? 1 : (bytes + cfg_.mtu_bytes - 1) / cfg_.mtu_bytes;
-  const std::uint64_t wire_bytes =
-      static_cast<std::uint64_t>(bytes) + packets * cfg_.header_bytes;
-  return cfg_.link_bandwidth.transfer_time(wire_bytes);
+  return static_cast<std::uint64_t>(bytes) + packets * cfg_.header_bytes;
 }
 
 std::uint64_t Fabric::key_of(const Hop& hop) const {
@@ -34,6 +36,21 @@ std::uint64_t Fabric::key_of(const Hop& hop) const {
       return (1ull << 63) | (1ull << 62) | static_cast<std::uint64_t>(hop.node);
     case Hop::Kind::switch_to_switch:
       return (topo_.switch_id(hop.from) << 31) | topo_.switch_id(hop.to);
+  }
+  return 0;  // unreachable
+}
+
+std::uint64_t Fabric::cable_key_of(const Hop& hop) const {
+  switch (hop.kind) {
+    case Hop::Kind::node_to_switch:
+    case Hop::Kind::switch_to_node:
+      return (1ull << 63) | static_cast<std::uint64_t>(hop.node);
+    case Hop::Kind::switch_to_switch: {
+      std::uint64_t a = topo_.switch_id(hop.from);
+      std::uint64_t b = topo_.switch_id(hop.to);
+      if (a > b) std::swap(a, b);
+      return (a << 31) | b;
+    }
   }
   return 0;  // unreachable
 }
@@ -55,17 +72,78 @@ Fabric::DirectedLink& Fabric::link_for(const Hop& hop) {
   const std::uint64_t key = key_of(hop);
   auto it = links_.find(key);
   if (it == links_.end()) {
-    it = links_.emplace(key,
-                        std::make_unique<DirectedLink>(engine_, link_name(hop)))
+    it = links_
+             .emplace(key, std::make_unique<DirectedLink>(
+                               engine_, link_name(hop), hop))
              .first;
+    if (hooks_ != nullptr) it->second->ber = hooks_->link_ber(hop);
   }
   return *it->second;
 }
 
+void Fabric::set_fault_hooks(FaultHooks* hooks) {
+  hooks_ = hooks;
+  for (auto& [key, link] : links_) {
+    (void)key;
+    link->ber = hooks_ != nullptr ? hooks_->link_ber(link->hop) : 0.0;
+  }
+}
+
+void Fabric::set_node_link_state(int node, bool up) {
+  const std::uint64_t key =
+      (1ull << 63) | static_cast<std::uint64_t>(node);
+  if (up) {
+    downed_.erase(key);
+  } else {
+    downed_.insert(key);
+  }
+}
+
+void Fabric::set_switch_link_state(SwitchCoord a, SwitchCoord b, bool up) {
+  if (!topo_.adjacent(a, b)) {
+    throw std::invalid_argument("Fabric: " + std::to_string(a.level) + "." +
+                                std::to_string(a.word) + " and " +
+                                std::to_string(b.level) + "." +
+                                std::to_string(b.word) +
+                                " are not adjacent switches");
+  }
+  std::uint64_t ka = topo_.switch_id(a);
+  std::uint64_t kb = topo_.switch_id(b);
+  if (ka > kb) std::swap(ka, kb);
+  const std::uint64_t key = (ka << 31) | kb;
+  if (up) {
+    downed_.erase(key);
+  } else {
+    downed_.insert(key);
+  }
+}
+
+bool Fabric::link_up(const Hop& hop) const {
+  return downed_.find(cable_key_of(hop)) == downed_.end();
+}
+
+void Fabric::finish(DeliveryFn& on_complete, DeliveryStatus status) {
+  switch (status) {
+    case DeliveryStatus::delivered: ++delivered_; break;
+    case DeliveryStatus::corrupted: ++corrupted_; break;
+    case DeliveryStatus::link_down: ++down_drops_; break;
+  }
+  if (on_complete) on_complete(status);
+}
+
 void Fabric::forward(std::shared_ptr<std::vector<Hop>> route, std::size_t index,
-                     std::uint32_t bytes, std::function<void()> on_delivered,
+                     std::uint32_t bytes, DeliveryFn on_complete,
                      sim::Time* first_tx_done) {
   const Hop& hop = (*route)[index];
+
+  // A link that failed while the chunk was already in flight swallows it.
+  // (Injection-time failures are handled by rerouting in inject().)
+  if (!downed_.empty() && !link_up(hop)) {
+    if (first_tx_done != nullptr) *first_tx_done = engine_.now();
+    finish(on_complete, DeliveryStatus::link_down);
+    return;
+  }
+
   DirectedLink& link = link_for(hop);
 
   const sim::Time ser = serialization_time(bytes);
@@ -88,28 +166,71 @@ void Fabric::forward(std::shared_ptr<std::vector<Hop>> route, std::size_t index,
             (tx_done - ser).picoseconds(), tx_done.picoseconds());
   }
 
+  // Link-level CRC: the packet train is corrupted in transit with the
+  // link's BER.  The receiving switch/NIC detects and discards it at the
+  // far end of the wire — no RNG draw ever happens on clean links.
+  if (hooks_ != nullptr && link.ber > 0.0 &&
+      hooks_->draw_corruption(link.ber, wire_bytes(bytes))) {
+    ++link.corrupted;
+    ICSIM_TRACE_WITH(engine_, tr) {
+      tr.instant(trace::Category::link, link.trace_id, "crc_drop",
+                 tx_done.picoseconds());
+    }
+    engine_.post_at(tx_done + cfg_.wire_latency,
+                    [this, on_complete = std::move(on_complete)]() mutable {
+                      finish(on_complete, DeliveryStatus::corrupted);
+                    });
+    return;
+  }
+  ++link.forwarded;
+
   const sim::Time arrival = tx_done + cfg_.wire_latency + entry_latency;
   const bool last = index + 1 == route->size();
   engine_.post_at(
       arrival, [this, route = std::move(route), index, bytes,
-                on_delivered = std::move(on_delivered), last]() mutable {
+                on_complete = std::move(on_complete), last]() mutable {
         if (last) {
-          if (on_delivered) on_delivered();
+          finish(on_complete, DeliveryStatus::delivered);
         } else {
-          forward(std::move(route), index + 1, bytes, std::move(on_delivered),
+          forward(std::move(route), index + 1, bytes, std::move(on_complete),
                   nullptr);
         }
       });
 }
 
 sim::Time Fabric::inject(int src, int dst, std::uint32_t bytes,
-                         std::function<void()> on_delivered) {
+                         DeliveryFn on_complete) {
   assert(src != dst && "Fabric::inject: local sends bypass the fabric");
   assert(src >= 0 && src < num_nodes_ && dst >= 0 && dst < num_nodes_);
   ++chunks_;
-  auto route = std::make_shared<std::vector<Hop>>(topo_.route(src, dst));
+  std::vector<Hop> path = topo_.route(src, dst);
+  if (!downed_.empty()) {
+    bool blocked = false;
+    for (const Hop& hop : path) {
+      if (!link_up(hop)) {
+        blocked = true;
+        break;
+      }
+    }
+    if (blocked) {
+      path = topo_.route_avoiding(
+          src, dst, [this](const Hop& hop) { return !link_up(hop); });
+      if (path.empty()) {
+        // Fabric partitioned (endpoint cable down, or every climb blocked):
+        // nothing a switch can do — the chunk is lost at the source port.
+        engine_.post_in(sim::Time::zero(),
+                        [this, on_complete = std::move(on_complete)]() mutable {
+                          ++no_route_drops_;
+                          finish(on_complete, DeliveryStatus::link_down);
+                        });
+        return engine_.now();
+      }
+      ++rerouted_;
+    }
+  }
+  auto route = std::make_shared<std::vector<Hop>>(std::move(path));
   sim::Time tx_done = sim::Time::zero();
-  forward(std::move(route), 0, bytes, std::move(on_delivered), &tx_done);
+  forward(std::move(route), 0, bytes, std::move(on_complete), &tx_done);
   return tx_done;
 }
 
@@ -125,7 +246,13 @@ sim::Time Fabric::max_link_busy_time() const {
 void Fabric::publish_metrics(trace::MetricsRegistry& m,
                              sim::Time elapsed) const {
   m.counter("net.chunks_sent") = chunks_;
+  m.counter("net.chunks_delivered") = delivered_;
+  m.counter("net.chunks_corrupted") = corrupted_;
+  m.counter("net.chunks_dropped_link_down") = down_drops_;
+  m.counter("net.chunks_rerouted") = rerouted_;
+  m.counter("net.chunks_no_route") = no_route_drops_;
   m.counter("net.links_used") = links_.size();
+  m.counter("net.links_down") = downed_.size();
   auto& util = m.stat("net.link_utilization");
   auto& busy = m.stat("net.link_busy_us");
   const double span_s = elapsed.to_seconds();
@@ -134,6 +261,15 @@ void Fabric::publish_metrics(trace::MetricsRegistry& m,
     busy.add(link->tx.busy_time().to_us());
     if (span_s > 0.0) {
       util.add(link->tx.busy_time().to_seconds() / span_s);
+    }
+  }
+  if (corrupted_ > 0) {
+    auto& per_link = m.stat("net.link_corrupted_chunks");
+    for (const auto& [key, link] : links_) {
+      (void)key;
+      if (link->corrupted > 0) {
+        per_link.add(static_cast<double>(link->corrupted));
+      }
     }
   }
 }

@@ -18,6 +18,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "net/topology.hpp"
@@ -38,16 +39,52 @@ struct FabricConfig {
   std::uint32_t header_bytes = 32;                ///< per wire packet
 };
 
+/// How a chunk's trip through the fabric ended.
+enum class DeliveryStatus : std::uint8_t {
+  delivered,  ///< last byte reached the destination endpoint
+  corrupted,  ///< failed a link-level CRC and was discarded by a switch/NIC
+  link_down,  ///< hit (or could not route around) a downed link
+};
+
+using DeliveryFn = std::function<void(DeliveryStatus)>;
+
+/// Fault-model callbacks the fabric consults at serialization points.  Kept
+/// abstract so net/ does not depend on fault/ (the injector implements it).
+class FaultHooks {
+ public:
+  virtual ~FaultHooks() = default;
+  /// Bit-error rate in effect on the (undirected) link this hop traverses.
+  [[nodiscard]] virtual double link_ber(const Hop& hop) const = 0;
+  /// Draw whether a wire packet train of `wire_bytes` survives a link with
+  /// bit-error rate `ber` (> 0).  Consumes deterministic RNG state.
+  virtual bool draw_corruption(double ber, std::uint64_t wire_bytes) = 0;
+};
+
 class Fabric {
  public:
   Fabric(sim::Engine& engine, const FabricConfig& config, int num_nodes);
 
-  /// Inject one chunk of `bytes` payload; `on_delivered` fires when the last
-  /// byte reaches the destination endpoint.  Returns the time at which the
-  /// source link finishes serializing the chunk (NICs use this to pace DMA).
-  /// src == dst is not routed here; transports loop back locally.
+  /// Inject one chunk of `bytes` payload; `on_complete` fires when the last
+  /// byte reaches the destination endpoint (DeliveryStatus::delivered) or
+  /// when the chunk is lost on the way (corrupted / link_down).  Returns the
+  /// time at which the source link finishes serializing the chunk (NICs use
+  /// this to pace DMA).  src == dst is not routed here; transports loop back
+  /// locally.
   sim::Time inject(int src, int dst, std::uint32_t bytes,
-                   std::function<void()> on_delivered);
+                   DeliveryFn on_complete);
+
+  /// Install (or clear, with nullptr) the fault hooks.  Hooks are borrowed
+  /// and must outlive the fabric; installing refreshes the cached per-link
+  /// BER of every link seen so far.
+  void set_fault_hooks(FaultHooks* hooks);
+
+  /// Administratively fail / restore both directions of node's endpoint
+  /// cable.  In-flight chunks that reach the dead link are dropped.
+  void set_node_link_state(int node, bool up);
+  /// Same for the cable between two adjacent switches.
+  void set_switch_link_state(SwitchCoord a, SwitchCoord b, bool up);
+  /// Is the (undirected) link this hop traverses currently up?
+  [[nodiscard]] bool link_up(const Hop& hop) const;
 
   [[nodiscard]] int num_nodes() const { return num_nodes_; }
   [[nodiscard]] const FatTreeTopology& topology() const { return topo_; }
@@ -55,6 +92,18 @@ class Fabric {
 
   /// Total chunks injected (for instrumentation).
   [[nodiscard]] std::uint64_t chunks_sent() const { return chunks_; }
+  [[nodiscard]] std::uint64_t chunks_delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t chunks_corrupted() const { return corrupted_; }
+  [[nodiscard]] std::uint64_t chunks_dropped_link_down() const {
+    return down_drops_;
+  }
+  /// Chunks whose default D-mod-k route was blocked and that took an
+  /// alternate climb instead.
+  [[nodiscard]] std::uint64_t chunks_rerouted() const { return rerouted_; }
+  /// Chunks dropped at injection because no fully-up route existed.
+  [[nodiscard]] std::uint64_t chunks_no_route() const {
+    return no_route_drops_;
+  }
 
   /// Serialization time of a chunk including per-MTU header overhead.
   [[nodiscard]] sim::Time serialization_time(std::uint32_t bytes) const;
@@ -68,28 +117,45 @@ class Fabric {
 
  private:
   struct DirectedLink {
-    explicit DirectedLink(sim::Engine& e, std::string name)
-        : tx(e, std::move(name)) {}
+    DirectedLink(sim::Engine& e, std::string name, Hop h)
+        : tx(e, std::move(name)), hop(h) {}
     sim::FifoResource tx;
+    Hop hop;                     ///< the hop this link serializes
+    double ber = 0.0;            ///< cached from the fault hooks
+    std::uint64_t forwarded = 0;
+    std::uint64_t corrupted = 0;
     std::uint32_t trace_id = 0;  ///< lazily registered trace component
   };
 
   // Key layout: bit 63 set => endpoint link (node id in low bits, bit 62
   // selects direction); otherwise (from_switch_id << 31) | to_switch_id.
   [[nodiscard]] std::uint64_t key_of(const Hop& hop) const;
+  // Direction-independent key of the cable a hop traverses (both directions
+  // of a cable fail together).
+  [[nodiscard]] std::uint64_t cable_key_of(const Hop& hop) const;
   DirectedLink& link_for(const Hop& hop);
   [[nodiscard]] std::string link_name(const Hop& hop) const;
+  /// Wire bytes of a chunk: payload plus per-MTU-packet headers.
+  [[nodiscard]] std::uint64_t wire_bytes(std::uint32_t bytes) const;
 
   void forward(std::shared_ptr<std::vector<Hop>> route, std::size_t index,
-               std::uint32_t bytes, std::function<void()> on_delivered,
+               std::uint32_t bytes, DeliveryFn on_complete,
                sim::Time* first_tx_done);
+  void finish(DeliveryFn& on_complete, DeliveryStatus status);
 
   sim::Engine& engine_;
   FabricConfig cfg_;
   FatTreeTopology topo_;
   int num_nodes_;
   std::unordered_map<std::uint64_t, std::unique_ptr<DirectedLink>> links_;
+  std::unordered_set<std::uint64_t> downed_;  ///< cable keys currently down
+  FaultHooks* hooks_ = nullptr;
   std::uint64_t chunks_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t corrupted_ = 0;
+  std::uint64_t down_drops_ = 0;
+  std::uint64_t rerouted_ = 0;
+  std::uint64_t no_route_drops_ = 0;
 };
 
 }  // namespace icsim::net

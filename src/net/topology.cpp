@@ -86,4 +86,79 @@ int FatTreeTopology::switch_hops(int src, int dst) const {
   return 2 * ancestor_level(src, dst);
 }
 
+std::vector<Hop> FatTreeTopology::route_avoiding(
+    int src, int dst, const std::function<bool(const Hop&)>& down) const {
+  if (src == dst) {
+    throw std::invalid_argument("FatTreeTopology::route_avoiding: src == dst");
+  }
+  assert(src >= 0 && src < capacity_ && dst >= 0 && dst < capacity_);
+  const int m = ancestor_level(src, dst);
+  const auto udst = static_cast<std::uint32_t>(dst);
+
+  // Build the route that climbs with word digits climb[0..m) and descends
+  // along the (forced) destination digits.  The descent overwrites word
+  // digits m-1..0 with the destination's node digits m..1 regardless of the
+  // climb, so every climb choice lands on the destination's leaf switch.
+  const auto build = [&](const std::vector<std::uint32_t>& climb) {
+    std::vector<Hop> hops;
+    hops.reserve(static_cast<std::size_t>(2 * m + 2));
+    SwitchCoord cur = leaf_switch_of(src);
+    hops.push_back(Hop{Hop::Kind::node_to_switch, src, {}, cur});
+    for (int l = 0; l < m; ++l) {
+      SwitchCoord up{l + 1, with_digit(cur.word, l, climb[static_cast<std::size_t>(l)])};
+      hops.push_back(Hop{Hop::Kind::switch_to_switch, -1, cur, up});
+      cur = up;
+    }
+    for (int l = m; l > 0; --l) {
+      SwitchCoord desc{l - 1, with_digit(cur.word, l - 1, digit(udst, l))};
+      hops.push_back(Hop{Hop::Kind::switch_to_switch, -1, cur, desc});
+      cur = desc;
+    }
+    assert(cur == leaf_switch_of(dst));
+    hops.push_back(Hop{Hop::Kind::switch_to_node, dst, cur, {}});
+    return hops;
+  };
+  const auto all_up = [&](const std::vector<Hop>& hops) {
+    for (const Hop& hop : hops) {
+      if (down(hop)) return false;
+    }
+    return true;
+  };
+
+  std::vector<std::uint32_t> def(static_cast<std::size_t>(m));
+  for (int l = 0; l < m; ++l) {
+    def[static_cast<std::size_t>(l)] = digit(udst, l + 1);
+  }
+  if (auto hops = build(def); all_up(hops)) return hops;
+  if (m == 0) return {};  // intra-leaf route is unique
+
+  std::vector<std::uint32_t> climb(static_cast<std::size_t>(m), 0);
+  while (true) {
+    if (climb != def) {
+      if (auto hops = build(climb); all_up(hops)) return hops;
+    }
+    int i = 0;
+    for (; i < m; ++i) {
+      if (++climb[static_cast<std::size_t>(i)] <
+          static_cast<std::uint32_t>(k_)) {
+        break;
+      }
+      climb[static_cast<std::size_t>(i)] = 0;
+    }
+    if (i == m) break;  // wrapped: all k^m climbs tried
+  }
+  return {};
+}
+
+bool FatTreeTopology::adjacent(SwitchCoord a, SwitchCoord b) const {
+  if (a.level > b.level) std::swap(a, b);
+  if (b.level != a.level + 1 || a.level < 0 || b.level >= n_) return false;
+  const auto per_level = static_cast<std::uint32_t>(switches_per_level_);
+  if (a.word >= per_level || b.word >= per_level) return false;
+  for (int pos = 0; pos + 1 < n_; ++pos) {
+    if (pos != a.level && digit(a.word, pos) != digit(b.word, pos)) return false;
+  }
+  return true;
+}
+
 }  // namespace icsim::net

@@ -22,6 +22,7 @@
 // load across the spine by destination.
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace icsim::net {
@@ -70,6 +71,20 @@ class FatTreeTopology {
 
   /// Number of switch-to-switch hops on the route (2 * ancestor_level).
   [[nodiscard]] int switch_hops(int src, int dst) const;
+
+  /// Like route(), but skip routes that traverse a hop for which `down`
+  /// returns true.  Every minimal route climbs to the ancestor level and
+  /// descends, so the climb digits fully parameterize the k^m alternatives;
+  /// the default D-mod-k route is tried first (fault-free fabrics reroute to
+  /// themselves), then the remaining climbs in lexicographic order.  All
+  /// candidates are up-then-down, so the deadlock-free property is
+  /// preserved.  Returns {} when no fully-up route exists (in particular
+  /// when an endpoint link is down).
+  [[nodiscard]] std::vector<Hop> route_avoiding(
+      int src, int dst, const std::function<bool(const Hop&)>& down) const;
+
+  /// True when the two switches are joined by a cable of the tree.
+  [[nodiscard]] bool adjacent(SwitchCoord a, SwitchCoord b) const;
 
   /// Compact unique id for a switch (used as a map key).
   [[nodiscard]] std::uint64_t switch_id(SwitchCoord c) const {

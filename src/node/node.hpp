@@ -91,6 +91,14 @@ class Node {
     return pcix_.transfer_ordered(std::move(done));
   }
 
+  /// Fault injection: freeze the node's memory bus and PCI-X segment for
+  /// `d` starting now — every copy/DMA posted during (or queued across) the
+  /// window finishes after it (OS pause, thermal throttle, ECC scrub storm).
+  void stall(sim::Time d) {
+    membus_.stall(d);
+    pcix_.stall(d);
+  }
+
   /// True while any CPU is inside a compute phase (transports use this to
   /// model cache/FSB contention for host-side protocol processing).
   [[nodiscard]] bool any_compute_active() const { return active_compute_ > 0; }

@@ -79,6 +79,11 @@ class BandwidthResource {
     return fifo_.acquire(Time::zero(), std::move(on_done));
   }
 
+  /// Occupy the resource for `d` without moving any bytes (fault injection:
+  /// a stalled device serves nothing while the window lasts).  Queued and
+  /// later requests are pushed back FIFO-fashion behind the stall.
+  Time stall(Time d) { return fifo_.acquire(d); }
+
   [[nodiscard]] Bandwidth rate() const { return bw_; }
   [[nodiscard]] Time next_free() const { return fifo_.next_free(); }
   [[nodiscard]] std::uint64_t requests() const { return fifo_.requests(); }

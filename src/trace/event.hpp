@@ -25,8 +25,9 @@ enum class Category : std::uint8_t {
   tports,    ///< Elan-4 NIC thread / STEN events
   mpi,       ///< transport + matcher activity, one track per rank
   app,       ///< application-level phases
+  fault,     ///< fault injector activity (link down/up, stalls)
 };
-inline constexpr int kNumCategories = 8;
+inline constexpr int kNumCategories = 9;
 
 [[nodiscard]] constexpr const char* to_string(Category c) {
   switch (c) {
@@ -38,6 +39,7 @@ inline constexpr int kNumCategories = 8;
     case Category::tports: return "elan.tports";
     case Category::mpi: return "mpi";
     case Category::app: return "app";
+    case Category::fault: return "fault";
   }
   return "?";
 }

@@ -78,7 +78,7 @@ TEST(FabricEdges, ContentionIsAdditive) {
     sim::Time last = sim::Time::zero();
     for (int i = 0; i < flows; ++i) {
       // All from distinct sources into node 3: share its ingress link.
-      f.inject(i % 3, 3, 10000, [&] { last = e.now(); });
+      f.inject(i % 3, 3, 10000, [&](net::DeliveryStatus) { last = e.now(); });
     }
     e.run();
     return last.to_us();

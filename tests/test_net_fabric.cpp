@@ -48,7 +48,7 @@ TEST(Fabric, SameLeafDeliveryTime) {
   // Nodes 0 and 1 share a leaf switch: 2 links, 1 switch.
   // Chunk 1000 B: ser 1 us per link; hops: node->sw (ser+wire+switch), then
   // sw->node (ser+wire).  Total = 2*(1us+20ns) + 100ns = 2.14 us.
-  f.inject(0, 1, 1000, [&] { delivered = e.now(); });
+  f.inject(0, 1, 1000, [&](DeliveryStatus) { delivered = e.now(); });
   e.run();
   EXPECT_EQ(delivered, sim::Time::ns(2140));
 }
@@ -60,7 +60,7 @@ TEST(Fabric, CrossTreeDeliveryAddsHops) {
     sim::Engine e;
     Fabric f(e, simple_config(), 64);
     sim::Time t = sim::Time::zero();
-    f.inject(0, dst, 1000, [&] { t = e.now(); });
+    f.inject(0, dst, 1000, [&](DeliveryStatus) { t = e.now(); });
     e.run();
     return t;
   };
@@ -82,8 +82,8 @@ TEST(Fabric, ChunksOfOneMessagePipelineAcrossHops) {
   // Two back-to-back 2048 B chunks, far route.  The second chunk's delivery
   // should trail the first by its serialization time (pipelining), not by a
   // full route traversal.
-  f.inject(0, 63, 2048, [&] { arrivals.push_back(e.now().to_us()); });
-  f.inject(0, 63, 2048, [&] { arrivals.push_back(e.now().to_us()); });
+  f.inject(0, 63, 2048, [&](DeliveryStatus) { arrivals.push_back(e.now().to_us()); });
+  f.inject(0, 63, 2048, [&](DeliveryStatus) { arrivals.push_back(e.now().to_us()); });
   e.run();
   ASSERT_EQ(arrivals.size(), 2u);
   EXPECT_NEAR(arrivals[1] - arrivals[0], 2.048, 1e-6);
@@ -95,8 +95,8 @@ TEST(Fabric, ContendingFlowsShareALink) {
   // Both 0->2 and 1->2 end on the same switch->node link; the second
   // delivery must queue behind the first on that link.
   sim::Time t02 = sim::Time::zero(), t12 = sim::Time::zero();
-  f.inject(0, 2, 10000, [&] { t02 = e.now(); });
-  f.inject(1, 2, 10000, [&] { t12 = e.now(); });
+  f.inject(0, 2, 10000, [&](DeliveryStatus) { t02 = e.now(); });
+  f.inject(1, 2, 10000, [&](DeliveryStatus) { t12 = e.now(); });
   e.run();
   const double gap_us = (t12 - t02).to_us();
   // Second flow waits for the shared link: gap ~= serialization of 10 kB.
@@ -107,13 +107,13 @@ TEST(Fabric, DisjointFlowsDoNotInterfere) {
   sim::Engine e;
   Fabric f(e, simple_config(), 8);
   sim::Time alone = sim::Time::zero();
-  f.inject(0, 1, 10000, [&] { alone = e.now(); });
+  f.inject(0, 1, 10000, [&](DeliveryStatus) { alone = e.now(); });
   e.run();
 
   sim::Engine e2;
   Fabric f2(e2, simple_config(), 8);
   sim::Time together = sim::Time::zero();
-  f2.inject(0, 1, 10000, [&] { together = e2.now(); });
+  f2.inject(0, 1, 10000, [&](DeliveryStatus) { together = e2.now(); });
   f2.inject(6, 7, 10000, nullptr);  // different leaf entirely
   e2.run();
   EXPECT_EQ(alone, together);
@@ -124,7 +124,7 @@ TEST(Fabric, PerFlowDeliveryIsInOrder) {
   Fabric f(e, simple_config(), 64);
   std::vector<int> order;
   for (int i = 0; i < 20; ++i) {
-    f.inject(3, 40, 100 + static_cast<std::uint32_t>(i), [&order, i] {
+    f.inject(3, 40, 100 + static_cast<std::uint32_t>(i), [&order, i](DeliveryStatus) {
       order.push_back(i);
     });
   }

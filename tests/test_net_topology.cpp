@@ -131,6 +131,142 @@ INSTANTIATE_TEST_SUITE_P(Shapes, FatTreeAllPairs,
                                            std::make_tuple(12, 2),
                                            std::make_tuple(3, 3)));
 
+// ------------------------------------------------- degraded-fabric routing
+
+// Shared validity check for fault-avoiding routes: correct endpoints, valid
+// adjacencies, and the up-then-down profile (deadlock freedom).
+void expect_valid_route(const FatTreeTopology& t, const std::vector<Hop>& r,
+                        int s, int d) {
+  ASSERT_GE(r.size(), 2u);
+  ASSERT_EQ(r.front().kind, Hop::Kind::node_to_switch);
+  ASSERT_EQ(r.front().node, s);
+  ASSERT_EQ(r.front().to, t.leaf_switch_of(s));
+  ASSERT_EQ(r.back().kind, Hop::Kind::switch_to_node);
+  ASSERT_EQ(r.back().node, d);
+  ASSERT_EQ(r.back().from, t.leaf_switch_of(d));
+  bool descending = false;
+  for (std::size_t i = 1; i + 1 < r.size(); ++i) {
+    ASSERT_EQ(r[i].kind, Hop::Kind::switch_to_switch);
+    ASSERT_EQ(r[i].from, (i == 1 ? r.front().to : r[i - 1].to));
+    ASSERT_TRUE(t.adjacent(r[i].from, r[i].to));
+    const int dl = r[i].to.level - r[i].from.level;
+    ASSERT_TRUE(dl == 1 || dl == -1);
+    if (dl == -1) descending = true;
+    if (descending) {
+      ASSERT_EQ(dl, -1) << "route climbed after descending";
+    }
+  }
+}
+
+TEST(FatTreeFaults, NoDownedLinksReturnsTheDefaultRoute) {
+  const FatTreeTopology t(4, 3);
+  const auto never = [](const Hop&) { return false; };
+  for (int s = 0; s < t.capacity(); s += 7) {
+    for (int d = 0; d < t.capacity(); d += 5) {
+      if (s == d) continue;
+      const auto def = t.route(s, d);
+      const auto alt = t.route_avoiding(s, d, never);
+      ASSERT_EQ(alt.size(), def.size());
+      for (std::size_t i = 0; i < def.size(); ++i) {
+        EXPECT_EQ(alt[i].from, def[i].from);
+        EXPECT_EQ(alt[i].to, def[i].to);
+      }
+    }
+  }
+}
+
+TEST(FatTreeFaults, AvoidsEachSpineLinkOfTheDefaultRoute) {
+  // Knock out every switch-to-switch cable of the default route, one at a
+  // time; the alternate must avoid it (both directions), stay valid, and
+  // keep the minimal length.
+  for (const auto& [k, n] : {std::make_tuple(4, 3), std::make_tuple(2, 4)}) {
+    const FatTreeTopology t(k, n);
+    const int s = 0, d = t.capacity() - 1;  // full climb
+    const auto def = t.route(s, d);
+    for (const auto& dead : def) {
+      if (dead.kind != Hop::Kind::switch_to_switch) continue;
+      const auto down = [&dead](const Hop& h) {
+        return h.kind == Hop::Kind::switch_to_switch &&
+               ((h.from == dead.from && h.to == dead.to) ||
+                (h.from == dead.to && h.to == dead.from));
+      };
+      const auto alt = t.route_avoiding(s, d, down);
+      ASSERT_FALSE(alt.empty());
+      expect_valid_route(t, alt, s, d);
+      EXPECT_EQ(alt.size(), def.size());  // still minimal
+      for (const auto& h : alt) EXPECT_FALSE(down(h));
+    }
+  }
+}
+
+TEST(FatTreeFaults, DownedEndpointHasNoRoute) {
+  const FatTreeTopology t(4, 3);
+  const auto down = [](const Hop& h) {
+    return h.kind != Hop::Kind::switch_to_switch && h.node == 9;
+  };
+  EXPECT_TRUE(t.route_avoiding(0, 9, down).empty());
+  EXPECT_TRUE(t.route_avoiding(9, 0, down).empty());
+  // Unrelated pairs are unaffected.
+  EXPECT_FALSE(t.route_avoiding(0, 25, down).empty());
+}
+
+TEST(FatTreeFaults, IsolatedLeafSwitchPartitionsItsSubtree) {
+  const FatTreeTopology t(2, 3);
+  const SwitchCoord leaf = t.leaf_switch_of(0);
+  const auto down = [&](const Hop& h) {
+    return h.kind == Hop::Kind::switch_to_switch &&
+           (h.from == leaf || h.to == leaf);
+  };
+  // Cross-subtree: every route needs one of the leaf's up-cables -> none.
+  EXPECT_TRUE(t.route_avoiding(0, t.capacity() - 1, down).empty());
+  // Same leaf switch: no switch-to-switch hop involved, still routable.
+  EXPECT_FALSE(t.route_avoiding(0, 1, down).empty());
+}
+
+TEST(FatTreeFaults, SingleSpineOutageNeverPartitionsTheFabric) {
+  // One dead spine cable: every pair must still have a valid route (the
+  // k^m climb alternatives guarantee it for m >= 1).
+  const FatTreeTopology t(2, 3);
+  const auto def = t.route(0, t.capacity() - 1);
+  Hop dead{};
+  for (const auto& h : def) {
+    if (h.kind == Hop::Kind::switch_to_switch &&
+        h.to.level == t.levels() - 1) {
+      dead = h;
+    }
+  }
+  ASSERT_EQ(dead.kind, Hop::Kind::switch_to_switch);
+  const auto down = [&dead](const Hop& h) {
+    return h.kind == Hop::Kind::switch_to_switch &&
+           ((h.from == dead.from && h.to == dead.to) ||
+            (h.from == dead.to && h.to == dead.from));
+  };
+  for (int s = 0; s < t.capacity(); ++s) {
+    for (int d = 0; d < t.capacity(); ++d) {
+      if (s == d) continue;
+      const auto r = t.route_avoiding(s, d, down);
+      ASSERT_FALSE(r.empty()) << s << "->" << d;
+      expect_valid_route(t, r, s, d);
+      for (const auto& h : r) ASSERT_FALSE(down(h));
+    }
+  }
+}
+
+TEST(FatTreeFaults, Adjacency) {
+  const FatTreeTopology t(4, 3);
+  // Up-neighbours of leaf word 0 at level 1: words agreeing except digit 0.
+  EXPECT_TRUE(t.adjacent({0, 0}, {1, 0}));
+  EXPECT_TRUE(t.adjacent({1, 0}, {0, 0}));  // symmetric
+  EXPECT_TRUE(t.adjacent({0, 0}, {1, 1}));
+  EXPECT_TRUE(t.adjacent({0, 0}, {1, 3}));
+  EXPECT_FALSE(t.adjacent({0, 0}, {1, 4}));   // differ in digit 1
+  EXPECT_FALSE(t.adjacent({0, 0}, {0, 1}));   // same level
+  EXPECT_FALSE(t.adjacent({0, 0}, {2, 0}));   // two levels apart
+  EXPECT_FALSE(t.adjacent({0, 0}, {3, 0}));   // out of range
+  EXPECT_FALSE(t.adjacent({1, 0}, {2, 1}));   // differ in digit 0 (not 1)
+  EXPECT_TRUE(t.adjacent({1, 0}, {2, 4}));    // differ only in digit 1
+}
+
 // D-mod-k up-routing: traffic to distinct destinations from one source
 // spreads over distinct top-level switches.
 TEST(FatTree, DestinationRoutingSpreadsSpineLoad) {

@@ -150,6 +150,93 @@ TEST_P(RandomTraffic, DeterministicEndTime) {
   EXPECT_EQ(run_once(), run_once());
 }
 
+// Identical seed + identical FaultPlan => bit-identical end time AND
+// bit-identical fault/retry counters across two runs (the corruption draws
+// come from their own seeded stream, so the whole degraded run reproduces).
+TEST_P(RandomTraffic, FaultPlanDeterministicEndTime) {
+  const auto [net, seed] = GetParam();
+  auto run_once = [net = net, seed = seed] {
+    const Plan plan = make_plan(4, seed, 12);
+    core::ClusterConfig cc = net == Network::infiniband ? core::ib_cluster(2, 2)
+                             : net == Network::quadrics
+                                 ? core::elan_cluster(2, 2)
+                                 : core::myrinet_cluster(2, 2);
+    cc.faults = fault::FaultPlan::parse("ber=1e-6; stall 1@30us+20us");
+    core::Cluster cluster(cc);
+    cluster.run([&](mpi::Mpi& mpi) {
+      const auto me = static_cast<std::size_t>(mpi.rank());
+      std::size_t expected = 0;
+      for (int s = 0; s < 4; ++s) {
+        expected += plan.messages[static_cast<std::size_t>(s)][me].size();
+      }
+      std::vector<std::vector<std::byte>> sbufs;
+      sbufs.reserve(64);
+      std::vector<mpi::Request> sends;
+      for (int d = 0; d < 4; ++d) {
+        for (const std::uint32_t bytes : plan.messages[me][static_cast<std::size_t>(d)]) {
+          sbufs.emplace_back(bytes, std::byte{1});
+          sends.push_back(mpi.isend(sbufs.back().data(), bytes, d, 1));
+        }
+      }
+      std::vector<std::byte> rbuf(120000);
+      for (std::size_t r = 0; r < expected; ++r) {
+        (void)mpi.recv(rbuf.data(), rbuf.size(), mpi::kAnySource, 1);
+      }
+      mpi.waitall(sends);
+    });
+    const auto st = cluster.stats();
+    return std::make_tuple(cluster.engine().now(), st.chunks_corrupted,
+                           st.rc_retries, st.elan_link_retries,
+                           st.events_processed);
+  };
+  const auto first = run_once();
+  EXPECT_EQ(first, run_once());
+}
+
+// Faults compiled in but disabled: a plan whose only content is a zero-BER
+// override (hooks installed, injector live, zero corruption probability)
+// plus an ample watchdog must reproduce the fault-free run bit-identically.
+TEST_P(RandomTraffic, DisabledFaultPlanIsBitIdentical) {
+  const auto [net, seed] = GetParam();
+  auto run_once = [net = net, seed = seed](bool with_plan) {
+    const Plan plan = make_plan(4, seed, 12);
+    core::ClusterConfig cc = net == Network::infiniband ? core::ib_cluster(2, 2)
+                             : net == Network::quadrics
+                                 ? core::elan_cluster(2, 2)
+                                 : core::myrinet_cluster(2, 2);
+    if (with_plan) {
+      cc.faults = fault::FaultPlan::parse("link n0 ber=0; watchdog=500ms");
+    }
+    core::Cluster cluster(cc);
+    cluster.run([&](mpi::Mpi& mpi) {
+      const auto me = static_cast<std::size_t>(mpi.rank());
+      std::size_t expected = 0;
+      for (int s = 0; s < 4; ++s) {
+        expected += plan.messages[static_cast<std::size_t>(s)][me].size();
+      }
+      std::vector<std::vector<std::byte>> sbufs;
+      sbufs.reserve(64);
+      std::vector<mpi::Request> sends;
+      for (int d = 0; d < 4; ++d) {
+        for (const std::uint32_t bytes : plan.messages[me][static_cast<std::size_t>(d)]) {
+          sbufs.emplace_back(bytes, std::byte{1});
+          sends.push_back(mpi.isend(sbufs.back().data(), bytes, d, 1));
+        }
+      }
+      std::vector<std::byte> rbuf(120000);
+      for (std::size_t r = 0; r < expected; ++r) {
+        (void)mpi.recv(rbuf.data(), rbuf.size(), mpi::kAnySource, 1);
+      }
+      mpi.waitall(sends);
+    });
+    const auto st = cluster.stats();
+    EXPECT_EQ(st.chunks_corrupted, 0u);
+    EXPECT_EQ(st.watchdog_timeouts, 0u);
+    return cluster.engine().now();
+  };
+  EXPECT_EQ(run_once(false), run_once(true));
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Seeds, RandomTraffic,
     ::testing::Combine(::testing::Values(Network::infiniband,
