@@ -39,7 +39,7 @@ double exposed_us(const icsim::core::ClusterConfig& cc, std::size_t bytes,
     for (int i = 0; i < kReps; ++i) {
       mpi::Request rr = mpi.irecv(rbuf.data(), bytes, peer, 1);
       mpi::Request sr = mpi.isend(sbuf.data(), bytes, peer, 1);
-      mpi.compute(compute_us * 1e-6);
+      mpi.compute(sim::Time::sec(compute_us * 1e-6));
       mpi.wait(sr);
       mpi.wait(rr);
     }

@@ -6,6 +6,7 @@
 // switches from its eager to its rendezvous protocol; both then track
 // message size.
 
+#include <cstdint>
 #include <cstdio>
 
 #include "core/report.hpp"
@@ -20,7 +21,10 @@ int main() {
   opt.warmup = 5;
 
   std::printf("Figure 1(a): ping-pong latency (us), 2 nodes, 1 PPN\n\n");
+  std::uint64_t ib_digest = 0, elan_digest = 0;
+  opt.event_digest = &ib_digest;
   const auto ib = microbench::run_pingpong(core::ib_cluster(2), opt);
+  opt.event_digest = &elan_digest;
   const auto elan = microbench::run_pingpong(core::elan_cluster(2), opt);
 
   core::Table t({"bytes", "IB us", "Elan4 us", "IB/Elan"});
@@ -34,5 +38,8 @@ int main() {
 
   std::printf("\npaper anchors: Elan-4 ~= 1/2 IB at small sizes; IB jump "
               "between 1KB and 2KB (eager->rendezvous)\n");
+  std::printf("event digests (reruns must match): ib=%016llx elan=%016llx\n",
+              static_cast<unsigned long long>(ib_digest),
+              static_cast<unsigned long long>(elan_digest));
   return 0;
 }

@@ -151,7 +151,7 @@ void MdSimulation::migrate() {
       const int peer_from = grid_.neighbour(d, -dir);
       const int tag = kMigrateTag + 2 * d + (dir > 0 ? 1 : 0);
       const std::size_t natoms_out = sbuf.size() / 7;
-      mpi_.compute(static_cast<double>(natoms_out) * cfg_.cost.pack_atom_ns * 1e-9);
+      mpi_.compute(sim::Time::sec(static_cast<double>(natoms_out) * cfg_.cost.pack_atom_ns * 1e-9));
       recvbuf.resize(static_cast<std::size_t>(atoms_.nlocal + 64) * 7 + sbuf.size() + 7000);
       const auto st = mpi_.sendrecv(sbuf.data(), sbuf.size() * sizeof(double),
                                     peer_to, tag, recvbuf.data(),
@@ -159,7 +159,7 @@ void MdSimulation::migrate() {
                                     tag);
       halo_bytes_ += sbuf.size() * sizeof(double);
       const std::size_t nin = st.bytes / (7 * sizeof(double));
-      mpi_.compute(static_cast<double>(nin) * cfg_.cost.pack_atom_ns * 1e-9);
+      mpi_.compute(sim::Time::sec(static_cast<double>(nin) * cfg_.cost.pack_atom_ns * 1e-9));
       for (std::size_t a = 0; a < nin; ++a) {
         const double* p = &recvbuf[a * 7];
         atoms_.add_local(p[0], p[1], p[2], p[3], p[4], p[5],
@@ -200,8 +200,8 @@ void MdSimulation::borders() {
         sbuf.push_back(atoms_.z[static_cast<std::size_t>(i)] + (d == 2 ? pass.shift : 0.0));
         sbuf.push_back(static_cast<double>(atoms_.id[static_cast<std::size_t>(i)]));
       }
-      mpi_.compute(static_cast<double>(pass.send_idx.size()) *
-                   cfg_.cost.pack_atom_ns * 1e-9);
+      mpi_.compute(sim::Time::sec(static_cast<double>(pass.send_idx.size()) *
+                   cfg_.cost.pack_atom_ns * 1e-9));
 
       pass.ghost_first = atoms_.nall;
       if (pass.peer == mpi_.rank()) {
@@ -220,7 +220,7 @@ void MdSimulation::borders() {
                                       grid_.neighbour(d, -dir), tag);
         halo_bytes_ += sbuf.size() * sizeof(double);
         pass.nrecv = static_cast<int>(st.bytes / (4 * sizeof(double)));
-        mpi_.compute(static_cast<double>(pass.nrecv) * cfg_.cost.pack_atom_ns * 1e-9);
+        mpi_.compute(sim::Time::sec(static_cast<double>(pass.nrecv) * cfg_.cost.pack_atom_ns * 1e-9));
         for (int a = 0; a < pass.nrecv; ++a) {
           const double* p = &rbuf[static_cast<std::size_t>(a) * 4];
           atoms_.add_ghost(p[0], p[1], p[2], static_cast<std::uint64_t>(p[3]));
@@ -248,8 +248,8 @@ void MdSimulation::rebuild_neighbors() {
     hi[d] = boxhi_[d] + cutneigh_;
   }
   build_neighbor_list(atoms_, cutneigh_, lo, hi, list_);
-  mpi_.compute(static_cast<double>(list_.candidates_checked) *
-               cfg_.cost.neigh_candidate_ns * 1e-9);
+  mpi_.compute(sim::Time::sec(static_cast<double>(list_.candidates_checked) *
+               cfg_.cost.neigh_candidate_ns * 1e-9));
   all_locals_.resize(static_cast<std::size_t>(atoms_.nlocal));
   for (int i = 0; i < atoms_.nlocal; ++i) all_locals_[static_cast<std::size_t>(i)] = i;
   if (cfg_.overlap_comm) {
@@ -267,8 +267,8 @@ void MdSimulation::forward() {
       sbuf.push_back(atoms_.y[static_cast<std::size_t>(i)] + (pass.dim == 1 ? pass.shift : 0.0));
       sbuf.push_back(atoms_.z[static_cast<std::size_t>(i)] + (pass.dim == 2 ? pass.shift : 0.0));
     }
-    mpi_.compute(static_cast<double>(pass.send_idx.size()) *
-                 cfg_.cost.pack_atom_ns * 1e-9);
+    mpi_.compute(sim::Time::sec(static_cast<double>(pass.send_idx.size()) *
+                 cfg_.cost.pack_atom_ns * 1e-9));
     if (pass.peer == mpi_.rank()) {
       for (int a = 0; a < pass.nrecv; ++a) {
         const std::size_t g = static_cast<std::size_t>(pass.ghost_first + a);
@@ -301,7 +301,7 @@ void MdSimulation::charge_force(std::uint64_t pair_before,
        static_cast<double>(force_.bond_evals - bond_before) *
            cfg_.cost.bond_eval_ns) *
       1e-9;
-  mpi_.compute(secs);
+  mpi_.compute(sim::Time::sec(secs));
 }
 
 void MdSimulation::compute_force_plain() {
@@ -335,8 +335,8 @@ void MdSimulation::compute_force_overlap() {
       sbuf.push_back(atoms_.y[static_cast<std::size_t>(i)] + (pass.dim == 1 ? pass.shift : 0.0));
       sbuf.push_back(atoms_.z[static_cast<std::size_t>(i)] + (pass.dim == 2 ? pass.shift : 0.0));
     }
-    mpi_.compute(static_cast<double>(pass.send_idx.size()) *
-                 cfg_.cost.pack_atom_ns * 1e-9);
+    mpi_.compute(sim::Time::sec(static_cast<double>(pass.send_idx.size()) *
+                 cfg_.cost.pack_atom_ns * 1e-9));
     if (pass.peer == mpi_.rank()) {
       for (int a = 0; a < pass.nrecv; ++a) {
         const std::size_t g = static_cast<std::size_t>(pass.ghost_first + a);
@@ -344,7 +344,7 @@ void MdSimulation::compute_force_overlap() {
         atoms_.y[g] = sbuf[static_cast<std::size_t>(a) * 3 + 1];
         atoms_.z[g] = sbuf[static_cast<std::size_t>(a) * 3 + 2];
       }
-      mpi_.compute(slice);
+      mpi_.compute(sim::Time::sec(slice));
       continue;
     }
     const int tag = kForwardTag + 2 * pass.dim + (pass.dir > 0 ? 1 : 0);
@@ -355,7 +355,7 @@ void MdSimulation::compute_force_overlap() {
     mpi::Request sr = mpi_.isend(sbuf.data(), sbuf.size() * sizeof(double),
                                  pass.peer, tag);
     halo_bytes_ += sbuf.size() * sizeof(double);
-    mpi_.compute(slice);  // overlap: inner force work proceeds meanwhile
+    mpi_.compute(sim::Time::sec(slice));  // overlap: inner force work proceeds meanwhile
     mpi_.wait(sr);
     mpi_.wait(rr);
     for (int a = 0; a < passes_[p].nrecv; ++a) {
@@ -388,8 +388,8 @@ void MdSimulation::integrate_half(bool first) {
       atoms_.z[s] += cfg_.dt * atoms_.vz[s];
     }
   }
-  mpi_.compute(static_cast<double>(atoms_.nlocal) *
-               cfg_.cost.integrate_atom_ns * 1e-9);
+  mpi_.compute(sim::Time::sec(static_cast<double>(atoms_.nlocal) *
+               cfg_.cost.integrate_atom_ns * 1e-9));
 }
 
 void MdSimulation::setup() {

@@ -213,7 +213,7 @@ class MgSolver {
     std::swap(l.u, l.tmp);
     const auto pts = static_cast<std::uint64_t>(l.lx) * l.ly * l.lz;
     points_smoothed_ += pts;
-    mpi_.compute(static_cast<double>(pts) * cfg_.point_ns * 1e-9);
+    mpi_.compute(sim::Time::sec(static_cast<double>(pts) * cfg_.point_ns * 1e-9));
   }
 
   /// tmp = f - A u (requires fresh halos on u).
@@ -235,7 +235,7 @@ class MgSolver {
     }
     const auto pts = static_cast<std::uint64_t>(l.lx) * l.ly * l.lz;
     points_smoothed_ += pts;
-    mpi_.compute(static_cast<double>(pts) * cfg_.point_ns * 1e-9);
+    mpi_.compute(sim::Time::sec(static_cast<double>(pts) * cfg_.point_ns * 1e-9));
   }
 
   double residual_norm(int lv) {

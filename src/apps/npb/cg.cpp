@@ -129,7 +129,7 @@ CgResult run_cg(mpi::Mpi& mpi, const CgConfig& cfg) {
       d += u[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(i)];
     }
     flops += 2.0 * colw;
-    mpi.compute(2.0 * colw * cfg.cost.vector_op_ns * 1e-9);
+    mpi.compute(sim::Time::sec(2.0 * colw * cfg.cost.vector_op_ns * 1e-9));
     return rowsum_scalar(d);
   };
 
@@ -145,7 +145,7 @@ CgResult run_cg(mpi::Mpi& mpi, const CgConfig& cfg) {
       w[static_cast<std::size_t>(i)] = sum;
     }
     flops += 2.0 * static_cast<double>(blk.nnz());
-    mpi.compute(static_cast<double>(blk.nnz()) * cfg.cost.spmv_nonzero_ns * 1e-9);
+    mpi.compute(sim::Time::sec(static_cast<double>(blk.nnz()) * cfg.cost.spmv_nonzero_ns * 1e-9));
 
     for (int s = 0; s < l2npcols; ++s) {
       const int partner = l.rank_of(l.prow, l.pcol ^ (1 << s));
@@ -157,7 +157,7 @@ CgResult run_cg(mpi::Mpi& mpi, const CgConfig& cfg) {
         w[static_cast<std::size_t>(i)] += wrecv[static_cast<std::size_t>(i)];
       }
       flops += static_cast<double>(roww);
-      mpi.compute(roww * cfg.cost.vector_op_ns * 1e-9);
+      mpi.compute(sim::Time::sec(roww * cfg.cost.vector_op_ns * 1e-9));
     }
 
     const int partner = l.transpose_partner();
@@ -189,7 +189,7 @@ CgResult run_cg(mpi::Mpi& mpi, const CgConfig& cfg) {
         r[static_cast<std::size_t>(i)] -= alpha * q[static_cast<std::size_t>(i)];
       }
       flops += 4.0 * colw;
-      mpi.compute(4.0 * colw * cfg.cost.vector_op_ns * 1e-9);
+      mpi.compute(sim::Time::sec(4.0 * colw * cfg.cost.vector_op_ns * 1e-9));
       const double rho0 = rho;
       rho = dot(r, r);
       const double beta = rho / rho0;
@@ -198,7 +198,7 @@ CgResult run_cg(mpi::Mpi& mpi, const CgConfig& cfg) {
             r[static_cast<std::size_t>(i)] + beta * p[static_cast<std::size_t>(i)];
       }
       flops += 2.0 * colw;
-      mpi.compute(2.0 * colw * cfg.cost.vector_op_ns * 1e-9);
+      mpi.compute(sim::Time::sec(2.0 * colw * cfg.cost.vector_op_ns * 1e-9));
     }
     // Residual of the solve: ||x - A z||.
     matvec(z, q);
@@ -208,7 +208,7 @@ CgResult run_cg(mpi::Mpi& mpi, const CgConfig& cfg) {
       part += dif * dif;
     }
     flops += 3.0 * colw;
-    mpi.compute(3.0 * colw * cfg.cost.vector_op_ns * 1e-9);
+    mpi.compute(sim::Time::sec(3.0 * colw * cfg.cost.vector_op_ns * 1e-9));
     return std::sqrt(rowsum_scalar(part));
   };
 
@@ -238,7 +238,7 @@ CgResult run_cg(mpi::Mpi& mpi, const CgConfig& cfg) {
       x[static_cast<std::size_t>(i)] = z[static_cast<std::size_t>(i)] / znorm;
     }
     flops += 4.0 * colw;
-    mpi.compute(4.0 * colw * cfg.cost.vector_op_ns * 1e-9);
+    mpi.compute(sim::Time::sec(4.0 * colw * cfg.cost.vector_op_ns * 1e-9));
   }
   mpi.barrier();
   const double t1 = mpi.wtime();

@@ -70,7 +70,7 @@ EpResult run_ep(mpi::Mpi& mpi, const EpConfig& cfg) {
         sy += gy;
       }
     }
-    mpi.compute(static_cast<double>(2 * kNk) * cfg.per_number_ns * 1e-9);
+    mpi.compute(sim::Time::sec(static_cast<double>(2 * kNk) * cfg.per_number_ns * 1e-9));
   }
 
   // One combining step — EP's entire communication.

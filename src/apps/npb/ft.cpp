@@ -77,7 +77,7 @@ FtResult run_ft(mpi::Mpi& mpi, const FtConfig& cfg) {
   auto charge_ffts = [&](double lines, int n) {
     const double bf = lines * butterflies(n);
     flops += 10.0 * bf;
-    mpi.compute(bf * cfg.butterfly_ns * 1e-9);
+    mpi.compute(sim::Time::sec(bf * cfg.butterfly_ns * 1e-9));
   };
 
   auto fft_xy = [&](bool inverse) {
@@ -212,7 +212,7 @@ FtResult run_ft(mpi::Mpi& mpi, const FtConfig& cfg) {
     // Evolve the running spectrum one more time step.
     for (std::size_t i = 0; i < spectrum.size(); ++i) spectrum[i] *= step[i];
     flops += 2.0 * static_cast<double>(spectrum.size());
-    mpi.compute(static_cast<double>(spectrum.size()) * cfg.point_ns * 1e-9);
+    mpi.compute(sim::Time::sec(static_cast<double>(spectrum.size()) * cfg.point_ns * 1e-9));
 
     // Inverse transform a copy to physical space for the checksum.
     b = spectrum;

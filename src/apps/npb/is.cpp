@@ -51,7 +51,7 @@ IsResult run_is(mpi::Mpi& mpi, const IsConfig& cfg) {
     for (const int k : keys) {
       ++send_counts[static_cast<std::size_t>(k / range)];
     }
-    mpi.compute(static_cast<double>(keys.size()) * cfg.per_key_ns * 1e-9);
+    mpi.compute(sim::Time::sec(static_cast<double>(keys.size()) * cfg.per_key_ns * 1e-9));
 
     // Exchange counts, then the keys themselves.
     std::vector<int> recv_counts(static_cast<std::size_t>(nprocs), 0);
@@ -88,7 +88,7 @@ IsResult run_is(mpi::Mpi& mpi, const IsConfig& cfg) {
     for (const int k : recv_keys) {
       ++local_counts[static_cast<std::size_t>(k - base)];
     }
-    mpi.compute(static_cast<double>(recv_keys.size()) * cfg.per_key_ns * 1e-9);
+    mpi.compute(sim::Time::sec(static_cast<double>(recv_keys.size()) * cfg.per_key_ns * 1e-9));
   }
 
   mpi.barrier();

@@ -185,7 +185,7 @@ SweepResult run_sweep3d(mpi::Mpi& mpi, const SweepConfig& cfg) {
                                         static_cast<std::uint64_t>(it) *
                                         static_cast<std::uint64_t>(jt);
           cells_swept += updates;
-          mpi.compute(static_cast<double>(updates) * cell_cost_s);
+          mpi.compute(sim::Time::sec(static_cast<double>(updates) * cell_cost_s));
 
           // Outflow faces downstream.
           if (has_dn_i) {

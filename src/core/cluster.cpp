@@ -172,6 +172,7 @@ Cluster::RunStats Cluster::stats() const {
   s.fabric_chunks = fabric_->chunks_sent();
   s.max_link_busy_us = fabric_->max_link_busy_time().to_us();
   s.events_processed = engine_.events_processed();
+  s.event_digest = engine_.event_digest();
   s.chunks_corrupted = fabric_->chunks_corrupted();
   s.chunks_rerouted = fabric_->chunks_rerouted();
   s.chunks_dropped_link_down = fabric_->chunks_dropped_link_down();
@@ -318,8 +319,9 @@ sim::Time Cluster::run(const std::function<void(mpi::Mpi&)>& rank_main) {
     }));
   }
   for (auto& f : fibers) f->resume();
-  engine_.run();
-  write_trace_files(engine_.now());
+  const sim::Time end = engine_.run();
+  fabric_->audit_drained();  // conservation: injected == delivered + dropped
+  write_trace_files(end);
   if (finished != nranks) {
     throw std::runtime_error(
         "Cluster::run: deadlock — " + std::to_string(nranks - finished) +

@@ -107,9 +107,10 @@ class Cluster {
   }
 
   /// Run `rank_main` as an SPMD program across all ranks.  Returns the
-  /// simulated time at which the last rank finished.  Throws if any rank is
-  /// still blocked when the event queue drains (communication deadlock).
-  sim::Time run(const std::function<void(mpi::Mpi&)>& rank_main);
+  /// simulated time at which the last rank finished (advisory — tests that
+  /// only inspect stats() may discard it).  Throws if any rank is still
+  /// blocked when the event queue drains (communication deadlock).
+  sim::Time run(const std::function<void(mpi::Mpi&)>& rank_main);  // icsim-lint: allow(nodiscard-time)
 
   /// Eager-ring memory a single InfiniBand rank pins (0 for Quadrics) —
   /// the Section 4.1 scalability observation about buffer space.
@@ -120,6 +121,10 @@ class Cluster {
     std::uint64_t fabric_chunks = 0;       ///< wire chunks injected
     double max_link_busy_us = 0.0;         ///< hottest link's busy time
     std::uint64_t events_processed = 0;    ///< DES events
+    /// FNV-1a fold of every executed event's (timestamp, sequence) pair.
+    /// Two runs of the same workload with the same seeds must agree; see
+    /// docs/MODEL.md section 8.
+    std::uint64_t event_digest = 0;
     // InfiniBand side:
     std::uint64_t hca_writes = 0;          ///< RDMA writes posted
     std::uint64_t reg_hits = 0, reg_misses = 0, reg_evictions = 0;

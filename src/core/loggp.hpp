@@ -46,7 +46,7 @@ struct LogGpParams {
         mpi.waitall(rs);
         // Receive overhead: messages already arrived; time the recv calls.
         mpi.recv(&b, 1, peer, 2);  // sync point: peer's burst is under way
-        mpi.compute(500e-6);       // let the burst land unexpected
+        mpi.compute(sim::Time::sec(500e-6));       // let the burst land unexpected
         const double t1 = mpi.wtime();
         for (int i = 0; i < kReps; ++i) mpi.recv(&b, 1, peer, 3);
         orecv = (mpi.wtime() - t1) / kReps * 1e6;

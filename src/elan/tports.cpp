@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "sim/check.hpp"
 #include "trace/trace.hpp"
 
 namespace icsim::elan {
@@ -227,12 +228,16 @@ void ElanNic::on_data_chunk(const MsgPtr& msg, std::uint32_t bytes) {
   // Runs on the destination NIC.
   ElanNic& self = *msg->dst;
   msg->bytes_arrived += bytes;
+  ICSIM_CHECK(msg->bytes_arrived <= msg->bytes,
+              "Elan rx: more payload arrived than the message carries");
   if (msg->matched) {
     self.dma_chunk_to_host(msg, bytes);
   } else {
     msg->bytes_buffered += bytes;
     self.buf_used_ += bytes;
     self.buf_high_water_ = std::max(self.buf_high_water_, self.buf_used_);
+    ICSIM_CHECK(self.buf_used_ <= self.cfg_.nic_buffer_bytes,
+                "Elan SDRAM unexpected-message buffer over capacity");
   }
 }
 
@@ -284,6 +289,8 @@ void ElanNic::arm_matched(const MsgPtr& msg, RxCallback cb) {
   // on_data_chunk.  Zero-byte messages complete through the same path.
   const std::uint64_t burst = msg->bytes_buffered;
   msg->bytes_buffered = 0;
+  ICSIM_CHECK(buf_used_ >= burst,
+              "Elan SDRAM occupancy would go negative on replay");
   buf_used_ -= burst;
   if (burst > 0 || msg->bytes == 0) dma_chunk_to_host(msg, burst);
 }

@@ -65,7 +65,7 @@ int parse_int(const std::string& tok) {
   return static_cast<int>(parse_u64(tok));
 }
 
-sim::Time parse_time(const std::string& tok) {
+[[nodiscard]] sim::Time parse_time(const std::string& tok) {
   std::size_t pos = 0;
   double v = 0.0;
   try {

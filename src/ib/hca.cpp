@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "sim/check.hpp"
 #include "trace/trace.hpp"
 
 namespace icsim::ib {
@@ -154,6 +155,8 @@ void Hca::chunk_arrived_at_dst(const std::shared_ptr<InFlight>& msg,
   Hca& self = *msg->dst;
   self.host_.dma(chunk_bytes, [msg, &self] {
     assert(msg->remaining_chunks > 0);
+    ICSIM_CHECK(msg->remaining_chunks > 0,
+                "HCA write completed with more chunks than were posted");
     if (--msg->remaining_chunks == 0) {
       // Doorbell -> last byte visible in remote host memory, on the source
       // HCA's track: the full one-sided write pipeline.

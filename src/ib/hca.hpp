@@ -61,7 +61,8 @@ class Hca {
   /// Establish the reliable connection to a remote endpoint.  Returns the
   /// host time the connection setup costs (charged by the transport during
   /// init).  Calling rdma_write without connecting first throws.
-  sim::Time connect(int local_ep, const Hca* remote_hca, int remote_ep);
+  [[nodiscard]] sim::Time connect(int local_ep, const Hca* remote_hca,
+                                  int remote_ep);
 
   /// Post an RDMA write of `bytes` from `src_ep` to `dst_ep` on `dst`.
   /// `on_local_complete` fires when the send buffer is reusable.

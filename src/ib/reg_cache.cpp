@@ -1,5 +1,7 @@
 #include "ib/reg_cache.hpp"
 
+#include "sim/check.hpp"
+
 namespace icsim::ib {
 
 sim::Time RegistrationCache::acquire(const void* ptr, std::uint64_t len) {
@@ -24,6 +26,8 @@ sim::Time RegistrationCache::acquire(const void* ptr, std::uint64_t len) {
     const Key victim = lru_.back();
     lru_.pop_back();
     map_.erase(victim);
+    ICSIM_CHECK(stats_.registered_bytes >= victim.len,
+                "reg cache pinned-byte accounting would go negative");
     stats_.registered_bytes -= victim.len;
     ++stats_.evictions;
     cost += dereg_time(victim.len);
@@ -32,6 +36,8 @@ sim::Time RegistrationCache::acquire(const void* ptr, std::uint64_t len) {
   lru_.push_front(key);
   map_.emplace(key, lru_.begin());
   stats_.registered_bytes += len;
+  ICSIM_CHECK(stats_.registered_bytes <= capacity_,
+              "reg cache pinned bytes exceed the pin-down budget");
   return cost;
 }
 

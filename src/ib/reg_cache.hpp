@@ -39,11 +39,11 @@ class RegistrationCache {
   /// now: zero on a cache hit, registration (plus any evictions needed to
   /// fit) on a miss.  Regions larger than the whole capacity register and
   /// immediately deregister every time — maximal thrash.
-  sim::Time acquire(const void* ptr, std::uint64_t len);
+  [[nodiscard]] sim::Time acquire(const void* ptr, std::uint64_t len);
 
   /// Pin memory permanently outside the cache budget accounting (used for
   /// the preregistered eager rings at init).  Returns the registration time.
-  sim::Time pin_permanent(std::uint64_t len) const {
+  [[nodiscard]] sim::Time pin_permanent(std::uint64_t len) const {
     return reg_base_ + reg_per_page_ * static_cast<std::int64_t>(pages(len));
   }
 

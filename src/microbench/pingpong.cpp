@@ -58,6 +58,9 @@ std::vector<PingPongPoint> run_pingpong(const core::ClusterConfig& config,
       }
     }
   });
+  if (options.event_digest != nullptr) {
+    *options.event_digest = cluster.stats().event_digest;
+  }
   return results;
 }
 

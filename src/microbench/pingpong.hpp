@@ -9,6 +9,7 @@
 // ability to fill the message pipeline, which ping-pong hides.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/cluster.hpp"
@@ -25,6 +26,9 @@ struct PingPongOptions {
   std::vector<std::size_t> sizes;
   int repetitions = 100;
   int warmup = 10;
+  /// When non-null, receives the run's RunStats::event_digest — the
+  /// determinism fingerprint benches print so reruns can be diffed.
+  std::uint64_t* event_digest = nullptr;
 };
 
 /// Standard Pallas-style size ladder 0,1,2,...,max_bytes (powers of two).

@@ -248,7 +248,7 @@ class Mpi {
   [[nodiscard]] double wtime() const { return engine_.now().to_seconds(); }
 
   /// Charge modeled computation to this rank's CPU (SMP contention applies).
-  void compute(double seconds) { node_.compute(sim::Time::sec(seconds)); }
+  void compute(sim::Time d) { node_.compute(d); }
 
   [[nodiscard]] sim::Rng& rng() { return rng_; }
   [[nodiscard]] node::Node& node() { return node_; }

@@ -71,7 +71,8 @@ class MvapichTransport final : public Transport {
   /// Wire up the full job: every rank connects a QP to every other rank and
   /// pins its eager rings (MVAPICH 0.9.2 connected eagerly at MPI_Init).
   /// Returns the per-rank init cost and records ring-memory statistics.
-  static sim::Time init_world(const std::vector<MvapichTransport*>& world);
+  [[nodiscard]] static sim::Time init_world(
+      const std::vector<MvapichTransport*>& world);
 
   void post_send(const SendArgs& args) override;
   void post_recv(const RecvArgs& args) override;

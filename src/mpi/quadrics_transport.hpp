@@ -41,7 +41,8 @@ class QuadricsTransport final : public Transport {
 
   /// Tports is connectionless: init is just capability setup, a constant
   /// cost independent of job size (Section 3.3.1).
-  static sim::Time init_world(const std::vector<QuadricsTransport*>& world) {
+  [[nodiscard]] static sim::Time init_world(
+      const std::vector<QuadricsTransport*>& world) {
     for (QuadricsTransport* t : world) t->world_size_ = static_cast<int>(world.size());
     return sim::Time::us(200);
   }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/check.hpp"
 #include "trace/trace.hpp"
 
 namespace icsim::net {
@@ -122,13 +123,33 @@ bool Fabric::link_up(const Hop& hop) const {
   return downed_.find(cable_key_of(hop)) == downed_.end();
 }
 
-void Fabric::finish(DeliveryFn& on_complete, DeliveryStatus status) {
+void Fabric::finish(DeliveryFn& on_complete, DeliveryStatus status,
+                    std::uint32_t bytes) {
+  ICSIM_CHECK(in_flight_ > 0, "fabric chunk completed more than once");
+  --in_flight_;
   switch (status) {
-    case DeliveryStatus::delivered: ++delivered_; break;
-    case DeliveryStatus::corrupted: ++corrupted_; break;
-    case DeliveryStatus::link_down: ++down_drops_; break;
+    case DeliveryStatus::delivered:
+      ++delivered_;
+      bytes_delivered_ += bytes;
+      break;
+    case DeliveryStatus::corrupted:
+      ++corrupted_;
+      bytes_dropped_ += bytes;
+      break;
+    case DeliveryStatus::link_down:
+      ++down_drops_;
+      bytes_dropped_ += bytes;
+      break;
   }
   if (on_complete) on_complete(status);
+}
+
+void Fabric::audit_drained() const {
+  ICSIM_CHECK(in_flight_ == 0, "fabric drained with chunks still in flight");
+  ICSIM_CHECK(chunks_ == delivered_ + corrupted_ + down_drops_,
+              "fabric chunk conservation: injected != delivered + dropped");
+  ICSIM_CHECK(bytes_injected_ == bytes_delivered_ + bytes_dropped_,
+              "fabric byte conservation: injected != delivered + dropped");
 }
 
 void Fabric::forward(std::shared_ptr<std::vector<Hop>> route, std::size_t index,
@@ -140,7 +161,7 @@ void Fabric::forward(std::shared_ptr<std::vector<Hop>> route, std::size_t index,
   // (Injection-time failures are handled by rerouting in inject().)
   if (!downed_.empty() && !link_up(hop)) {
     if (first_tx_done != nullptr) *first_tx_done = engine_.now();
-    finish(on_complete, DeliveryStatus::link_down);
+    finish(on_complete, DeliveryStatus::link_down, bytes);
     return;
   }
 
@@ -177,8 +198,8 @@ void Fabric::forward(std::shared_ptr<std::vector<Hop>> route, std::size_t index,
                  tx_done.picoseconds());
     }
     engine_.post_at(tx_done + cfg_.wire_latency,
-                    [this, on_complete = std::move(on_complete)]() mutable {
-                      finish(on_complete, DeliveryStatus::corrupted);
+                    [this, bytes, on_complete = std::move(on_complete)]() mutable {
+                      finish(on_complete, DeliveryStatus::corrupted, bytes);
                     });
     return;
   }
@@ -190,7 +211,7 @@ void Fabric::forward(std::shared_ptr<std::vector<Hop>> route, std::size_t index,
       arrival, [this, route = std::move(route), index, bytes,
                 on_complete = std::move(on_complete), last]() mutable {
         if (last) {
-          finish(on_complete, DeliveryStatus::delivered);
+          finish(on_complete, DeliveryStatus::delivered, bytes);
         } else {
           forward(std::move(route), index + 1, bytes, std::move(on_complete),
                   nullptr);
@@ -203,6 +224,8 @@ sim::Time Fabric::inject(int src, int dst, std::uint32_t bytes,
   assert(src != dst && "Fabric::inject: local sends bypass the fabric");
   assert(src >= 0 && src < num_nodes_ && dst >= 0 && dst < num_nodes_);
   ++chunks_;
+  ++in_flight_;
+  bytes_injected_ += bytes;
   std::vector<Hop> path = topo_.route(src, dst);
   if (!downed_.empty()) {
     bool blocked = false;
@@ -219,9 +242,10 @@ sim::Time Fabric::inject(int src, int dst, std::uint32_t bytes,
         // Fabric partitioned (endpoint cable down, or every climb blocked):
         // nothing a switch can do — the chunk is lost at the source port.
         engine_.post_in(sim::Time::zero(),
-                        [this, on_complete = std::move(on_complete)]() mutable {
+                        [this, bytes,
+                         on_complete = std::move(on_complete)]() mutable {
                           ++no_route_drops_;
-                          finish(on_complete, DeliveryStatus::link_down);
+                          finish(on_complete, DeliveryStatus::link_down, bytes);
                         });
         return engine_.now();
       }
@@ -251,6 +275,7 @@ void Fabric::publish_metrics(trace::MetricsRegistry& m,
   m.counter("net.chunks_dropped_link_down") = down_drops_;
   m.counter("net.chunks_rerouted") = rerouted_;
   m.counter("net.chunks_no_route") = no_route_drops_;
+  m.counter("net.chunks_in_flight") = in_flight_;
   m.counter("net.links_used") = links_.size();
   m.counter("net.links_down") = downed_.size();
   auto& util = m.stat("net.link_utilization");

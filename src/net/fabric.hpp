@@ -15,9 +15,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -69,8 +69,9 @@ class Fabric {
   /// when the chunk is lost on the way (corrupted / link_down).  Returns the
   /// time at which the source link finishes serializing the chunk (NICs use
   /// this to pace DMA).  src == dst is not routed here; transports loop back
-  /// locally.
-  sim::Time inject(int src, int dst, std::uint32_t bytes,
+  /// locally.  The return is advisory — terminal status arrives via
+  /// `on_complete`.
+  sim::Time inject(int src, int dst, std::uint32_t bytes,  // icsim-lint: allow(nodiscard-time)
                    DeliveryFn on_complete);
 
   /// Install (or clear, with nullptr) the fault hooks.  Hooks are borrowed
@@ -104,6 +105,15 @@ class Fabric {
   [[nodiscard]] std::uint64_t chunks_no_route() const {
     return no_route_drops_;
   }
+
+  /// Chunks injected but not yet delivered or dropped.
+  [[nodiscard]] std::uint64_t chunks_in_flight() const { return in_flight_; }
+
+  /// ICSIM_CHECK audit once the event queue has drained: chunk and payload-
+  /// byte conservation (injected == delivered + corrupted + dropped, with
+  /// nothing left in flight).  A violation means the fabric leaked or
+  /// double-counted a chunk.  No-op when the auditor is off.
+  void audit_drained() const;
 
   /// Serialization time of a chunk including per-MTU header overhead.
   [[nodiscard]] sim::Time serialization_time(std::uint32_t bytes) const;
@@ -141,13 +151,16 @@ class Fabric {
   void forward(std::shared_ptr<std::vector<Hop>> route, std::size_t index,
                std::uint32_t bytes, DeliveryFn on_complete,
                sim::Time* first_tx_done);
-  void finish(DeliveryFn& on_complete, DeliveryStatus status);
+  void finish(DeliveryFn& on_complete, DeliveryStatus status,
+              std::uint32_t bytes);
 
   sim::Engine& engine_;
   FabricConfig cfg_;
   FatTreeTopology topo_;
   int num_nodes_;
-  std::unordered_map<std::uint64_t, std::unique_ptr<DirectedLink>> links_;
+  // Ordered map: metrics/fault hooks traverse the links, and hash-order
+  // traversal would make that event emission nondeterministic.
+  std::map<std::uint64_t, std::unique_ptr<DirectedLink>> links_;
   std::unordered_set<std::uint64_t> downed_;  ///< cable keys currently down
   FaultHooks* hooks_ = nullptr;
   std::uint64_t chunks_ = 0;
@@ -156,6 +169,11 @@ class Fabric {
   std::uint64_t down_drops_ = 0;
   std::uint64_t rerouted_ = 0;
   std::uint64_t no_route_drops_ = 0;
+  // Conservation bookkeeping for the ICSIM_CHECK drain audit:
+  std::uint64_t in_flight_ = 0;        ///< chunks injected, not yet final
+  std::uint64_t bytes_injected_ = 0;   ///< payload bytes entering the fabric
+  std::uint64_t bytes_delivered_ = 0;  ///< payload bytes reaching endpoints
+  std::uint64_t bytes_dropped_ = 0;    ///< payload bytes lost (CRC/link-down)
 };
 
 }  // namespace icsim::net

@@ -75,19 +75,21 @@ class Node {
   }
 
   /// Non-blocking host copy charged to the memory bus (NIC-driven copies).
-  sim::Time host_copy_async(std::uint64_t bytes, std::function<void()> done) {
+  /// Completion is signalled through `done`; the returned time is advisory.
+  sim::Time host_copy_async(std::uint64_t bytes, std::function<void()> done) {  // icsim-lint: allow(nodiscard-time)
     return membus_.transfer(bytes, std::move(done));
   }
 
-  /// Asynchronous DMA across the PCI-X segment; returns completion time.
-  sim::Time dma(std::uint64_t bytes, std::function<void()> done) {
+  /// Asynchronous DMA across the PCI-X segment; returns completion time
+  /// (advisory — completion is signalled through `done`).
+  sim::Time dma(std::uint64_t bytes, std::function<void()> done) {  // icsim-lint: allow(nodiscard-time)
     return pcix_.transfer(bytes, std::move(done));
   }
 
   /// Zero-cost ordering point on the PCI-X FIFO: `done` fires once every
   /// transaction already queued has drained (PCI ordering semantics for a
   /// doorbell behind posted DMA), without consuming bus time itself.
-  sim::Time pcix_ordered(std::function<void()> done) {
+  sim::Time pcix_ordered(std::function<void()> done) {  // icsim-lint: allow(nodiscard-time)
     return pcix_.transfer_ordered(std::move(done));
   }
 

@@ -1,0 +1,34 @@
+#include "sim/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace icsim::sim::check {
+
+namespace {
+
+bool env_enabled() {
+  const char* e = std::getenv("ICSIM_CHECK");
+  return e != nullptr && *e != '\0' && !(e[0] == '0' && e[1] == '\0');
+}
+
+bool& state() {
+  static bool on = env_enabled();
+  return on;
+}
+
+}  // namespace
+
+bool enabled() noexcept { return state(); }
+
+void set_enabled(bool on) noexcept { state() = on; }
+
+void fail(const char* file, int line, const char* expr,
+          const char* msg) noexcept {
+  std::fprintf(stderr, "%s:%d: ICSIM_CHECK failed: %s (%s)\n", file, line,
+               expr, msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace icsim::sim::check

@@ -1,0 +1,70 @@
+#pragma once
+// Runtime invariant auditor for the discrete-event core.
+//
+// ICSIM_CHECK(cond, msg) hard-fails (prints `file:line` + the violated
+// condition, then aborts) when the environment variable ICSIM_CHECK is set
+// to a nonzero value — and costs one predicted-not-taken branch otherwise:
+// the condition expression is only evaluated while checking is on.
+//
+// The checks wired through engine/fabric/hca/tports guard the invariants
+// the paper reproduction rests on:
+//   * engine time is monotonic, and scheduling into the past is a hard
+//     error under ICSIM_CHECK (instead of the silent clamp-and-count of
+//     the fast path);
+//   * fabric chunk/byte conservation at drain: everything injected is
+//     delivered, dropped, or still in flight — nothing is double-counted
+//     or leaked;
+//   * buffer occupancies (Elan SDRAM, link in-flight counts) never go
+//     negative and respect their configured capacity bounds.
+//
+// Independently of ICSIM_CHECK, the engine folds every executed event into
+// a 64-bit FNV-1a digest (see Fnv1a below).  Two runs of the same workload
+// with the same seed must produce the same digest — "same seed ⇒ same
+// RunStats::event_digest" is the one-line determinism assertion used by
+// tests and CI.
+
+#include <cstdint>
+
+namespace icsim::sim::check {
+
+/// Is the auditor armed?  Cached read of the ICSIM_CHECK environment
+/// variable ("", "0" = off); tests and harnesses can override it.
+[[nodiscard]] bool enabled() noexcept;
+
+/// Force the auditor on/off for this process (overrides the environment).
+void set_enabled(bool on) noexcept;
+
+/// Print `file:line: ICSIM_CHECK failed: expr (msg)` to stderr and abort.
+[[noreturn]] void fail(const char* file, int line, const char* expr,
+                       const char* msg) noexcept;
+
+/// 64-bit FNV-1a accumulator.  The engine folds (timestamp, sequence) of
+/// every executed event, so the digest fingerprints the entire event
+/// stream: any reordering, extra, or missing event changes it.
+class Fnv1a {
+ public:
+  /// Fold the 8 bytes of `v` (little-endian) into the hash.
+  constexpr void fold(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      h_ = (h_ ^ ((v >> (8 * i)) & 0xffu)) * kPrime;
+    }
+  }
+  [[nodiscard]] constexpr std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  static constexpr std::uint64_t kOffsetBasis = 14695981039346656037ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h_ = kOffsetBasis;
+};
+
+}  // namespace icsim::sim::check
+
+/// Audit `cond` when ICSIM_CHECK is armed; free when it is not (the
+/// condition is not evaluated).  `msg` is a string literal describing the
+/// invariant in domain terms.
+#define ICSIM_CHECK(cond, msg)                                            \
+  do {                                                                    \
+    if (::icsim::sim::check::enabled() && !(cond)) {                      \
+      ::icsim::sim::check::fail(__FILE__, __LINE__, #cond, msg);          \
+    }                                                                     \
+  } while (0)

@@ -7,6 +7,9 @@ namespace icsim::sim {
 
 Time Engine::clamped(Time t) {
   if (t >= now_) return t;
+  // Under the auditor a past schedule is a modeling bug, not a rounding
+  // artifact: fail loudly instead of silently rewriting the timestamp.
+  ICSIM_CHECK(t >= now_, "schedule into the simulated past");
   if (past_clamped_ == nullptr) {
     past_clamped_ = &tracer_.metrics().counter("sim.schedule_past_clamped");
   }
@@ -41,8 +44,11 @@ bool Engine::step() {
     queue_.pop();
     if (e.alive && !*e.alive) continue;  // cancelled
     assert(e.t >= now_);
+    ICSIM_CHECK(e.t >= now_, "engine time must be monotonic");
     now_ = e.t;
     ++processed_;
+    digest_.fold(static_cast<std::uint64_t>(e.t.picoseconds()));
+    digest_.fold(e.seq);
     // Periodic self-observation: queue depth + throughput, cheap enough to
     // key off the processed-event count (one branch when tracing is off).
     if (tracer_.enabled() && (processed_ & 1023u) == 0) sample_queue_depth();

@@ -20,6 +20,7 @@
 #include <queue>
 #include <vector>
 
+#include "sim/check.hpp"
 #include "sim/time.hpp"
 #include "trace/tracer.hpp"
 
@@ -52,7 +53,9 @@ class Engine {
   [[nodiscard]] Time now() const { return now_; }
 
   /// Schedule cancellable `fn` at absolute time `t`; `t < now()` clamps to
-  /// now() and counts (see past_schedules_clamped).
+  /// now() and counts (see past_schedules_clamped) — or hard-fails when the
+  /// ICSIM_CHECK auditor is armed (a past schedule means a model component
+  /// computed a timestamp from stale state).
   EventHandle schedule_at(Time t, std::function<void()> fn);
 
   /// Schedule cancellable `fn` to run `delay` after now.
@@ -71,15 +74,22 @@ class Engine {
     post_at(now_ + delay, std::move(fn));
   }
 
-  /// Run until the event queue drains.  Returns the final simulated time.
-  Time run();
+  /// Run until the event queue drains.  Returns the final simulated time,
+  /// which callers that only need side effects may ignore (now() has it).
+  Time run();  // icsim-lint: allow(nodiscard-time)
 
   /// Run until the queue drains or simulated time would pass `deadline`.
-  Time run_until(Time deadline);
+  Time run_until(Time deadline);  // icsim-lint: allow(nodiscard-time)
 
   /// Events processed so far (for perf bookkeeping and tests).
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
   [[nodiscard]] std::size_t events_pending() const { return queue_.size(); }
+
+  /// FNV-1a fingerprint of the executed event stream: (timestamp, sequence)
+  /// of every event, folded in execution order.  Two runs of the same
+  /// workload with the same seed must agree — the determinism contract
+  /// asserted by tests and CI (see sim/check.hpp).
+  [[nodiscard]] std::uint64_t event_digest() const { return digest_.value(); }
 
   /// How many schedule requests asked for a time in the past and were
   /// clamped to now().  Also surfaced in the metrics registry as
@@ -109,13 +119,14 @@ class Engine {
   };
 
   bool step();
-  Time clamped(Time t);
+  [[nodiscard]] Time clamped(Time t);
   void sample_queue_depth();
 
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  check::Fnv1a digest_;
   trace::Tracer tracer_;
   std::uint64_t* past_clamped_ = nullptr;  ///< lazily bound metrics counter
   std::uint32_t trace_id_ = 0;             ///< lazily registered component

@@ -27,8 +27,8 @@ class FifoResource {
       : engine_(&engine), name_(std::move(name)) {}
 
   /// Enqueue a request needing `service` time; `on_done` fires when served.
-  /// Returns the completion time.
-  Time acquire(Time service, std::function<void()> on_done) {
+  /// Returns the completion time (advisory when a callback is given).
+  Time acquire(Time service, std::function<void()> on_done) {  // icsim-lint: allow(nodiscard-time)
     const Time start = next_free_ > engine_->now() ? next_free_ : engine_->now();
     const Time finish = start + service;
     next_free_ = finish;
@@ -41,7 +41,7 @@ class FifoResource {
   }
 
   /// Reserve without a callback (caller tracks the returned finish time).
-  Time acquire(Time service) { return acquire(service, nullptr); }
+  [[nodiscard]] Time acquire(Time service) { return acquire(service, nullptr); }
 
   /// Earliest instant a new request could start service.
   [[nodiscard]] Time next_free() const { return next_free_; }
@@ -68,21 +68,21 @@ class BandwidthResource {
                     Time per_request_overhead = Time::zero())
       : fifo_(engine, std::move(name)), bw_(bw), overhead_(per_request_overhead) {}
 
-  Time transfer(std::uint64_t bytes, std::function<void()> on_done) {
+  Time transfer(std::uint64_t bytes, std::function<void()> on_done) {  // icsim-lint: allow(nodiscard-time)
     return fifo_.acquire(overhead_ + bw_.transfer_time(bytes), std::move(on_done));
   }
-  Time transfer(std::uint64_t bytes) { return transfer(bytes, nullptr); }
+  [[nodiscard]] Time transfer(std::uint64_t bytes) { return transfer(bytes, nullptr); }
 
   /// Ordering point: fires after everything already queued, costing no
   /// service time (not even the per-request overhead).
-  Time transfer_ordered(std::function<void()> on_done) {
+  Time transfer_ordered(std::function<void()> on_done) {  // icsim-lint: allow(nodiscard-time)
     return fifo_.acquire(Time::zero(), std::move(on_done));
   }
 
   /// Occupy the resource for `d` without moving any bytes (fault injection:
   /// a stalled device serves nothing while the window lasts).  Queued and
   /// later requests are pushed back FIFO-fashion behind the stall.
-  Time stall(Time d) { return fifo_.acquire(d); }
+  Time stall(Time d) { return fifo_.acquire(d); }  // icsim-lint: allow(nodiscard-time)
 
   [[nodiscard]] Bandwidth rate() const { return bw_; }
   [[nodiscard]] Time next_free() const { return fifo_.next_free(); }

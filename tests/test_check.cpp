@@ -1,0 +1,154 @@
+// Determinism contract and the ICSIM_CHECK runtime auditor (sim/check.hpp).
+//
+// The engine folds every executed event's (timestamp, sequence) pair into an
+// FNV-1a digest; two runs of the same workload with the same seeds must
+// produce the same digest bit-for-bit.  These tests pin that contract for a
+// ping-pong exchange and for a fault-injected run (where the RNG seed is
+// part of the workload identity), and exercise the hard-fail mode of the
+// past-schedule audit.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "fault/plan.hpp"
+#include "sim/check.hpp"
+#include "sim/engine.hpp"
+
+namespace icsim {
+namespace {
+
+/// RAII: force the runtime auditor on (or off) for one test, restoring the
+/// environment-derived setting afterwards so test order doesn't matter.
+class ScopedCheck {
+ public:
+  explicit ScopedCheck(bool on) : was_(sim::check::enabled()) {
+    sim::check::set_enabled(on);
+  }
+  ~ScopedCheck() { sim::check::set_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+/// Bounce `reps` messages of `bytes` between ranks 0 and 1; return the
+/// engine's event digest with the invariant auditor armed throughout.
+std::uint64_t pingpong_digest(core::ClusterConfig cfg, std::size_t bytes,
+                              int reps) {
+  ScopedCheck armed(true);
+  core::Cluster cluster(cfg);
+  std::vector<std::byte> buf(bytes > 0 ? bytes : 1);
+  cluster.run([&](mpi::Mpi& mpi) {
+    if (mpi.rank() > 1) return;
+    const int peer = 1 - mpi.rank();
+    for (int i = 0; i < reps; ++i) {
+      if (mpi.rank() == 0) {
+        mpi.send(buf.data(), bytes, peer, /*tag=*/i);
+        (void)mpi.recv(buf.data(), buf.size(), peer, i);
+      } else {
+        (void)mpi.recv(buf.data(), buf.size(), peer, i);
+        mpi.send(buf.data(), bytes, peer, i);
+      }
+    }
+  });
+  return cluster.stats().event_digest;
+}
+
+TEST(EventDigest, PingPongIdenticalAcrossRuns) {
+  for (const auto& make :
+       {+[] { return core::ib_cluster(2); }, +[] { return core::elan_cluster(2); }}) {
+    const std::uint64_t a = pingpong_digest(make(), 4096, 50);
+    const std::uint64_t b = pingpong_digest(make(), 4096, 50);
+    EXPECT_NE(a, 0u);
+    EXPECT_EQ(a, b) << "same workload + same seed must replay identically";
+  }
+}
+
+TEST(EventDigest, SensitiveToWorkloadShape) {
+  // Not a collision-resistance claim — just that the digest actually tracks
+  // the event stream rather than something degenerate.
+  EXPECT_NE(pingpong_digest(core::ib_cluster(2), 4096, 50),
+            pingpong_digest(core::ib_cluster(2), 8192, 50));
+  EXPECT_NE(pingpong_digest(core::ib_cluster(2), 4096, 50),
+            pingpong_digest(core::elan_cluster(2), 4096, 50));
+}
+
+std::uint64_t faulty_digest(std::uint64_t seed, std::uint64_t* corrupted) {
+  ScopedCheck armed(true);
+  core::ClusterConfig cfg = core::ib_cluster(4);
+  // High enough for a short run to see drops, low enough that the RC retry
+  // budget always recovers (cf. ClusterFaults.BerRunDeliversEverything).
+  cfg.faults = fault::FaultPlan::parse("ber=1e-6;seed=" + std::to_string(seed));
+  core::Cluster cluster(cfg);
+  std::vector<std::byte> buf(32768);
+  cluster.run([&](mpi::Mpi& mpi) {
+    const int peer = mpi.rank() ^ 1;
+    for (int i = 0; i < 20; ++i) {
+      if (mpi.rank() < peer) {
+        mpi.send(buf.data(), buf.size(), peer, i);
+        (void)mpi.recv(buf.data(), buf.size(), peer, i);
+      } else {
+        (void)mpi.recv(buf.data(), buf.size(), peer, i);
+        mpi.send(buf.data(), buf.size(), peer, i);
+      }
+    }
+  });
+  if (corrupted != nullptr) *corrupted = cluster.stats().chunks_corrupted;
+  return cluster.stats().event_digest;
+}
+
+TEST(EventDigest, FaultPlanReplaysUnderSameSeed) {
+  std::uint64_t corrupted = 0;
+  const std::uint64_t a = faulty_digest(7, &corrupted);
+  const std::uint64_t b = faulty_digest(7, nullptr);
+  EXPECT_GT(corrupted, 0u) << "fault plan too mild to exercise retries";
+  EXPECT_EQ(a, b) << "fault injection must be deterministic per seed";
+  EXPECT_NE(a, faulty_digest(8, nullptr))
+      << "a different fault seed must perturb the event stream";
+}
+
+TEST(Check, PastSchedulClampsAndCountsWhenDisabled) {
+  ScopedCheck off(false);
+  sim::Engine e;
+  e.post_at(sim::Time::us(10), [] {});
+  (void)e.run();  // now() == 10us
+  e.post_at(sim::Time::us(5), [] {});  // in the past: clamped, counted
+  (void)e.run();
+  EXPECT_EQ(e.past_schedules_clamped(), 1u);
+  EXPECT_EQ(e.now(), sim::Time::us(10));
+}
+
+TEST(CheckDeathTest, PastScheduleAbortsWhenArmed) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        sim::check::set_enabled(true);
+        sim::Engine e;
+        e.post_at(sim::Time::us(10), [] {});
+        (void)e.run();
+        e.post_at(sim::Time::us(5), [] {});  // audit trips here
+      },
+      "simulated past");
+}
+
+TEST(CheckDeathTest, FailedInvariantNamesTheSite) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        sim::check::set_enabled(true);
+        ICSIM_CHECK(1 + 1 == 3, "arithmetic is broken");
+      },
+      "ICSIM_CHECK failed.*1 \\+ 1 == 3.*arithmetic is broken");
+}
+
+TEST(Check, DisabledCheckDoesNotEvaluateCondition) {
+  ScopedCheck off(false);
+  bool evaluated = false;
+  ICSIM_CHECK((evaluated = true), "never evaluated when off");
+  EXPECT_FALSE(evaluated);
+}
+
+}  // namespace
+}  // namespace icsim

@@ -44,7 +44,7 @@ TEST(Cluster, DeterministicEndToEnd) {
       for (int i = 0; i < 5; ++i) {
         double v = mpi.rank();
         (void)mpi.allreduce(v, mpi::ReduceOp::sum);
-        mpi.compute(1e-6 * (mpi.rank() + 1));
+        mpi.compute(sim::Time::sec(1e-6 * (mpi.rank() + 1)));
       }
     });
     return cluster.engine().now();
@@ -146,7 +146,7 @@ TEST(Cluster, StatsReflectTraffic) {
     if (mpi.rank() == 0) {
       mpi.send(buf.data(), buf.size(), 1, 0);
     } else {
-      mpi.compute(1e-3);  // force the unexpected path into NIC SDRAM
+      mpi.compute(sim::Time::sec(1e-3));  // force the unexpected path into NIC SDRAM
       mpi.recv(buf.data(), buf.size(), 0, 0);
     }
   });

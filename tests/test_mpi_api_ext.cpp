@@ -31,7 +31,7 @@ TEST_P(MpiApiExt, IprobeSeesPendingMessage) {
     } else {
       mpi::Status st;
       EXPECT_FALSE(mpi.iprobe(0, 8, &st));  // wrong tag: never matches
-      while (!mpi.iprobe(0, 9, &st)) mpi.compute(1e-6);
+      while (!mpi.iprobe(0, 9, &st)) mpi.compute(sim::Time::sec(1e-6));
       EXPECT_EQ(st.source, 0);
       EXPECT_EQ(st.tag, 9);
       EXPECT_EQ(st.bytes, sizeof(int));
@@ -47,7 +47,7 @@ TEST_P(MpiApiExt, BlockingProbeWaits) {
   core::Cluster cluster(cfg(2));
   cluster.run([&](mpi::Mpi& mpi) {
     if (mpi.rank() == 0) {
-      mpi.compute(1e-3);
+      mpi.compute(sim::Time::sec(1e-3));
       double v = 2.5;
       mpi.send(&v, sizeof v, 1, 4);
     } else {

@@ -41,7 +41,7 @@ TEST_P(Collectives, BarrierSynchronizes) {
   cluster.run([&](mpi::Mpi& mpi) {
     // Rank 0 computes long before the barrier; everyone must leave the
     // barrier no earlier than rank 0's arrival.
-    if (mpi.rank() == 0) mpi.compute(5e-3);
+    if (mpi.rank() == 0) mpi.compute(sim::Time::sec(5e-3));
     mpi.barrier();
     EXPECT_GE(mpi.wtime(), 5e-3);
   });

@@ -164,7 +164,7 @@ TEST_P(MpiSemantics, UnexpectedMessagesBufferUntilPosted) {
         mpi.send(data.data(), data.size() * sizeof(int), 1, i);
       }
     } else {
-      mpi.compute(1e-3);  // let everything arrive unexpected
+      mpi.compute(sim::Time::sec(1e-3));  // let everything arrive unexpected
       for (int i = 4; i >= 0; --i) {  // post in reverse tag order
         std::vector<int> buf(10);
         mpi.recv(buf.data(), buf.size() * sizeof(int), 0, i);
@@ -184,7 +184,7 @@ TEST_P(MpiSemantics, UnexpectedLargeMessage) {
       const auto data = pattern_bytes(bytes, 1);
       mpi.send(data.data(), bytes, 1, 8);
     } else {
-      mpi.compute(2e-3);
+      mpi.compute(sim::Time::sec(2e-3));
       std::vector<std::byte> buf(bytes);
       const auto st = mpi.recv(buf.data(), buf.size(), 0, 8);
       EXPECT_EQ(st.bytes, bytes);
@@ -224,14 +224,14 @@ TEST_P(MpiSemantics, TestReturnsFalseThenTrue) {
   core::Cluster cluster(cfg(2));
   cluster.run([&](mpi::Mpi& mpi) {
     if (mpi.rank() == 0) {
-      mpi.compute(1e-3);
+      mpi.compute(sim::Time::sec(1e-3));
       int v = 42;
       mpi.send(&v, sizeof v, 1, 0);
     } else {
       int v = 0;
       auto r = mpi.irecv(&v, sizeof v, 0, 0);
       EXPECT_FALSE(mpi.test(r));  // nothing sent yet
-      while (!mpi.test(r)) mpi.compute(50e-6);
+      while (!mpi.test(r)) mpi.compute(sim::Time::sec(50e-6));
       EXPECT_EQ(v, 42);
     }
   });
@@ -332,7 +332,7 @@ TEST_P(MpiSemantics, StreamOfEagerMessagesExceedsRingDepth) {
       }
       mpi.waitall(reqs);
     } else {
-      mpi.compute(1e-4);
+      mpi.compute(sim::Time::sec(1e-4));
       int expected = 0;
       for (int i = 0; i < kCount; ++i) {
         int v = -1;

@@ -37,7 +37,7 @@ TEST(FifoResource, BackToBackRequestsQueueFifo) {
 TEST(FifoResource, DrainsBetweenBursts) {
   Engine e;
   FifoResource r(e, "r");
-  r.acquire(Time::us(1));
+  (void)r.acquire(Time::us(1));
   e.run();
   // Resource idle again: a request at t=10 finishes at t=11, not t=2.
   Time done = Time::zero();
@@ -59,8 +59,8 @@ TEST(FifoResource, ReturnsCompletionTime) {
 TEST(FifoResource, TracksUtilization) {
   Engine e;
   FifoResource r(e, "r");
-  r.acquire(Time::us(3));
-  r.acquire(Time::us(4));
+  (void)r.acquire(Time::us(3));
+  (void)r.acquire(Time::us(4));
   EXPECT_EQ(r.requests(), 2u);
   EXPECT_EQ(r.busy_time(), Time::us(7));
 }

@@ -338,7 +338,7 @@ TEST(ClusterTrace, ElanRunEmitsTportsSpansAndQueueStats) {
     if (mpi.rank() == 0) {
       mpi.send(buf.data(), buf.size(), 1, 3);
     } else {
-      mpi.compute(5e-6);  // rank 1 posts late -> unexpected-queue traffic
+      mpi.compute(sim::Time::sec(5e-6));  // rank 1 posts late -> unexpected-queue traffic
       mpi.recv(buf.data(), buf.size(), 0, 3);
     }
   });

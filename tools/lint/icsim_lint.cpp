@@ -1,0 +1,603 @@
+// icsim_lint — determinism lint for the icsim discrete-event simulator.
+//
+// The repository's reproduction claims (PAPER.md Figs. 1-14) rest on runs
+// being bit-reproducible for a fixed seed.  This tool enforces, over the
+// token stream of src/, the coding rules that keep the DES deterministic:
+//
+//   wall-clock           no std::chrono clocks, time(), rand(),
+//                        std::random_device, gettimeofday, ... outside
+//                        sim/rng (every stochastic draw must flow from an
+//                        explicitly seeded sim::Rng);
+//   unordered-iteration  no range-for / .begin() traversal of a variable
+//                        declared as unordered_map/unordered_set — hash
+//                        iteration order is implementation-defined, so
+//                        event emission ordered by it is nondeterministic;
+//   raw-time-param       no `double`/`float` function parameters with
+//                        time/bandwidth-ish names in sim-facing code —
+//                        durations must be sim::Time, rates sim::Bandwidth
+//                        (the unit-safe types round identically everywhere);
+//   nodiscard-time       declarations returning sim::Time / sim::Bandwidth
+//                        must be [[nodiscard]] — a silently dropped Time is
+//                        how timing bugs (uncharged costs) slip in.
+//
+// Diagnostics print as `file:line: rule: message` and a nonzero exit means
+// at least one violation.  A finding is suppressed by a comment on the same
+// or the preceding line:
+//
+//   // icsim-lint: allow(<rule>)      (or allow(*) for any rule)
+//
+// Deliberately libclang-free: a lightweight lexer (comments, string/char
+// literals, raw strings, preprocessor lines, identifiers, punctuation) is
+// enough for these rules and keeps the tool a single-file, dependency-free
+// binary that builds everywhere the simulator builds.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Token stream
+
+enum class TokKind { identifier, number, string, punct };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+struct Suppression {
+  int line;
+  std::string rule;  // "*" allows every rule
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+};
+
+bool ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool ident_char(char c) { return ident_start(c) || (c >= '0' && c <= '9'); }
+
+/// Record `// icsim-lint: allow(rule1, rule2)` comments.
+void scan_comment(const std::string& text, int line, LexedFile& out) {
+  const std::string marker = "icsim-lint:";
+  auto pos = text.find(marker);
+  if (pos == std::string::npos) return;
+  pos = text.find("allow", pos);
+  if (pos == std::string::npos) return;
+  const auto open = text.find('(', pos);
+  const auto close = text.find(')', open == std::string::npos ? pos : open);
+  if (open == std::string::npos || close == std::string::npos) return;
+  std::string inner = text.substr(open + 1, close - open - 1);
+  std::string rule;
+  std::istringstream ss(inner);
+  while (std::getline(ss, rule, ',')) {
+    rule.erase(std::remove_if(rule.begin(), rule.end(),
+                              [](char c) { return c == ' ' || c == '\t'; }),
+               rule.end());
+    if (!rule.empty()) out.suppressions.push_back({line, rule});
+  }
+}
+
+/// Lex one source file.  Comments feed the suppression table; string and
+/// char literals become opaque `string` tokens; preprocessor lines are
+/// skipped wholesale (includes and macros are not rule targets).
+LexedFile lex(const std::string& src) {
+  LexedFile out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  bool at_line_start = true;
+
+  auto peek = [&](std::size_t k) -> char { return i + k < n ? src[i + k] : '\0'; };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    if (at_line_start && c == '#') {  // preprocessor line (with continuations)
+      while (i < n && src[i] != '\n') {
+        if (src[i] == '\\' && peek(1) == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    if (c == '/' && peek(1) == '/') {
+      const std::size_t start = i;
+      while (i < n && src[i] != '\n') ++i;
+      scan_comment(src.substr(start, i - start), line, out);
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      const int start_line = line;
+      const std::size_t start = i;
+      i += 2;
+      while (i < n && !(src[i] == '*' && peek(1) == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = i < n ? i + 2 : n;
+      scan_comment(src.substr(start, i - start), start_line, out);
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      if (c == '"' && i > 0 && src[i - 1] == 'R') {  // raw string R"delim(...)delim"
+        const auto open = src.find('(', i);
+        if (open != std::string::npos) {
+          std::string delim = ")";
+          delim.append(src, i + 1, open - i - 1);
+          delim += '"';
+          const auto close = src.find(delim, open);
+          const std::size_t end = close == std::string::npos ? n : close + delim.size();
+          line += static_cast<int>(std::count(src.begin() + static_cast<long>(i),
+                                              src.begin() + static_cast<long>(end), '\n'));
+          i = end;
+          out.tokens.push_back({TokKind::string, "\"\"", line});
+          continue;
+        }
+      }
+      const char quote = c;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\') ++i;
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) ++i;
+      out.tokens.push_back({TokKind::string, quote == '"' ? "\"\"" : "''", line});
+      continue;
+    }
+    if (ident_start(c)) {
+      const std::size_t start = i;
+      while (i < n && ident_char(src[i])) ++i;
+      out.tokens.push_back({TokKind::identifier, src.substr(start, i - start), line});
+      continue;
+    }
+    if (c >= '0' && c <= '9') {
+      const std::size_t start = i;
+      while (i < n && (ident_char(src[i]) || src[i] == '.' ||
+                       ((src[i] == '+' || src[i] == '-') && i > start &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                         src[i - 1] == 'p' || src[i - 1] == 'P')))) {
+        ++i;
+      }
+      out.tokens.push_back({TokKind::number, src.substr(start, i - start), line});
+      continue;
+    }
+    // Punctuation; `::` is one token so qualified names are easy to walk.
+    if (c == ':' && peek(1) == ':') {
+      out.tokens.push_back({TokKind::punct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && peek(1) == '>') {
+      out.tokens.push_back({TokKind::punct, "->", line});
+      i += 2;
+      continue;
+    }
+    if (c == '[' && peek(1) == '[') {
+      out.tokens.push_back({TokKind::punct, "[[", line});
+      i += 2;
+      continue;
+    }
+    if (c == ']' && peek(1) == ']') {
+      out.tokens.push_back({TokKind::punct, "]]", line});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back({TokKind::punct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics
+
+struct Diagnostic {
+  std::string file;
+  int line;
+  std::string rule;
+  std::string message;
+};
+
+bool suppressed(const LexedFile& lf, int line, const std::string& rule) {
+  for (const auto& s : lf.suppressions) {
+    if ((s.line == line || s.line == line - 1) && (s.rule == "*" || s.rule == rule)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void report(std::vector<Diagnostic>& diags, const LexedFile& lf,
+            const std::string& file, int line, const std::string& rule,
+            const std::string& message) {
+  if (suppressed(lf, line, rule)) return;
+  diags.push_back({file, line, rule, message});
+}
+
+bool path_contains(const std::string& path, const char* needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: wall-clock
+
+const std::set<std::string> kClockFunctions = {
+    "time",       "clock",         "rand",        "srand",
+    "random",     "gettimeofday",  "clock_gettime", "timespec_get",
+    "ftime",      "localtime",     "gmtime",
+};
+const std::set<std::string> kClockTypes = {
+    "random_device", "system_clock", "high_resolution_clock", "steady_clock",
+};
+
+void rule_wall_clock(const LexedFile& lf, const std::string& file,
+                     std::vector<Diagnostic>& diags) {
+  // sim/rng is the one sanctioned randomness boundary.
+  if (path_contains(file, "sim/rng")) return;
+  const auto& t = lf.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::identifier) continue;
+    const bool member_access =
+        i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->");
+    if (member_access) continue;  // obj.time() is a model method, not ::time
+    if (kClockTypes.count(t[i].text) != 0) {
+      report(diags, lf, file, t[i].line, "wall-clock",
+             "'" + t[i].text +
+                 "' is a nondeterministic entropy/clock source; derive all "
+                 "randomness from a seeded sim::Rng (sim/rng.hpp)");
+      continue;
+    }
+    if (kClockFunctions.count(t[i].text) != 0 && i + 1 < t.size() &&
+        t[i + 1].text == "(") {
+      report(diags, lf, file, t[i].line, "wall-clock",
+             "call to '" + t[i].text +
+                 "()' reads wall-clock/global-entropy state; simulated time "
+                 "is Engine::now() and randomness is sim::Rng");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unordered-iteration
+
+const std::set<std::string> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
+
+/// Names of variables declared in this file with an unordered container type
+/// (members, locals, and reference parameters all match the same shape:
+/// `unordered_xxx < ... > [&*]* name`).
+std::set<std::string> unordered_vars(const std::vector<Token>& t) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::identifier || kUnorderedTypes.count(t[i].text) == 0) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (j >= t.size() || t[j].text != "<") continue;
+    int depth = 0;
+    for (; j < t.size(); ++j) {
+      if (t[j].text == "<") ++depth;
+      if (t[j].text == ">") {
+        --depth;
+        if (depth == 0) break;
+      }
+    }
+    ++j;
+    while (j < t.size() && (t[j].text == "&" || t[j].text == "*")) ++j;
+    if (j < t.size() && t[j].kind == TokKind::identifier) {
+      names.insert(t[j].text);
+    }
+  }
+  return names;
+}
+
+void rule_unordered_iteration(const LexedFile& lf, const std::string& file,
+                              const std::set<std::string>& header_vars,
+                              std::vector<Diagnostic>& diags) {
+  const auto& t = lf.tokens;
+  std::set<std::string> vars = unordered_vars(t);
+  vars.insert(header_vars.begin(), header_vars.end());
+  if (vars.empty()) return;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    // Range-for whose range expression names an unordered container.
+    if (t[i].text == "for" && t[i + 1].text == "(") {
+      int depth = 0;
+      std::size_t colon = 0;
+      for (std::size_t j = i + 1; j < t.size(); ++j) {
+        if (t[j].text == "(") ++depth;
+        if (t[j].text == ")") {
+          --depth;
+          if (depth == 0) break;
+        }
+        if (t[j].text == ":" && depth == 1) {
+          colon = j;
+          break;
+        }
+        if (t[j].text == ";" && depth == 1) break;  // classic for
+      }
+      if (colon != 0) {
+        int depth2 = 1;
+        for (std::size_t j = colon + 1; j < t.size() && depth2 > 0; ++j) {
+          if (t[j].text == "(") ++depth2;
+          if (t[j].text == ")") {
+            --depth2;
+            if (depth2 == 0) break;
+          }
+          if (t[j].kind == TokKind::identifier && vars.count(t[j].text) != 0) {
+            report(diags, lf, file, t[j].line, "unordered-iteration",
+                   "range-for over unordered container '" + t[j].text +
+                       "': hash iteration order is implementation-defined and "
+                       "makes event emission order nondeterministic; use "
+                       "std::map / sorted traversal");
+            break;
+          }
+        }
+      }
+    }
+    // Explicit iterator walk: var.begin() / var.cbegin() / var.rbegin().
+    if (t[i].kind == TokKind::identifier && vars.count(t[i].text) != 0 &&
+        (t[i + 1].text == "." || t[i + 1].text == "->") && i + 3 < t.size() &&
+        (t[i + 2].text == "begin" || t[i + 2].text == "cbegin" ||
+         t[i + 2].text == "rbegin") &&
+        t[i + 3].text == "(") {
+      report(diags, lf, file, t[i].line, "unordered-iteration",
+             "iterator traversal of unordered container '" + t[i].text +
+                 "' is order-nondeterministic; use std::map / sorted traversal");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: raw-time-param
+
+bool timeish_name(const std::string& name) {
+  static const std::set<std::string> exact = {
+      "time",     "seconds", "sec",      "secs",    "usec",  "usecs",
+      "nsec",     "msec",    "delay",    "latency", "timeout",
+      "duration", "interval", "period",  "elapsed", "bandwidth", "rate_bps",
+  };
+  if (exact.count(name) != 0) return true;
+  static const std::vector<std::string> suffixes = {
+      "_time", "_seconds", "_sec", "_secs", "_us", "_ns", "_ms",
+      "_latency", "_delay", "_timeout", "_duration", "_bandwidth", "_bps",
+  };
+  for (const auto& s : suffixes) {
+    if (name.size() > s.size() &&
+        name.compare(name.size() - s.size(), s.size(), s) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void rule_raw_time_param(const LexedFile& lf, const std::string& file,
+                         std::vector<Diagnostic>& diags) {
+  // sim/time.hpp defines the unit-safe types; its factory parameters are
+  // the sanctioned double<->Time boundary.
+  if (path_contains(file, "sim/time.")) return;
+  const auto& t = lf.tokens;
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    if (t[i].text != "double" && t[i].text != "float") continue;
+    // Parameter position: the previous significant token opens or continues
+    // a parameter list.
+    const std::string& prev = t[i - 1].text;
+    if (prev != "(" && prev != ",") continue;
+    if (t[i + 1].kind != TokKind::identifier) continue;
+    if (!timeish_name(t[i + 1].text)) continue;
+    report(diags, lf, file, t[i].line, "raw-time-param",
+           "parameter '" + t[i + 1].text + "' is a raw " + t[i].text +
+               " duration/rate; sim-facing APIs must take sim::Time / "
+               "sim::Bandwidth so units and rounding stay exact");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: nodiscard-time
+
+const std::set<std::string> kSkippableSpecifiers = {
+    "static", "constexpr", "inline", "virtual", "friend", "explicit", "const"};
+
+void rule_nodiscard_time(const LexedFile& lf, const std::string& file,
+                         std::vector<Diagnostic>& diags) {
+  const auto& t = lf.tokens;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind != TokKind::identifier ||
+        (t[i].text != "Time" && t[i].text != "Bandwidth")) {
+      continue;
+    }
+    // Return type must be the bare value type: `Time name (` — a following
+    // `&`, `*`, `::` or non-identifier means this is not such a declaration.
+    std::size_t j = i + 1;
+    if (j >= t.size() || t[j].kind != TokKind::identifier) continue;
+    if (t[j].text == "operator") continue;  // operators stay unannotated
+    std::size_t k = j + 1;
+    if (k >= t.size() || t[k].text != "(") {
+      // Qualified name => out-of-line definition; [[nodiscard]] belongs on
+      // the in-class declaration, which is checked separately.
+      continue;
+    }
+    // Walk backwards over `sim ::` qualification and declaration specifiers.
+    bool has_nodiscard = false;
+    std::size_t b = i;
+    while (b > 0) {
+      const Token& p = t[b - 1];
+      if (p.text == "::" && b >= 2 && t[b - 2].kind == TokKind::identifier) {
+        b -= 2;  // namespace qualifier on the return type
+        continue;
+      }
+      if (p.kind == TokKind::identifier && kSkippableSpecifiers.count(p.text) != 0) {
+        --b;
+        continue;
+      }
+      if (p.text == "]]") {  // attribute block: scan it for nodiscard
+        std::size_t a = b - 1;
+        while (a > 0 && t[a - 1].text != "[[") {
+          if (t[a - 1].text == "nodiscard") has_nodiscard = true;
+          --a;
+        }
+        b = a > 0 ? a - 1 : 0;
+        continue;
+      }
+      break;
+    }
+    if (has_nodiscard) continue;
+    // The declaration must start at a boundary; `Time` appearing mid-
+    // expression (casts, parameter types, template args) is not flagged.
+    if (b > 0) {
+      const std::string& boundary = t[b - 1].text;
+      if (boundary != ";" && boundary != "{" && boundary != "}" &&
+          boundary != ":" && boundary != ">") {
+        continue;
+      }
+      // `public:` / `private:` / label colons qualify; a ternary `:` would
+      // be mid-expression but cannot be followed by a two-identifier
+      // declaration shape, so the colon case is safe.
+    }
+    report(diags, lf, file, t[j].line, "nodiscard-time",
+           "'" + t[j].text + "' returns sim::" + t[i].text +
+               " but is not [[nodiscard]]; a dropped " + t[i].text +
+               " usually means an uncharged cost");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+
+const std::vector<std::string> kRuleNames = {
+    "wall-clock", "unordered-iteration", "raw-time-param", "nodiscard-time"};
+
+bool slurp(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+void lint_file(const fs::path& path, std::vector<Diagnostic>& diags) {
+  std::string src;
+  if (!slurp(path, src)) {
+    std::cerr << "icsim_lint: cannot read " << path.string() << "\n";
+    return;
+  }
+  const LexedFile lf = lex(src);
+  // A .cpp's unordered members usually live in its header: merge the
+  // sibling header's declarations so traversals in the implementation file
+  // are still caught.
+  std::set<std::string> header_vars;
+  const std::string ext = path.extension().string();
+  if (ext == ".cpp" || ext == ".cc") {
+    for (const char* hext : {".hpp", ".h"}) {
+      fs::path header = path;
+      header.replace_extension(hext);
+      std::string hsrc;
+      if (slurp(header, hsrc)) {
+        const LexedFile hlf = lex(hsrc);
+        const auto vars = unordered_vars(hlf.tokens);
+        header_vars.insert(vars.begin(), vars.end());
+      }
+    }
+  }
+  const std::string name = path.generic_string();
+  rule_wall_clock(lf, name, diags);
+  rule_unordered_iteration(lf, name, header_vars, diags);
+  rule_raw_time_param(lf, name, diags);
+  rule_nodiscard_time(lf, name, diags);
+}
+
+bool source_file(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& r : kRuleNames) std::cout << r << "\n";
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: icsim_lint [--list-rules] <file-or-dir>...\n"
+                   "Lints C++ sources for DES determinism violations.\n"
+                   "Suppress with: // icsim-lint: allow(<rule>)\n";
+      return 0;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) {
+    std::cerr << "icsim_lint: no inputs (try --help)\n";
+    return 2;
+  }
+
+  std::vector<Diagnostic> diags;
+  std::size_t files = 0;
+  for (const auto& p : paths) {
+    const fs::path path(p);
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      std::vector<fs::path> found;
+      for (const auto& entry : fs::recursive_directory_iterator(path)) {
+        if (entry.is_regular_file() && source_file(entry.path())) {
+          found.push_back(entry.path());
+        }
+      }
+      std::sort(found.begin(), found.end());  // stable diagnostic order
+      for (const auto& f : found) {
+        lint_file(f, diags);
+        ++files;
+      }
+    } else if (fs::exists(path, ec)) {
+      lint_file(path, diags);
+      ++files;
+    } else {
+      std::cerr << "icsim_lint: no such file or directory: " << p << "\n";
+      return 2;
+    }
+  }
+
+  for (const auto& d : diags) {
+    std::cout << d.file << ":" << d.line << ": " << d.rule << ": " << d.message
+              << "\n";
+  }
+  if (!diags.empty()) {
+    std::cout << "icsim_lint: " << diags.size() << " violation"
+              << (diags.size() == 1 ? "" : "s") << " in " << files << " file"
+              << (files == 1 ? "" : "s") << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Lint fixture: every rule must fire at least once in this file.  Never
+// compiled — it only exists for the `lint_detects_violations` ctest case.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+
+#include "sim/time.hpp"
+
+namespace fixture {
+
+// wall-clock: global entropy and wall-clock reads.
+inline int bad_entropy() {
+  std::random_device rd;                            // wall-clock
+  const auto t = std::time(nullptr);                // wall-clock
+  const auto wc = std::chrono::system_clock::now(); // wall-clock
+  (void)wc;
+  return rand() + static_cast<int>(t) + static_cast<int>(rd());  // wall-clock
+}
+
+// wall-clock suppression must work:
+inline unsigned ok_entropy() {
+  return static_cast<unsigned>(rand());  // icsim-lint: allow(wall-clock)
+}
+
+struct State {
+  std::unordered_map<int, int> table;
+
+  // unordered-iteration: order-dependent traversal of a hash map.
+  int bad_sum() const {
+    int s = 0;
+    for (const auto& [k, v] : table) s += v;  // unordered-iteration
+    return s;
+  }
+
+  int bad_iter_sum() const {
+    int s = 0;
+    for (auto it = table.begin(); it != table.end(); ++it) s += it->second;
+    return s;
+  }
+
+  // Lookup (no traversal) is fine:
+  int ok_lookup(int k) const {
+    auto it = table.find(k);
+    return it == table.end() ? 0 : it->second;
+  }
+};
+
+// raw-time-param: durations must be sim::Time, rates sim::Bandwidth.
+inline void bad_sleep(double seconds) { (void)seconds; }          // raw-time-param
+inline void bad_link(float link_bandwidth) { (void)link_bandwidth; }  // raw-time-param
+inline void ok_sleep(icsim::sim::Time d) { (void)d; }
+
+// nodiscard-time: Time-returning declaration without [[nodiscard]].
+icsim::sim::Time bad_cost();
+[[nodiscard]] icsim::sim::Time ok_cost();
+
+}  // namespace fixture
