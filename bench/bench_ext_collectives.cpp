@@ -3,73 +3,14 @@
 // All collectives here are the MPICH-style point-to-point algorithms both
 // real MPIs used, so the network's latency/message-rate advantages
 // compound logarithmically (or linearly, for alltoall) with scale.
+//
+// Thin wrapper over the ext_collectives scenario group (see src/driver/).
 
-#include <cstdio>
-#include <vector>
+#include "driver/sweep_main.hpp"
+#include "scenarios/scenarios.hpp"
 
-#include "core/cluster.hpp"
-#include "core/report.hpp"
-
-namespace {
-
-using icsim::core::Network;
-
-struct CollTimes {
-  double barrier_us, allreduce_us, bcast_us, alltoall_us;
-};
-
-CollTimes run_case(Network net, int nodes) {
-  using namespace icsim;
-  core::ClusterConfig cc = net == Network::infiniband
-                               ? core::ib_cluster(nodes, 1)
-                               : core::elan_cluster(nodes, 1);
-  core::Cluster cluster(cc);
-  CollTimes result{};
-  cluster.run([&](mpi::Mpi& mpi) {
-    constexpr int kReps = 30;
-    const int n = mpi.size();
-    std::vector<double> vec(128);
-    std::vector<double> a2a_in(static_cast<std::size_t>(n) * 16);
-    std::vector<double> a2a_out(static_cast<std::size_t>(n) * 16);
-
-    auto timed = [&](auto&& op) {
-      mpi.barrier();
-      const double t0 = mpi.wtime();
-      for (int i = 0; i < kReps; ++i) op();
-      // A root can run ahead of the receivers (its sends complete
-      // locally); the honest cost is the slowest participant's.
-      const double mine = (mpi.wtime() - t0) / kReps * 1e6;
-      return mpi.allreduce(mine, mpi::ReduceOp::max);
-    };
-
-    const double tb = timed([&] { mpi.barrier(); });
-    const double tr = timed([&] { (void)mpi.allreduce(1.0, mpi::ReduceOp::sum); });
-    const double tc = timed([&] { mpi.bcast(vec.data(), vec.size(), 0); });
-    const double ta = timed([&] { mpi.alltoall(a2a_in.data(), 16, a2a_out.data()); });
-    if (mpi.rank() == 0) result = {tb, tr, tc, ta};
-  });
-  return result;
-}
-
-}  // namespace
-
-int main() {
-  using namespace icsim;
-  std::printf("Extension: collective latency (us), 1 PPN "
-              "(barrier | allreduce 8B | bcast 1KB | alltoall 128B/peer)\n\n");
-  core::Table t({"nodes", "IB barr", "El barr", "IB ared", "El ared",
-                 "IB bcast", "El bcast", "IB a2a", "El a2a"});
-  t.print_header();
-  for (const int nodes : {2, 4, 8, 16, 32}) {
-    const auto ib = run_case(Network::infiniband, nodes);
-    const auto el = run_case(Network::quadrics, nodes);
-    t.print_row({core::fmt_int(nodes), core::fmt(ib.barrier_us, 1),
-                 core::fmt(el.barrier_us, 1), core::fmt(ib.allreduce_us, 1),
-                 core::fmt(el.allreduce_us, 1), core::fmt(ib.bcast_us, 1),
-                 core::fmt(el.bcast_us, 1), core::fmt(ib.alltoall_us, 1),
-                 core::fmt(el.alltoall_us, 1)});
-  }
-  std::printf("\npaper-shape expectation: every column pair keeps roughly "
-              "the Figure 1(a) latency ratio, growing with log(nodes)\n");
-  return 0;
+int main(int argc, char** argv) {
+  icsim::driver::Registry reg;
+  icsim::bench::register_ext_collectives(reg);
+  return icsim::driver::sweep_main(reg, argc, argv);
 }

@@ -2,262 +2,29 @@
 // the 2004 study ran on healthy fabrics; this asks how each technology's
 // recovery machinery behaves when the fabric is not).
 //
-// Part 1 sweeps a per-link bit-error rate over ping-pong and streaming on
-// two nodes.  Both networks must complete every transfer — InfiniBand by
-// software-visible RC timeout/retransmission (the requester re-reads the
-// chunk over PCI-X), Elan-4 by hardware link-level retry out of the link
-// buffer — with bounded slowdown at BER <= 1e-6.
+// Part 1 (group ext_faults_ber) sweeps a per-link bit-error rate over
+// ping-pong and streaming on two nodes.  Both networks must complete every
+// transfer — InfiniBand by software-visible RC timeout/retransmission (the
+// requester re-reads the chunk over PCI-X), Elan-4 by hardware link-level
+// retry out of the link buffer — with bounded slowdown at BER <= 1e-6.
 //
-// Part 2 saturates every up-cable of one leaf switch with full-rate flows
-// to distinct subtrees, then fails one of those cables: once for the whole
-// run, once mid-run (down at ~30% of the clean completion time, repaired at
-// ~60%).  Chunks reroute over the surviving climbs (no lost messages, no
-// deadlock).  On the 4-ary Elan tree the displaced flow must share a busy
-// cable, so the bandwidth across the leaf's cut measurably drops; the
-// 12-port InfiniBand Clos has idle parallel cables for this flow count and
-// absorbs the failure — redundancy the counters make visible either way.
+// Part 2 (group ext_faults_spine) saturates every up-cable of one leaf
+// switch with full-rate flows to distinct subtrees, then fails one of
+// those cables: once for the whole run, once mid-run (down at ~30% of the
+// clean completion time, repaired at ~60%).  Chunks reroute over the
+// surviving climbs (no lost messages, no deadlock).  On the 4-ary Elan
+// tree the displaced flow must share a busy cable, so the bandwidth across
+// the leaf's cut measurably drops; the 12-port InfiniBand Clos has idle
+// parallel cables for this flow count and absorbs the failure — redundancy
+// the counters make visible either way.
+//
+// Thin wrapper over both fault scenario groups (see src/driver/).
 
-#include <cstdio>
-#include <stdexcept>
-#include <string>
-#include <vector>
+#include "driver/sweep_main.hpp"
+#include "scenarios/scenarios.hpp"
 
-#include "core/cluster.hpp"
-#include "core/report.hpp"
-#include "fault/plan.hpp"
-#include "microbench/pingpong.hpp"
-
-namespace {
-
-using namespace icsim;
-
-struct FaultRun {
-  double elapsed_us = 0.0;
-  double bandwidth_mbs = 0.0;  // aggregate payload bandwidth
-  core::Cluster::RunStats stats;
-};
-
-constexpr std::size_t kPingPongBytes = 4096;
-constexpr std::size_t kStreamBytes = 65536;
-
-// Two-node ping-pong + streaming window under one fault plan; counters come
-// from the same cluster so retries line up with the timings.
-FaultRun run_two_node(core::Network net, const fault::FaultPlan& plan) {
-  core::ClusterConfig cc = net == core::Network::infiniband
-                               ? core::ib_cluster(2)
-                               : core::elan_cluster(2);
-  cc.faults = plan;
-  core::Cluster cluster(cc);
-
-  constexpr int kReps = 200;
-  constexpr int kWindow = 16;
-  constexpr int kBatches = 10;
-  FaultRun out;
-  cluster.run([&](mpi::Mpi& mpi) {
-    const int peer = 1 - mpi.rank();
-    std::vector<std::byte> sbuf(kStreamBytes), rbuf(kStreamBytes);
-    for (int i = 0; i < kReps; ++i) {
-      if (mpi.rank() == 0) {
-        mpi.send(sbuf.data(), kPingPongBytes, peer, i);
-        mpi.recv(rbuf.data(), rbuf.size(), peer, kReps + i);
-      } else {
-        mpi.recv(rbuf.data(), rbuf.size(), peer, i);
-        mpi.send(sbuf.data(), kPingPongBytes, peer, kReps + i);
-      }
-    }
-    const double t0 = mpi.wtime();
-    std::vector<mpi::Request> reqs(kWindow);
-    for (int b = 0; b < kBatches; ++b) {
-      for (int w = 0; w < kWindow; ++w) {
-        const int tag = 2 * kReps + b * kWindow + w;
-        reqs[static_cast<std::size_t>(w)] =
-            mpi.rank() == 0
-                ? mpi.isend(sbuf.data(), kStreamBytes, peer, tag)
-                : mpi.irecv(rbuf.data(), rbuf.size(), peer, tag);
-      }
-      mpi.waitall(reqs);
-    }
-    if (mpi.rank() == 0) {
-      const double elapsed = mpi.wtime() - t0;
-      out.bandwidth_mbs = static_cast<double>(kBatches) * kWindow *
-                          static_cast<double>(kStreamBytes) / elapsed / 1e6;
-    }
-  });
-  out.elapsed_us = cluster.engine().now().to_us();
-  out.stats = cluster.stats();
-  return out;
-}
-
-// The sender -> receiver flows that saturate leaf 0's up-cables: every
-// sender sits on leaf switch 0 and targets a subtree reached through a
-// different up-cable (D-mod-k picks the climb from the destination's
-// digits), so each flow monopolizes one cable of the leaf's cut.
-struct FlowSet {
-  int nodes = 0;
-  std::vector<std::pair<int, int>> flows;
-};
-
-FlowSet saturating_flows(core::Network net) {
-  if (net == core::Network::quadrics) {
-    // 4-ary tree, leaves of 4: destinations with distinct digit-1 values
-    // (16 has digit 0 -- only reachable with >16 nodes).  All 4 up-cables
-    // of leaf 0 carry one full-rate flow.
-    return {20, {{0, 16}, {1, 5}, {2, 10}, {3, 15}}};
-  }
-  // 12-port Clos, leaves of 12: far leaves start at 12, one flow per
-  // distinct destination leaf.  Only 3 of the 12 up-cables are busy, which
-  // is exactly the point: the reroute after a failure finds an idle one.
-  return {48, {{0, 13}, {1, 25}, {2, 37}}};
-}
-
-FaultRun run_flows(core::Network net, const FlowSet& fs,
-                   const fault::FaultPlan& plan) {
-  constexpr int kMsgs = 64;
-  constexpr int kWindow = 16;
-  core::ClusterConfig cc = net == core::Network::infiniband
-                               ? core::ib_cluster(fs.nodes)
-                               : core::elan_cluster(fs.nodes);
-  cc.faults = plan;
-  core::Cluster cluster(cc);
-
-  cluster.run([&](mpi::Mpi& mpi) {
-    const int me = mpi.rank();
-    int peer = -1;
-    bool sender = false;
-    for (const auto& [s, d] : fs.flows) {
-      if (me == s) { sender = true; peer = d; }
-      if (me == d) { peer = s; }
-    }
-    if (peer < 0) return;  // bystander rank
-    std::vector<std::byte> buf(kStreamBytes);
-    std::vector<mpi::Request> reqs(kWindow);
-    for (int b = 0; b < kMsgs / kWindow; ++b) {
-      for (int w = 0; w < kWindow; ++w) {
-        const int tag = b * kWindow + w;
-        reqs[static_cast<std::size_t>(w)] =
-            sender ? mpi.isend(buf.data(), kStreamBytes, peer, tag)
-                   : mpi.irecv(buf.data(), buf.size(), peer, tag);
-      }
-      mpi.waitall(reqs);
-    }
-  });
-
-  FaultRun out;
-  out.elapsed_us = cluster.engine().now().to_us();
-  out.bandwidth_mbs = static_cast<double>(fs.flows.size()) * kMsgs *
-                      static_cast<double>(kStreamBytes) /
-                      (out.elapsed_us / 1e6) / 1e6;
-  out.stats = cluster.stats();
-  return out;
-}
-
-// The up-cable the second flow's default route climbs through (the cable
-// the failure scenarios take down).
-fault::LinkRef victim_cable(core::Network net, const FlowSet& fs) {
-  core::ClusterConfig cc = net == core::Network::infiniband
-                               ? core::ib_cluster(fs.nodes)
-                               : core::elan_cluster(fs.nodes);
-  core::Cluster cluster(cc);
-  const auto& topo = cluster.fabric().topology();
-  const auto& [src, dst] = fs.flows[1];
-  for (const auto& h : topo.route(src, dst)) {
-    if (h.kind == net::Hop::Kind::switch_to_switch &&
-        h.to.level > h.from.level) {
-      return fault::LinkRef::between(h.from, h.to);  // first climb cable
-    }
-  }
-  throw std::logic_error("flow route never climbs");
-}
-
-std::string fmt_ber(double ber) {
-  if (ber == 0.0) return "0";
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.0e", ber);
-  return buf;
-}
-
-std::uint64_t retries_of(core::Network net, const core::Cluster::RunStats& s) {
-  return net == core::Network::infiniband ? s.rc_retries : s.elan_link_retries;
-}
-
-void ber_sweep(core::Network net) {
-  std::printf("\n%s: BER sweep, 2 nodes (ping-pong %zuB x200 + streaming "
-              "%zuB x160)\n",
-              core::to_string(net), kPingPongBytes, kStreamBytes);
-  core::Table t({"BER", "run us", "slowdown", "stream MB/s", "corrupted",
-                 "retries", "exhausted"});
-  t.print_header();
-  double clean_us = 0.0;
-  for (const double ber : {0.0, 1e-8, 1e-7, 1e-6}) {
-    fault::FaultPlan plan;
-    plan.ber = ber;
-    plan.seed = 20040914;  // any fixed seed: reruns reproduce exactly
-    const FaultRun r = run_two_node(net, plan);
-    if (ber == 0.0) clean_us = r.elapsed_us;
-    const std::uint64_t exhausted = r.stats.rc_retry_exhausted +
-                                    r.stats.elan_link_retry_exhausted +
-                                    r.stats.watchdog_timeouts;
-    t.print_row({fmt_ber(ber), core::fmt(r.elapsed_us),
-                 core::fmt(r.elapsed_us / clean_us),
-                 core::fmt(r.bandwidth_mbs),
-                 core::fmt_int(static_cast<long>(r.stats.chunks_corrupted)),
-                 core::fmt_int(static_cast<long>(retries_of(net, r.stats))),
-                 core::fmt_int(static_cast<long>(exhausted))});
-  }
-}
-
-void spine_failure(core::Network net) {
-  const FlowSet fs = saturating_flows(net);
-  const fault::LinkRef cable = victim_cable(net, fs);
-  std::printf("\n%s: %zu full-rate flows across leaf 0's cut, %d nodes, "
-              "failing cable %s\n",
-              core::to_string(net), fs.flows.size(), fs.nodes,
-              cable.to_string().c_str());
-
-  const FaultRun clean = run_flows(net, fs, {});
-
-  fault::FaultPlan whole;  // cable dead for the entire run
-  whole.link_windows.push_back({cable, sim::Time::zero(), sim::Time::zero()});
-  const FaultRun degraded = run_flows(net, fs, whole);
-
-  fault::FaultPlan midrun;  // fails at ~30%, repaired at ~60% of clean time
-  midrun.link_windows.push_back({cable,
-                                 sim::Time::us(0.3 * clean.elapsed_us),
-                                 sim::Time::us(0.6 * clean.elapsed_us)});
-  const FaultRun transient = run_flows(net, fs, midrun);
-
-  core::Table t({"scenario", "run us", "cut MB/s", "rerouted", "retries",
-                 "lost"});
-  t.print_header();
-  const auto row = [&](const char* name, const FaultRun& r) {
-    const std::uint64_t lost = r.stats.rc_retry_exhausted +
-                               r.stats.elan_link_retry_exhausted +
-                               r.stats.watchdog_timeouts;
-    t.print_row({name, core::fmt(r.elapsed_us), core::fmt(r.bandwidth_mbs),
-                 core::fmt_int(static_cast<long>(r.stats.chunks_rerouted)),
-                 core::fmt_int(static_cast<long>(retries_of(net, r.stats))),
-                 core::fmt_int(static_cast<long>(lost))});
-  };
-  row("clean", clean);
-  row("cable down (whole run)", degraded);
-  row("down 30%..60% mid-run", transient);
-}
-
-}  // namespace
-
-int main() {
-  std::printf("Extension: fault injection & reliability "
-              "(set ICSIM_TRACE=faults.json for trace + metrics output)\n");
-  for (const auto net : {core::Network::infiniband, core::Network::quadrics}) {
-    ber_sweep(net);
-  }
-  for (const auto net : {core::Network::infiniband, core::Network::quadrics}) {
-    spine_failure(net);
-  }
-  std::printf("\nanchors: both fabrics complete every transfer at BER<=1e-6 "
-              "with bounded slowdown;\na failed up-cable reroutes "
-              "(rerouted>0, lost=0); with every parallel cable busy the "
-              "4-ary\nElan tree pays measurable cut bandwidth, while the "
-              "12-port IB Clos absorbs it\n");
-  return 0;
+int main(int argc, char** argv) {
+  icsim::driver::Registry reg;
+  icsim::bench::register_ext_faults(reg);
+  return icsim::driver::sweep_main(reg, argc, argv);
 }

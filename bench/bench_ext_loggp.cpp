@@ -6,33 +6,14 @@
 // study networks converge there); InfiniBand's g (per-message gap) is its
 // weak spot — the offloaded NIC sustains several times the message rate;
 // Myrinet's G is ~4x the others (2 Gb/s links).
+//
+// Thin wrapper over the ext_loggp scenario group (see src/driver/).
 
-#include <cstdio>
+#include "driver/sweep_main.hpp"
+#include "scenarios/scenarios.hpp"
 
-#include "core/loggp.hpp"
-#include "core/report.hpp"
-
-int main() {
-  using namespace icsim;
-
-  std::printf("Extension: LogGP characterization (2 nodes, 1 PPN)\n\n");
-  core::Table t({"network", "L us", "o_send us", "o_recv us", "g us",
-                 "G ns/B", "rtt/2 us"});
-  t.print_header();
-  for (const auto net : {core::Network::infiniband, core::Network::quadrics,
-                         core::Network::myrinet}) {
-    core::ClusterConfig cc = net == core::Network::infiniband
-                                 ? core::ib_cluster(2)
-                             : net == core::Network::quadrics
-                                 ? core::elan_cluster(2)
-                                 : core::myrinet_cluster(2);
-    const auto p = core::measure_loggp(cc);
-    t.print_row({core::to_string(net), core::fmt(p.L_us), core::fmt(p.o_send_us),
-                 core::fmt(p.o_recv_us), core::fmt(p.g_us),
-                 core::fmt(p.G_ns_per_byte), core::fmt(p.half_rtt_us)});
-  }
-  std::printf("\nReading: o and g are where host-based MPI stacks lose; L "
-              "reflects NIC processing + fabric hops; G is the PCI-X / link "
-              "ceiling.\n");
-  return 0;
+int main(int argc, char** argv) {
+  icsim::driver::Registry reg;
+  icsim::bench::register_ext_loggp(reg);
+  return icsim::driver::sweep_main(reg, argc, argv);
 }

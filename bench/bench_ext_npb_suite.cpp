@@ -1,108 +1,25 @@
 // Extension: a broader NPB slice (the paper's future work asks for "a
-// greater breadth of applications").  Four kernels spanning the
+// greater breadth of applications").  Five kernels spanning the
 // communication spectrum, both networks, 16 processes:
 //
 //   EP — embarrassingly parallel: one allreduce; both networks ~ideal.
 //   MG — multigrid: mixed message sizes (big fine-level faces, tiny
 //        coarse-level ones).
+//   FT — 3-D FFT: transposes dominated by alltoall.
 //   IS — integer sort: bulk alltoallv, bandwidth-bound; InfiniBand's fat
 //        links close most of the gap here.
 //   CG — conjugate gradient: many mid-size latency-sensitive exchanges;
 //        Quadrics' best case (the paper's Figure 6).
 //
 // The interesting output is the Elan:IB time ratio per kernel.
+//
+// Thin wrapper over the ext_npb_suite scenario group (see src/driver/).
 
-#include <cstdio>
-#include <cstdlib>
+#include "driver/sweep_main.hpp"
+#include "scenarios/scenarios.hpp"
 
-#include "apps/mg/mg.hpp"
-#include "apps/npb/cg.hpp"
-#include "apps/npb/ep.hpp"
-#include "apps/npb/ft.hpp"
-#include "apps/npb/is.hpp"
-#include "core/cluster.hpp"
-#include "core/report.hpp"
-
-namespace {
-
-using icsim::core::Network;
-
-template <typename Fn>
-double run_seconds(Network net, int nodes, Fn&& fn) {
-  using namespace icsim;
-  core::ClusterConfig cc = net == Network::infiniband
-                               ? core::ib_cluster(nodes, 1)
-                               : core::elan_cluster(nodes, 1);
-  core::Cluster cluster(cc);
-  double seconds = 0.0;
-  cluster.run([&](mpi::Mpi& mpi) {
-    const double s = fn(mpi);
-    if (mpi.rank() == 0) seconds = s;
-  });
-  return seconds;
-}
-
-}  // namespace
-
-int main() {
-  using namespace icsim;
-  const bool fast = std::getenv("ICSIM_FAST") != nullptr;
-  const int nodes = 16;
-
-  apps::npb::EpConfig ep;
-  ep.cls = apps::npb::ep_class_S();
-  apps::npb::IsConfig is;
-  is.cls = fast ? apps::npb::is_class_S() : apps::npb::is_class_W();
-  apps::npb::CgConfig cg;
-  cg.cls = fast ? apps::npb::class_S() : apps::npb::class_W();
-  apps::mg::MgConfig mg;
-  mg.n = fast ? 32 : 64;
-  mg.vcycles = 4;
-  apps::npb::FtConfig ft;
-  ft.cls = fast ? apps::npb::FtClass{"T", 32, 32, 32, 3} : apps::npb::ft_class_S();
-
-  struct Row {
-    const char* name;
-    double ib, el;
-  };
-  std::vector<Row> rows;
-
-  rows.push_back({"EP (class S)",
-                  run_seconds(Network::infiniband, nodes,
-                              [&](mpi::Mpi& m) { return apps::npb::run_ep(m, ep).seconds; }),
-                  run_seconds(Network::quadrics, nodes,
-                              [&](mpi::Mpi& m) { return apps::npb::run_ep(m, ep).seconds; })});
-  rows.push_back({"MG (proxy)",
-                  run_seconds(Network::infiniband, nodes,
-                              [&](mpi::Mpi& m) { return apps::mg::run_mg(m, mg).seconds; }),
-                  run_seconds(Network::quadrics, nodes,
-                              [&](mpi::Mpi& m) { return apps::mg::run_mg(m, mg).seconds; })});
-  rows.push_back({"FT",
-                  run_seconds(Network::infiniband, nodes,
-                              [&](mpi::Mpi& m) { return apps::npb::run_ft(m, ft).seconds; }),
-                  run_seconds(Network::quadrics, nodes,
-                              [&](mpi::Mpi& m) { return apps::npb::run_ft(m, ft).seconds; })});
-  rows.push_back({"IS",
-                  run_seconds(Network::infiniband, nodes,
-                              [&](mpi::Mpi& m) { return apps::npb::run_is(m, is).seconds; }),
-                  run_seconds(Network::quadrics, nodes,
-                              [&](mpi::Mpi& m) { return apps::npb::run_is(m, is).seconds; })});
-  rows.push_back({"CG",
-                  run_seconds(Network::infiniband, nodes,
-                              [&](mpi::Mpi& m) { return apps::npb::run_cg(m, cg).seconds; }),
-                  run_seconds(Network::quadrics, nodes,
-                              [&](mpi::Mpi& m) { return apps::npb::run_cg(m, cg).seconds; })});
-
-  std::printf("Extension: NPB slice at %d processes, 1 PPN\n\n", nodes);
-  core::Table t({"kernel", "IB s", "Elan-4 s", "IB/Elan"});
-  t.print_header();
-  for (const auto& r : rows) {
-    t.print_row({r.name, core::fmt(r.ib, 4), core::fmt(r.el, 4),
-                 core::fmt(r.ib / r.el)});
-  }
-  std::printf("\nexpected spectrum: EP ~1.0 (no communication), IS close "
-              "(bandwidth-bound), MG in between, CG largest (latency/"
-              "message-rate-bound) — the network only matters as much as "
-              "the communication pattern lets it.\n");
-  return 0;
+int main(int argc, char** argv) {
+  icsim::driver::Registry reg;
+  icsim::bench::register_ext_npb_suite(reg);
+  return icsim::driver::sweep_main(reg, argc, argv);
 }

@@ -6,71 +6,14 @@
 // we run the membrane study directly at 64..256 nodes and compare the
 // measured efficiencies with what the Figure 8 trend fit predicts from the
 // first 32 nodes alone.
+//
+// Thin wrapper over the ext_scale scenario group (see src/driver/).
 
-#include <cstdio>
-#include <cstdlib>
+#include "driver/sweep_main.hpp"
+#include "scenarios/scenarios.hpp"
 
-#include "apps/lammps/md.hpp"
-#include "core/cluster.hpp"
-#include "core/extrapolate.hpp"
-#include "core/report.hpp"
-
-namespace {
-
-double run_case(icsim::core::Network net, int nodes,
-                const icsim::apps::md::MdConfig& mc) {
-  using namespace icsim;
-  core::ClusterConfig cc = net == core::Network::infiniband
-                               ? core::ib_cluster(nodes, 1)
-                               : core::elan_cluster(nodes, 1);
-  core::Cluster cluster(cc);
-  double seconds = 0.0;
-  cluster.run([&](mpi::Mpi& mpi) {
-    const auto r = apps::md::run_md(mpi, mc);
-    if (mpi.rank() == 0) seconds = r.loop_seconds;
-  });
-  return seconds;
-}
-
-}  // namespace
-
-int main() {
-  using namespace icsim;
-
-  apps::md::MdConfig mc = apps::md::membrane_config();
-  mc.cells_x = mc.cells_y = mc.cells_z = 6;
-  mc.steps = 20;
-  int max_nodes = 256;
-  if (std::getenv("ICSIM_FAST") != nullptr) {
-    mc.cells_x = mc.cells_y = mc.cells_z = 5;
-    mc.steps = 8;
-    max_nodes = 64;
-  }
-
-  std::printf("Extension: membrane study simulated directly beyond the "
-              "testbed's 32 nodes, vs the Figure 8 trend fit\n\n");
-
-  const double ib1 = run_case(core::Network::infiniband, 1, mc);
-  const double ib8 = run_case(core::Network::infiniband, 8, mc);
-  const double ib32 = run_case(core::Network::infiniband, 32, mc);
-  const double el1 = run_case(core::Network::quadrics, 1, mc);
-  const double el8 = run_case(core::Network::quadrics, 8, mc);
-  const double el32 = run_case(core::Network::quadrics, 32, mc);
-  const auto ib_trend = core::fit_scaled_trend(ib1, 8, ib8, 32, ib32);
-  const auto el_trend = core::fit_scaled_trend(el1, 8, el8, 32, el32);
-
-  core::Table t({"nodes", "IB eff%", "IB trend%", "El eff%", "El trend%"});
-  t.print_header();
-  for (int nodes = 64; nodes <= max_nodes; nodes *= 2) {
-    const double ib = run_case(core::Network::infiniband, nodes, mc);
-    const double el = run_case(core::Network::quadrics, nodes, mc);
-    t.print_row({core::fmt_int(nodes), core::fmt(100.0 * ib1 / ib, 1),
-                 core::fmt(100.0 * ib_trend.efficiency_at(nodes), 1),
-                 core::fmt(100.0 * el1 / el, 1),
-                 core::fmt(100.0 * el_trend.efficiency_at(nodes), 1)});
-  }
-  std::printf("\nReading: where measured and trend columns agree, the "
-              "paper's 'assume the trend continues' extrapolation was "
-              "sound in this model; deviations quantify its optimism.\n");
-  return 0;
+int main(int argc, char** argv) {
+  icsim::driver::Registry reg;
+  icsim::bench::register_ext_scale(reg);
+  return icsim::driver::sweep_main(reg, argc, argv);
 }

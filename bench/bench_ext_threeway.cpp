@@ -7,59 +7,14 @@
 // messages; 4X InfiniBand's fat links win raw bandwidth over Myrinet by
 // ~3.5x; Myrinet's 16 kB copy blocks keep its curve smooth but its 2 Gb/s
 // links cap it near 240 MB/s.
+//
+// Thin wrapper over the ext_threeway scenario group (see src/driver/).
 
-#include <cstdio>
+#include "driver/sweep_main.hpp"
+#include "scenarios/scenarios.hpp"
 
-#include "apps/npb/cg.hpp"
-#include "core/cluster.hpp"
-#include "core/report.hpp"
-#include "microbench/pingpong.hpp"
-
-int main() {
-  using namespace icsim;
-
-  microbench::PingPongOptions opt;
-  opt.sizes = {0, 64, 1024, 8192, 65536, 1 << 20};
-  opt.repetitions = 40;
-  opt.warmup = 4;
-
-  const auto ib = microbench::run_pingpong(core::ib_cluster(2), opt);
-  const auto el = microbench::run_pingpong(core::elan_cluster(2), opt);
-  const auto my = microbench::run_pingpong(core::myrinet_cluster(2), opt);
-
-  std::printf("Extension: three-way micro-benchmark comparison "
-              "(cf. Liu et al. [11])\n\n");
-  core::Table t({"bytes", "IB us", "Elan4 us", "Myri us", "IB MB/s",
-                 "Elan4 MB/s", "Myri MB/s"});
-  t.print_header();
-  for (std::size_t i = 0; i < opt.sizes.size(); ++i) {
-    t.print_row({core::fmt_int(static_cast<long>(opt.sizes[i])),
-                 core::fmt(ib[i].latency_us), core::fmt(el[i].latency_us),
-                 core::fmt(my[i].latency_us), core::fmt(ib[i].bandwidth_mbs, 0),
-                 core::fmt(el[i].bandwidth_mbs, 0),
-                 core::fmt(my[i].bandwidth_mbs, 0)});
-  }
-
-  std::printf("\nNAS CG class W at 16 processes (MOps/s/process):\n");
-  apps::npb::CgConfig cfg;
-  cfg.cls = apps::npb::class_W();
-  for (const auto net : {core::Network::infiniband, core::Network::quadrics,
-                         core::Network::myrinet}) {
-    core::ClusterConfig cc = net == core::Network::infiniband
-                                 ? core::ib_cluster(16, 1)
-                             : net == core::Network::quadrics
-                                 ? core::elan_cluster(16, 1)
-                                 : core::myrinet_cluster(16, 1);
-    core::Cluster cluster(cc);
-    apps::npb::CgResult r;
-    cluster.run([&](mpi::Mpi& mpi) {
-      const auto res = apps::npb::run_cg(mpi, cfg);
-      if (mpi.rank() == 0) r = res;
-    });
-    std::printf("  %-16s %8.1f MOps/s/proc  (zeta %.9f)\n",
-                core::to_string(net), r.mops_per_process, r.zeta);
-  }
-  std::printf("\npaper-era anchors: Elan-4 lowest latency; IB highest "
-              "bandwidth; Myrinet capped ~240 MB/s by its 2 Gb/s links\n");
-  return 0;
+int main(int argc, char** argv) {
+  icsim::driver::Registry reg;
+  icsim::bench::register_ext_threeway(reg);
+  return icsim::driver::sweep_main(reg, argc, argv);
 }

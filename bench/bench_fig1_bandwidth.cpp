@@ -6,57 +6,14 @@
 // streaming ratio exceeds 5x at small sizes; both networks asymptote to
 // similar peaks (PCI-X bound); InfiniBand collapses at 4 MB (registration
 // thrash in MVAPICH 0.9.2, fixed in later releases).
+//
+// Thin wrapper over the fig1_bandwidth scenario group (see src/driver/).
 
-#include <cstdio>
+#include "driver/sweep_main.hpp"
+#include "scenarios/scenarios.hpp"
 
-#include "core/report.hpp"
-#include "microbench/pingpong.hpp"
-
-int main() {
-  using namespace icsim;
-
-  microbench::PingPongOptions ppopt;
-  ppopt.sizes = microbench::pallas_sizes(4 << 20);
-  ppopt.repetitions = 50;
-  ppopt.warmup = 5;
-
-  microbench::StreamingOptions stopt;
-  stopt.sizes = ppopt.sizes;
-  stopt.window = 64;
-  stopt.batches = 10;
-  stopt.warmup_batches = 2;
-
-  std::printf("Figure 1(b,c): bandwidth (MB/s), 2 nodes, 1 PPN\n\n");
-  const auto ib_pp = microbench::run_pingpong(core::ib_cluster(2), ppopt);
-  const auto el_pp = microbench::run_pingpong(core::elan_cluster(2), ppopt);
-  const auto ib_st = microbench::run_streaming(core::ib_cluster(2), stopt);
-  const auto el_st = microbench::run_streaming(core::elan_cluster(2), stopt);
-
-  core::Table t({"bytes", "IB pp", "Elan pp", "IB strm", "Elan strm",
-                 "ratio pp", "ratio strm"});
-  t.print_header();
-  double max_stream_ratio = 0.0;
-  for (std::size_t i = 1; i < ib_pp.size(); ++i) {  // skip 0 bytes
-    const double rpp = el_pp[i].bandwidth_mbs / ib_pp[i].bandwidth_mbs;
-    const double rst = el_st[i].bandwidth_mbs / ib_st[i].bandwidth_mbs;
-    if (ib_pp[i].bytes <= 1024 && rst > max_stream_ratio) max_stream_ratio = rst;
-    t.print_row({core::fmt_int(static_cast<long>(ib_pp[i].bytes)),
-                 core::fmt(ib_pp[i].bandwidth_mbs, 1),
-                 core::fmt(el_pp[i].bandwidth_mbs, 1),
-                 core::fmt(ib_st[i].bandwidth_mbs, 1),
-                 core::fmt(el_st[i].bandwidth_mbs, 1), core::fmt(rpp),
-                 core::fmt(rst)});
-  }
-
-  // 8 KB anchor row (paper: 552 vs 249 MB/s).
-  for (std::size_t i = 0; i < ib_pp.size(); ++i) {
-    if (ib_pp[i].bytes == 8192) {
-      std::printf("\n8 KB anchor: Elan-4 %.0f MB/s vs IB %.0f MB/s "
-                  "(paper: 552 vs 249)\n",
-                  el_pp[i].bandwidth_mbs, ib_pp[i].bandwidth_mbs);
-    }
-  }
-  std::printf("max streaming ratio at <=1KB: %.1fx (paper: >5x)\n",
-              max_stream_ratio);
-  return 0;
+int main(int argc, char** argv) {
+  icsim::driver::Registry reg;
+  icsim::bench::register_fig1_bandwidth(reg);
+  return icsim::driver::sweep_main(reg, argc, argv);
 }

@@ -5,31 +5,14 @@
 // above InfiniBand at every size because b_eff's logarithmic average is
 // dominated by sub-kilobyte messages, where Elan's latency/message-rate
 // advantage is largest; both decay mildly as the fabric is loaded.
+//
+// Thin wrapper over the fig1_beff scenario group (see src/driver/).
 
-#include <cstdio>
+#include "driver/sweep_main.hpp"
+#include "scenarios/scenarios.hpp"
 
-#include "core/report.hpp"
-#include "microbench/beff.hpp"
-
-int main() {
-  using namespace icsim;
-
-  microbench::BeffOptions opt;
-  opt.lmax = 1 << 20;
-  opt.repetitions = 2;
-  opt.random_patterns = 2;
-
-  std::printf("Figure 1(d): b_eff per process (MB/s), 1 PPN\n\n");
-  core::Table t({"nodes", "IB b_eff/p", "Elan b_eff/p", "Elan/IB"});
-  t.print_header();
-  for (const int nodes : {2, 4, 8, 16, 24, 32}) {
-    const auto ib = microbench::run_beff(core::ib_cluster(nodes), opt);
-    const auto el = microbench::run_beff(core::elan_cluster(nodes), opt);
-    t.print_row({core::fmt_int(nodes), core::fmt(ib.beff_per_process_mbs, 1),
-                 core::fmt(el.beff_per_process_mbs, 1),
-                 core::fmt(el.beff_per_process_mbs / ib.beff_per_process_mbs)});
-  }
-  std::printf("\npaper anchor: flat-ish trend, Elan-4 above InfiniBand; "
-              "b_eff is dominated by short-message bandwidth\n");
-  return 0;
+int main(int argc, char** argv) {
+  icsim::driver::Registry reg;
+  icsim::bench::register_fig1_beff(reg);
+  return icsim::driver::sweep_main(reg, argc, argv);
 }

@@ -5,41 +5,16 @@
 // sizes; a sharp InfiniBand jump between 1 KB and 2 KB where MVAPICH
 // switches from its eager to its rendezvous protocol; both then track
 // message size.
+//
+// Thin wrapper over the fig1_latency scenario group: the points run
+// through the parallel sweep driver, so -j N / --json / --csv work here
+// exactly as in icsim_sweep (see src/driver/).
 
-#include <cstdint>
-#include <cstdio>
+#include "driver/sweep_main.hpp"
+#include "scenarios/scenarios.hpp"
 
-#include "core/report.hpp"
-#include "microbench/pingpong.hpp"
-
-int main() {
-  using namespace icsim;
-
-  microbench::PingPongOptions opt;
-  opt.sizes = microbench::pallas_sizes(4 << 20);
-  opt.repetitions = 50;
-  opt.warmup = 5;
-
-  std::printf("Figure 1(a): ping-pong latency (us), 2 nodes, 1 PPN\n\n");
-  std::uint64_t ib_digest = 0, elan_digest = 0;
-  opt.event_digest = &ib_digest;
-  const auto ib = microbench::run_pingpong(core::ib_cluster(2), opt);
-  opt.event_digest = &elan_digest;
-  const auto elan = microbench::run_pingpong(core::elan_cluster(2), opt);
-
-  core::Table t({"bytes", "IB us", "Elan4 us", "IB/Elan"});
-  t.print_header();
-  for (std::size_t i = 0; i < ib.size(); ++i) {
-    t.print_row({core::fmt_int(static_cast<long>(ib[i].bytes)),
-                 core::fmt(ib[i].latency_us),
-                 core::fmt(elan[i].latency_us),
-                 core::fmt(ib[i].latency_us / elan[i].latency_us)});
-  }
-
-  std::printf("\npaper anchors: Elan-4 ~= 1/2 IB at small sizes; IB jump "
-              "between 1KB and 2KB (eager->rendezvous)\n");
-  std::printf("event digests (reruns must match): ib=%016llx elan=%016llx\n",
-              static_cast<unsigned long long>(ib_digest),
-              static_cast<unsigned long long>(elan_digest));
-  return 0;
+int main(int argc, char** argv) {
+  icsim::driver::Registry reg;
+  icsim::bench::register_fig1_latency(reg);
+  return icsim::driver::sweep_main(reg, argc, argv);
 }

@@ -7,70 +7,14 @@
 // curves is much wider than Elan's (host-based progress + on-node traffic
 // crossing PCI-X + memory-bus copies), which is the paper's key LJS
 // observation.
+//
+// Thin wrapper over the fig2_ljs scenario group (see src/driver/).
 
-#include <cstdio>
-#include <cstdlib>
+#include "driver/sweep_main.hpp"
+#include "scenarios/scenarios.hpp"
 
-#include "apps/lammps/md.hpp"
-#include "core/cluster.hpp"
-#include "core/report.hpp"
-
-namespace {
-
-double run_case(icsim::core::Network net, int nodes, int ppn,
-                const icsim::apps::md::MdConfig& mc) {
-  using namespace icsim;
-  core::ClusterConfig cc = net == core::Network::infiniband
-                               ? core::ib_cluster(nodes, ppn)
-                               : core::elan_cluster(nodes, ppn);
-  core::Cluster cluster(cc);
-  double seconds = 0.0;
-  cluster.run([&](mpi::Mpi& mpi) {
-    const auto r = apps::md::run_md(mpi, mc);
-    if (mpi.rank() == 0) seconds = r.loop_seconds;
-  });
-  return seconds;
-}
-
-}  // namespace
-
-int main() {
-  using namespace icsim;
-
-  apps::md::MdConfig mc = apps::md::ljs_config();
-  mc.cells_x = mc.cells_y = mc.cells_z = 8;
-  mc.steps = 30;
-  if (std::getenv("ICSIM_FAST") != nullptr) {
-    mc.cells_x = mc.cells_y = mc.cells_z = 5;
-    mc.steps = 12;
-  }
-
-  const int node_counts[] = {1, 2, 4, 8, 16, 32};
-  std::printf("Figure 2: LAMMPS LJS scaled study, %d cells/rank, %d steps\n\n",
-              mc.cells_x, mc.steps);
-  core::Table t({"nodes", "IB 1ppn s", "IB 2ppn s", "El 1ppn s", "El 2ppn s",
-                 "IB1 eff%", "IB2 eff%", "El1 eff%", "El2 eff%"});
-  t.print_header();
-
-  double base[4] = {0, 0, 0, 0};
-  for (const int nodes : node_counts) {
-    const double v[4] = {
-        run_case(core::Network::infiniband, nodes, 1, mc),
-        run_case(core::Network::infiniband, nodes, 2, mc),
-        run_case(core::Network::quadrics, nodes, 1, mc),
-        run_case(core::Network::quadrics, nodes, 2, mc),
-    };
-    if (nodes == 1) {
-      for (int i = 0; i < 4; ++i) base[i] = v[i];
-    }
-    t.print_row({core::fmt_int(nodes), core::fmt(v[0], 4), core::fmt(v[1], 4),
-                 core::fmt(v[2], 4), core::fmt(v[3], 4),
-                 core::fmt(100.0 * core::scaled_efficiency(base[0], v[0]), 1),
-                 core::fmt(100.0 * core::scaled_efficiency(base[1], v[1]), 1),
-                 core::fmt(100.0 * core::scaled_efficiency(base[2], v[2]), 1),
-                 core::fmt(100.0 * core::scaled_efficiency(base[3], v[3]), 1)});
-  }
-  std::printf("\npaper anchors: 1 PPN > 2 PPN on both; Elan-4 marginally "
-              "ahead at 1 PPN; IB's 1->2 PPN gap much wider than Elan's\n");
-  return 0;
+int main(int argc, char** argv) {
+  icsim::driver::Registry reg;
+  icsim::bench::register_fig2_ljs(reg);
+  return icsim::driver::sweep_main(reg, argc, argv);
 }

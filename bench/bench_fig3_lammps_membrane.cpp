@@ -8,79 +8,14 @@
 // protocol lets that overlap actually happen.  InfiniBand, whose MPI makes
 // progress only inside library calls, shows a much larger 1 PPN / 2 PPN
 // gap and tails off (84% / 77% at 32 nodes).
+//
+// Thin wrapper over the fig3_membrane scenario group (see src/driver/).
 
-#include <cstdio>
-#include <cstdlib>
+#include "driver/sweep_main.hpp"
+#include "scenarios/scenarios.hpp"
 
-#include "apps/lammps/md.hpp"
-#include "core/cluster.hpp"
-#include "core/report.hpp"
-
-namespace {
-
-double run_case(icsim::core::Network net, int nodes, int ppn,
-                const icsim::apps::md::MdConfig& mc) {
-  using namespace icsim;
-  core::ClusterConfig cc = net == core::Network::infiniband
-                               ? core::ib_cluster(nodes, ppn)
-                               : core::elan_cluster(nodes, ppn);
-  core::Cluster cluster(cc);
-  double seconds = 0.0;
-  cluster.run([&](mpi::Mpi& mpi) {
-    const auto r = apps::md::run_md(mpi, mc);
-    if (mpi.rank() == 0) seconds = r.loop_seconds;
-  });
-  return seconds;
-}
-
-}  // namespace
-
-int main() {
-  using namespace icsim;
-
-  apps::md::MdConfig mc = apps::md::membrane_config();
-  mc.cells_x = mc.cells_y = mc.cells_z = 8;
-  mc.steps = 30;
-  if (std::getenv("ICSIM_FAST") != nullptr) {
-    mc.cells_x = mc.cells_y = mc.cells_z = 5;
-    mc.steps = 12;
-  }
-
-  const int node_counts[] = {1, 2, 4, 8, 16, 32};
-  std::printf(
-      "Figure 3: LAMMPS membrane scaled study, %d cells/rank, %d steps\n\n",
-      mc.cells_x, mc.steps);
-  core::Table t({"nodes", "IB 1ppn s", "IB 2ppn s", "El 1ppn s", "El 2ppn s",
-                 "IB1 eff%", "IB2 eff%", "El1 eff%", "El2 eff%"});
-  t.print_header();
-
-  double base[4] = {0, 0, 0, 0};
-  double eff32[4] = {0, 0, 0, 0};
-  for (const int nodes : node_counts) {
-    const double v[4] = {
-        run_case(core::Network::infiniband, nodes, 1, mc),
-        run_case(core::Network::infiniband, nodes, 2, mc),
-        run_case(core::Network::quadrics, nodes, 1, mc),
-        run_case(core::Network::quadrics, nodes, 2, mc),
-    };
-    if (nodes == 1) {
-      for (int i = 0; i < 4; ++i) base[i] = v[i];
-    }
-    double eff[4];
-    for (int i = 0; i < 4; ++i) {
-      eff[i] = 100.0 * core::scaled_efficiency(base[i], v[i]);
-    }
-    if (nodes == 32) {
-      for (int i = 0; i < 4; ++i) eff32[i] = eff[i];
-    }
-    t.print_row({core::fmt_int(nodes), core::fmt(v[0], 4), core::fmt(v[1], 4),
-                 core::fmt(v[2], 4), core::fmt(v[3], 4), core::fmt(eff[0], 1),
-                 core::fmt(eff[1], 1), core::fmt(eff[2], 1),
-                 core::fmt(eff[3], 1)});
-  }
-  std::printf("\n32-node efficiency, measured vs paper: "
-              "Elan %0.0f%%/%0.0f%% (paper 93/91), IB %0.0f%%/%0.0f%% "
-              "(paper 84/77)\n",
-              eff32[2], eff32[3], eff32[0], eff32[1]);
-  return 0;
+int main(int argc, char** argv) {
+  icsim::driver::Registry reg;
+  icsim::bench::register_fig3_membrane(reg);
+  return icsim::driver::sweep_main(reg, argc, argv);
 }

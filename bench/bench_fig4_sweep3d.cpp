@@ -7,78 +7,14 @@
 // efficiency advantage at 9 and 16 nodes.  (The paper's 25-node InfiniBand
 // point jumped anomalously; the authors re-ran it and concluded that the
 // input was an anomaly — we do not reproduce an anomaly.)
+//
+// Thin wrapper over the fig4_sweep3d scenario group (see src/driver/).
 
-#include <cstdio>
-#include <cstdlib>
+#include "driver/sweep_main.hpp"
+#include "scenarios/scenarios.hpp"
 
-#include "apps/sweep3d/sweep.hpp"
-#include "core/cluster.hpp"
-#include "core/report.hpp"
-
-namespace {
-
-icsim::apps::sweep::SweepResult run_case(icsim::core::Network net, int nodes,
-                                         const icsim::apps::sweep::SweepConfig& sc,
-                                         int ppn = 1) {
-  using namespace icsim;
-  core::ClusterConfig cc = net == core::Network::infiniband
-                               ? core::ib_cluster(nodes, ppn)
-                               : core::elan_cluster(nodes, ppn);
-  core::Cluster cluster(cc);
-  apps::sweep::SweepResult result;
-  cluster.run([&](mpi::Mpi& mpi) {
-    const auto r = apps::sweep::run_sweep3d(mpi, sc);
-    if (mpi.rank() == 0) result = r;
-  });
-  return result;
-}
-
-}  // namespace
-
-int main() {
-  using namespace icsim;
-
-  apps::sweep::SweepConfig sc;
-  sc.nx = sc.ny = sc.nz = 150;
-  sc.iterations = 2;
-  if (std::getenv("ICSIM_FAST") != nullptr) {
-    sc.nx = sc.ny = 50;
-    sc.nz = 50;
-    sc.iterations = 1;
-  }
-
-  const int node_counts[] = {1, 4, 9, 16, 25, 32};
-  std::printf("Figure 4: Sweep3D %d^3 fixed-size study, 1 PPN\n\n", sc.nx);
-  core::Table t({"nodes", "IB time s", "El time s", "IB grind ns",
-                 "El grind ns", "IB eff%", "El eff%"});
-  t.print_header();
-
-  double base_ib = 0.0, base_el = 0.0;
-  for (const int nodes : node_counts) {
-    const auto ib = run_case(core::Network::infiniband, nodes, sc);
-    const auto el = run_case(core::Network::quadrics, nodes, sc);
-    if (nodes == 1) {
-      base_ib = ib.solve_seconds;
-      base_el = el.solve_seconds;
-    }
-    t.print_row(
-        {core::fmt_int(nodes), core::fmt(ib.solve_seconds, 3),
-         core::fmt(el.solve_seconds, 3), core::fmt(ib.grind_ns, 1),
-         core::fmt(el.grind_ns, 1),
-         core::fmt(100.0 * core::fixed_efficiency(base_ib, 1, ib.solve_seconds,
-                                                  nodes), 1),
-         core::fmt(100.0 * core::fixed_efficiency(base_el, 1, el.solve_seconds,
-                                                  nodes), 1)});
-  }
-  // The paper presents only 1 PPN "as the 2 PPN data is similar" — a sign
-  // of a high computation-to-communication ratio.  Check that claim.
-  const auto ib2 = run_case(core::Network::infiniband, 8, sc, 2);
-  const auto ib1b = run_case(core::Network::infiniband, 16, sc, 1);
-  std::printf("\n2 PPN check at 16 processes: 8 nodes x 2 PPN %.3f s vs "
-              "16 nodes x 1 PPN %.3f s (+%.1f%%; paper: 'similar')\n",
-              ib2.solve_seconds, ib1b.solve_seconds,
-              100.0 * (ib2.solve_seconds / ib1b.solve_seconds - 1.0));
-  std::printf("paper anchors: superlinear 1->4 (cache); Elan-4 clearly "
-              "ahead at 9 and 16 nodes\n");
-  return 0;
+int main(int argc, char** argv) {
+  icsim::driver::Registry reg;
+  icsim::bench::register_fig4_sweep3d(reg);
+  return icsim::driver::sweep_main(reg, argc, argv);
 }

@@ -7,59 +7,15 @@
 // was declared an input anomaly.  Shape target here: with 4-process
 // normalization the efficiency curves for different grid sizes lie close
 // together and decay smoothly — no jump.
+//
+// Thin wrapper over the fig5_sweep3d_inputs scenario group (see
+// src/driver/).
 
-#include <cstdio>
-#include <cstdlib>
-#include <vector>
+#include "driver/sweep_main.hpp"
+#include "scenarios/scenarios.hpp"
 
-#include "apps/sweep3d/sweep.hpp"
-#include "core/cluster.hpp"
-#include "core/report.hpp"
-
-namespace {
-
-double run_case(int nodes, const icsim::apps::sweep::SweepConfig& sc) {
-  using namespace icsim;
-  core::Cluster cluster(core::ib_cluster(nodes, 1));
-  double seconds = 0.0;
-  cluster.run([&](mpi::Mpi& mpi) {
-    const auto r = apps::sweep::run_sweep3d(mpi, sc);
-    if (mpi.rank() == 0) seconds = r.solve_seconds;
-  });
-  return seconds;
-}
-
-}  // namespace
-
-int main() {
-  using namespace icsim;
-
-  std::vector<int> grids = {100, 150, 200};
-  if (std::getenv("ICSIM_FAST") != nullptr) grids = {50, 80};
-
-  const int node_counts[] = {4, 9, 16, 25, 32};
-  std::printf("Figure 5: Sweep3D on InfiniBand, several inputs, efficiency "
-              "normalized at 4 processes\n\n");
-  std::vector<std::string> headers = {"nodes"};
-  for (const int g : grids) headers.push_back(std::to_string(g) + "^3 eff%");
-  core::Table t(headers);
-  t.print_header();
-
-  std::vector<double> base(grids.size(), 0.0);
-  for (const int nodes : node_counts) {
-    std::vector<std::string> row = {core::fmt_int(nodes)};
-    for (std::size_t g = 0; g < grids.size(); ++g) {
-      apps::sweep::SweepConfig sc;
-      sc.nx = sc.ny = sc.nz = grids[g];
-      sc.iterations = 1;
-      const double s = run_case(nodes, sc);
-      if (nodes == 4) base[g] = s;
-      row.push_back(core::fmt(
-          100.0 * core::fixed_efficiency(base[g], 4, s, nodes), 1));
-    }
-    t.print_row(row);
-  }
-  std::printf("\npaper anchor: all inputs continue the same smooth trend "
-              "(the 150^3 25-node jump was an input anomaly)\n");
-  return 0;
+int main(int argc, char** argv) {
+  icsim::driver::Registry reg;
+  icsim::bench::register_fig5_sweep3d_inputs(reg);
+  return icsim::driver::sweep_main(reg, argc, argv);
 }

@@ -8,81 +8,14 @@
 //
 // The runs also verify zeta against the NPB reference for class A
 // (17.130235054029) — the simulated MPI moves real data.
+//
+// Thin wrapper over the fig6_npb_cg scenario group (see src/driver/).
 
-#include <cmath>
-#include <cstdio>
-#include <cstdlib>
+#include "driver/sweep_main.hpp"
+#include "scenarios/scenarios.hpp"
 
-#include "apps/npb/cg.hpp"
-#include "core/cluster.hpp"
-#include "core/report.hpp"
-
-namespace {
-
-icsim::apps::npb::CgResult run_case(icsim::core::Network net, int nodes,
-                                    int ppn,
-                                    const icsim::apps::npb::CgConfig& cfg) {
-  using namespace icsim;
-  core::ClusterConfig cc = net == core::Network::infiniband
-                               ? core::ib_cluster(nodes, ppn)
-                               : core::elan_cluster(nodes, ppn);
-  core::Cluster cluster(cc);
-  apps::npb::CgResult result;
-  cluster.run([&](mpi::Mpi& mpi) {
-    const auto r = apps::npb::run_cg(mpi, cfg);
-    if (mpi.rank() == 0) result = r;
-  });
-  return result;
-}
-
-}  // namespace
-
-int main() {
-  using namespace icsim;
-
-  apps::npb::CgConfig cfg;
-  cfg.cls = apps::npb::class_A();
-  double zeta_ref = 17.130235054029;
-  if (std::getenv("ICSIM_FAST") != nullptr) {
-    cfg.cls = apps::npb::class_S();
-    zeta_ref = 8.5971775078648;
-  }
-
-  // Process counts are powers of two (NPB requirement); the paper ran the
-  // same ladder in 1 PPN (processes = nodes) and 2 PPN modes.
-  const int procs[] = {1, 2, 4, 8, 16, 32, 64};
-  std::printf("Figure 6: NAS CG class %s, MOps/s/process and efficiency\n\n",
-              cfg.cls.name);
-  core::Table t({"procs", "IB1 MOps/p", "El1 MOps/p", "IB2 MOps/p",
-                 "El2 MOps/p", "IB1 eff%", "El1 eff%"});
-  t.print_header();
-
-  double base_ib = 0.0, base_el = 0.0;
-  double zeta_seen = 0.0;
-  for (const int p : procs) {
-    const auto ib1 = run_case(core::Network::infiniband, p, 1, cfg);
-    const auto el1 = run_case(core::Network::quadrics, p, 1, cfg);
-    // 2 PPN: same process count on half the nodes.
-    const bool has2 = p >= 2;
-    const auto ib2 = has2 ? run_case(core::Network::infiniband, p / 2, 2, cfg)
-                          : ib1;
-    const auto el2 = has2 ? run_case(core::Network::quadrics, p / 2, 2, cfg)
-                          : el1;
-    if (p == 1) {
-      base_ib = ib1.mops_per_process;
-      base_el = el1.mops_per_process;
-    }
-    zeta_seen = el1.zeta;
-    t.print_row({core::fmt_int(p), core::fmt(ib1.mops_per_process, 1),
-                 core::fmt(el1.mops_per_process, 1),
-                 core::fmt(ib2.mops_per_process, 1),
-                 core::fmt(el2.mops_per_process, 1),
-                 core::fmt(100.0 * ib1.mops_per_process / base_ib, 1),
-                 core::fmt(100.0 * el1.mops_per_process / base_el, 1)});
-  }
-  std::printf("\nzeta = %.12f (NPB reference %.12f) %s\n", zeta_seen, zeta_ref,
-              std::abs(zeta_seen - zeta_ref) < 1e-9 ? "VERIFIED" : "MISMATCH");
-  std::printf("paper anchors: both networks drop rapidly in efficiency; "
-              "Quadrics holds a distinct, slightly growing advantage\n");
-  return 0;
+int main(int argc, char** argv) {
+  icsim::driver::Registry reg;
+  icsim::bench::register_fig6_npb_cg(reg);
+  return icsim::driver::sweep_main(reg, argc, argv);
 }

@@ -7,58 +7,14 @@
 // performance"); the newer 24-port + 288-port builds drop the cost
 // dramatically.  With a $2,500 node, total-system deltas are ~4% (vs the
 // 96-port build) and ~51% (vs the 24/288 build).
+//
+// Thin wrapper over the fig7_cost scenario group (see src/driver/).
 
-#include <cstdio>
+#include "driver/sweep_main.hpp"
+#include "scenarios/scenarios.hpp"
 
-#include "core/report.hpp"
-#include "cost/cost_model.hpp"
-
-int main() {
-  using namespace icsim;
-  const cost::IbPrices ib;
-  const cost::QuadricsPrices qs;
-
-  std::printf("Table 2: InfiniBand list prices (April 2004; [i] = inferred, "
-              "see pricing.hpp)\n");
-  std::printf("  HCS 400 4X HCA            $%8.0f\n", ib.hca);
-  std::printf("  4X copper cable           $%8.0f\n", ib.host_cable);
-  std::printf("  96-port switch        [i] $%8.0f\n", ib.sw96_port);
-  std::printf("  24-port switch        [i] $%8.0f\n", ib.sw24_port);
-  std::printf("  288-port switch       [i] $%8.0f\n\n", ib.sw288_port);
-
-  std::printf("Table 3: Quadrics Elan-4 list prices\n");
-  std::printf("  QM-500 network adapter[i] $%8.0f\n", qs.adapter);
-  std::printf("  Node-level chassis        $%8.0f\n", qs.node_chassis);
-  std::printf("  Top-level switch          $%8.0f\n", qs.top_switch);
-  std::printf("  QM580 clock source        $%8.0f\n", qs.clock_source);
-  std::printf("  QM581-05 5m link cable    $%8.0f\n", qs.cable_5m);
-  std::printf("  QM581-03 3m link cable    $%8.0f\n\n", qs.cable_3m);
-
-  std::printf("Figure 7: network cost per port (USD) vs nodes\n\n");
-  core::Table t({"nodes", "Elan-4", "IB 96p", "IB 24/288", "IB 24/288 fb"});
-  t.print_header();
-  for (const int n : {8, 16, 32, 64, 96, 128, 256, 288, 512, 1024, 2048, 4096}) {
-    t.print_row({core::fmt_int(n),
-                 core::fmt(cost::quadrics_network(n).per_node(n), 0),
-                 core::fmt(cost::ib96_network(n).per_node(n), 0),
-                 core::fmt(cost::ib_24_288_network(n, false).per_node(n), 0),
-                 core::fmt(cost::ib_24_288_network(n, true).per_node(n), 0)});
-  }
-
-  const int n = 1024;
-  const double q = cost::total_system_per_node(cost::quadrics_network(n), n);
-  const double i96 = cost::total_system_per_node(cost::ib96_network(n), n);
-  const double i24 =
-      cost::total_system_per_node(cost::ib_24_288_network(n, false), n);
-  std::printf("\nSection 5 anchors at %d nodes ($2500/node):\n", n);
-  std::printf("  network/node: Elan $%.0f vs IB-96 $%.0f -> %.1f%% delta "
-              "(paper ~6.5%%)\n",
-              cost::quadrics_network(n).per_node(n),
-              cost::ib96_network(n).per_node(n),
-              100.0 * (cost::quadrics_network(n).per_node(n) /
-                           cost::ib96_network(n).per_node(n) - 1.0));
-  std::printf("  total system: Elan/IB-96 = %.2f (paper ~1.04), "
-              "Elan/IB-24+288 = %.2f (paper ~1.51)\n",
-              q / i96, q / i24);
-  return 0;
+int main(int argc, char** argv) {
+  icsim::driver::Registry reg;
+  icsim::bench::register_fig7_cost(reg);
+  return icsim::driver::sweep_main(reg, argc, argv);
 }

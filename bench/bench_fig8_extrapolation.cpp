@@ -5,82 +5,17 @@
 // Paper shape targets: a difference of nearly 40% in scaling efficiency at
 // 1024 nodes; "Quadrics might be able to be competitive for some
 // applications at scale, if current trends continue."
+//
+// Thin wrapper over the fig8_extrapolation scenario group: the six anchor
+// points (net x {1, 8, 32} nodes) are measured as sweep points, the trend
+// fit and the 8..4096-node table come from the group finalize hook (see
+// src/driver/).
 
-#include <cstdio>
-#include <cstdlib>
+#include "driver/sweep_main.hpp"
+#include "scenarios/scenarios.hpp"
 
-#include "apps/lammps/md.hpp"
-#include "core/cluster.hpp"
-#include "core/extrapolate.hpp"
-#include "core/report.hpp"
-
-namespace {
-
-double run_case(icsim::core::Network net, int nodes,
-                const icsim::apps::md::MdConfig& mc) {
-  using namespace icsim;
-  core::ClusterConfig cc = net == core::Network::infiniband
-                               ? core::ib_cluster(nodes, 2)
-                               : core::elan_cluster(nodes, 2);
-  core::Cluster cluster(cc);
-  double seconds = 0.0;
-  cluster.run([&](mpi::Mpi& mpi) {
-    const auto r = apps::md::run_md(mpi, mc);
-    if (mpi.rank() == 0) seconds = r.loop_seconds;
-  });
-  return seconds;
-}
-
-}  // namespace
-
-int main() {
-  using namespace icsim;
-
-  apps::md::MdConfig mc = apps::md::membrane_config();
-  mc.cells_x = mc.cells_y = mc.cells_z = 8;
-  mc.steps = 30;
-  if (std::getenv("ICSIM_FAST") != nullptr) {
-    mc.cells_x = mc.cells_y = mc.cells_z = 5;
-    mc.steps = 12;
-  }
-
-  std::printf("Figure 8: membrane study (2 PPN) measured to 32 nodes, then "
-              "extrapolated\n\n");
-  // Measure the anchor points.
-  const double ib1 = run_case(core::Network::infiniband, 1, mc);
-  const double ib8 = run_case(core::Network::infiniband, 8, mc);
-  const double ib32 = run_case(core::Network::infiniband, 32, mc);
-  const double el1 = run_case(core::Network::quadrics, 1, mc);
-  const double el8 = run_case(core::Network::quadrics, 8, mc);
-  const double el32 = run_case(core::Network::quadrics, 32, mc);
-
-  const auto ib_trend = core::fit_scaled_trend(ib1, 8, ib8, 32, ib32);
-  const auto el_trend = core::fit_scaled_trend(el1, 8, el8, 32, el32);
-
-  core::Table t({"nodes", "procs", "IB time s", "El time s", "IB eff%",
-                 "El eff%", "gap pts"});
-  t.print_header();
-  double gap_1024 = 0.0, rel_1024 = 0.0;
-  for (int nodes = 8; nodes <= 4096; nodes *= 2) {
-    const bool measured = nodes <= 32;
-    const double ti = measured ? (nodes == 8 ? ib8 : nodes == 32 ? ib32
-                                    : ib_trend.time_at(nodes, ib1))
-                               : ib_trend.time_at(nodes, ib1);
-    const double te = measured ? (nodes == 8 ? el8 : nodes == 32 ? el32
-                                    : el_trend.time_at(nodes, el1))
-                               : el_trend.time_at(nodes, el1);
-    const double ei = 100.0 * ib1 / ti;
-    const double ee = 100.0 * el1 / te;
-    if (nodes == 1024) {
-      gap_1024 = ee - ei;
-      rel_1024 = (ee - ei) / ee * 100.0;
-    }
-    t.print_row({core::fmt_int(nodes), core::fmt_int(2L * nodes),
-                 core::fmt(ti, 4), core::fmt(te, 4), core::fmt(ei, 1),
-                 core::fmt(ee, 1), core::fmt(ee - ei, 1)});
-  }
-  std::printf("\nat 1024 nodes: efficiency gap %.1f points (%.0f%% of the "
-              "Elan-4 efficiency; paper reports 'nearly 40%%')\n",
-              gap_1024, rel_1024);
-  return 0;
+int main(int argc, char** argv) {
+  icsim::driver::Registry reg;
+  icsim::bench::register_fig8_extrapolation(reg);
+  return icsim::driver::sweep_main(reg, argc, argv);
 }

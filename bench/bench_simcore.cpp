@@ -108,7 +108,7 @@ BENCHMARK(BM_MatcherArrivePosted)->Arg(8)->Arg(64)->Arg(512);
 void BM_RegCacheHit(benchmark::State& state) {
   ib::RegistrationCache c(64 << 20, 4096, sim::Time::us(25), sim::Time::us(1),
                           sim::Time::us(15), sim::Time::us(0.55));
-  char buf[16] = {};
+  const std::uint64_t buf = ib::logical_buffer(true, 1, 0, 0);
   (void)c.acquire(buf, 8192);
   for (auto _ : state) {
     benchmark::DoNotOptimize(c.acquire(buf, 8192));

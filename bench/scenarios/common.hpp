@@ -1,0 +1,72 @@
+#pragma once
+// Shared helpers for scenario implementations.
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+#include "core/cluster.hpp"
+#include "driver/scenario.hpp"
+#include "sim/check.hpp"
+
+namespace icsim::bench {
+
+[[nodiscard]] inline bool fast_mode() {
+  return std::getenv("ICSIM_FAST") != nullptr;
+}
+
+[[nodiscard]] inline core::ClusterConfig cluster_for(core::Network net,
+                                                     int nodes, int ppn = 1) {
+  switch (net) {
+    case core::Network::infiniband: return core::ib_cluster(nodes, ppn);
+    case core::Network::quadrics: return core::elan_cluster(nodes, ppn);
+    case core::Network::myrinet: return core::myrinet_cluster(nodes, ppn);
+  }
+  return core::ib_cluster(nodes, ppn);
+}
+
+/// Short tag used in point names ("ib/1024", "el/32n", ...).
+[[nodiscard]] inline const char* net_tag(core::Network net) {
+  switch (net) {
+    case core::Network::infiniband: return "ib";
+    case core::Network::quadrics: return "el";
+    case core::Network::myrinet: return "my";
+  }
+  return "?";
+}
+
+/// Fold one finished simulation's stats into a point: events accumulate,
+/// digests chain through FNV-1a so multi-cluster points stay order-exact.
+inline void fold_run(driver::PointResult& r,
+                     const core::Cluster::RunStats& st) {
+  r.events += st.events_processed;
+  sim::check::Fnv1a f;
+  f.fold(r.digest);
+  f.fold(st.event_digest);
+  r.digest = f.value();
+}
+
+/// Build a fresh cluster from `cc`, run `rank_main` across its ranks, and
+/// fold the run's stats into `r`.  Returns the cluster's final RunStats for
+/// scenarios that also report counters.
+template <typename Fn>
+core::Cluster::RunStats run_cluster(driver::PointResult& r,
+                                    const core::ClusterConfig& cc,
+                                    Fn&& rank_main) {
+  core::Cluster cluster(cc);
+  (void)cluster.run(std::function<void(mpi::Mpi&)>(std::forward<Fn>(rank_main)));
+  const core::Cluster::RunStats st = cluster.stats();
+  fold_run(r, st);
+  return st;
+}
+
+/// printf-style line, for finalize summary vectors.
+template <typename... Args>
+[[nodiscard]] std::string line(const char* fmt, Args... args) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf, fmt, args...);
+  return buf;
+}
+
+}  // namespace icsim::bench

@@ -1,0 +1,36 @@
+#pragma once
+// Scenario registration for every figure / extension study of the
+// reproduction.  Each register_* call adds one output group (two for the
+// fault study) of self-contained sweep points to the registry; the
+// per-figure bench binaries call exactly one of them, icsim_sweep calls
+// register_all().  Registration order is fixed here — it defines the
+// aggregated output order (see driver/scenario.hpp).
+//
+// All registration functions read ICSIM_FAST at registration time to pick
+// reduced problem sizes, mirroring what the original bench binaries did.
+
+#include "driver/scenario.hpp"
+
+namespace icsim::bench {
+
+void register_fig1_latency(driver::Registry& r);
+void register_fig1_bandwidth(driver::Registry& r);
+void register_fig1_beff(driver::Registry& r);
+void register_fig2_ljs(driver::Registry& r);
+void register_fig3_membrane(driver::Registry& r);
+void register_fig4_sweep3d(driver::Registry& r);
+void register_fig5_sweep3d_inputs(driver::Registry& r);
+void register_fig6_npb_cg(driver::Registry& r);
+void register_fig7_cost(driver::Registry& r);
+void register_fig8_extrapolation(driver::Registry& r);
+void register_ext_threeway(driver::Registry& r);
+void register_ext_npb_suite(driver::Registry& r);
+void register_ext_scale(driver::Registry& r);
+void register_ext_loggp(driver::Registry& r);
+void register_ext_collectives(driver::Registry& r);
+void register_ext_faults(driver::Registry& r);  // ext_faults_ber + _spine
+
+/// Everything above, in figure order.
+void register_all(driver::Registry& r);
+
+}  // namespace icsim::bench

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "myrinet/gm.hpp"
@@ -65,8 +66,13 @@ Cluster::Cluster(const ClusterConfig& config) : cfg_(config) {
   if (!path.empty()) {
     // Per-path instance counter: a bench that builds several clusters with
     // the same ICSIM_TRACE value gets trace.json, trace.2.json, ...
+    // (mutex: the sweep driver constructs clusters from worker threads).
+    static std::mutex trace_mu;
     static std::map<std::string, int> trace_instances;
-    trace_path_ = numbered(path, ++trace_instances[path]);
+    {
+      const std::lock_guard<std::mutex> lock(trace_mu);
+      trace_path_ = numbered(path, ++trace_instances[path]);
+    }
     trace_sink_ = std::make_unique<trace::RingBufferSink>(events);
     engine_.tracer().enable(*trace_sink_);
   }

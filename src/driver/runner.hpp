@@ -1,0 +1,65 @@
+#pragma once
+// Thread-pool sweep runner with deterministic aggregation.
+//
+// run_sweep() executes the selected scenarios across `jobs` worker
+// threads.  Each point builds its own simulation from scratch (see
+// scenario.hpp), so workers share nothing; results land in a slot
+// pre-assigned by registry position.  After the pool drains, group
+// finalize hooks run serially in registry order.  The consequence, and
+// the contract CI enforces by diffing runs: every serialization below is
+// byte-identical for the same registry and seeds, whatever the thread
+// count or completion order.  Host wall-clock readings never enter the
+// deterministic outputs — they are surfaced separately through
+// trace::MetricsRegistry and stderr progress lines.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "driver/scenario.hpp"
+#include "trace/metrics.hpp"
+
+namespace icsim::driver {
+
+struct SweepOptions {
+  int jobs = 1;           ///< worker threads; 0 = hardware concurrency
+  bool progress = false;  ///< per-point completion lines on stderr
+};
+
+struct GroupReport {
+  std::string name;
+  std::string title;
+  std::vector<std::string> point_names;  ///< parallel to `points`
+  std::vector<PointResult> points;       ///< registry order
+  std::vector<std::string> summary;      ///< finalize() output
+  std::uint64_t digest = 0;              ///< FNV fold of the points' digests
+};
+
+struct SweepReport {
+  std::vector<GroupReport> groups;
+  std::uint64_t digest = 0;  ///< FNV fold of the group digests
+  double wall_ms = 0.0;      ///< total host wall clock (not serialized)
+  int jobs = 1;
+
+  [[nodiscard]] std::size_t total_points() const;
+  [[nodiscard]] std::size_t total_errors() const;
+  [[nodiscard]] bool ok() const { return total_errors() == 0; }
+
+  /// Deterministic serializations (no wall-clock, no thread count).
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Console tables + summaries + digest lines, same determinism contract.
+  void print(std::FILE* out) const;
+
+  /// Per-point wall clock and events/sec, plus totals — the host-side
+  /// performance view, kept out of the deterministic outputs above.
+  void publish_metrics(trace::MetricsRegistry& m) const;
+};
+
+/// Run the scenarios of the named groups (all groups when empty).
+[[nodiscard]] SweepReport run_sweep(const Registry& registry,
+                                    const std::vector<std::string>& groups,
+                                    const SweepOptions& options = {});
+
+}  // namespace icsim::driver

@@ -1,0 +1,150 @@
+#include "driver/sweep_main.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "driver/runner.hpp"
+
+namespace icsim::driver {
+
+namespace {
+
+void usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [options] [group ...]\n"
+               "  -j N, -jN      worker threads (0 = all hardware threads; "
+               "default 1)\n"
+               "  --list         list registered groups and exit\n"
+               "  --json PATH    write aggregated JSON (\"-\" = stdout)\n"
+               "  --csv PATH     write aggregated CSV (\"-\" = stdout)\n"
+               "  --metrics PATH write host perf metrics JSON (wall clock)\n"
+               "  --progress     per-point completion lines on stderr\n"
+               "  --quiet        suppress console tables\n",
+               prog);
+}
+
+bool write_file_or_stdout(const std::string& path, const std::string& body) {
+  if (path == "-") {
+    std::fwrite(body.data(), 1, body.size(), stdout);
+    return true;
+  }
+  std::ofstream out(path);
+  out << body;
+  return out.good();
+}
+
+}  // namespace
+
+int sweep_main(const Registry& registry, int argc, char** argv) {
+  SweepOptions opt;
+  std::string json_path, csv_path, metrics_path;
+  bool list = false, quiet = false;
+  std::vector<std::string> groups;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "-h" || arg == "--help") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--progress") {
+      opt.progress = true;
+    } else if (arg == "-j") {
+      const char* v = need_value("-j");
+      if (v == nullptr) return 2;
+      opt.jobs = std::atoi(v);
+    } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
+      opt.jobs = std::atoi(arg.c_str() + 2);
+    } else if (arg == "--json") {
+      const char* v = need_value("--json");
+      if (v == nullptr) return 2;
+      json_path = v;
+    } else if (arg == "--csv") {
+      const char* v = need_value("--csv");
+      if (v == nullptr) return 2;
+      csv_path = v;
+    } else if (arg == "--metrics") {
+      const char* v = need_value("--metrics");
+      if (v == nullptr) return 2;
+      metrics_path = v;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg.c_str());
+      usage(argv[0]);
+      return 2;
+    } else {
+      groups.push_back(arg);
+    }
+  }
+
+  if (list) {
+    for (const auto& g : registry.groups()) {
+      std::size_t points = 0;
+      for (const auto& s : registry.scenarios()) {
+        if (s.group == g.name) ++points;
+      }
+      std::printf("%-24s %4zu point%s  %s\n", g.name.c_str(), points,
+                  points == 1 ? " " : "s", g.title.c_str());
+    }
+    return 0;
+  }
+
+  SweepReport report;
+  try {
+    report = run_sweep(registry, groups, opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 2;
+  }
+
+  if (!quiet) report.print(stdout);
+  bool io_ok = true;
+  if (!json_path.empty()) {
+    io_ok = write_file_or_stdout(json_path, report.to_json()) && io_ok;
+  }
+  if (!csv_path.empty()) {
+    io_ok = write_file_or_stdout(csv_path, report.to_csv()) && io_ok;
+  }
+
+  trace::MetricsRegistry metrics;
+  report.publish_metrics(metrics);
+  if (!metrics_path.empty()) {
+    io_ok = write_file_or_stdout(metrics_path, metrics.to_json() + "\n") && io_ok;
+  }
+  if (!io_ok) {
+    std::fprintf(stderr, "%s: failed to write an output file\n", argv[0]);
+  }
+
+  // Host-side performance summary: stderr only, so stdout stays
+  // byte-identical across thread counts.
+  std::fprintf(stderr,
+               "[sweep] %zu points, %zu errors, -j%d, %.0f ms wall, "
+               "%llu events (%.1f Mev/s aggregate)\n",
+               report.total_points(), report.total_errors(), report.jobs,
+               report.wall_ms,
+               static_cast<unsigned long long>(
+                   metrics.counter("driver.events_total")),
+               report.wall_ms > 0.0
+                   ? static_cast<double>(
+                         metrics.counter("driver.events_total")) /
+                         report.wall_ms / 1e3
+                   : 0.0);
+
+  if (!io_ok) return 2;
+  return report.ok() ? 0 : 1;
+}
+
+}  // namespace icsim::driver

@@ -4,8 +4,8 @@
 
 namespace icsim::ib {
 
-sim::Time RegistrationCache::acquire(const void* ptr, std::uint64_t len) {
-  const Key key{reinterpret_cast<std::uintptr_t>(ptr), len};
+sim::Time RegistrationCache::acquire(std::uint64_t buffer, std::uint64_t len) {
+  const Key key{buffer, len};
   if (auto it = map_.find(key); it != map_.end()) {
     ++stats_.hits;
     lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency

@@ -7,14 +7,36 @@
 // regions when the pinning budget is exceeded.  Section 3.3.2 of the paper
 // discusses this cost, and the Figure 1(b) bandwidth collapse at 4 MB is
 // registration thrash — reproduced here by the capacity bound.
+//
+// The simulated cache keys on a caller-supplied *logical buffer id* plus
+// the length, never on host pointers: keying by the address of a simulated
+// app's scratch vector would make hit/miss behaviour — and therefore
+// simulated time — depend on ASLR and on what the host allocator happened
+// to hand back, which breaks run-to-run and thread-count determinism.
 
 #include <cstdint>
 #include <list>
 #include <unordered_map>
 
+#include "sim/check.hpp"
 #include "sim/time.hpp"
 
 namespace icsim::ib {
+
+/// Deterministic stand-in for the identity of the application buffer behind
+/// a rendezvous transfer.  Codes of this era keep one persistent buffer per
+/// logical exchange, so a transfer's envelope — direction, peer, tag,
+/// context — identifies the region it would pin; recurring envelopes model
+/// repeated pinning of the same buffer.
+[[nodiscard]] constexpr std::uint64_t logical_buffer(bool send_side, int peer,
+                                                     int tag, int context) {
+  sim::check::Fnv1a f;
+  f.fold(send_side ? 1u : 2u);
+  f.fold(static_cast<std::uint32_t>(peer));
+  f.fold(static_cast<std::uint32_t>(tag));
+  f.fold(static_cast<std::uint32_t>(context));
+  return f.value();
+}
 
 struct RegCacheStats {
   std::uint64_t hits = 0;
@@ -35,11 +57,12 @@ class RegistrationCache {
         dereg_base_(dereg_base),
         dereg_per_page_(dereg_per_page) {}
 
-  /// Ensure [ptr, ptr+len) is registered.  Returns the host time this costs
+  /// Ensure the `len`-byte region identified by `buffer` (see
+  /// logical_buffer above) is registered.  Returns the host time this costs
   /// now: zero on a cache hit, registration (plus any evictions needed to
   /// fit) on a miss.  Regions larger than the whole capacity register and
   /// immediately deregister every time — maximal thrash.
-  [[nodiscard]] sim::Time acquire(const void* ptr, std::uint64_t len);
+  [[nodiscard]] sim::Time acquire(std::uint64_t buffer, std::uint64_t len);
 
   /// Pin memory permanently outside the cache budget accounting (used for
   /// the preregistered eager rings at init).  Returns the registration time.
@@ -52,13 +75,13 @@ class RegistrationCache {
 
  private:
   struct Key {
-    std::uintptr_t ptr;
+    std::uint64_t buffer;
     std::uint64_t len;
     bool operator==(const Key&) const = default;
   };
   struct KeyHash {
     std::size_t operator()(const Key& k) const {
-      return std::hash<std::uintptr_t>{}(k.ptr) ^
+      return std::hash<std::uint64_t>{}(k.buffer) ^
              (std::hash<std::uint64_t>{}(k.len) << 1);
     }
   };

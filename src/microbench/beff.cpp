@@ -133,6 +133,7 @@ BeffResult run_beff(const core::ClusterConfig& config,
                       result.per_pattern_mbs.end(), 0.0) /
       static_cast<double>(result.per_pattern_mbs.size());
   result.beff_per_process_mbs = result.beff_mbs / nprocs;
+  if (options.stats != nullptr) *options.stats = cluster.stats();
   return result;
 }
 

@@ -31,6 +31,8 @@ struct BeffOptions {
   int repetitions = 3;
   int random_patterns = 2;
   std::uint64_t seed = 99;
+  /// When non-null, receives the full RunStats of the finished cluster.
+  core::Cluster::RunStats* stats = nullptr;
 };
 
 struct BeffResult {

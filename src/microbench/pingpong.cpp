@@ -61,6 +61,7 @@ std::vector<PingPongPoint> run_pingpong(const core::ClusterConfig& config,
   if (options.event_digest != nullptr) {
     *options.event_digest = cluster.stats().event_digest;
   }
+  if (options.stats != nullptr) *options.stats = cluster.stats();
   return results;
 }
 
@@ -116,6 +117,7 @@ std::vector<StreamingPoint> run_streaming(const core::ClusterConfig& config,
       }
     }
   });
+  if (options.stats != nullptr) *options.stats = cluster.stats();
   return results;
 }
 

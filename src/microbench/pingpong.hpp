@@ -29,6 +29,9 @@ struct PingPongOptions {
   /// When non-null, receives the run's RunStats::event_digest — the
   /// determinism fingerprint benches print so reruns can be diffed.
   std::uint64_t* event_digest = nullptr;
+  /// When non-null, receives the full RunStats of the finished cluster
+  /// (event count + digest; sweep scenarios fold these into PointResult).
+  core::Cluster::RunStats* stats = nullptr;
 };
 
 /// Standard Pallas-style size ladder 0,1,2,...,max_bytes (powers of two).
@@ -49,6 +52,8 @@ struct StreamingOptions {
   int window = 64;   ///< receives pre-posted / sends in flight per batch
   int batches = 20;
   int warmup_batches = 2;
+  /// When non-null, receives the full RunStats of the finished cluster.
+  core::Cluster::RunStats* stats = nullptr;
 };
 
 [[nodiscard]] std::vector<StreamingPoint> run_streaming(

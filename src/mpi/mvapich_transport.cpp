@@ -225,8 +225,10 @@ void MvapichTransport::accept_rts(const WireMsgPtr& rts, PostedRecvRec rec) {
     throw std::runtime_error("MPI truncation: rendezvous message larger than recv buffer");
   }
   charge_host(cfg_.rndv_accept_cost);
-  // Pin the application receive buffer (pin-down cache).
-  const sim::Time reg = hca_.reg_cache().acquire(rec.args.data, rts->bytes);
+  // Pin the application receive buffer (pin-down cache).  Identified by its
+  // transfer envelope, not its host address — see ib/reg_cache.hpp.
+  const sim::Time reg = hca_.reg_cache().acquire(
+      ib::logical_buffer(false, rts->src, rts->tag, rts->context), rts->bytes);
   ICSIM_TRACE_WITH(engine_, tr) {
     tr.instant(trace::Category::regcache, trace_component(),
                reg > sim::Time::zero() ? "pin.miss" : "pin.hit",
@@ -405,7 +407,9 @@ void MvapichTransport::handle_cts(const WireMsgPtr& m) {
 
   charge_host(cfg_.cts_handle_cost);
   // Pin the send buffer, then RDMA-write the payload zero-copy.
-  const sim::Time reg = hca_.reg_cache().acquire(rec.args.data, rec.args.bytes);
+  const sim::Time reg = hca_.reg_cache().acquire(
+      ib::logical_buffer(true, rec.args.dst, rec.args.tag, rec.args.context),
+      rec.args.bytes);
   ICSIM_TRACE_WITH(engine_, tr) {
     tr.instant(trace::Category::regcache, trace_component(),
                reg > sim::Time::zero() ? "pin.miss" : "pin.hit",

@@ -65,8 +65,18 @@ Time Engine::run() {
 }
 
 Time Engine::run_until(Time deadline) {
-  while (!queue_.empty() && queue_.top().t <= deadline) {
-    if (!step()) break;
+  for (;;) {
+    // Drop cancelled tombstones at the head so the deadline guard below
+    // tests the next *live* event.  A dead head with t <= deadline would
+    // pass the guard while step() skips it and executes the next live
+    // event — which may lie past the deadline.
+    while (!queue_.empty()) {
+      const Entry& head = queue_.top();
+      if (head.alive == nullptr || *head.alive) break;
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().t > deadline) break;
+    step();
   }
   if (now_ < deadline && queue_.empty()) {
     return now_;

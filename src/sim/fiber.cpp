@@ -12,7 +12,10 @@
 namespace icsim::sim {
 
 namespace {
-Fiber* g_current = nullptr;
+// thread_local, not a plain global: the sweep driver (src/driver) runs one
+// independent simulation per worker thread, and each cluster's fibers are
+// created, resumed and finished entirely on that thread.
+thread_local Fiber* g_current = nullptr;
 
 std::size_t page_size() {
   static const auto sz = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));

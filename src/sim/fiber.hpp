@@ -10,6 +10,11 @@
 // Implementation: POSIX ucontext with an mmap'd stack protected by a guard
 // page, so a stack overflow in an application kernel faults instead of
 // silently corrupting a neighbouring fiber.
+//
+// The "whole simulation" above means one Engine and its fibers.  Separate
+// simulations may run on separate OS threads concurrently (the sweep
+// driver does exactly that); the current-fiber pointer is thread-local, and
+// a fiber must always be resumed on the thread that created it.
 
 #include <cstddef>
 #include <exception>

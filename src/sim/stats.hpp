@@ -26,7 +26,10 @@ class RunningStat {
   [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
   [[nodiscard]] double sum() const { return sum_; }
   [[nodiscard]] double variance() const {
-    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    // Welford's m2_ can land a few ulps below zero under catastrophic
+    // cancellation (near-constant samples at large magnitude); clamping
+    // keeps stddev() out of sqrt(-eps) = NaN territory.
+    return n_ > 1 ? std::max(0.0, m2_) / static_cast<double>(n_ - 1) : 0.0;
   }
   [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
   [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
@@ -49,6 +52,10 @@ class Histogram {
       : lo_(lo), hi_(hi), counts_(buckets, 0) {}
 
   void add(double x) {
+    if (std::isnan(x)) {  // double->int64 cast of NaN is undefined
+      ++nan_;
+      return;
+    }
     const double f = (x - lo_) / (hi_ - lo_);
     auto i = static_cast<std::int64_t>(f * static_cast<double>(counts_.size()));
     i = std::clamp<std::int64_t>(i, 0, static_cast<std::int64_t>(counts_.size()) - 1);
@@ -57,13 +64,18 @@ class Histogram {
   }
 
   [[nodiscard]] std::uint64_t total() const { return total_; }
+  /// NaN samples are not bucketable; they are dropped and counted here.
+  [[nodiscard]] std::uint64_t nan_dropped() const { return nan_; }
   [[nodiscard]] const std::vector<std::uint64_t>& buckets() const { return counts_; }
   [[nodiscard]] double lo() const { return lo_; }
   [[nodiscard]] double hi() const { return hi_; }
 
   /// Value below which `q` (0..1) of the samples fall (bucket upper edge).
+  /// An empty histogram — or q so small that no bucket mass is required —
+  /// answers lo(), not the first bucket's upper edge.
   [[nodiscard]] double quantile(double q) const {
     const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+    if (total_ == 0 || target == 0) return lo_;
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < counts_.size(); ++i) {
       seen += counts_[i];
@@ -80,6 +92,7 @@ class Histogram {
   double hi_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  std::uint64_t nan_ = 0;
 };
 
 }  // namespace icsim::sim

@@ -1,0 +1,160 @@
+// Sweep driver: registry ordering, thread-count determinism of the
+// aggregated report, and per-point error isolation.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "driver/runner.hpp"
+#include "driver/scenario.hpp"
+#include "microbench/pingpong.hpp"
+#include "sim/engine.hpp"
+
+namespace icsim::driver {
+namespace {
+
+// A point with a real (if tiny) event stream, so digests are nonzero and
+// order-sensitive.
+PointResult engine_point(int n) {
+  sim::Engine e;
+  for (int i = 0; i < n; ++i) {
+    e.schedule_at(sim::Time::us(i + 1), [] {});
+  }
+  e.run();
+  PointResult r;
+  r.events = e.events_processed();
+  r.digest = e.event_digest();
+  r.add("n", n, 0);
+  r.add("events", static_cast<double>(r.events), 0);
+  return r;
+}
+
+// A point that runs the rendezvous path end to end: a 64 kB ping-pong on a
+// fresh two-node InfiniBand cluster exercises the registration cache, which
+// historically was the thread-count-dependent component (it keyed on host
+// heap addresses; see ib/reg_cache.hpp).
+PointResult rendezvous_point() {
+  microbench::PingPongOptions opt;
+  opt.sizes = {64 * 1024};
+  opt.repetitions = 4;
+  opt.warmup = 1;
+  core::Cluster::RunStats st;
+  opt.stats = &st;
+  const auto pts = microbench::run_pingpong(core::ib_cluster(2), opt);
+  PointResult r;
+  r.events = st.events_processed;
+  r.digest = st.event_digest;
+  r.add("us", pts.at(0).latency_us, 3);
+  return r;
+}
+
+Registry make_registry() {
+  Registry reg;
+  reg.group("alpha", "Alpha group");
+  for (int n : {5, 9, 13}) {
+    reg.add("alpha", "n" + std::to_string(n), [n] { return engine_point(n); });
+  }
+  reg.group("alpha").finalize = [](std::vector<PointResult>& pts) {
+    double total = 0.0;
+    for (auto& p : pts) {
+      total += p.value("events");
+      p.add("share", p.value("events") / 27.0, 3);
+    }
+    return std::vector<std::string>{"total events " + std::to_string(total)};
+  };
+  reg.group("rndv", "Rendezvous path");
+  for (int i = 0; i < 4; ++i) {
+    reg.add("rndv", "pp" + std::to_string(i), [] { return rendezvous_point(); });
+  }
+  return reg;
+}
+
+TEST(Registry, PreservesRegistrationOrderAndSelectsByGroup) {
+  const Registry reg = make_registry();
+  ASSERT_EQ(reg.groups().size(), 2u);
+  EXPECT_EQ(reg.groups()[0].name, "alpha");
+  EXPECT_EQ(reg.groups()[1].name, "rndv");
+  ASSERT_EQ(reg.scenarios().size(), 7u);
+  EXPECT_EQ(reg.scenarios()[0].name, "n5");
+  EXPECT_EQ(reg.scenarios()[3].name, "pp0");
+
+  const auto idx = reg.select({"rndv"});
+  ASSERT_EQ(idx.size(), 4u);
+  EXPECT_EQ(idx[0], 3u);
+  EXPECT_THROW((void)reg.select({"nope"}), std::invalid_argument);
+}
+
+TEST(Runner, ReportIsByteIdenticalAcrossThreadCounts) {
+  const Registry reg = make_registry();
+  SweepOptions one;
+  one.jobs = 1;
+  SweepOptions eight;
+  eight.jobs = 8;
+  const SweepReport a = run_sweep(reg, {}, one);
+  const SweepReport b = run_sweep(reg, {}, eight);
+
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (std::size_t g = 0; g < a.groups.size(); ++g) {
+    ASSERT_EQ(a.groups[g].points.size(), b.groups[g].points.size());
+    for (std::size_t p = 0; p < a.groups[g].points.size(); ++p) {
+      EXPECT_EQ(a.groups[g].points[p].digest, b.groups[g].points[p].digest)
+          << a.groups[g].name << "/" << a.groups[g].point_names[p];
+      EXPECT_EQ(a.groups[g].points[p].events, b.groups[g].points[p].events);
+    }
+    EXPECT_EQ(a.groups[g].digest, b.groups[g].digest);
+    EXPECT_EQ(a.groups[g].summary, b.groups[g].summary);
+  }
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.to_csv(), b.to_csv());
+}
+
+TEST(Runner, FinalizeRunsOnceInRegistryOrder) {
+  const Registry reg = make_registry();
+  SweepOptions opt;
+  opt.jobs = 4;
+  const SweepReport r = run_sweep(reg, {"alpha"}, opt);
+  ASSERT_EQ(r.groups.size(), 1u);
+  const GroupReport& g = r.groups[0];
+  ASSERT_EQ(g.points.size(), 3u);
+  // 5 + 9 + 13 scheduled events.
+  ASSERT_EQ(g.summary.size(), 1u);
+  EXPECT_EQ(g.summary[0].rfind("total events 27", 0), 0u);
+  // finalize-appended metric present on every point.
+  for (const auto& p : g.points) {
+    EXPECT_NE(p.find("share"), nullptr);
+  }
+}
+
+TEST(Runner, ThrowingScenarioIsReportedWithoutPoisoningTheBatch) {
+  Registry reg;
+  reg.group("mix", "Error isolation");
+  reg.add("mix", "ok0", [] { return engine_point(3); });
+  reg.add("mix", "bad", []() -> PointResult {
+    throw std::runtime_error("boom");
+  });
+  reg.add("mix", "ok1", [] { return engine_point(4); });
+
+  SweepOptions opt;
+  opt.jobs = 4;
+  const SweepReport r = run_sweep(reg, {}, opt);
+  ASSERT_EQ(r.groups.size(), 1u);
+  const GroupReport& g = r.groups[0];
+  ASSERT_EQ(g.points.size(), 3u);
+  EXPECT_TRUE(g.points[0].error.empty());
+  EXPECT_EQ(g.points[1].error, "boom");
+  EXPECT_TRUE(g.points[2].error.empty());
+  EXPECT_EQ(g.points[0].events, 3u);
+  EXPECT_EQ(g.points[2].events, 4u);
+  EXPECT_EQ(r.total_errors(), 1u);
+  EXPECT_FALSE(r.ok());
+  // Serializations still produced, and deterministically so.
+  EXPECT_EQ(r.to_json(), run_sweep(reg, {}, SweepOptions{}).to_json());
+}
+
+}  // namespace
+}  // namespace icsim::driver

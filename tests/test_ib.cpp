@@ -18,7 +18,7 @@ RegistrationCache make_cache(std::uint64_t capacity) {
 
 TEST(RegCache, FirstAcquireCostsRegistration) {
   auto c = make_cache(1 << 20);
-  char buf[1] = {};
+  const auto buf = logical_buffer(true, 1, 0, 0);
   const auto t = c.acquire(buf, 8192);  // 2 pages
   EXPECT_EQ(t, sim::Time::us(27));
   EXPECT_EQ(c.stats().misses, 1u);
@@ -27,7 +27,7 @@ TEST(RegCache, FirstAcquireCostsRegistration) {
 
 TEST(RegCache, RepeatAcquireIsFree) {
   auto c = make_cache(1 << 20);
-  char buf[1] = {};
+  const auto buf = logical_buffer(true, 1, 0, 0);
   (void)c.acquire(buf, 4096);
   EXPECT_EQ(c.acquire(buf, 4096), sim::Time::zero());
   EXPECT_EQ(c.stats().hits, 1u);
@@ -35,15 +35,26 @@ TEST(RegCache, RepeatAcquireIsFree) {
 
 TEST(RegCache, DifferentLengthIsADifferentRegion) {
   auto c = make_cache(1 << 20);
-  char buf[1] = {};
+  const auto buf = logical_buffer(true, 1, 0, 0);
   (void)c.acquire(buf, 4096);
   EXPECT_GT(c.acquire(buf, 8192), sim::Time::zero());
   EXPECT_EQ(c.stats().misses, 2u);
 }
 
+TEST(RegCache, EnvelopeIdentityIsDeterministic) {
+  // Same envelope -> same region; any field differing -> a new region.
+  EXPECT_EQ(logical_buffer(true, 3, 7, 0), logical_buffer(true, 3, 7, 0));
+  EXPECT_NE(logical_buffer(true, 3, 7, 0), logical_buffer(false, 3, 7, 0));
+  EXPECT_NE(logical_buffer(true, 3, 7, 0), logical_buffer(true, 4, 7, 0));
+  EXPECT_NE(logical_buffer(true, 3, 7, 0), logical_buffer(true, 3, 8, 0));
+  EXPECT_NE(logical_buffer(true, 3, 7, 0), logical_buffer(true, 3, 7, 1));
+}
+
 TEST(RegCache, EvictsLruWhenOverCapacity) {
   auto c = make_cache(10000);  // fits two 4 kB pages + change
-  char a[1] = {}, b[1] = {}, d[1] = {};
+  const auto a = logical_buffer(true, 1, 0, 0);
+  const auto b = logical_buffer(true, 2, 0, 0);
+  const auto d = logical_buffer(true, 3, 0, 0);
   (void)c.acquire(a, 4096);
   (void)c.acquire(b, 4096);
   // Touch a so b is the LRU victim.
@@ -58,7 +69,7 @@ TEST(RegCache, EvictsLruWhenOverCapacity) {
 
 TEST(RegCache, OversizeRegionAlwaysThrashes) {
   auto c = make_cache(1 << 20);
-  char buf[1] = {};
+  const auto buf = logical_buffer(true, 1, 0, 0);
   const auto t1 = c.acquire(buf, 2 << 20);
   const auto t2 = c.acquire(buf, 2 << 20);
   EXPECT_GT(t1, sim::Time::zero());
@@ -70,7 +81,8 @@ TEST(RegCache, PingPongPairUnderCapacityThrashes) {
   // The Figure 1(b) mechanism: two 4 MB application buffers against a 7 MB
   // pin budget evict each other every iteration.
   auto c = make_cache(7ull << 20);
-  char s[1] = {}, r[1] = {};
+  const auto s = logical_buffer(true, 1, 0, 0);
+  const auto r = logical_buffer(false, 1, 0, 0);
   (void)c.acquire(s, 4 << 20);
   (void)c.acquire(r, 4 << 20);  // evicts s
   std::uint64_t before = c.stats().evictions;

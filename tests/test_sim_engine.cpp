@@ -162,5 +162,37 @@ TEST(Engine, DeterministicAcrossRuns) {
   EXPECT_EQ(run_once(), run_once());
 }
 
+TEST(Engine, RunUntilSkipsCancelledHeadWithoutOverrunningDeadline) {
+  // Regression: a cancelled tombstone at the queue head used to pass the
+  // deadline guard (its timestamp was <= deadline), after which step()
+  // discarded it and executed the next *live* event — even when that event
+  // lay past the deadline.
+  Engine e;
+  bool late_fired = false;
+  EventHandle h = e.schedule_at(Time::us(1), [] {});
+  e.schedule_at(Time::us(10), [&] { late_fired = true; });
+  h.cancel();
+  e.run_until(Time::us(5));
+  EXPECT_FALSE(late_fired);
+  EXPECT_EQ(e.now(), Time::us(5));
+  e.run();
+  EXPECT_TRUE(late_fired);
+}
+
+TEST(Engine, RunUntilDrainsConsecutiveTombstones) {
+  Engine e;
+  int fired = 0;
+  std::vector<EventHandle> dead;
+  for (int i = 1; i <= 3; ++i) {
+    dead.push_back(e.schedule_at(Time::us(i), [] {}));
+  }
+  e.schedule_at(Time::us(4), [&] { ++fired; });
+  e.schedule_at(Time::us(9), [&] { ++fired; });
+  for (auto& h : dead) h.cancel();
+  e.run_until(Time::us(5));
+  EXPECT_EQ(fired, 1);  // only the live event inside the window
+  EXPECT_EQ(e.now(), Time::us(5));
+}
+
 }  // namespace
 }  // namespace icsim::sim

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "sim/stats.hpp"
 
 namespace icsim::sim {
@@ -108,6 +111,39 @@ TEST(Histogram, BoundaryValuesLandInExpectedBuckets) {
   h.add(9.9999999);      // last bucket
   EXPECT_EQ(h.buckets()[0], 1u);
   EXPECT_EQ(h.buckets()[9], 2u);
+}
+
+TEST(RunningStat, VarianceNeverNegativeUnderCancellation) {
+  // Regression: Welford's m2_ can drift a few ulps below zero when the
+  // samples are a huge offset plus tiny jitter; variance() must clamp so
+  // stddev() never goes NaN.
+  RunningStat s;
+  for (int i = 0; i < 10000; ++i) {
+    s.add(1e15 + (i % 2 == 0 ? 0.25 : -0.25));
+  }
+  EXPECT_GE(s.variance(), 0.0);
+  EXPECT_FALSE(std::isnan(s.stddev()));
+}
+
+TEST(Histogram, ZeroQuantileIsLowerBound) {
+  // Regression: q == 0 requires no bucket mass, so the answer is lo(), not
+  // the first occupied bucket's upper edge.
+  Histogram h(2.0, 10.0, 8);
+  for (int i = 0; i < 50; ++i) h.add(9.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(Histogram(2.0, 10.0, 8).quantile(0.5), 2.0);  // empty
+}
+
+TEST(Histogram, NanSamplesAreDroppedAndCounted) {
+  // Regression: casting NaN to an integer bucket index is undefined
+  // behaviour; NaN samples must be dropped (and visible via nan_dropped()).
+  Histogram h(0.0, 10.0, 10);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(5.0);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.nan_dropped(), 2u);
+  EXPECT_EQ(h.buckets()[5], 1u);
 }
 
 }  // namespace
