@@ -143,14 +143,14 @@ void ElanNic::fabric_send(int from_node, int to_node, std::uint32_t wire_bytes,
           ++link_retry_exhausted_;
           ICSIM_TRACE_WITH(engine_, tr) {
             tr.instant(trace::Category::tports, trace_component(),
-                       "link_retry_exhausted", engine_.now().picoseconds());
+                       "link_retry_exhausted", engine_.now());
           }
           return;
         }
         ++link_retries_;
         ICSIM_TRACE_WITH(engine_, tr) {
           tr.instant(trace::Category::tports, trace_component(), "link_retry",
-                     engine_.now().picoseconds(),
+                     engine_.now(),
                      static_cast<double>(attempt + 1));
         }
         // Retransmit from the link buffer — no host DMA re-read; the fresh
@@ -177,13 +177,13 @@ void ElanNic::trace_match(const RxContext& ctx, sim::Time cost) {
   ICSIM_TRACE_WITH(engine_, tr) {
     const auto comp = trace_component();
     const auto now = engine_.now();
-    tr.span(trace::Category::tports, comp, "match", now.picoseconds(),
-            (now + cost).picoseconds());
+    tr.span(trace::Category::tports, comp, "match", now,
+            now + cost);
     tr.counter(trace::Category::tports, comp, "unexpected_depth",
-               now.picoseconds(),
+               now,
                static_cast<double>(ctx.matcher.unexpected_depth()));
     tr.counter(trace::Category::tports, comp, "posted_depth",
-               now.picoseconds(),
+               now,
                static_cast<double>(ctx.matcher.posted_depth()));
     if (uq_depth_stat_ == nullptr) {
       uq_depth_stat_ = &tr.metrics().stat("elan.unexpected_depth");
@@ -329,8 +329,8 @@ void ElanNic::complete_rx(const MsgPtr& msg) {
   // receive pipeline (match, SDRAM replay/get, DMA, completion event).
   ICSIM_TRACE_WITH(engine_, tr) {
     tr.span(trace::Category::tports, trace_component(), "rx",
-            msg->t_envelope.picoseconds(),
-            (engine_.now() + cfg_.completion_cost).picoseconds());
+            msg->t_envelope,
+            engine_.now() + cfg_.completion_cost);
   }
   engine_.post_in(cfg_.completion_cost, [msg] {
     RxStatus st;
@@ -346,8 +346,8 @@ void ElanNic::complete_tx(const MsgPtr& msg) {
   // Host posted the descriptor -> send buffer reusable (STEN/DMA done).
   ICSIM_TRACE_WITH(engine_, tr) {
     tr.span(trace::Category::tports, msg->src->trace_component(), "tx",
-            msg->t_post.picoseconds(),
-            (engine_.now() + cfg_.completion_cost).picoseconds());
+            msg->t_post,
+            engine_.now() + cfg_.completion_cost);
   }
   engine_.post_in(cfg_.completion_cost, [msg] {
     if (msg->on_tx_complete) msg->on_tx_complete();

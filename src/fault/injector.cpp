@@ -66,7 +66,7 @@ void FaultInjector::install(net::Fabric& fabric) {
           trace_id_ = tr.register_component(trace::Category::fault, "injector");
         }
         tr.instant(trace::Category::fault, trace_id_, "link_down",
-                   engine_.now().picoseconds());
+                   engine_.now());
       }
     });
     if (w.up > w.down) {
@@ -79,7 +79,7 @@ void FaultInjector::install(net::Fabric& fabric) {
                 tr.register_component(trace::Category::fault, "injector");
           }
           tr.instant(trace::Category::fault, trace_id_, "link_up",
-                     engine_.now().picoseconds());
+                     engine_.now());
         }
       });
     }
@@ -103,8 +103,8 @@ void FaultInjector::install_node_stalls(
           trace_id_ = tr.register_component(trace::Category::fault, "injector");
         }
         tr.span(trace::Category::fault, trace_id_, "node_stall",
-                engine_.now().picoseconds(),
-                (engine_.now() + d).picoseconds());
+                engine_.now(),
+                engine_.now() + d);
       }
     });
   }

@@ -90,7 +90,7 @@ void Hca::start_dma_chain(const std::shared_ptr<InFlight>& msg,
         // this point; we do not model the extra buffer hold.)
         ICSIM_TRACE_WITH(engine_, tr) {
           tr.span(trace::Category::hca, trace_component(), "dma_out",
-                  msg->t_post.picoseconds(), engine_.now().picoseconds());
+                  msg->t_post, engine_.now());
         }
         processor_.acquire(cfg_.send_cqe_cost, std::move(cb));
       }
@@ -127,7 +127,7 @@ void Hca::retry_chunk(const std::shared_ptr<InFlight>& msg,
     ++rc_exhausted_;
     ICSIM_TRACE_WITH(engine_, tr) {
       tr.instant(trace::Category::hca, trace_component(), "rc_retry_exhausted",
-                 engine_.now().picoseconds());
+                 engine_.now());
     }
     auto it = error_handlers_.find(msg->delivery.src_ep);
     if (it != error_handlers_.end()) it->second(msg->delivery);
@@ -135,11 +135,10 @@ void Hca::retry_chunk(const std::shared_ptr<InFlight>& msg,
   }
   ++rc_retries_;
   retransmitted_bytes_ += chunk_bytes;
-  const sim::Time wait = sim::Time::sec(cfg_.rc_timeout.to_seconds() *
-                                        std::pow(cfg_.rc_backoff, attempt));
+  const sim::Time wait = cfg_.rc_timeout * std::pow(cfg_.rc_backoff, attempt);
   ICSIM_TRACE_WITH(engine_, tr) {
     tr.instant(trace::Category::hca, trace_component(), "rc_retry",
-               engine_.now().picoseconds(), static_cast<double>(attempt + 1));
+               engine_.now(), static_cast<double>(attempt + 1));
   }
   engine_.post_in(wait, [this, msg, chunk_bytes, attempt] {
     // Retransmission re-reads the chunk from host memory over PCI-X.
@@ -162,8 +161,8 @@ void Hca::chunk_arrived_at_dst(const std::shared_ptr<InFlight>& msg,
       // HCA's track: the full one-sided write pipeline.
       ICSIM_TRACE_WITH(self.engine_, tr) {
         tr.span(trace::Category::hca, msg->src->trace_component(),
-                "rdma_write", msg->t_post.picoseconds(),
-                self.engine_.now().picoseconds());
+                "rdma_write", msg->t_post,
+                self.engine_.now());
       }
       auto it = self.handlers_.find(msg->delivery.dst_ep);
       if (it == self.handlers_.end()) {

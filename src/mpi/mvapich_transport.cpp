@@ -59,7 +59,7 @@ void MvapichTransport::charge_host(sim::Time t) {
   const bool in_service =
       service_fiber_ && sim::Fiber::current() == service_fiber_.get();
   if (!in_service && node_.any_compute_active()) {
-    t = sim::Time::sec(t.to_seconds() * cfg_.smp_host_penalty);
+    t = t * cfg_.smp_host_penalty;
   }
   charge(t);
 }
@@ -89,7 +89,7 @@ std::uint32_t MvapichTransport::trace_component() {
 void MvapichTransport::trace_match(std::size_t scanned) {
   ICSIM_TRACE_WITH(engine_, tr) {
     const auto comp = trace_component();
-    const auto t = engine_.now().picoseconds();
+    const auto t = engine_.now();
     tr.counter(trace::Category::mpi, comp, "unexpected_depth", t,
                static_cast<double>(matcher_.unexpected_depth()));
     tr.counter(trace::Category::mpi, comp, "posted_depth", t,
@@ -138,7 +138,7 @@ void MvapichTransport::post_send(const SendArgs& args) {
   ICSIM_TRACE_WITH(engine_, tr) {
     tr.span(trace::Category::mpi, trace_component(),
             args.bytes <= cfg_.eager_threshold ? "send.eager" : "send.rndv",
-            t0.picoseconds(), engine_.now().picoseconds());
+            t0, engine_.now());
   }
 }
 
@@ -232,7 +232,7 @@ void MvapichTransport::accept_rts(const WireMsgPtr& rts, PostedRecvRec rec) {
   ICSIM_TRACE_WITH(engine_, tr) {
     tr.instant(trace::Category::regcache, trace_component(),
                reg > sim::Time::zero() ? "pin.miss" : "pin.hit",
-               engine_.now().picoseconds(), reg.to_us());
+               engine_.now(), reg.to_us());
   }
   charge(reg);
 
@@ -413,7 +413,7 @@ void MvapichTransport::handle_cts(const WireMsgPtr& m) {
   ICSIM_TRACE_WITH(engine_, tr) {
     tr.instant(trace::Category::regcache, trace_component(),
                reg > sim::Time::zero() ? "pin.miss" : "pin.hit",
-               engine_.now().picoseconds(), reg.to_us());
+               engine_.now(), reg.to_us());
   }
   charge(reg);
 

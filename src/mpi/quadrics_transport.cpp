@@ -29,7 +29,7 @@ void QuadricsTransport::post_send(const SendArgs& args) {
           args.bytes, [req] { req->finish(); });
   ICSIM_TRACE_WITH(engine_, tr) {
     tr.span(trace::Category::mpi, trace_component(), "send",
-            t0.picoseconds(), engine_.now().picoseconds());
+            t0, engine_.now());
   }
 }
 
@@ -52,7 +52,7 @@ void QuadricsTransport::post_recv(const RecvArgs& args) {
           });
   ICSIM_TRACE_WITH(engine_, tr) {
     tr.span(trace::Category::mpi, trace_component(), "recv.post",
-            t0.picoseconds(), engine_.now().picoseconds());
+            t0, engine_.now());
   }
 }
 

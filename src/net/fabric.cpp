@@ -184,7 +184,7 @@ void Fabric::forward(std::shared_ptr<std::vector<Hop>> route, std::size_t index,
                                             link.tx.name());
     }
     tr.span(trace::Category::link, link.trace_id, "pkt",
-            (tx_done - ser).picoseconds(), tx_done.picoseconds());
+            tx_done - ser, tx_done);
   }
 
   // Link-level CRC: the packet train is corrupted in transit with the
@@ -195,7 +195,7 @@ void Fabric::forward(std::shared_ptr<std::vector<Hop>> route, std::size_t index,
     ++link.corrupted;
     ICSIM_TRACE_WITH(engine_, tr) {
       tr.instant(trace::Category::link, link.trace_id, "crc_drop",
-                 tx_done.picoseconds());
+                 tx_done);
     }
     engine_.post_at(tx_done + cfg_.wire_latency,
                     [this, bytes, on_complete = std::move(on_complete)]() mutable {

@@ -63,7 +63,7 @@ class Node {
     ++active_compute_;
     const double factor =
         contended && cfg_.cpus > 1 ? cfg_.smp_compute_slowdown : 1.0;
-    sim::sleep_for(engine_, sim::Time::sec(d.to_seconds() * factor));
+    sim::sleep_for(engine_, d * factor);
     --active_compute_;
   }
 

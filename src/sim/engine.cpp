@@ -27,7 +27,7 @@ void Engine::sample_queue_depth() {
   if (trace_id_ == 0) {
     trace_id_ = tracer_.register_component(trace::Category::engine, "engine");
   }
-  const auto t = now_.picoseconds();
+  const auto t = now_;
   tracer_.counter(trace::Category::engine, trace_id_, "queue_depth", t,
                   static_cast<double>(queue_.size()));
   tracer_.counter(trace::Category::engine, trace_id_, "events_processed", t,

@@ -10,6 +10,7 @@
 #include <compare>
 #include <limits>
 #include <string>
+#include <type_traits>
 
 namespace icsim::sim {
 
@@ -40,8 +41,19 @@ class Time {
   constexpr Time& operator-=(Time o) { ps_ -= o.ps_; return *this; }
   friend constexpr Time operator+(Time a, Time b) { return Time{a.ps_ + b.ps_}; }
   friend constexpr Time operator-(Time a, Time b) { return Time{a.ps_ - b.ps_}; }
-  friend constexpr Time operator*(Time a, std::int64_t k) { return Time{a.ps_ * k}; }
-  friend constexpr Time operator*(std::int64_t k, Time a) { return Time{a.ps_ * k}; }
+  // Templated so `t * 3` stays an exact integral match instead of becoming
+  // ambiguous against the double overload below.
+  template <class I, std::enable_if_t<std::is_integral_v<I>, int> = 0>
+  friend constexpr Time operator*(Time a, I k) { return Time{a.ps_ * k}; }
+  template <class I, std::enable_if_t<std::is_integral_v<I>, int> = 0>
+  friend constexpr Time operator*(I k, Time a) { return Time{a.ps_ * k}; }
+  /// Fractional scaling stays in picosecond space: `d * 1.5` rounds once,
+  /// where `Time::sec(d.to_seconds() * 1.5)` rounds through a lossy double
+  /// export first (flagged by icsim_lint's unit-discipline rule).
+  friend constexpr Time operator*(Time a, double k) {
+    return Time{round_ps(static_cast<double>(a.ps_) * k)};
+  }
+  friend constexpr Time operator*(double k, Time a) { return a * k; }
 
   [[nodiscard]] std::string to_string() const;
 

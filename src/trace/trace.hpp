@@ -4,7 +4,8 @@
 // Every macro is gated on the engine's tracer being enabled, so a disabled
 // run pays exactly one well-predicted branch per site; defining
 // ICSIM_TRACE_DISABLE at compile time removes even that.  Times are
-// sim::Time; conversion to raw picoseconds happens inside the macro.
+// sim::Time end to end; the tracer converts to raw picoseconds only inside
+// the serialized Event record.
 //
 // Usage pattern (component ids are lazily self-registered):
 //
@@ -18,13 +19,6 @@
 
 #include "sim/engine.hpp"
 #include "trace/tracer.hpp"
-
-namespace icsim::trace {
-
-/// Picoseconds of a sim::Time (macro glue).
-[[nodiscard]] inline std::int64_t ps(sim::Time t) { return t.picoseconds(); }
-
-}  // namespace icsim::trace
 
 #ifdef ICSIM_TRACE_DISABLE
 #define ICSIM_TRACE_WITH(engine, tr) \
@@ -41,18 +35,15 @@ namespace icsim::trace {
 /// One-line helpers for the common cases.  `t0`/`t1` are sim::Time.
 #define ICSIM_TRACE_SPAN(engine, cat, comp, name, t0, t1)                     \
   ICSIM_TRACE_WITH(engine, icsim_tr_) {                                       \
-    icsim_tr_.span((cat), (comp), (name), ::icsim::trace::ps(t0),             \
-                   ::icsim::trace::ps(t1));                                   \
+    icsim_tr_.span((cat), (comp), (name), (t0), (t1));                        \
   }
 
 #define ICSIM_TRACE_INSTANT(engine, cat, comp, name, value)                   \
   ICSIM_TRACE_WITH(engine, icsim_tr_) {                                       \
-    icsim_tr_.instant((cat), (comp), (name),                                  \
-                      ::icsim::trace::ps((engine).now()), (value));           \
+    icsim_tr_.instant((cat), (comp), (name), (engine).now(), (value));        \
   }
 
 #define ICSIM_TRACE_COUNTER(engine, cat, comp, name, value)                   \
   ICSIM_TRACE_WITH(engine, icsim_tr_) {                                       \
-    icsim_tr_.counter((cat), (comp), (name),                                  \
-                      ::icsim::trace::ps((engine).now()), (value));           \
+    icsim_tr_.counter((cat), (comp), (name), (engine).now(), (value));        \
   }

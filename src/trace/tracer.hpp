@@ -8,8 +8,9 @@
 //     all record helpers are inline and gated on `enabled()`;
 //   * components name themselves once via register_component() and store
 //     the returned id (a small integer, 0 = unregistered);
-//   * event recording takes raw picoseconds so this library never links
-//     against the engine (only the header-only stats/event types).
+//   * event recording takes sim::Time (header-only) so this library never
+//     links against the engine; timestamps decay to raw picoseconds only
+//     inside the serialized Event record.
 //
 // The MetricsRegistry lives here too: metrics are always on (cheap
 // accumulators), trace *events* only flow while a sink is installed.
@@ -18,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/time.hpp"
 #include "trace/event.hpp"
 #include "trace/metrics.hpp"
 #include "trace/sink.hpp"
@@ -55,39 +57,39 @@ class Tracer {
     return components_;
   }
 
-  /// Complete slice [t0_ps, t1_ps) on `comp`.  Call only when enabled().
-  void span(Category cat, std::uint32_t comp, const char* name,
-            std::int64_t t0_ps, std::int64_t t1_ps) {
+  /// Complete slice [t0, t1) on `comp`.  Call only when enabled().
+  void span(Category cat, std::uint32_t comp, const char* name, sim::Time t0,
+            sim::Time t1) {
     Event e;
     e.kind = Event::Kind::span;
     e.cat = cat;
     e.component = comp;
     e.name = name;
-    e.t_ps = t0_ps;
-    e.dur_ps = t1_ps > t0_ps ? t1_ps - t0_ps : 0;
+    e.t_ps = t0.picoseconds();
+    e.dur_ps = t1 > t0 ? (t1 - t0).picoseconds() : 0;
     sink_->record(e);
   }
 
-  void instant(Category cat, std::uint32_t comp, const char* name,
-               std::int64_t t_ps, double value = 0.0) {
+  void instant(Category cat, std::uint32_t comp, const char* name, sim::Time t,
+               double value = 0.0) {
     Event e;
     e.kind = Event::Kind::instant;
     e.cat = cat;
     e.component = comp;
     e.name = name;
-    e.t_ps = t_ps;
+    e.t_ps = t.picoseconds();
     e.value = value;
     sink_->record(e);
   }
 
-  void counter(Category cat, std::uint32_t comp, const char* name,
-               std::int64_t t_ps, double value) {
+  void counter(Category cat, std::uint32_t comp, const char* name, sim::Time t,
+               double value) {
     Event e;
     e.kind = Event::Kind::counter;
     e.cat = cat;
     e.component = comp;
     e.name = name;
-    e.t_ps = t_ps;
+    e.t_ps = t.picoseconds();
     e.value = value;
     sink_->record(e);
   }

@@ -204,7 +204,7 @@ TEST(Tracer, EnableDisableGateRecording) {
   trace::Tracer tr;
   tr.enable(sink);
   EXPECT_TRUE(tr.enabled());
-  tr.span(trace::Category::engine, 1, "a", 0, 10);
+  tr.span(trace::Category::engine, 1, "a", sim::Time::ps(0), sim::Time::ps(10));
   tr.disable();
   EXPECT_FALSE(tr.enabled());
   EXPECT_EQ(sink.recorded(), 1u);
@@ -218,9 +218,11 @@ TEST(ChromeTrace, WellFormedJsonWithMetadataAndEvents) {
   tr.enable(sink);
   const auto link = tr.register_component(trace::Category::link, "node0->sw");
   const auto rank = tr.register_component(trace::Category::mpi, "rank0");
-  tr.span(trace::Category::mpi, rank, "send \"x\"\\n", 1'000'000, 3'000'000);
-  tr.instant(trace::Category::mpi, rank, "pin.miss", 2'000'000, 1.5);
-  tr.counter(trace::Category::link, link, "queue_depth", 2'500'000, 3.0);
+  tr.span(trace::Category::mpi, rank, "send \"x\"\\n", sim::Time::us(1),
+          sim::Time::us(3));
+  tr.instant(trace::Category::mpi, rank, "pin.miss", sim::Time::us(2), 1.5);
+  tr.counter(trace::Category::link, link, "queue_depth", sim::Time::us(2.5),
+             3.0);
 
   std::ostringstream os;
   trace::write_chrome_trace(os, tr, sink.snapshot());
@@ -253,9 +255,12 @@ TEST(CountersCsv, OneRowPerCounterEvent) {
   trace::Tracer tr;
   tr.enable(sink);
   const auto c = tr.register_component(trace::Category::tports, "elan0");
-  tr.counter(trace::Category::tports, c, "unexpected_depth", 1'000'000, 2.0);
-  tr.counter(trace::Category::tports, c, "unexpected_depth", 2'000'000, 3.0);
-  tr.span(trace::Category::tports, c, "match", 0, 10);  // not a counter: skipped
+  tr.counter(trace::Category::tports, c, "unexpected_depth", sim::Time::us(1),
+             2.0);
+  tr.counter(trace::Category::tports, c, "unexpected_depth", sim::Time::us(2),
+             3.0);
+  tr.span(trace::Category::tports, c, "match", sim::Time::ps(0),
+          sim::Time::ps(10));  // not a counter: skipped
 
   std::ostringstream os;
   trace::write_counters_csv(os, tr, sink.snapshot());

@@ -1,0 +1,64 @@
+# Asserts the icsim_lint exit-code contract exactly (ctest's WILL_FAIL can
+# only say "nonzero", which is precisely the conflation the contract fixes):
+#   0  clean scan
+#   1  unbaselined findings
+#   2  usage / IO / parse error
+# and smoke-tests SARIF emission. Run via:
+#   cmake -DLINT=<binary> -DTESTDATA=<dir> -DWORKDIR=<dir> -P check_exit_codes.cmake
+
+function(expect_exit code result label)
+  if(NOT result EQUAL code)
+    message(FATAL_ERROR "${label}: expected exit ${code}, got ${result}")
+  endif()
+  message(STATUS "${label}: exit ${result} (ok)")
+endfunction()
+
+# 0 — clean fixture.
+execute_process(COMMAND "${LINT}" "${TESTDATA}/clean.cc"
+                RESULT_VARIABLE r OUTPUT_QUIET ERROR_QUIET)
+expect_exit(0 "${r}" "clean scan")
+
+# 1 — findings.
+execute_process(COMMAND "${LINT}" "${TESTDATA}/violations.cc"
+                RESULT_VARIABLE r OUTPUT_QUIET ERROR_QUIET)
+expect_exit(1 "${r}" "findings")
+
+# 2 — IO error (missing input), even when another input has findings: the
+# analyzer being broken must outrank the findings it did produce.
+execute_process(COMMAND "${LINT}" "${TESTDATA}/violations.cc"
+                        "${TESTDATA}/no_such_file.cc"
+                RESULT_VARIABLE r OUTPUT_QUIET ERROR_QUIET)
+expect_exit(2 "${r}" "IO error")
+
+# 2 — malformed baseline is a parse error, not a finding.
+file(WRITE "${WORKDIR}/bad_baseline.txt" "just-one-field\n")
+execute_process(COMMAND "${LINT}" --baseline "${WORKDIR}/bad_baseline.txt"
+                        "${TESTDATA}/clean.cc"
+                RESULT_VARIABLE r OUTPUT_QUIET ERROR_QUIET)
+expect_exit(2 "${r}" "malformed baseline")
+
+# Baseline round-trip: --write-baseline on the violations fixture, then a
+# rescan against it must be clean (exit 0).
+execute_process(COMMAND "${LINT}" "${TESTDATA}/violations.cc"
+                        --write-baseline "${WORKDIR}/roundtrip_baseline.txt"
+                RESULT_VARIABLE r OUTPUT_QUIET ERROR_QUIET)
+expect_exit(1 "${r}" "write-baseline scan")
+execute_process(COMMAND "${LINT}" --baseline "${WORKDIR}/roundtrip_baseline.txt"
+                        "${TESTDATA}/violations.cc"
+                RESULT_VARIABLE r OUTPUT_QUIET ERROR_QUIET)
+expect_exit(0 "${r}" "baseline round-trip")
+
+# SARIF smoke: findings still exit 1, and the log must be valid enough to
+# carry the version marker and at least one result.
+execute_process(COMMAND "${LINT}" --sarif "${WORKDIR}/smoke.sarif"
+                        "${TESTDATA}/violations.cc"
+                RESULT_VARIABLE r OUTPUT_QUIET ERROR_QUIET)
+expect_exit(1 "${r}" "sarif scan")
+file(READ "${WORKDIR}/smoke.sarif" sarif)
+if(NOT sarif MATCHES "\"version\": \"2\\.1\\.0\"")
+  message(FATAL_ERROR "SARIF log missing version 2.1.0 marker")
+endif()
+if(NOT sarif MATCHES "\"ruleId\"")
+  message(FATAL_ERROR "SARIF log carries no results")
+endif()
+message(STATUS "sarif smoke: ok")

@@ -1,0 +1,694 @@
+#include "ir.hpp"
+
+#include <algorithm>
+
+namespace icsim_lint {
+
+namespace {
+
+const std::set<std::string> kSpecifiers = {
+    "static",   "constexpr", "const",    "inline",       "virtual",
+    "explicit", "friend",    "mutable",  "thread_local", "extern",
+    "register", "typename",  "volatile", "consteval",    "constinit"};
+
+const std::set<std::string> kNotCallable = {
+    "if",       "for",      "while",    "switch",   "return",  "sizeof",
+    "catch",    "new",      "delete",   "throw",    "alignof", "decltype",
+    "int",      "void",     "bool",     "char",     "double",  "float",
+    "long",     "short",    "unsigned", "signed",   "auto",    "co_await",
+    "co_yield", "co_return", "alignas",  "noexcept", "requires"};
+
+const std::set<std::string> kSyncTypes = {
+    "mutex",        "recursive_mutex", "shared_mutex", "timed_mutex",
+    "atomic",       "atomic_flag",     "once_flag",    "condition_variable",
+    "counting_semaphore", "binary_semaphore"};
+
+const std::set<std::string> kSchedulers = {"post_at", "post_in", "schedule_at",
+                                           "schedule_in"};
+
+bool is_ident(const Token& t) { return t.kind == TokKind::identifier; }
+
+struct Parser {
+  const std::vector<Token>& t;
+  TranslationUnit& tu;
+  std::size_t n;
+
+  struct Scope {
+    enum Kind { ns, cls, other } kind;
+    std::string name;
+  };
+  std::vector<Scope> scopes;
+
+  explicit Parser(TranslationUnit& unit) : t(unit.lex.tokens), tu(unit), n(unit.lex.tokens.size()) {}
+
+  [[nodiscard]] std::string text(std::size_t i) const { return i < n ? t[i].text : ""; }
+
+  [[nodiscard]] bool in_class() const {
+    return !scopes.empty() && scopes.back().kind == Scope::cls;
+  }
+
+  [[nodiscard]] std::string scope_name() const {
+    std::string out;
+    for (const auto& s : scopes) {
+      if (s.name.empty()) continue;
+      if (!out.empty()) out += "::";
+      out += s.name;
+    }
+    return out;
+  }
+
+  /// Skip a balanced token group starting at an opener at index i.
+  /// Returns the index just past the matching closer.
+  std::size_t skip_balanced(std::size_t i, const char* open, const char* close) const {
+    int depth = 0;
+    for (; i < n; ++i) {
+      if (t[i].text == open) ++depth;
+      else if (t[i].text == close) {
+        --depth;
+        if (depth == 0) return i + 1;
+      }
+    }
+    return n;
+  }
+
+  /// Skip to the `;` that terminates the construct starting at i, balancing
+  /// parens and braces (template angles never contain `;`).
+  std::size_t skip_to_semi(std::size_t i) const {
+    int paren = 0, brace = 0;
+    for (; i < n; ++i) {
+      const std::string& x = t[i].text;
+      if (x == "(") ++paren;
+      else if (x == ")") { if (paren > 0) --paren; }
+      else if (x == "{") ++brace;
+      else if (x == "}") {
+        if (brace == 0) return i;  // ran into enclosing scope close
+        --brace;
+      } else if (x == ";" && paren == 0 && brace == 0) {
+        return i + 1;
+      }
+    }
+    return n;
+  }
+
+  /// Heuristic template-angle tracking: `<` opens only after an identifier
+  /// or `::` or `>` (a template-name position), which is always true inside
+  /// declarations — the only context this parser reads.
+  static void track_angles(const std::vector<Token>& toks, std::size_t i, int& angle) {
+    const std::string& x = toks[i].text;
+    if (x == "<") {
+      if (i > 0 && (is_ident(toks[i - 1]) || toks[i - 1].text == "::" ||
+                    toks[i - 1].text == ">")) {
+        ++angle;
+      }
+    } else if (x == ">") {
+      if (angle > 0) --angle;
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // Parameter lists
+
+  /// Parse `( ... )` starting at the opening paren index. Returns index just
+  /// past the closing paren and fills `params`.
+  std::size_t parse_params(std::size_t i, std::vector<Param>& params) const {
+    std::size_t j = i + 1;
+    int paren = 1, angle = 0;
+    std::vector<Token> piece;
+    auto flush = [&]() {
+      if (piece.empty()) return;
+      Param p;
+      p.line = piece.front().line;
+      // Strip default argument.
+      std::size_t end = piece.size();
+      int a2 = 0;
+      for (std::size_t k = 0; k < piece.size(); ++k) {
+        if (piece[k].text == "<") ++a2;
+        else if (piece[k].text == ">" && a2 > 0) --a2;
+        else if (piece[k].text == "=" && a2 == 0) { end = k; break; }
+      }
+      std::vector<Token> body(piece.begin(), piece.begin() + static_cast<long>(end));
+      if (!body.empty() && is_ident(body.back()) &&
+          kSpecifiers.count(body.back().text) == 0 &&
+          kNotCallable.count(body.back().text) == 0 && body.size() >= 2) {
+        p.name = body.back().text;
+        p.line = body.back().line;
+        body.pop_back();
+      }
+      for (const auto& tok : body) {
+        if (kSpecifiers.count(tok.text) != 0 || tok.text == "struct" ||
+            tok.text == "class") {
+          continue;
+        }
+        p.type.push_back(tok.text);
+      }
+      if (!p.type.empty() || !p.name.empty()) params.push_back(p);
+      piece.clear();
+    };
+    for (; j < n; ++j) {
+      const std::string& x = t[j].text;
+      if (x == "(") ++paren;
+      else if (x == ")") {
+        --paren;
+        if (paren == 0) { flush(); return j + 1; }
+      }
+      track_angles(t, j, angle);
+      if (x == "," && paren == 1 && angle == 0) {
+        flush();
+        continue;
+      }
+      piece.push_back(t[j]);
+    }
+    flush();
+    return n;
+  }
+
+  // -------------------------------------------------------------------------
+  // Function bodies
+
+  void scan_body(FunctionDecl& fn, std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      if (!is_ident(t[k])) continue;
+      const std::string& x = t[k].text;
+      if (x == "lock_guard" || x == "scoped_lock" || x == "unique_lock") {
+        fn.body_has_lock = true;
+      }
+      if (x == "static" && k + 1 < end && text(k + 1) != "cast") {
+        k = parse_static_local(fn, k, end);
+        continue;
+      }
+      if (k + 1 < n && text(k + 1) == "(" && kNotCallable.count(x) == 0 &&
+          kSpecifiers.count(x) == 0) {
+        CallSite cs;
+        cs.callee = x;
+        cs.line = t[k].line;
+        cs.tok = k;
+        cs.member = k > 0 && (t[k - 1].text == "." || t[k - 1].text == "->");
+        cs.qualified = k > 0 && t[k - 1].text == "::";
+        fn.calls.push_back(cs);
+        if (kSchedulers.count(x) != 0) {
+          scan_scheduler_args(fn, k + 1, t[k].line);
+        }
+      }
+    }
+  }
+
+  /// `static` inside a body: record the declared variable. Returns the index
+  /// of the last token consumed.
+  std::size_t parse_static_local(const FunctionDecl& fn, std::size_t i,
+                                 std::size_t end) {
+    VarDecl v;
+    v.var_scope = VarScope::static_local;
+    v.is_static = true;
+    v.func = fn.name;
+    v.line = t[i].line;
+    std::size_t j = i + 1;
+    int angle = 0;
+    std::vector<Token> run;
+    for (; j < end; ++j) {
+      const std::string& x = t[j].text;
+      track_angles(t, j, angle);
+      if (angle == 0 && (x == "=" || x == ";" || x == "{" || x == "(")) break;
+      if (x == "const" || x == "constexpr") { v.is_const = true; continue; }
+      if (x == "thread_local") { v.is_thread_local = true; continue; }
+      if (kSpecifiers.count(x) != 0) continue;
+      run.push_back(t[j]);
+    }
+    if (run.empty()) return j;
+    if (is_ident(run.back())) {
+      v.name = run.back().text;
+      v.line = run.back().line;
+      run.pop_back();
+    }
+    for (const auto& tok : run) {
+      v.type.push_back(tok.text);
+      if (kSyncTypes.count(tok.text) != 0) v.is_sync_primitive = true;
+    }
+    if (!v.name.empty()) tu.vars.push_back(v);
+    // Leave the initializer to the flat scan (it may contain calls).
+    return j;
+  }
+
+  /// Inside the argument list of post_at/post_in/schedule_at/schedule_in,
+  /// record every lambda body as an event-handler range.
+  void scan_scheduler_args(const FunctionDecl& fn, std::size_t open_paren,
+                           int call_line) {
+    int paren = 0;
+    for (std::size_t j = open_paren; j < n; ++j) {
+      const std::string& x = t[j].text;
+      if (x == "(") { ++paren; continue; }
+      if (x == ")") {
+        --paren;
+        if (paren == 0) return;
+        continue;
+      }
+      if (x == "[" && paren >= 1) {
+        // Lambda intro vs subscript: a subscript follows a value (identifier,
+        // `)`, `]`, string, number); an intro follows `(`/`,`/operators.
+        const Token& prev = t[j - 1];
+        const bool subscript = is_ident(prev) || prev.kind == TokKind::number ||
+                               prev.kind == TokKind::string ||
+                               prev.text == ")" || prev.text == "]";
+        if (subscript) continue;
+        std::size_t k = skip_balanced(j, "[", "]");  // past capture list
+        if (k < n && text(k) == "(") k = skip_balanced(k, "(", ")");
+        while (k < n && text(k) != "{" && text(k) != ")" && text(k) != ",") ++k;
+        if (k >= n || text(k) != "{") continue;
+        const std::size_t body_end = skip_balanced(k, "{", "}");
+        tu.handlers.push_back({k + 1, body_end > 0 ? body_end - 1 : k + 1,
+                               call_line, fn.owner});
+        j = body_end > 0 ? body_end - 1 : k;
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // Declarations at namespace / class scope
+
+  /// Parse one declaration starting at i. Always advances.
+  std::size_t parse_decl(std::size_t i) {
+    bool has_nodiscard = false;
+    bool is_friend = false;
+    bool is_static = false, is_const = false, is_thread_local = false;
+    std::size_t j = i;
+
+    // Leading attributes and specifiers, in any order.
+    while (j < n) {
+      if (t[j].text == "[[") {
+        std::size_t a = j + 1;
+        while (a < n && t[a].text != "]]") {
+          if (t[a].text == "nodiscard") has_nodiscard = true;
+          ++a;
+        }
+        j = a < n ? a + 1 : n;
+        continue;
+      }
+      if (is_ident(t[j]) && kSpecifiers.count(t[j].text) != 0) {
+        if (t[j].text == "friend") is_friend = true;
+        if (t[j].text == "static") is_static = true;
+        if (t[j].text == "const" || t[j].text == "constexpr") is_const = true;
+        if (t[j].text == "thread_local") is_thread_local = true;
+        ++j;
+        continue;
+      }
+      break;
+    }
+    if (j >= n) return n;
+    if (is_friend && (text(j) == "class" || text(j) == "struct")) {
+      return skip_to_semi(j);
+    }
+
+    // Walk the declarator: collect type tokens until a function name,
+    // a `;` (variable / multi-declarator), or an initializer.
+    std::vector<Token> run;
+    int angle = 0;
+    for (; j < n; ++j) {
+      const std::string& x = t[j].text;
+      track_angles(t, j, angle);
+      if (angle > 0) { run.push_back(t[j]); continue; }
+
+      if (x == "operator") {
+        return parse_function(i, j, run, has_nodiscard, /*is_operator=*/true);
+      }
+      if (x == "~" && j + 2 < n && is_ident(t[j + 1]) && text(j + 2) == "(") {
+        return parse_function(i, j + 1, run, has_nodiscard, false);
+      }
+      if (is_ident(t[j]) && j + 1 < n && text(j + 1) == "(" &&
+          kNotCallable.count(x) == 0 && kSpecifiers.count(x) == 0) {
+        return parse_function(i, j, run, has_nodiscard, false);
+      }
+      if (x == ";") {
+        record_var(run, is_static, is_const, is_thread_local);
+        return j + 1;
+      }
+      if (x == ",") {  // multi-declarator: record under the last declarator
+        const std::size_t semi = skip_to_semi(j);
+        for (std::size_t b = semi >= 2 ? semi - 2 : 0; b > i; --b) {
+          if (is_ident(t[b])) { run.push_back(t[b]); break; }
+        }
+        record_var(run, is_static, is_const, is_thread_local);
+        return semi;
+      }
+      if (x == "=") {
+        const std::size_t semi = skip_to_semi(j);
+        record_var(run, is_static, is_const, is_thread_local);
+        return semi;
+      }
+      if (x == "{") {
+        // Brace-init variable (`ucontext_t ctx_{};`) when preceded by the
+        // declarator name; otherwise an unrecognized block — skip it.
+        const std::size_t after = skip_balanced(j, "{", "}");
+        if (!run.empty() && is_ident(run.back())) {
+          std::size_t semi = after;
+          if (semi < n && text(semi) == ";") ++semi;
+          record_var(run, is_static, is_const, is_thread_local);
+          return semi;
+        }
+        return after;
+      }
+      if (x == ":" && run.size() == 1 &&
+          (run[0].text == "public" || run[0].text == "private" ||
+           run[0].text == "protected")) {
+        return j + 1;  // access specifier
+      }
+      if (x == "}") return j;  // enclosing scope close: let the main loop see it
+      run.push_back(t[j]);
+    }
+    return n;
+  }
+
+  void record_var(std::vector<Token>& run, bool is_static, bool is_const,
+                  bool is_thread_local) {
+    // Arrays: `char buf[24]` — drop the subscript.
+    while (!run.empty() && !is_ident(run.back())) run.pop_back();
+    if (run.size() < 2 || !is_ident(run.back())) return;
+    VarDecl v;
+    v.name = run.back().text;
+    v.line = run.back().line;
+    v.var_scope = in_class() ? VarScope::class_member : VarScope::namespace_scope;
+    v.is_static = is_static;
+    v.is_const = is_const;
+    v.is_thread_local = is_thread_local;
+    run.pop_back();
+    for (const auto& tok : run) {
+      if (kSpecifiers.count(tok.text) != 0) continue;
+      v.type.push_back(tok.text);
+      if (kSyncTypes.count(tok.text) != 0) v.is_sync_primitive = true;
+    }
+    if (v.type.empty()) return;
+    if (v.type.size() == 1 &&
+        (v.type[0] == "using" || v.type[0] == "return")) {
+      return;
+    }
+    tu.vars.push_back(v);
+  }
+
+  /// Parse a function declaration/definition whose name token is at `name_i`
+  /// (for operators, `name_i` is the `operator` keyword). `run` holds the
+  /// tokens before the name: the return type plus any name qualification.
+  std::size_t parse_function(std::size_t decl_start, std::size_t name_i,
+                             std::vector<Token> run, bool has_nodiscard,
+                             bool is_operator) {
+    (void)decl_start;
+    FunctionDecl fn;
+    fn.has_nodiscard = has_nodiscard;
+    fn.is_operator = is_operator;
+    fn.scope = scope_name();
+    fn.line = t[name_i].line;
+
+    std::size_t j = name_i;
+    if (is_operator) {
+      fn.name = "operator";
+      ++j;
+      if (text(j) == "(" && text(j + 1) == ")") {  // operator()
+        fn.name += "()";
+        j += 2;
+      } else {
+        while (j < n && text(j) != "(") {
+          fn.name += text(j);
+          ++j;
+        }
+      }
+    } else {
+      fn.name = text(j);
+      if (t[name_i].text.empty()) return name_i + 1;
+      if (name_i > 0 && t[name_i - 1].text == "~") fn.name = "~" + fn.name;
+      fn.qualified_name = name_i > 0 && t[name_i - 1].text == "::";
+      ++j;
+    }
+    // Strip trailing `Class ::` qualification off the collected run so the
+    // remainder is just the return type; the innermost qualifier is the
+    // owning class of an out-of-line definition.
+    std::string qual;
+    while (run.size() >= 2 && run.back().text == "::") {
+      run.pop_back();
+      if (!run.empty() && is_ident(run.back())) {
+        if (qual.empty()) qual = run.back().text;
+        run.pop_back();
+      }
+    }
+    if (!qual.empty()) {
+      fn.owner = qual;
+    } else if (in_class()) {
+      fn.owner = scopes.back().name;
+    }
+    for (const auto& tok : run) {
+      if (kSpecifiers.count(tok.text) != 0) continue;
+      fn.return_type.push_back(tok.text);
+    }
+
+    if (j >= n || text(j) != "(") return name_i + 1;
+    j = parse_params(j, fn.params);
+
+    // Post-qualifiers and trailing return type.
+    while (j < n) {
+      const std::string& x = t[j].text;
+      if (x == "const" || x == "noexcept" || x == "override" || x == "final" ||
+          x == "mutable" || x == "&" || x == "&&") {
+        ++j;
+        if (x == "noexcept" && j < n && text(j) == "(") {
+          j = skip_balanced(j, "(", ")");
+        }
+        continue;
+      }
+      if (x == "->") {
+        fn.return_type.clear();
+        ++j;
+        while (j < n && text(j) != "{" && text(j) != ";") {
+          fn.return_type.push_back(text(j));
+          ++j;
+        }
+        continue;
+      }
+      break;
+    }
+
+    if (j < n && text(j) == "=") {  // = default / = delete / = 0
+      tu.functions.push_back(fn);
+      return skip_to_semi(j);
+    }
+    if (j < n && text(j) == ";") {
+      tu.functions.push_back(fn);
+      return j + 1;
+    }
+    if (j < n && text(j) == ":") {  // constructor initializer list
+      ++j;
+      while (j < n) {
+        const std::string& x = t[j].text;
+        if (x == "(") { j = skip_balanced(j, "(", ")"); continue; }
+        if (x == "{") {
+          if (j > 0 && is_ident(t[j - 1])) {  // member brace-init
+            j = skip_balanced(j, "{", "}");
+            continue;
+          }
+          break;  // the body
+        }
+        ++j;
+      }
+    }
+    if (j < n && text(j) == "{") {
+      const std::size_t body_end = skip_balanced(j, "{", "}");
+      fn.is_definition = true;
+      fn.body_begin = j + 1;
+      fn.body_end = body_end > 0 ? body_end - 1 : j + 1;
+      scan_body(fn, fn.body_begin, fn.body_end);
+      tu.functions.push_back(fn);
+      return body_end;
+    }
+    tu.functions.push_back(fn);
+    return j < n ? j + 1 : n;
+  }
+
+  // -------------------------------------------------------------------------
+  // Top-level walk
+
+  void run() {
+    std::size_t i = 0;
+    while (i < n) {
+      const std::string& x = t[i].text;
+      if (x == "}") {
+        if (!scopes.empty()) scopes.pop_back();
+        ++i;
+        continue;
+      }
+      if (x == ";") { ++i; continue; }
+      if (x == "namespace") {
+        std::size_t j = i + 1;
+        std::string name;
+        while (j < n && (is_ident(t[j]) || t[j].text == "::")) {
+          if (is_ident(t[j])) {
+            if (!name.empty()) name += "::";
+            name += t[j].text;
+          }
+          ++j;
+        }
+        if (j < n && t[j].text == "{") {
+          scopes.push_back({Scope::ns, name});
+          i = j + 1;
+        } else {
+          i = skip_to_semi(i);  // namespace alias
+        }
+        continue;
+      }
+      if (x == "template") {
+        std::size_t j = i + 1;
+        if (j < n && t[j].text == "<") {
+          int depth = 0;
+          for (; j < n; ++j) {
+            if (t[j].text == "<") ++depth;
+            else if (t[j].text == ">") {
+              --depth;
+              if (depth == 0) { ++j; break; }
+            }
+          }
+        }
+        i = j;
+        continue;
+      }
+      if (x == "using" || x == "typedef" || x == "static_assert") {
+        i = skip_to_semi(i);
+        continue;
+      }
+      if (x == "extern" && i + 1 < n && t[i + 1].kind == TokKind::string) {
+        if (i + 2 < n && text(i + 2) == "{") {
+          scopes.push_back({Scope::other, ""});
+          i += 3;
+        } else {
+          i = skip_to_semi(i);
+        }
+        continue;
+      }
+      if (x == "enum") {
+        i = skip_to_semi(i);
+        continue;
+      }
+      if ((x == "class" || x == "struct" || x == "union") &&
+          !(i > 0 && (t[i - 1].text == "friend"))) {
+        std::size_t j = i + 1;
+        while (j < n && t[j].text == "[[") {
+          while (j < n && t[j].text != "]]") ++j;
+          ++j;
+        }
+        std::string name;
+        while (j < n && (is_ident(t[j]) || t[j].text == "::")) {
+          if (is_ident(t[j]) && t[j].text != "final") name = t[j].text;
+          if (t[j].text == "final") { ++j; break; }
+          ++j;
+        }
+        if (j < n && t[j].text == ":") {  // base clause
+          int a = 0;
+          for (; j < n; ++j) {
+            track_angles(t, j, a);
+            if (a == 0 && t[j].text == "{") break;
+          }
+        }
+        if (j < n && t[j].text == "{") {
+          scopes.push_back({Scope::cls, name});
+          i = j + 1;
+          continue;
+        }
+        if (j < n && t[j].text == ";") { i = j + 1; continue; }
+        // Elaborated type in a variable declaration: fall through.
+        i = parse_decl(i);
+        continue;
+      }
+      i = parse_decl(i);
+    }
+  }
+};
+
+}  // namespace
+
+TranslationUnit parse_tu(std::string file, LexedFile lexed) {
+  TranslationUnit tu;
+  tu.file = std::move(file);
+  tu.lex = std::move(lexed);
+  Parser p(tu);
+  p.run();
+  return tu;
+}
+
+std::string fn_key(const FunctionDecl& fn) {
+  return fn.owner.empty() ? fn.name : fn.owner + "::" + fn.name;
+}
+
+namespace {
+
+/// Candidate node ids for a call site: same-class definition alone when a
+/// plain call has one, every same-named definition otherwise, the bare
+/// callee name when nothing in the project defines it.
+std::set<std::string> resolve_call(const Project& project,
+                                   const std::string& caller_owner,
+                                   const CallSite& call) {
+  const auto it = project.defs_by_name.find(call.callee);
+  if (it == project.defs_by_name.end()) return {call.callee};
+  if (!call.member && !call.qualified && !caller_owner.empty()) {
+    const std::string same = caller_owner + "::" + call.callee;
+    if (it->second.count(same) != 0) return {same};
+  }
+  return it->second;
+}
+
+}  // namespace
+
+void build_call_graph(Project& project) {
+  project.call_graph.clear();
+  project.defs_by_name.clear();
+  for (const auto& tu : project.tus) {
+    for (const auto& fn : tu.functions) {
+      if (!fn.is_definition) continue;
+      project.defs_by_name[fn.name].insert(fn_key(fn));
+    }
+  }
+  for (const auto& tu : project.tus) {
+    for (const auto& fn : tu.functions) {
+      if (!fn.is_definition) continue;
+      auto& callees = project.call_graph[fn_key(fn)];
+      for (const auto& c : fn.calls) {
+        const auto targets = resolve_call(project, fn.owner, c);
+        callees.insert(targets.begin(), targets.end());
+      }
+    }
+  }
+}
+
+bool call_blocks(const Project& project, const std::string& caller_owner,
+                 const CallSite& call) {
+  // Anything *named* like a blocking API blocks by fiat — member calls such
+  // as `trigger.wait()` have no resolvable definition site type.
+  if (project.blocking_seeds.count(call.callee) != 0) return true;
+  for (const auto& target : resolve_call(project, caller_owner, call)) {
+    if (project.blocking.count(target) != 0) return true;
+  }
+  return false;
+}
+
+void blocking_closure(Project& project, const std::set<std::string>& seeds) {
+  project.blocking_seeds = seeds;
+  std::set<std::string> blocking;
+  // Every definition whose unqualified name is a seed is a root (the sim's
+  // sleep_for / Trigger::wait / transport-level wait all genuinely block).
+  for (const auto& [name, keys] : project.defs_by_name) {
+    if (seeds.count(name) != 0) blocking.insert(keys.begin(), keys.end());
+  }
+  project.blocking = std::move(blocking);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& tu : project.tus) {
+      for (const auto& fn : tu.functions) {
+        if (!fn.is_definition) continue;
+        const std::string key = fn_key(fn);
+        if (project.blocking.count(key) != 0) continue;
+        for (const auto& c : fn.calls) {
+          if (call_blocks(project, fn.owner, c)) {
+            project.blocking.insert(key);
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace icsim_lint

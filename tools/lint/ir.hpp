@@ -1,0 +1,132 @@
+#pragma once
+// icsim_lint IR — a lightweight declaration/scope model built on top of the
+// token stream.
+//
+// One pass walks each translation unit at namespace/class scope and records
+//   * function declarations and definitions (name, scope, return type,
+//     parameters, [[nodiscard]], body token range),
+//   * variables at namespace scope, static class members, and
+//     function-local statics (with const / constexpr / thread_local and
+//     sync-primitive classification),
+//   * per-function call sites (identifier followed by `(`), and
+//   * "event-handler ranges": the bodies of lambdas passed to
+//     Engine::post_at / post_in / schedule_at / schedule_in — code that runs
+//     on the engine's event loop, never on a fiber.
+//
+// A project-wide call graph is then assembled by name matching with one
+// refinement: a *plain* call (no `.`/`->`/`::` before the name) inside class
+// C resolves to C::name when such a definition exists — otherwise every
+// same-named definition is a candidate. Precise overload resolution is out
+// of scope for a heuristic linter; the same-class preference is what stops
+// an application-level `forward()` that blocks on MPI from tainting
+// `Fabric::forward()` through a shared name. Calls to a name matching a
+// blocking seed (sleep_for / wait / ...) are always treated as blocking.
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace icsim_lint {
+
+struct Param {
+  std::vector<std::string> type;  // type tokens, qualifiers stripped
+  std::string name;               // empty for unnamed parameters
+  int line = 0;
+};
+
+struct CallSite {
+  std::string callee;  // unqualified name
+  int line = 0;
+  std::size_t tok = 0;     // index of the callee identifier token
+  bool member = false;     // preceded by `.` or `->`
+  bool qualified = false;  // preceded by `::`
+};
+
+struct FunctionDecl {
+  std::string name;                      // unqualified ("operator+" for operators)
+  std::string scope;                     // "icsim::sim::Engine" style join
+  std::string owner;                     // owning class ("" for free functions)
+  std::vector<std::string> return_type;  // tokens; empty for ctors/dtors
+  std::vector<Param> params;
+  bool has_nodiscard = false;
+  bool is_definition = false;
+  bool is_operator = false;
+  bool qualified_name = false;  // out-of-line `Foo::bar` definition
+  int line = 0;
+  std::size_t body_begin = 0;  // token range of `{...}` body (definitions)
+  std::size_t body_end = 0;
+  std::vector<CallSite> calls;  // definitions only
+  bool body_has_lock = false;   // lock_guard / scoped_lock / unique_lock seen
+};
+
+enum class VarScope { namespace_scope, class_member, static_local };
+
+struct VarDecl {
+  std::string name;
+  std::vector<std::string> type;
+  VarScope var_scope = VarScope::namespace_scope;
+  bool is_static = false;
+  bool is_const = false;      // const or constexpr
+  bool is_thread_local = false;
+  bool is_sync_primitive = false;  // mutex / atomic / once_flag / condition_variable
+  std::string func;  // enclosing function (static locals)
+  int line = 0;
+};
+
+/// Token range of a lambda body passed to a scheduling API.
+struct HandlerRange {
+  std::size_t begin = 0;  // first token inside `{`
+  std::size_t end = 0;    // index of the closing `}`
+  int line = 0;           // line of the scheduling call
+  std::string owner;      // owning class of the enclosing function
+};
+
+struct TranslationUnit {
+  std::string file;
+  LexedFile lex;
+  std::vector<FunctionDecl> functions;
+  std::vector<VarDecl> vars;
+  std::vector<HandlerRange> handlers;
+};
+
+struct Project {
+  std::vector<TranslationUnit> tus;
+  /// Graph node id ("Owner::name", or bare "name" for free functions) ->
+  /// resolved callee node ids. Undefined callees appear by bare name.
+  std::map<std::string, std::set<std::string>> call_graph;
+  /// unqualified name -> node ids of its definitions.
+  std::map<std::string, std::set<std::string>> defs_by_name;
+  /// Node ids from which a fiber-blocking API is reachable (see
+  /// blocking_closure).
+  std::set<std::string> blocking;
+  /// The seed API names (any call to one of these is blocking by fiat).
+  std::set<std::string> blocking_seeds;
+};
+
+/// Call-graph node id for a definition: "Owner::name" or bare "name".
+[[nodiscard]] std::string fn_key(const FunctionDecl& fn);
+
+/// True when `call`, made from inside class `caller_owner` ("" for a free
+/// function), can reach a fiber-blocking API: the callee name is itself a
+/// blocking seed, or the call resolves (same-class preferred for plain
+/// calls) to a definition in Project::blocking.
+[[nodiscard]] bool call_blocks(const Project& project,
+                               const std::string& caller_owner,
+                               const CallSite& call);
+
+/// Parse one lexed file into declarations. Never throws: unparseable
+/// constructs are skipped (heuristic analysis degrades, it does not abort).
+TranslationUnit parse_tu(std::string file, LexedFile lexed);
+
+/// Build Project::call_graph from every parsed TU.
+void build_call_graph(Project& project);
+
+/// Compute Project::blocking: the fixpoint of `calls something blocking`
+/// seeded with `seeds` (e.g. sleep_for / sleep_until / yield / wait).
+void blocking_closure(Project& project, const std::set<std::string>& seeds);
+
+}  // namespace icsim_lint

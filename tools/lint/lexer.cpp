@@ -1,0 +1,160 @@
+#include "lexer.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace icsim_lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool ident_char(char c) { return ident_start(c) || (c >= '0' && c <= '9'); }
+
+/// Record `// icsim-lint: allow(rule1, rule2)` comments.
+void scan_comment(const std::string& text, int line, LexedFile& out) {
+  const std::string marker = "icsim-lint:";
+  auto pos = text.find(marker);
+  if (pos == std::string::npos) return;
+  pos = text.find("allow", pos);
+  if (pos == std::string::npos) return;
+  const auto open = text.find('(', pos);
+  const auto close = text.find(')', open == std::string::npos ? pos : open);
+  if (open == std::string::npos || close == std::string::npos) return;
+  std::string inner = text.substr(open + 1, close - open - 1);
+  std::string rule;
+  std::istringstream ss(inner);
+  while (std::getline(ss, rule, ',')) {
+    rule.erase(std::remove_if(rule.begin(), rule.end(),
+                              [](char c) { return c == ' ' || c == '\t'; }),
+               rule.end());
+    if (!rule.empty()) out.suppressions.push_back({line, rule});
+  }
+}
+
+}  // namespace
+
+LexedFile lex(const std::string& src) {
+  LexedFile out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  bool at_line_start = true;
+
+  auto peek = [&](std::size_t k) -> char { return i + k < n ? src[i + k] : '\0'; };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    if (at_line_start && c == '#') {  // preprocessor line (with continuations)
+      while (i < n && src[i] != '\n') {
+        if (src[i] == '\\' && peek(1) == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    if (c == '/' && peek(1) == '/') {
+      const std::size_t start = i;
+      while (i < n && src[i] != '\n') ++i;
+      scan_comment(src.substr(start, i - start), line, out);
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      const int start_line = line;
+      const std::size_t start = i;
+      i += 2;
+      while (i < n && !(src[i] == '*' && peek(1) == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = i < n ? i + 2 : n;
+      scan_comment(src.substr(start, i - start), start_line, out);
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      if (c == '"' && i > 0 && src[i - 1] == 'R') {  // raw string R"delim(...)delim"
+        const auto open = src.find('(', i);
+        if (open != std::string::npos) {
+          std::string delim = ")";
+          delim.append(src, i + 1, open - i - 1);
+          delim += '"';
+          const auto close = src.find(delim, open);
+          const std::size_t end = close == std::string::npos ? n : close + delim.size();
+          line += static_cast<int>(std::count(src.begin() + static_cast<long>(i),
+                                              src.begin() + static_cast<long>(end), '\n'));
+          i = end;
+          out.tokens.push_back({TokKind::string, "\"\"", line});
+          continue;
+        }
+      }
+      const char quote = c;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\') ++i;
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) ++i;
+      out.tokens.push_back({TokKind::string, quote == '"' ? "\"\"" : "''", line});
+      continue;
+    }
+    if (ident_start(c)) {
+      const std::size_t start = i;
+      while (i < n && ident_char(src[i])) ++i;
+      out.tokens.push_back({TokKind::identifier, src.substr(start, i - start), line});
+      continue;
+    }
+    if (c >= '0' && c <= '9') {
+      const std::size_t start = i;
+      while (i < n && (ident_char(src[i]) || src[i] == '.' ||
+                       ((src[i] == '+' || src[i] == '-') && i > start &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                         src[i - 1] == 'p' || src[i - 1] == 'P')))) {
+        ++i;
+      }
+      out.tokens.push_back({TokKind::number, src.substr(start, i - start), line});
+      continue;
+    }
+    // Punctuation; `::` is one token so qualified names are easy to walk.
+    if (c == ':' && peek(1) == ':') {
+      out.tokens.push_back({TokKind::punct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && peek(1) == '>') {
+      out.tokens.push_back({TokKind::punct, "->", line});
+      i += 2;
+      continue;
+    }
+    if (c == '[' && peek(1) == '[') {
+      out.tokens.push_back({TokKind::punct, "[[", line});
+      i += 2;
+      continue;
+    }
+    if (c == ']' && peek(1) == ']') {
+      out.tokens.push_back({TokKind::punct, "]]", line});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back({TokKind::punct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace icsim_lint

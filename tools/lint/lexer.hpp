@@ -1,0 +1,38 @@
+#pragma once
+// icsim_lint lexer — turns a C++ source file into the token stream the
+// analyzer passes operate on.
+//
+// Comments feed the suppression table (`// icsim-lint: allow(<rule>)`);
+// string and char literals become opaque `string` tokens; preprocessor
+// lines are skipped wholesale (includes and macros are not rule targets).
+// Deliberately libclang-free: a lightweight lexer plus the declaration
+// parser in ir.hpp is enough for the model-safety rules and keeps the tool
+// a dependency-free binary that builds everywhere the simulator builds.
+
+#include <string>
+#include <vector>
+
+namespace icsim_lint {
+
+enum class TokKind { identifier, number, string, punct };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+struct Suppression {
+  int line;
+  std::string rule;  // "*" allows every rule
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+};
+
+/// Lex one source file.
+LexedFile lex(const std::string& src);
+
+}  // namespace icsim_lint

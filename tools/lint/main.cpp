@@ -1,0 +1,315 @@
+// icsim_lint — model-safety static analyzer for the icsim discrete-event
+// simulator.
+//
+// The repository's reproduction claims (PAPER.md Figs. 1-8) rest on runs
+// being a pure function of (scenario, seed). This tool builds a lightweight
+// per-TU symbol table and a project-wide call graph over the sources and
+// enforces the coding rules that keep the DES deterministic — see
+// rules_legacy.cpp (PR 3 token rules) and rules_model.cpp (host-state-leak,
+// parallel-purity, unit-discipline, blocking-context).
+//
+// Diagnostics print as `file:line: rule: message`. A finding is suppressed
+// by a comment on the same or the preceding line:
+//
+//   // icsim-lint: allow(<rule>)      (or allow(*) for any rule)
+//
+// or accepted with a written justification in a baseline file
+// (tools/lint/baseline.txt; see --baseline / --write-baseline).
+//
+// Exit codes (CI distinguishes analyzer breakage from real findings):
+//   0  clean (every finding suppressed or baselined)
+//   1  unbaselined findings
+//   2  usage / IO / parse error (missing input, unreadable file or baseline)
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "ir.hpp"
+#include "output.hpp"
+#include "rules.hpp"
+
+namespace fs = std::filesystem;
+
+namespace icsim_lint {
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> catalog = {
+      {"wall-clock",
+       "No wall-clock/entropy reads outside sim/rng; randomness flows from a "
+       "seeded sim::Rng"},
+      {"unordered-iteration",
+       "No order-dependent traversal of unordered containers"},
+      {"raw-time-param",
+       "No raw double/float duration or rate parameters in sim-facing APIs"},
+      {"nodiscard-time",
+       "Declarations returning sim::Time / sim::Bandwidth must be "
+       "[[nodiscard]]"},
+      {"host-state-leak",
+       "Host pointer values (keys, hashes, integer casts, folded addresses) "
+       "must not influence model behavior"},
+      {"parallel-purity",
+       "Mutable namespace-scope/static state must be const, thread_local, or "
+       "mutex-guarded"},
+      {"unit-discipline",
+       "No integer-smuggled durations/rates in signatures; no sim::Time "
+       "round-trips through double"},
+      {"blocking-context",
+       "Fiber-blocking APIs must be unreachable from engine event-handler "
+       "lambdas"},
+  };
+  return catalog;
+}
+
+bool suppressed(const LexedFile& lf, int line, const std::string& rule) {
+  for (const auto& s : lf.suppressions) {
+    if ((s.line == line || s.line == line - 1) &&
+        (s.rule == "*" || s.rule == rule)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void report(std::vector<Diagnostic>& diags, const TranslationUnit& tu, int line,
+            const std::string& rule, const std::string& symbol,
+            const std::string& message) {
+  if (suppressed(tu.lex, line, rule)) return;
+  diags.push_back({tu.file, line, rule, symbol, message, false});
+}
+
+namespace {
+
+bool slurp(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+bool source_file(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+struct Options {
+  std::vector<std::string> paths;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string sarif_path;
+  std::string root;
+  bool explain_blocking = false;
+};
+
+int usage(std::ostream& os, int code) {
+  os << "usage: icsim_lint [options] <file-or-dir>...\n"
+        "Model-safety static analysis for DES determinism violations.\n"
+        "  --baseline FILE        accept findings listed in FILE\n"
+        "  --write-baseline FILE  write unbaselined findings as new entries\n"
+        "  --sarif FILE           also emit SARIF 2.1.0 (for code scanning)\n"
+        "  --root DIR             repo root for relative SARIF paths\n"
+        "  --list-rules           print the rule catalog and exit\n"
+        "Suppress inline with: // icsim-lint: allow(<rule>)\n"
+        "Exit codes: 0 clean, 1 findings, 2 usage/IO/parse error.\n";
+  return code;
+}
+
+}  // namespace
+
+int run(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "icsim_lint: " << flag << " needs an argument\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--list-rules") {
+      for (const auto& r : rule_catalog()) std::cout << r.id << "\n";
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
+    if (arg == "--baseline") {
+      const char* v = value("--baseline");
+      if (v == nullptr) return 2;
+      opt.baseline_path = v;
+      continue;
+    }
+    if (arg == "--write-baseline") {
+      const char* v = value("--write-baseline");
+      if (v == nullptr) return 2;
+      opt.write_baseline_path = v;
+      continue;
+    }
+    if (arg == "--sarif") {
+      const char* v = value("--sarif");
+      if (v == nullptr) return 2;
+      opt.sarif_path = v;
+      continue;
+    }
+    if (arg == "--explain-blocking") {
+      opt.explain_blocking = true;
+      continue;
+    }
+    if (arg == "--root") {
+      const char* v = value("--root");
+      if (v == nullptr) return 2;
+      opt.root = v;
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "icsim_lint: unknown option " << arg << "\n";
+      return usage(std::cerr, 2);
+    }
+    opt.paths.push_back(arg);
+  }
+  if (opt.paths.empty()) {
+    std::cerr << "icsim_lint: no inputs (try --help)\n";
+    return 2;
+  }
+
+  // ---- collect and parse ------------------------------------------------
+  bool io_error = false;
+  std::vector<fs::path> files;
+  for (const auto& p : opt.paths) {
+    const fs::path path(p);
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(path)) {
+        if (entry.is_regular_file() && source_file(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (fs::exists(path, ec)) {
+      files.push_back(path);
+    } else {
+      std::cerr << "icsim_lint: no such file or directory: " << p << "\n";
+      io_error = true;
+    }
+  }
+  std::sort(files.begin(), files.end());  // stable diagnostic order
+
+  Project project;
+  for (const auto& f : files) {
+    std::string src;
+    if (!slurp(f, src)) {
+      std::cerr << "icsim_lint: cannot read " << f.string() << "\n";
+      io_error = true;
+      continue;
+    }
+    project.tus.push_back(parse_tu(f.generic_string(), lex(src)));
+  }
+  build_call_graph(project);
+  blocking_closure(project, {"sleep_for", "sleep_until", "yield", "wait"});
+  if (opt.explain_blocking) {
+    for (const auto& name : project.blocking) {
+      std::cout << "blocking: " << name;
+      auto it = project.call_graph.find(name);
+      if (it != project.call_graph.end()) {
+        for (const auto& c : it->second) {
+          if (project.blocking.count(c) != 0) std::cout << " <- " << c;
+        }
+      }
+      std::cout << "\n";
+    }
+    return 0;
+  }
+
+  // ---- run the rule packs ----------------------------------------------
+  std::vector<Diagnostic> diags;
+  for (const auto& tu : project.tus) {
+    // A .cpp's unordered members usually live in its header: merge the
+    // sibling header's declarations so traversals in the implementation
+    // file are still caught.
+    std::set<std::string> header_vars;
+    const fs::path path(tu.file);
+    const std::string ext = path.extension().string();
+    if (ext == ".cpp" || ext == ".cc") {
+      for (const char* hext : {".hpp", ".h"}) {
+        fs::path header = path;
+        header.replace_extension(hext);
+        std::string hsrc;
+        if (slurp(header, hsrc)) {
+          const auto vars = unordered_vars(lex(hsrc));
+          header_vars.insert(vars.begin(), vars.end());
+        }
+      }
+    }
+    run_legacy_rules(tu, header_vars, diags);
+    run_model_rules(tu, project, diags);
+  }
+  std::sort(diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.symbol < b.symbol;
+  });
+
+  // ---- baseline ---------------------------------------------------------
+  Baseline baseline;
+  if (!opt.baseline_path.empty()) {
+    std::string error;
+    if (!load_baseline(opt.baseline_path, baseline, error)) {
+      std::cerr << "icsim_lint: " << error << "\n";
+      return 2;
+    }
+    apply_baseline(baseline, diags);
+    for (const auto* e : stale_entries(baseline)) {
+      std::cerr << "icsim_lint: stale baseline entry (no longer matches): "
+                << e->rule << "|" << e->file << "|" << e->symbol << "\n";
+    }
+  }
+  if (!opt.write_baseline_path.empty() &&
+      !write_baseline(opt.write_baseline_path, diags)) {
+    std::cerr << "icsim_lint: cannot write baseline "
+              << opt.write_baseline_path << "\n";
+    io_error = true;
+  }
+
+  // ---- output -----------------------------------------------------------
+  std::size_t open = 0, accepted = 0;
+  for (const auto& d : diags) {
+    if (d.baselined) {
+      ++accepted;
+      continue;
+    }
+    ++open;
+    std::cout << d.file << ":" << d.line << ": " << d.rule << ": " << d.message
+              << " [" << d.symbol << "]\n";
+  }
+
+  if (!opt.sarif_path.empty()) {
+    std::string root = opt.root;
+    if (root.empty()) {
+      std::error_code ec;
+      root = fs::current_path(ec).generic_string();
+    }
+    if (!write_sarif(opt.sarif_path, diags, root)) {
+      std::cerr << "icsim_lint: cannot write SARIF " << opt.sarif_path << "\n";
+      io_error = true;
+    } else {
+      std::cerr << "icsim_lint: sarif: wrote " << diags.size() << " result"
+                << (diags.size() == 1 ? "" : "s") << " to " << opt.sarif_path
+                << "\n";
+    }
+  }
+
+  if (open != 0 || accepted != 0) {
+    std::cout << "icsim_lint: " << open << " finding" << (open == 1 ? "" : "s")
+              << " (" << accepted << " baselined) in " << project.tus.size()
+              << " file" << (project.tus.size() == 1 ? "" : "s") << "\n";
+  }
+  if (io_error) return 2;
+  return open != 0 ? 1 : 0;
+}
+
+}  // namespace icsim_lint
+
+int main(int argc, char** argv) { return icsim_lint::run(argc, argv); }

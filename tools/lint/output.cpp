@@ -1,0 +1,195 @@
+#include "output.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace icsim_lint {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t a = 0, b = s.size();
+  while (a < b && (s[a] == ' ' || s[a] == '\t')) ++a;
+  while (b > a && (s[b - 1] == ' ' || s[b - 1] == '\t' || s[b - 1] == '\r')) --b;
+  return s.substr(a, b - a);
+}
+
+/// `file` matches when the diagnostic path ends with the entry path at a
+/// component boundary (entries are repo-relative, diagnostics may be
+/// absolute).
+bool path_matches(const std::string& diag_path, const std::string& entry_path) {
+  if (diag_path == entry_path) return true;
+  if (diag_path.size() <= entry_path.size()) return false;
+  if (diag_path.compare(diag_path.size() - entry_path.size(),
+                        entry_path.size(), entry_path) != 0) {
+    return false;
+  }
+  const char before = diag_path[diag_path.size() - entry_path.size() - 1];
+  return before == '/';
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string relative_to(const std::string& path, const std::string& root) {
+  if (!root.empty() && path.size() > root.size() &&
+      path.compare(0, root.size(), root) == 0 && path[root.size()] == '/') {
+    return path.substr(root.size() + 1);
+  }
+  // Fall back to the repo-conventional suffix so SARIF paths stay stable.
+  const auto pos = path.rfind("/src/");
+  if (pos != std::string::npos) return path.substr(pos + 1);
+  return path;
+}
+
+}  // namespace
+
+bool load_baseline(const std::string& path, Baseline& out, std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot read baseline file: " + path;
+    return false;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string body = trim(line);
+    if (body.empty() || body[0] == '#') continue;
+    BaselineEntry e;
+    std::istringstream ss(body);
+    std::string field;
+    std::vector<std::string> fields;
+    while (std::getline(ss, field, '|')) fields.push_back(trim(field));
+    if (fields.size() < 4 || fields[0].empty() || fields[1].empty() ||
+        fields[2].empty() || fields[3].empty()) {
+      error = path + ":" + std::to_string(lineno) +
+              ": malformed baseline entry (want rule|path|symbol|justification)";
+      return false;
+    }
+    e.rule = fields[0];
+    e.file = fields[1];
+    e.symbol = fields[2];
+    e.justification = fields[3];
+    out.entries.push_back(e);
+  }
+  return true;
+}
+
+void apply_baseline(const Baseline& baseline, std::vector<Diagnostic>& diags) {
+  for (auto& d : diags) {
+    for (const auto& e : baseline.entries) {
+      if (e.rule == d.rule && e.symbol == d.symbol &&
+          path_matches(d.file, e.file)) {
+        d.baselined = true;
+        e.used = true;
+        break;
+      }
+    }
+  }
+}
+
+std::vector<const BaselineEntry*> stale_entries(const Baseline& baseline) {
+  std::vector<const BaselineEntry*> out;
+  for (const auto& e : baseline.entries) {
+    if (!e.used) out.push_back(&e);
+  }
+  return out;
+}
+
+bool write_baseline(const std::string& path,
+                    const std::vector<Diagnostic>& diags) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# icsim_lint baseline — accepted findings with written justification.\n"
+         "# Format: rule|path|symbol|justification  (matching ignores line "
+         "numbers)\n";
+  for (const auto& d : diags) {
+    if (d.baselined) continue;
+    const auto pos = d.file.rfind("/src/");
+    const std::string file =
+        pos != std::string::npos ? d.file.substr(pos + 1) : d.file;
+    out << d.rule << "|" << file << "|" << d.symbol
+        << "|TODO: justify or fix\n";
+  }
+  return static_cast<bool>(out);
+}
+
+bool write_sarif(const std::string& path, const std::vector<Diagnostic>& diags,
+                 const std::string& root) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n"
+         "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+         "  \"version\": \"2.1.0\",\n"
+         "  \"runs\": [\n"
+         "    {\n"
+         "      \"tool\": {\n"
+         "        \"driver\": {\n"
+         "          \"name\": \"icsim_lint\",\n"
+         "          \"version\": \"2.0.0\",\n"
+         "          \"informationUri\": "
+         "\"https://example.invalid/icsim/tools/lint\",\n"
+         "          \"rules\": [\n";
+  const auto& catalog = rule_catalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    out << "            {\"id\": \"" << catalog[i].id
+        << "\", \"shortDescription\": {\"text\": \""
+        << json_escape(catalog[i].summary) << "\"}}"
+        << (i + 1 < catalog.size() ? ",\n" : "\n");
+  }
+  out << "          ]\n"
+         "        }\n"
+         "      },\n"
+         "      \"results\": [\n";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const auto& d = diags[i];
+    out << "        {\n"
+        << "          \"ruleId\": \"" << json_escape(d.rule) << "\",\n"
+        << "          \"level\": \"" << (d.baselined ? "note" : "error")
+        << "\",\n"
+        << "          \"message\": {\"text\": \"" << json_escape(d.message)
+        << "\"},\n";
+    if (d.baselined) {
+      out << "          \"suppressions\": [{\"kind\": \"external\", "
+             "\"justification\": \"baselined in tools/lint/baseline.txt\"}],\n";
+    }
+    out << "          \"locations\": [\n"
+           "            {\n"
+           "              \"physicalLocation\": {\n"
+           "                \"artifactLocation\": {\"uri\": \""
+        << json_escape(relative_to(d.file, root)) << "\"},\n"
+        << "                \"region\": {\"startLine\": " << d.line << "}\n"
+        << "              }\n"
+           "            }\n"
+           "          ]\n"
+           "        }"
+        << (i + 1 < diags.size() ? ",\n" : "\n");
+  }
+  out << "      ]\n"
+         "    }\n"
+         "  ]\n"
+         "}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace icsim_lint

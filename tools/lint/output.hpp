@@ -1,0 +1,49 @@
+#pragma once
+// icsim_lint output backends: baseline matching, text, and SARIF 2.1.0.
+
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace icsim_lint {
+
+/// One accepted finding. Matching is (rule, path-suffix, symbol) — no line
+/// numbers, so unrelated edits do not invalidate the baseline. The
+/// justification is mandatory in the checked-in file: a baseline without a
+/// written reason is a bug that has been promoted to policy.
+struct BaselineEntry {
+  std::string rule;
+  std::string file;  // path suffix, e.g. "src/sim/fiber.cpp"
+  std::string symbol;
+  std::string justification;
+  mutable bool used = false;
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+};
+
+/// Parse `rule|path|symbol|justification` lines (# comments, blank lines
+/// ignored). Returns false on IO failure or a malformed line (parse error —
+/// exit code 2 territory).
+bool load_baseline(const std::string& path, Baseline& out, std::string& error);
+
+/// Mark diagnostics that match a baseline entry (sets Diagnostic::baselined
+/// and BaselineEntry::used).
+void apply_baseline(const Baseline& baseline, std::vector<Diagnostic>& diags);
+
+/// Entries that matched nothing this run — stale, should be pruned.
+std::vector<const BaselineEntry*> stale_entries(const Baseline& baseline);
+
+/// Write every unbaselined finding as a baseline line (justification TODO).
+bool write_baseline(const std::string& path,
+                    const std::vector<Diagnostic>& diags);
+
+/// Write a SARIF 2.1.0 log of all findings; baselined ones carry an
+/// external suppression so code-scanning shows them as suppressed rather
+/// than open. Paths are emitted relative to `root` when they live under it.
+bool write_sarif(const std::string& path, const std::vector<Diagnostic>& diags,
+                 const std::string& root);
+
+}  // namespace icsim_lint

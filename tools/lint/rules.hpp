@@ -1,0 +1,57 @@
+#pragma once
+// icsim_lint rule packs and diagnostics.
+//
+// Every diagnostic carries a `symbol` — a stable, line-number-free anchor
+// (the offending function, parameter, variable, or cast target) — so a
+// baseline entry keeps matching while unrelated edits move lines around.
+
+#include <string>
+#include <vector>
+
+#include "ir.hpp"
+
+namespace icsim_lint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string symbol;   // stable anchor for baseline matching
+  std::string message;
+  bool baselined = false;  // matched a baseline entry (reported, not fatal)
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// The full catalog, in reporting order (drives --list-rules and the SARIF
+/// rules array).
+const std::vector<RuleInfo>& rule_catalog();
+
+/// True if an `// icsim-lint: allow(<rule>)` comment on `line` or the line
+/// above it suppresses `rule`.
+bool suppressed(const LexedFile& lf, int line, const std::string& rule);
+
+/// Append a diagnostic unless suppressed in-source.
+void report(std::vector<Diagnostic>& diags, const TranslationUnit& tu, int line,
+            const std::string& rule, const std::string& symbol,
+            const std::string& message);
+
+/// Legacy determinism pack (PR 3 rules, reimplemented on the IR):
+/// wall-clock, unordered-iteration, raw-time-param, nodiscard-time.
+void run_legacy_rules(const TranslationUnit& tu,
+                      const std::set<std::string>& sibling_unordered_vars,
+                      std::vector<Diagnostic>& diags);
+
+/// Names of unordered-container variables declared in `lf` (token-level;
+/// used to merge a .cpp's sibling-header declarations).
+std::set<std::string> unordered_vars(const LexedFile& lf);
+
+/// Model-safety pack: host-state-leak, parallel-purity, unit-discipline
+/// (per-TU) and blocking-context (needs the project call graph).
+void run_model_rules(const TranslationUnit& tu, const Project& project,
+                     std::vector<Diagnostic>& diags);
+
+}  // namespace icsim_lint

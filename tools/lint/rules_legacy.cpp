@@ -1,0 +1,223 @@
+// The four PR 3 determinism rules, reimplemented on the analyzer IR.
+// Inline `// icsim-lint: allow(<rule>)` suppressions carry over unchanged.
+
+#include <set>
+
+#include "rules.hpp"
+
+namespace icsim_lint {
+
+namespace {
+
+bool path_contains(const std::string& path, const char* needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: wall-clock
+
+const std::set<std::string> kClockFunctions = {
+    "time",   "clock",        "rand",          "srand",        "random",
+    "gettimeofday", "clock_gettime", "timespec_get", "ftime", "localtime",
+    "gmtime",
+};
+const std::set<std::string> kClockTypes = {
+    "random_device", "system_clock", "high_resolution_clock", "steady_clock",
+};
+
+void rule_wall_clock(const TranslationUnit& tu, std::vector<Diagnostic>& diags) {
+  // sim/rng is the one sanctioned randomness boundary.
+  if (path_contains(tu.file, "sim/rng")) return;
+  const auto& t = tu.lex.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::identifier) continue;
+    const bool member_access =
+        i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->");
+    if (member_access) continue;  // obj.time() is a model method, not ::time
+    if (kClockTypes.count(t[i].text) != 0) {
+      report(diags, tu, t[i].line, "wall-clock", t[i].text,
+             "'" + t[i].text +
+                 "' is a nondeterministic entropy/clock source; derive all "
+                 "randomness from a seeded sim::Rng (sim/rng.hpp)");
+      continue;
+    }
+    if (kClockFunctions.count(t[i].text) != 0 && i + 1 < t.size() &&
+        t[i + 1].text == "(") {
+      report(diags, tu, t[i].line, "wall-clock", t[i].text,
+             "call to '" + t[i].text +
+                 "()' reads wall-clock/global-entropy state; simulated time "
+                 "is Engine::now() and randomness is sim::Rng");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unordered-iteration
+
+const std::set<std::string> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
+
+void rule_unordered_iteration(const TranslationUnit& tu,
+                              const std::set<std::string>& header_vars,
+                              std::vector<Diagnostic>& diags) {
+  const auto& t = tu.lex.tokens;
+  std::set<std::string> vars = unordered_vars(tu.lex);
+  vars.insert(header_vars.begin(), header_vars.end());
+  if (vars.empty()) return;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    // Range-for whose range expression names an unordered container.
+    if (t[i].text == "for" && t[i + 1].text == "(") {
+      int depth = 0;
+      std::size_t colon = 0;
+      for (std::size_t j = i + 1; j < t.size(); ++j) {
+        if (t[j].text == "(") ++depth;
+        if (t[j].text == ")") {
+          --depth;
+          if (depth == 0) break;
+        }
+        if (t[j].text == ":" && depth == 1) {
+          colon = j;
+          break;
+        }
+        if (t[j].text == ";" && depth == 1) break;  // classic for
+      }
+      if (colon != 0) {
+        int depth2 = 1;
+        for (std::size_t j = colon + 1; j < t.size() && depth2 > 0; ++j) {
+          if (t[j].text == "(") ++depth2;
+          if (t[j].text == ")") {
+            --depth2;
+            if (depth2 == 0) break;
+          }
+          if (t[j].kind == TokKind::identifier && vars.count(t[j].text) != 0) {
+            report(diags, tu, t[j].line, "unordered-iteration", t[j].text,
+                   "range-for over unordered container '" + t[j].text +
+                       "': hash iteration order is implementation-defined and "
+                       "makes event emission order nondeterministic; use "
+                       "std::map / sorted traversal");
+            break;
+          }
+        }
+      }
+    }
+    // Explicit iterator walk: var.begin() / var.cbegin() / var.rbegin().
+    if (t[i].kind == TokKind::identifier && vars.count(t[i].text) != 0 &&
+        (t[i + 1].text == "." || t[i + 1].text == "->") && i + 3 < t.size() &&
+        (t[i + 2].text == "begin" || t[i + 2].text == "cbegin" ||
+         t[i + 2].text == "rbegin") &&
+        t[i + 3].text == "(") {
+      report(diags, tu, t[i].line, "unordered-iteration", t[i].text,
+             "iterator traversal of unordered container '" + t[i].text +
+                 "' is order-nondeterministic; use std::map / sorted traversal");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: raw-time-param (now on parsed parameter lists)
+
+bool timeish_name(const std::string& name) {
+  static const std::set<std::string> exact = {
+      "time",     "seconds", "sec",      "secs",    "usec",  "usecs",
+      "nsec",     "msec",    "delay",    "latency", "timeout",
+      "duration", "interval", "period",  "elapsed", "bandwidth", "rate_bps",
+  };
+  if (exact.count(name) != 0) return true;
+  static const std::vector<std::string> suffixes = {
+      "_time", "_seconds", "_sec", "_secs", "_us", "_ns", "_ms",
+      "_latency", "_delay", "_timeout", "_duration", "_bandwidth", "_bps",
+  };
+  for (const auto& s : suffixes) {
+    if (name.size() > s.size() &&
+        name.compare(name.size() - s.size(), s.size(), s) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void rule_raw_time_param(const TranslationUnit& tu,
+                         std::vector<Diagnostic>& diags) {
+  // sim/time.hpp defines the unit-safe types; its factory parameters are
+  // the sanctioned double<->Time boundary.
+  if (path_contains(tu.file, "sim/time.")) return;
+  for (const auto& fn : tu.functions) {
+    for (const auto& p : fn.params) {
+      if (p.name.empty() || p.type.empty()) continue;
+      std::string base;
+      for (auto it = p.type.rbegin(); it != p.type.rend(); ++it) {
+        if (*it != "&" && *it != "*") { base = *it; break; }
+      }
+      if (base != "double" && base != "float") continue;
+      if (!timeish_name(p.name)) continue;
+      report(diags, tu, p.line, "raw-time-param", p.name,
+             "parameter '" + p.name + "' of " + fn.name + "() is a raw " +
+                 base +
+                 " duration/rate; sim-facing APIs must take sim::Time / "
+                 "sim::Bandwidth so units and rounding stay exact");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: nodiscard-time (now on parsed declarations)
+
+void rule_nodiscard_time(const TranslationUnit& tu,
+                         std::vector<Diagnostic>& diags) {
+  for (const auto& fn : tu.functions) {
+    if (fn.is_operator || fn.qualified_name || fn.has_nodiscard) continue;
+    if (fn.return_type.empty()) continue;
+    const std::string& last = fn.return_type.back();
+    if (last != "Time" && last != "Bandwidth") continue;
+    // References / pointers to Time are accessors, not computed costs.
+    bool indirect = false;
+    for (const auto& tok : fn.return_type) {
+      if (tok == "*" || tok == "&" || tok == "<") indirect = true;
+    }
+    if (indirect) continue;
+    report(diags, tu, fn.line, "nodiscard-time", fn.name,
+           "'" + fn.name + "' returns sim::" + last +
+               " but is not [[nodiscard]]; a dropped " + last +
+               " usually means an uncharged cost");
+  }
+}
+
+}  // namespace
+
+std::set<std::string> unordered_vars(const LexedFile& lf) {
+  const auto& t = lf.tokens;
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::identifier ||
+        kUnorderedTypes.count(t[i].text) == 0) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (j >= t.size() || t[j].text != "<") continue;
+    int depth = 0;
+    for (; j < t.size(); ++j) {
+      if (t[j].text == "<") ++depth;
+      if (t[j].text == ">") {
+        --depth;
+        if (depth == 0) break;
+      }
+    }
+    ++j;
+    while (j < t.size() && (t[j].text == "&" || t[j].text == "*")) ++j;
+    if (j < t.size() && t[j].kind == TokKind::identifier) {
+      names.insert(t[j].text);
+    }
+  }
+  return names;
+}
+
+void run_legacy_rules(const TranslationUnit& tu,
+                      const std::set<std::string>& sibling_unordered_vars,
+                      std::vector<Diagnostic>& diags) {
+  rule_wall_clock(tu, diags);
+  rule_unordered_iteration(tu, sibling_unordered_vars, diags);
+  rule_raw_time_param(tu, diags);
+  rule_nodiscard_time(tu, diags);
+}
+
+}  // namespace icsim_lint

@@ -1,0 +1,323 @@
+// Model-safety rule packs (PR 5).
+//
+// host-state-leak   — host pointer values (container keys, hashes, integer
+//                     casts, addresses folded into digests/seeds) must never
+//                     influence model behavior: ASLR and allocator layout
+//                     would leak into simulated time (the PR 4 reg-cache bug
+//                     class).
+// parallel-purity   — mutable namespace-scope / static state reachable from
+//                     scenario code must be const, thread_local, a sync
+//                     primitive, or mutex-guarded: the sweep driver runs
+//                     independent simulations on concurrent threads.
+// unit-discipline   — public signatures must not smuggle durations/rates as
+//                     raw integers, and sim::Time must not round-trip
+//                     through double (to_*() back into a Time factory).
+// blocking-context  — fiber-blocking APIs (sleep_for, Trigger::wait, ...)
+//                     must be unreachable from event-handler lambdas posted
+//                     to the engine queue, which run outside any fiber.
+
+#include <set>
+
+#include "rules.hpp"
+
+namespace icsim_lint {
+
+namespace {
+
+bool path_contains(const std::string& path, const char* needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+bool is_keyed_container(const std::string& name) {
+  static const std::set<std::string> kinds = {
+      "map",           "set",           "multimap",           "multiset",
+      "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
+  return kinds.count(name) != 0;
+}
+
+bool integral_name(const std::string& name) {
+  static const std::set<std::string> names = {
+      "uintptr_t", "intptr_t", "size_t",   "uint64_t", "int64_t",
+      "uint32_t",  "int32_t",  "ptrdiff_t", "long",     "int",
+      "unsigned",  "short"};
+  return names.count(name) != 0;
+}
+
+bool has_suffix(const std::string& name, const std::string& suffix) {
+  return name.size() > suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// host-state-leak
+
+void rule_host_state_leak(const TranslationUnit& tu,
+                          std::vector<Diagnostic>& diags) {
+  const auto& t = tu.lex.tokens;
+  const std::size_t n = t.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (t[i].kind != TokKind::identifier) continue;
+    const std::string& x = t[i].text;
+
+    // (a) Container keyed by a pointer: std::map<T*, ...> / std::set<T*>.
+    //     Iteration order (ordered) or hash placement (unordered) of host
+    //     addresses feeds model behavior — the PR 4 reg-cache bug family.
+    //     Fix: key on a deterministic logical id (ib::logical_buffer style).
+    if (is_keyed_container(x) && i + 1 < n && t[i + 1].text == "<") {
+      int depth = 0;
+      std::string key_head;
+      bool pointer_key = false;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (t[j].text == "<") { ++depth; continue; }
+        if (t[j].text == ">") {
+          --depth;
+          if (depth == 0) break;
+          continue;
+        }
+        if (depth == 1 && t[j].text == ",") break;  // end of key type
+        if (depth == 1) {
+          if (t[j].kind == TokKind::identifier && key_head.empty()) {
+            key_head = t[j].text;
+          }
+          if (t[j].text == "*") pointer_key = true;
+        }
+      }
+      if (pointer_key) {
+        report(diags, tu, t[i].line, "host-state-leak",
+               x + "<" + key_head + "*>",
+               "container '" + x + "<" + key_head +
+                   "*, ...>' is keyed by a host pointer; its ordering/"
+                   "placement depends on ASLR and the allocator, so any "
+                   "model behavior derived from it is nondeterministic — "
+                   "key on a stable logical id instead");
+        continue;
+      }
+    }
+
+    // (b) Pointer value converted to an integer.
+    if ((x == "reinterpret_cast" || x == "bit_cast") && i + 1 < n &&
+        t[i + 1].text == "<") {
+      int depth = 0;
+      std::string last_ident;
+      bool to_pointer = false;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (t[j].text == "<") { ++depth; continue; }
+        if (t[j].text == ">") {
+          --depth;
+          if (depth == 0) break;
+          continue;
+        }
+        if (t[j].kind == TokKind::identifier) last_ident = t[j].text;
+        if (t[j].text == "*") to_pointer = true;
+      }
+      if (!to_pointer && integral_name(last_ident)) {
+        report(diags, tu, t[i].line, "host-state-leak",
+               x + "<" + last_ident + ">",
+               x + " of a pointer to '" + last_ident +
+                   "' materializes a host address as a number; if it feeds "
+                   "sim::Time, an RNG seed, or a container key the run "
+                   "depends on ASLR");
+        continue;
+      }
+    }
+
+    // (c) std::hash over a pointer type.
+    if (x == "hash" && i + 1 < n && t[i + 1].text == "<") {
+      int depth = 0;
+      bool ptr = false;
+      std::string head;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (t[j].text == "<") { ++depth; continue; }
+        if (t[j].text == ">") {
+          --depth;
+          if (depth == 0) break;
+          continue;
+        }
+        if (t[j].kind == TokKind::identifier && head.empty()) head = t[j].text;
+        if (t[j].text == "*") ptr = true;
+      }
+      if (ptr) {
+        report(diags, tu, t[i].line, "host-state-leak", "hash<" + head + "*>",
+               "std::hash of a pointer hashes the host address itself; the "
+                   "result is ASLR-dependent and must not reach model state");
+      }
+    }
+
+    // (d) Address-of / this folded into a digest or RNG seed.
+    if ((x == "seed" || x == "fold" || x == "mix" || x == "hash_combine") &&
+        i + 1 < n && t[i + 1].text == "(") {
+      int depth = 0;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (t[j].text == "(") { ++depth; continue; }
+        if (t[j].text == ")") {
+          --depth;
+          if (depth == 0) break;
+          continue;
+        }
+        const bool arg_head =
+            t[j - 1].text == "(" || (t[j - 1].text == "," && depth == 1);
+        if (arg_head && (t[j].text == "this" ||
+                         (t[j].text == "&" && j + 1 < n &&
+                          t[j + 1].kind == TokKind::identifier))) {
+          report(diags, tu, t[j].line, "host-state-leak", x + "(&)",
+                 "'" + x +
+                     "' consumes an object address; folding host pointers "
+                     "into seeds/digests makes them ASLR-dependent");
+          break;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// parallel-purity
+
+void rule_parallel_purity(const TranslationUnit& tu,
+                          std::vector<Diagnostic>& diags) {
+  for (const auto& v : tu.vars) {
+    if (v.is_const || v.is_thread_local || v.is_sync_primitive) continue;
+    if (v.var_scope == VarScope::class_member && !v.is_static) continue;
+    if (v.var_scope == VarScope::static_local) {
+      // A static local in a function that takes a lock is treated as
+      // mutex-guarded (the cached-matrix pattern in apps/npb/makea.cpp).
+      bool guarded = false;
+      for (const auto& fn : tu.functions) {
+        if (fn.name == v.func && fn.body_has_lock) guarded = true;
+      }
+      if (guarded) continue;
+      report(diags, tu, v.line, "parallel-purity", v.name,
+             "function-local 'static " + v.name +
+                 "' is mutable shared state without a lock; the sweep driver "
+                 "runs scenarios on concurrent threads — make it const, "
+                 "thread_local, or mutex-guarded");
+      continue;
+    }
+    if (v.var_scope == VarScope::namespace_scope ||
+        (v.var_scope == VarScope::class_member && v.is_static)) {
+      report(diags, tu, v.line, "parallel-purity", v.name,
+             "namespace-scope/static '" + v.name +
+                 "' is mutable shared state; scenario code must be a pure "
+                 "function of (scenario, seed) — make it const, "
+                 "thread_local, or mutex-guarded");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unit-discipline
+
+bool time_suffixed(const std::string& name) {
+  for (const char* s : {"_ns", "_us", "_ms", "_ps", "_sec", "_secs"}) {
+    if (has_suffix(name, s)) return true;
+  }
+  return false;
+}
+bool bw_suffixed(const std::string& name) {
+  for (const char* s : {"_bw", "_bps", "_gbps", "_mbps"}) {
+    if (has_suffix(name, s)) return true;
+  }
+  return false;
+}
+
+void rule_unit_discipline(const TranslationUnit& tu,
+                          std::vector<Diagnostic>& diags) {
+  if (path_contains(tu.file, "sim/time.")) return;
+
+  // (a) Integer-typed parameters carrying a unit in their name. (double/
+  //     float time parameters are the legacy raw-time-param rule; this pack
+  //     extends the discipline to integer smuggling and fractional bytes.)
+  for (const auto& fn : tu.functions) {
+    for (const auto& p : fn.params) {
+      if (p.name.empty() || p.type.empty()) continue;
+      std::string base;
+      for (auto it = p.type.rbegin(); it != p.type.rend(); ++it) {
+        if (*it != "&" && *it != "*") { base = *it; break; }
+      }
+      const bool is_int = integral_name(base);
+      const bool is_fp = base == "double" || base == "float";
+      if (is_int && (time_suffixed(p.name) || bw_suffixed(p.name))) {
+        report(diags, tu, p.line, "unit-discipline", p.name,
+               "parameter '" + p.name + "' of " + fn.name +
+                   "() smuggles a duration/rate as raw " + base +
+                   "; public signatures must take sim::Time / sim::Bandwidth");
+      } else if (is_fp && has_suffix(p.name, "_bytes")) {
+        report(diags, tu, p.line, "unit-discipline", p.name,
+               "parameter '" + p.name + "' of " + fn.name +
+                   "() is a fractional byte count; sizes are integers and "
+                   "rates are sim::Bandwidth");
+      }
+    }
+  }
+
+  // (b) Time round-trips: Time::ns(x.to_ns() * k) re-enters Time through a
+  //     double, double-rounding the picosecond count. Scale Time directly.
+  const auto& t = tu.lex.tokens;
+  const std::size_t n = t.size();
+  static const std::set<std::string> factories = {"ns", "us", "ms", "sec"};
+  static const std::set<std::string> exporters = {"to_ns", "to_us", "to_ms",
+                                                  "to_seconds"};
+  for (std::size_t i = 0; i + 3 < n; ++i) {
+    if (t[i].text != "Time" || t[i + 1].text != "::") continue;
+    if (factories.count(t[i + 2].text) == 0 || t[i + 3].text != "(") continue;
+    int depth = 0;
+    for (std::size_t j = i + 3; j < n; ++j) {
+      if (t[j].text == "(") { ++depth; continue; }
+      if (t[j].text == ")") {
+        --depth;
+        if (depth == 0) break;
+        continue;
+      }
+      if (t[j].kind == TokKind::identifier && exporters.count(t[j].text) != 0 &&
+          (t[j - 1].text == "." || t[j - 1].text == "->")) {
+        report(diags, tu, t[j].line, "unit-discipline",
+               "Time::" + t[i + 2].text,
+               "sim::Time exported with " + t[j].text +
+                   "() re-enters Time::" + t[i + 2].text +
+                   "(): the double round-trip double-rounds picoseconds; "
+                   "scale the Time directly (operator*) or add Times");
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// blocking-context
+
+void rule_blocking_context(const TranslationUnit& tu, const Project& project,
+                           std::vector<Diagnostic>& diags) {
+  const auto& t = tu.lex.tokens;
+  for (const auto& h : tu.handlers) {
+    for (std::size_t j = h.begin; j < h.end && j + 1 < t.size(); ++j) {
+      if (t[j].kind != TokKind::identifier || t[j + 1].text != "(") continue;
+      const std::string& callee = t[j].text;
+      CallSite cs;
+      cs.callee = callee;
+      cs.line = t[j].line;
+      cs.tok = j;
+      cs.member = j > 0 && (t[j - 1].text == "." || t[j - 1].text == "->");
+      cs.qualified = j > 0 && t[j - 1].text == "::";
+      if (!call_blocks(project, h.owner, cs)) continue;
+      report(diags, tu, t[j].line, "blocking-context", callee,
+             "event-handler lambda (posted to the engine queue) calls '" +
+                 callee +
+                 "', which can reach a fiber-blocking API (sleep_for / "
+                 "sleep_until / Trigger::wait / Fiber::yield); engine "
+                 "callbacks run outside any fiber — resume a fiber or post a "
+                 "completion instead");
+    }
+  }
+}
+
+}  // namespace
+
+void run_model_rules(const TranslationUnit& tu, const Project& project,
+                     std::vector<Diagnostic>& diags) {
+  rule_host_state_leak(tu, diags);
+  rule_parallel_purity(tu, diags);
+  rule_unit_discipline(tu, diags);
+  rule_blocking_context(tu, project, diags);
+}
+
+}  // namespace icsim_lint

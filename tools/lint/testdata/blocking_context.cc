@@ -1,0 +1,31 @@
+// Lint fixture: blocking-context must fire on fiber-blocking work reached
+// from engine event-handler lambdas.  Never compiled — it exists for the
+// `lint_detects_blocking_context` ctest case.
+#include "sim/blocking.hpp"
+#include "sim/engine.hpp"
+
+namespace fixture {
+
+class Retransmitter {
+ public:
+  explicit Retransmitter(icsim::sim::Engine& engine) : engine_(engine) {}
+
+  // Transitively blocking: charges simulated time on the current fiber.
+  void charge(icsim::sim::Time t) { icsim::sim::sleep_for(engine_, t); }
+
+  void arm(icsim::sim::Time timeout) {
+    // Handler lambdas run on the engine's event loop, outside any fiber:
+    // both the direct sleep and the transitive charge() must be flagged.
+    engine_.post_in(timeout, [this, timeout] {
+      icsim::sim::sleep_for(engine_, timeout);  // blocking-context
+    });
+    engine_.schedule_in(timeout, [this, timeout] {
+      charge(timeout);                          // blocking-context
+    });
+  }
+
+ private:
+  icsim::sim::Engine& engine_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,82 @@
+// Lint fixture: near-miss patterns that must NOT fire any rule.  Never
+// compiled — it exists for the `lint_clean_fixture_passes` ctest case and
+// the exit-code contract (clean scan => exit 0).
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/blocking.hpp"
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace fixture {
+
+// Immutable / thread-confined / synchronized globals are all fine.
+constexpr int kMaxRanks = 4096;
+const char* const kSuiteName = "clean";
+thread_local int tls_scratch = 0;
+std::mutex g_registry_mutex;
+
+struct Stable {
+  // Keyed by a deterministic logical id, not a host pointer.
+  std::map<std::uint64_t, int> by_id;
+  // Pointer VALUES as mapped type are harmless; only pointer KEYS leak.
+  std::unordered_map<std::uint64_t, const Stable*> peers;
+
+  // Lookup by key: no order-dependent traversal of the unordered map.
+  int lookup(std::uint64_t id) const {
+    auto it = peers.find(id);
+    return it == peers.end() ? 0 : 1;
+  }
+
+  int cached(int id) {
+    // Guarded static local: the mutex makes the shared cache safe.
+    std::lock_guard<std::mutex> lk(g_registry_mutex);
+    static std::vector<int> cache;
+    if (cache.empty()) cache.resize(64);
+    return cache[id & 63];
+  }
+};
+
+// Integer-to-pointer casts do not materialize an address as model state.
+inline Stable* from_cookie(std::uintptr_t cookie) {
+  return reinterpret_cast<Stable*>(cookie);
+}
+
+// Integer byte counts and typed durations are the approved vocabulary.
+class Shaper {
+ public:
+  void reserve(std::uint64_t capacity_bytes);
+  void configure(icsim::sim::Time timeout, icsim::sim::Bandwidth rate);
+
+  // Scaling a Time directly never leaves picosecond space.
+  [[nodiscard]] icsim::sim::Time backoff(icsim::sim::Time base, int attempt) {
+    return base * (attempt + 1);
+  }
+
+  // Non-blocking work may be posted to the engine queue; a blocking
+  // `charge` elsewhere in the project must not taint this plain call,
+  // which resolves to Shaper::charge (same-class preference).
+  void arm(icsim::sim::Engine& engine, icsim::sim::Time t) {
+    engine.post_in(t, [this] { charge(); });
+  }
+  void charge() { ++armed_; }
+
+ private:
+  int armed_ = 0;
+};
+
+// A different class whose same-named member really blocks: without
+// owner-aware resolution this definition would poison Shaper::charge.
+class FiberShaper {
+ public:
+  explicit FiberShaper(icsim::sim::Engine& engine) : engine_(engine) {}
+  void charge() { icsim::sim::sleep_for(engine_, icsim::sim::Time::us(1)); }
+
+ private:
+  icsim::sim::Engine& engine_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,41 @@
+// Lint fixture: every host-state-leak pattern must fire.  Never compiled —
+// it exists for the `lint_detects_host_state_leak` ctest case.
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace fixture {
+
+struct Region {
+  std::uint64_t bytes = 0;
+};
+
+struct PinTracker {
+  // (a) containers keyed by host pointers: iteration order / hash placement
+  //     depends on ASLR and the allocator.
+  std::map<void*, Region> by_addr;                  // host-state-leak
+  std::set<const Region*> live;                     // host-state-leak
+  std::unordered_map<char*, int> slots;             // host-state-leak
+
+  // (b) pointer value materialized as an integer.
+  std::uint64_t key_of(const Region* r) {
+    return reinterpret_cast<std::uint64_t>(r);      // host-state-leak
+  }
+
+  // (c) hashing the host address itself.
+  std::size_t place(Region* r) const {
+    return std::hash<Region*>{}(r);                 // host-state-leak
+  }
+
+  // (d) folding an object address into an RNG seed / digest.
+  void reseed(icsim::sim::Rng& rng, Region& r) {
+    rng.seed(&r);                                   // host-state-leak
+  }
+};
+
+}  // namespace fixture

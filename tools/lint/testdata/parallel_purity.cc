@@ -1,0 +1,23 @@
+// Lint fixture: every parallel-purity pattern must fire.  Never compiled —
+// it exists for the `lint_detects_parallel_purity` ctest case.
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+// Namespace-scope mutables: shared across the sweep driver's worker threads.
+int g_run_counter = 0;                    // parallel-purity
+std::string g_last_scenario;              // parallel-purity
+
+struct Registry {
+  // Mutable static class member: same hazard with extra steps.
+  static std::uint64_t live_instances;    // parallel-purity
+
+  int lookup(int id) {
+    // Unguarded function-local static: lazily-built shared cache.
+    static int cache[64];                 // parallel-purity
+    return cache[id & 63];
+  }
+};
+
+}  // namespace fixture

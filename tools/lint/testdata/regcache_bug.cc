@@ -1,0 +1,46 @@
+// Regression fixture: the exact shape of the PR 4 MVAPICH registration-cache
+// bug, which keyed pinned regions on host buffer addresses.  Cache hit/miss
+// — and therefore the pinning latency charged to sim::Time — depended on
+// ASLR and allocator layout, so identical (scenario, seed) runs produced
+// different event digests.  The fix keyed the cache on a deterministic
+// logical-buffer envelope id; the analyzer must catch any reintroduction.
+// Never compiled — it exists for the `lint_detects_regcache_bug` ctest case.
+#include <cstdint>
+#include <list>
+#include <map>
+
+#include "sim/time.hpp"
+
+namespace fixture {
+
+class BadRegCache {
+ public:
+  // Hit: the buffer is already pinned, charge nothing.  Miss: charge the
+  // registration cost.  Keying on the host pointer makes that choice — and
+  // the returned sim::Time — a function of the allocator, not the scenario.
+  icsim::sim::Time pin(const void* buf, std::uint64_t len) {
+    auto it = cache_.find(buf);
+    if (it != cache_.end() && it->second.len >= len) {
+      touch(it);
+      return icsim::sim::Time::zero();
+    }
+    cache_[buf] = Entry{len};
+    return reg_base_cost_ + reg_per_page_ * static_cast<std::int64_t>(
+                                len / page_bytes_ + 1);
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t len = 0;
+  };
+
+  void touch(std::map<const void*, Entry>::iterator it);   // host-state-leak
+
+  std::map<const void*, Entry> cache_;                     // host-state-leak
+  std::list<const void*> lru_;
+  std::uint64_t page_bytes_ = 4096;
+  icsim::sim::Time reg_base_cost_;
+  icsim::sim::Time reg_per_page_;
+};
+
+}  // namespace fixture

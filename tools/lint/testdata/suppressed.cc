@@ -1,0 +1,29 @@
+// Lint fixture: one violation per model-safety rule, each silenced with an
+// `icsim-lint: allow(<rule>)` comment — the scan must exit 0.  Never
+// compiled — it exists for the `lint_suppressed_fixture_passes` ctest case.
+#include <cstdint>
+#include <map>
+
+#include "sim/blocking.hpp"
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace fixture {
+
+// icsim-lint: allow(host-state-leak)
+std::map<void*, int> g_pin_table;  // icsim-lint: allow(parallel-purity)
+
+class Knobs {
+ public:
+  // icsim-lint: allow(unit-discipline)
+  void set_timeout(std::int64_t timeout_us);
+
+  void arm(icsim::sim::Engine& engine, icsim::sim::Time t) {
+    engine.post_in(t, [this, &engine, t] {
+      // icsim-lint: allow(blocking-context)
+      icsim::sim::sleep_for(engine, t);
+    });
+  }
+};
+
+}  // namespace fixture

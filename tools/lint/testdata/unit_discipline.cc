@@ -1,0 +1,24 @@
+// Lint fixture: every unit-discipline pattern must fire.  Never compiled —
+// it exists for the `lint_detects_unit_discipline` ctest case.
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace fixture {
+
+class LinkModel {
+ public:
+  // Integer-smuggled durations and rates in public signatures.
+  void set_timeout(std::int64_t timeout_us);         // unit-discipline
+  void set_latency(std::uint64_t wire_ns);           // unit-discipline
+  void set_rate(std::uint64_t link_gbps);            // unit-discipline
+  // Fractional byte count.
+  void reserve(double window_bytes);                 // unit-discipline
+
+  // Round-trip: Time exported to double and fed back into a Time factory.
+  icsim::sim::Time scaled(icsim::sim::Time d, double k) {
+    return icsim::sim::Time::sec(d.to_seconds() * k);  // unit-discipline
+  }
+};
+
+}  // namespace fixture
