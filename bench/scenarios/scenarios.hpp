@@ -29,6 +29,7 @@ void register_ext_scale(driver::Registry& r);
 void register_ext_loggp(driver::Registry& r);
 void register_ext_collectives(driver::Registry& r);
 void register_ext_faults(driver::Registry& r);  // ext_faults_ber + _spine
+void register_replay(driver::Registry& r);      // examples/traces/* x fabrics
 
 /// Everything above, in figure order.
 void register_all(driver::Registry& r);

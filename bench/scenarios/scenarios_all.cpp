@@ -19,6 +19,7 @@ void register_all(driver::Registry& r) {
   register_ext_loggp(r);
   register_ext_collectives(r);
   register_ext_faults(r);
+  register_replay(r);
 }
 
 }  // namespace icsim::bench

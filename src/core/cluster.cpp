@@ -9,6 +9,7 @@
 #include <string>
 
 #include "myrinet/gm.hpp"
+#include "replay/capture.hpp"
 #include "trace/export.hpp"
 
 namespace icsim::core {
@@ -163,6 +164,41 @@ Cluster::Cluster(const ClusterConfig& config) : cfg_(config) {
     mpis_.push_back(std::make_unique<mpi::Mpi>(
         engine_, *nodes_[static_cast<std::size_t>(n)],
         *transports_[static_cast<std::size_t>(r)], r, nranks, root_rng.fork()));
+  }
+
+  std::string capture_dir = cfg_.mpi_trace_dir;
+  if (capture_dir.empty()) {
+    if (const char* env = std::getenv("ICSIM_MPI_TRACE");
+        env != nullptr && *env != '\0') {
+      capture_dir = env;
+      if (const char* fmt = std::getenv("ICSIM_MPI_TRACE_FORMAT");
+          fmt != nullptr && std::string(fmt) == "binary") {
+        cfg_.mpi_trace_binary = true;
+      }
+    }
+  }
+  if (!capture_dir.empty()) {
+    // Per-directory instance counter, like the ICSIM_TRACE path above: a
+    // bench that builds several capturing clusters gets cap, cap.2, ...
+    static std::mutex capture_mu;
+    static std::map<std::string, int> capture_instances;
+    {
+      const std::lock_guard<std::mutex> lock(capture_mu);
+      mpi_trace_dir_ = numbered(capture_dir, ++capture_instances[capture_dir]);
+    }
+    const char* net = cfg_.network == Network::infiniband ? "ib"
+                      : cfg_.network == Network::quadrics ? "el"
+                                                          : "my";
+    capture_ = std::make_unique<replay::CaptureSession>(
+        nranks, std::vector<std::pair<std::string, std::string>>{
+                    {"net", net},
+                    {"nodes", std::to_string(cfg_.nodes)},
+                    {"ppn", std::to_string(cfg_.ppn)},
+                    {"seed", std::to_string(cfg_.seed)}});
+    for (int r = 0; r < nranks; ++r) {
+      mpis_[static_cast<std::size_t>(r)]->set_recorder(
+          &capture_->recorder(r));
+    }
   }
 }
 
@@ -332,6 +368,11 @@ sim::Time Cluster::run(const std::function<void(mpi::Mpi&)>& rank_main) {
     throw std::runtime_error(
         "Cluster::run: deadlock — " + std::to_string(nranks - finished) +
         " of " + std::to_string(nranks) + " ranks still blocked");
+  }
+  if (capture_) {
+    capture_->write(mpi_trace_dir_, cfg_.mpi_trace_binary);
+    std::fprintf(stderr, "[icsim] wrote %d MPI rank trace(s) to %s/\n",
+                 nranks, mpi_trace_dir_.c_str());
   }
   return engine_.now();
 }

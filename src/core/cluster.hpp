@@ -25,6 +25,10 @@
 #include "sim/fiber.hpp"
 #include "trace/sink.hpp"
 
+namespace icsim::replay {
+class CaptureSession;
+}
+
 namespace icsim::core {
 
 enum class Network {
@@ -69,6 +73,18 @@ struct ClusterConfig {
   /// or example can run on a degraded fabric without a rebuild.  The plan's
   /// `watchdog` field, when set, arms both transports' watchdog timeouts.
   fault::FaultPlan faults;
+  /// Opt-in MPI op capture for trace-driven replay (src/replay/): when
+  /// non-empty, run() records every rank's top-level MPI calls and writes
+  /// `<dir>/rank<r>.icst` on completion.  Left empty, the `ICSIM_MPI_TRACE`
+  /// environment variable is consulted instead (value = output directory),
+  /// so any app or bench can emit a replayable trace without a rebuild; a
+  /// second capturing Cluster in the same process writes to `<dir>.2`, and
+  /// so on.  Capture is pure observation — the run's event_digest is
+  /// unchanged, and replaying the files reproduces it exactly.
+  std::string mpi_trace_dir;
+  /// Framed binary .icst instead of text (`ICSIM_MPI_TRACE_FORMAT=binary`
+  /// when the directory came from the environment).
+  bool mpi_trace_binary = false;
 };
 
 [[nodiscard]] inline ClusterConfig ib_cluster(int nodes, int ppn = 1) {
@@ -174,6 +190,8 @@ class Cluster {
 
   std::vector<mpi::Transport*> transports_;
   std::vector<std::unique_ptr<mpi::Mpi>> mpis_;
+  std::unique_ptr<replay::CaptureSession> capture_;
+  std::string mpi_trace_dir_;  ///< resolved output directory ("" = off)
   sim::Time init_cost_ = sim::Time::zero();
 };
 

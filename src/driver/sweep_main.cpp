@@ -21,6 +21,8 @@ void usage(const char* prog) {
                "  --list         list registered groups and exit\n"
                "  --json PATH    write aggregated JSON (\"-\" = stdout)\n"
                "  --csv PATH     write aggregated CSV (\"-\" = stdout)\n"
+               "  --out PATH     write aggregated output; format from the\n"
+               "                 extension (.json or .csv)\n"
                "  --metrics PATH write host perf metrics JSON (wall clock)\n"
                "  --progress     per-point completion lines on stderr\n"
                "  --quiet        suppress console tables\n",
@@ -77,6 +79,23 @@ int sweep_main(const Registry& registry, int argc, char** argv) {
       const char* v = need_value("--csv");
       if (v == nullptr) return 2;
       csv_path = v;
+    } else if (arg == "--out") {
+      const char* v = need_value("--out");
+      if (v == nullptr) return 2;
+      const std::string path = v;
+      const auto dot = path.rfind('.');
+      const std::string ext = dot == std::string::npos ? "" : path.substr(dot);
+      if (ext == ".json") {
+        json_path = path;
+      } else if (ext == ".csv") {
+        csv_path = path;
+      } else {
+        std::fprintf(stderr,
+                     "%s: --out needs a .json or .csv extension to pick the "
+                     "format, got '%s'\n",
+                     argv[0], path.c_str());
+        return 2;
+      }
     } else if (arg == "--metrics") {
       const char* v = need_value("--metrics");
       if (v == nullptr) return 2;

@@ -6,6 +6,10 @@ Request Mpi::isend(const void* data, std::size_t bytes, int dst, int tag,
                    int context) {
   assert(dst >= 0 && dst < size_);
   auto state = std::make_shared<RequestState>(engine_, RequestState::Kind::send);
+  if (recording()) {
+    state->trace_id = next_trace_req_++;
+    recorder_->on_isend(dst, bytes, tag);
+  }
   SendArgs args;
   args.dst = dst;
   args.tag = tag;
@@ -21,6 +25,10 @@ Request Mpi::irecv(void* data, std::size_t capacity, int src, int tag,
                    int context) {
   assert(src == kAnySource || (src >= 0 && src < size_));
   auto state = std::make_shared<RequestState>(engine_, RequestState::Kind::recv);
+  if (recording()) {
+    state->trace_id = next_trace_req_++;
+    recorder_->on_irecv(src, capacity, tag);
+  }
   RecvArgs args;
   args.src = src;
   args.tag = tag;
@@ -33,6 +41,8 @@ Request Mpi::irecv(void* data, std::size_t capacity, int src, int tag,
 }
 
 void Mpi::barrier() {
+  if (recording()) recorder_->on_barrier();
+  const RecordScope scope(*this);
   // Dissemination barrier: ceil(log2 P) rounds of pairwise exchanges.
   const int tag = next_coll_tag();
   char token = 0;
@@ -44,6 +54,8 @@ void Mpi::barrier() {
 }
 
 void Mpi::bcast_bytes(void* data, std::size_t bytes, int root) {
+  if (recording()) recorder_->on_bcast(root, bytes);
+  const RecordScope scope(*this);
   if (size_ == 1) return;
   const int tag = next_coll_tag();
   const int vrank = (rank_ - root + size_) % size_;

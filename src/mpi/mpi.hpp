@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "mpi/recorder.hpp"
 #include "mpi/request.hpp"
 #include "mpi/transport.hpp"
 #include "mpi/types.hpp"
@@ -51,33 +52,53 @@ class Mpi {
 
   void send(const void* data, std::size_t bytes, int dst, int tag,
             int context = kWorldContext) {
+    if (recording()) recorder_->on_send(dst, bytes, tag);
+    const RecordScope scope(*this);
     Request r = isend(data, bytes, dst, tag, context);
     wait(r);
   }
   Status recv(void* data, std::size_t capacity, int src = kAnySource,
               int tag = kAnyTag, int context = kWorldContext) {
+    if (recording()) recorder_->on_recv(src, capacity, tag);
+    const RecordScope scope(*this);
     Request r = irecv(data, capacity, src, tag, context);
     wait(r);
     return r.status();
   }
 
   void wait(Request& r) {
-    if (r.valid()) transport_.wait(*r.state());
+    if (!r.valid()) return;
+    if (recording() && r.state()->trace_id >= 0) {
+      recorder_->on_wait(static_cast<std::uint64_t>(r.state()->trace_id));
+    }
+    const RecordScope scope(*this);
+    transport_.wait(*r.state());
   }
   void waitall(std::span<Request> rs) {
     for (Request& r : rs) wait(r);
   }
-  bool test(Request& r) { return !r.valid() || transport_.test(*r.state()); }
+  bool test(Request& r) {
+    if (!r.valid()) return true;
+    if (recording() && r.state()->trace_id >= 0) {
+      recorder_->on_test(static_cast<std::uint64_t>(r.state()->trace_id));
+    }
+    const RecordScope scope(*this);
+    return transport_.test(*r.state());
+  }
 
   /// MPI_Iprobe: nonblocking check for a matchable incoming message.
   bool iprobe(int src = kAnySource, int tag = kAnyTag, Status* st = nullptr,
               int context = kWorldContext) {
+    if (recording()) recorder_->on_iprobe(src, tag);
+    const RecordScope scope(*this);
     return transport_.iprobe(src, tag, context, st);
   }
 
   /// MPI_Probe: block until a matching message can be received.
   Status probe(int src = kAnySource, int tag = kAnyTag,
                int context = kWorldContext) {
+    if (recording()) recorder_->on_probe(src, tag);
+    const RecordScope scope(*this);
     Status st;
     while (!iprobe(src, tag, &st, context)) {
       node_.compute(sim::Time::us(0.5));  // poll interval
@@ -89,6 +110,10 @@ class Mpi {
   Status sendrecv(const void* sdata, std::size_t sbytes, int dst, int stag,
                   void* rdata, std::size_t rcap, int src, int rtag,
                   int context = kWorldContext) {
+    if (recording()) {
+      recorder_->on_sendrecv(dst, sbytes, stag, src, rcap, rtag);
+    }
+    const RecordScope scope(*this);
     Request rr = irecv(rdata, rcap, src, rtag, context);
     Request sr = isend(sdata, sbytes, dst, stag, context);
     wait(sr);
@@ -117,6 +142,8 @@ class Mpi {
 
   template <typename T>
   void reduce(const T* in, T* out, std::size_t n, ReduceOp op, int root) {
+    if (recording()) recorder_->on_reduce(root, n * sizeof(T), op);
+    const RecordScope scope(*this);
     // Binomial-tree reduce: leaves push partial results toward the root.
     std::vector<T> acc(in, in + n);
     std::vector<T> incoming(n);
@@ -144,6 +171,8 @@ class Mpi {
 
   template <typename T>
   void allreduce(const T* in, T* out, std::size_t n, ReduceOp op) {
+    if (recording()) recorder_->on_allreduce(n * sizeof(T), op);
+    const RecordScope scope(*this);
     reduce(in, out, n, op, 0);
     bcast(out, n, 0);
   }
@@ -157,6 +186,8 @@ class Mpi {
   /// Ring allgather: `n` elements contributed per rank, `out` holds size*n.
   template <typename T>
   void allgather(const T* in, std::size_t n, T* out) {
+    if (recording()) recorder_->on_allgather(n * sizeof(T));
+    const RecordScope scope(*this);
     std::memcpy(out + static_cast<std::size_t>(rank_) * n, in, n * sizeof(T));
     const int tag = next_coll_tag();
     const int right = (rank_ + 1) % size_;
@@ -173,6 +204,8 @@ class Mpi {
   /// Pairwise-exchange alltoall: `n` elements per destination rank.
   template <typename T>
   void alltoall(const T* in, std::size_t n, T* out) {
+    if (recording()) recorder_->on_alltoall(n * sizeof(T));
+    const RecordScope scope(*this);
     std::memcpy(out + static_cast<std::size_t>(rank_) * n,
                 in + static_cast<std::size_t>(rank_) * n, n * sizeof(T));
     const int tag = next_coll_tag();
@@ -188,6 +221,8 @@ class Mpi {
   /// Inclusive prefix reduction (MPI_Scan), chained rank by rank.
   template <typename T>
   [[nodiscard]] T scan(T value, ReduceOp op) {
+    if (recording()) recorder_->on_scan(sizeof(T), op);
+    const RecordScope scope(*this);
     const int tag = next_coll_tag();
     T acc = value;
     if (rank_ > 0) {
@@ -212,6 +247,18 @@ class Mpi {
                  const std::vector<int>& recv_counts,
                  const std::vector<int>& recv_displs) {
     assert(static_cast<int>(send_counts.size()) == size_);
+    if (recording()) {
+      std::vector<std::int64_t> sb(send_counts.size());
+      std::vector<std::int64_t> rb(recv_counts.size());
+      for (std::size_t i = 0; i < send_counts.size(); ++i) {
+        sb[i] = static_cast<std::int64_t>(send_counts[i]) * sizeof(T);
+      }
+      for (std::size_t i = 0; i < recv_counts.size(); ++i) {
+        rb[i] = static_cast<std::int64_t>(recv_counts[i]) * sizeof(T);
+      }
+      recorder_->on_alltoallv(std::move(sb), std::move(rb));
+    }
+    const RecordScope scope(*this);
     const int tag = next_coll_tag();
     const auto self = static_cast<std::size_t>(rank_);
     std::memcpy(out + recv_displs[self], in + send_displs[self],
@@ -229,6 +276,8 @@ class Mpi {
 
   template <typename T>
   void gather(const T* in, std::size_t n, T* out, int root) {
+    if (recording()) recorder_->on_gather(root, n * sizeof(T));
+    const RecordScope scope(*this);
     const int tag = next_coll_tag();
     if (rank_ == root) {
       std::memcpy(out + static_cast<std::size_t>(rank_) * n, in, n * sizeof(T));
@@ -248,7 +297,19 @@ class Mpi {
   [[nodiscard]] double wtime() const { return engine_.now().to_seconds(); }
 
   /// Charge modeled computation to this rank's CPU (SMP contention applies).
-  void compute(sim::Time d) { node_.compute(d); }
+  void compute(sim::Time d) {
+    if (recording()) recorder_->on_compute(d);
+    node_.compute(d);
+  }
+
+  /// Attach (or detach, with nullptr) a capture recorder.  Observation only:
+  /// the recorder never charges simulated time, so a recorded run keeps its
+  /// uninstrumented event_digest.  See mpi/recorder.hpp.
+  void set_recorder(Recorder* r) {
+    recorder_ = r;
+    rec_depth_ = 0;
+    next_trace_req_ = 0;
+  }
 
   [[nodiscard]] sim::Rng& rng() { return rng_; }
   [[nodiscard]] node::Node& node() { return node_; }
@@ -256,6 +317,20 @@ class Mpi {
   [[nodiscard]] sim::Engine& engine() { return engine_; }
 
  private:
+  /// Marks the dynamic extent of one recorded top-level call so the
+  /// point-to-point traffic a collective (or blocking wrapper) generates
+  /// internally is not recorded a second time.
+  struct RecordScope {
+    explicit RecordScope(Mpi& m) : mpi(m) { ++mpi.rec_depth_; }
+    ~RecordScope() { --mpi.rec_depth_; }
+    RecordScope(const RecordScope&) = delete;
+    RecordScope& operator=(const RecordScope&) = delete;
+    Mpi& mpi;
+  };
+  [[nodiscard]] bool recording() const {
+    return recorder_ != nullptr && rec_depth_ == 0;
+  }
+
   void bcast_bytes(void* data, std::size_t bytes, int root);
   [[nodiscard]] int coll_context() const { return kCollectiveContextOffset; }
   int next_coll_tag() { return static_cast<int>(coll_seq_++ & 0xffffff); }
@@ -279,6 +354,9 @@ class Mpi {
   int size_;
   sim::Rng rng_;
   std::uint64_t coll_seq_ = 0;
+  Recorder* recorder_ = nullptr;
+  int rec_depth_ = 0;
+  std::int64_t next_trace_req_ = 0;
 };
 
 }  // namespace icsim::mpi

@@ -1,0 +1,58 @@
+#pragma once
+// Capture hook for trace-driven workload replay (src/replay/).
+//
+// A Recorder observes the *top-level* MPI API calls a rank makes — the ops
+// an application issues, not the point-to-point traffic Mpi's collective
+// algorithms generate internally (those are suppressed by a recursion
+// guard, so a captured `allreduce` replays through the same collective
+// code path and regenerates the identical wire traffic).  Recording is
+// pure observation: no simulated time is charged and no engine state is
+// touched, so an instrumented run produces the same RunStats::event_digest
+// as an uninstrumented one.
+//
+// Nonblocking operations are identified by a per-rank sequence number: the
+// k-th top-level isend/irecv of a rank is request k (0-based), and wait /
+// test callbacks reference that number.  All callbacks are world-context:
+// the only non-world contexts in this codebase are Mpi's internal
+// collective contexts, which are never observed here.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mpi/types.hpp"
+#include "sim/time.hpp"
+
+namespace icsim::mpi {
+
+class Recorder {
+ public:
+  virtual ~Recorder() = default;
+
+  virtual void on_compute(sim::Time duration) = 0;
+
+  virtual void on_send(int dst, std::size_t bytes, int tag) = 0;
+  virtual void on_isend(int dst, std::size_t bytes, int tag) = 0;
+  virtual void on_recv(int src, std::size_t capacity, int tag) = 0;
+  virtual void on_irecv(int src, std::size_t capacity, int tag) = 0;
+  virtual void on_wait(std::uint64_t req) = 0;
+  virtual void on_test(std::uint64_t req) = 0;
+  virtual void on_sendrecv(int dst, std::size_t send_bytes, int send_tag,
+                           int src, std::size_t recv_capacity,
+                           int recv_tag) = 0;
+  virtual void on_probe(int src, int tag) = 0;
+  virtual void on_iprobe(int src, int tag) = 0;
+
+  virtual void on_barrier() = 0;
+  virtual void on_bcast(int root, std::size_t bytes) = 0;
+  virtual void on_reduce(int root, std::size_t bytes, ReduceOp op) = 0;
+  virtual void on_allreduce(std::size_t bytes, ReduceOp op) = 0;
+  virtual void on_allgather(std::size_t block_bytes) = 0;
+  virtual void on_alltoall(std::size_t block_bytes) = 0;
+  virtual void on_alltoallv(std::vector<std::int64_t> send_bytes,
+                            std::vector<std::int64_t> recv_bytes) = 0;
+  virtual void on_gather(int root, std::size_t bytes) = 0;
+  virtual void on_scan(std::size_t bytes, ReduceOp op) = 0;
+};
+
+}  // namespace icsim::mpi

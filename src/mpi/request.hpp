@@ -2,6 +2,7 @@
 // Nonblocking-operation state shared between the MPI API and transports.
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 
 #include "mpi/types.hpp"
@@ -19,6 +20,10 @@ struct RequestState {
   bool failed = false;   ///< completed by a transport watchdog, not delivery
   Status status{};       ///< filled for receives
   sim::Trigger trigger;  ///< fired on completion
+  /// Capture sequence number (see mpi/recorder.hpp): the k-th top-level
+  /// isend/irecv of a recorded rank carries k here; -1 when no recorder is
+  /// attached or the request was issued inside a collective.
+  std::int64_t trace_id = -1;
 
   void finish(const Status& st) {
     status = st;

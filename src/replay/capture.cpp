@@ -1,0 +1,37 @@
+#include "replay/capture.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace icsim::replay {
+
+CaptureSession::CaptureSession(
+    int nranks, std::vector<std::pair<std::string, std::string>> meta) {
+  recs_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    recs_.emplace_back(r, nranks);
+    recs_.back().trace().meta = meta;
+  }
+}
+
+void CaptureSession::write(const std::string& dir, bool binary) const {
+  std::filesystem::create_directories(dir);
+  for (const CaptureRecorder& rec : recs_) {
+    const std::string path =
+        (std::filesystem::path(dir) /
+         ("rank" + std::to_string(rec.trace().rank) + ".icst"))
+            .string();
+    std::ofstream f(path, std::ios::binary);
+    if (!f) {
+      throw std::runtime_error("cannot write trace file: " + path);
+    }
+    if (binary) {
+      write_binary(f, rec.trace());
+    } else {
+      write_text(f, rec.trace());
+    }
+  }
+}
+
+}  // namespace icsim::replay

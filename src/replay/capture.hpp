@@ -1,0 +1,174 @@
+#pragma once
+// Capture side of trace-driven replay: mpi::Recorder implementations that
+// accumulate a RankTrace per rank and write one `.icst` file each.
+//
+// Wiring lives in core::Cluster — set ClusterConfig::mpi_trace_dir (or
+// export ICSIM_MPI_TRACE=<dir>) and a normal run of any app emits
+// <dir>/rank<r>.icst for every rank.  Capture is pure observation: the
+// instrumented run keeps its uninstrumented event_digest, and replaying the
+// files reproduces that digest exactly (docs/MODEL.md §11).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpi/recorder.hpp"
+#include "replay/format.hpp"
+
+namespace icsim::replay {
+
+/// Accumulates one rank's top-level MPI ops into a RankTrace in memory.
+class CaptureRecorder final : public mpi::Recorder {
+ public:
+  CaptureRecorder(int rank, int size) {
+    trace_.rank = rank;
+    trace_.size = size;
+  }
+
+  [[nodiscard]] const RankTrace& trace() const { return trace_; }
+  [[nodiscard]] RankTrace& trace() { return trace_; }
+
+  void on_compute(sim::Time duration) override {
+    TraceOp o;
+    o.op = Op::compute;
+    o.duration = duration;
+    trace_.ops.push_back(o);
+  }
+  void on_send(int dst, std::size_t bytes, int tag) override {
+    push_p2p(Op::send, dst, bytes, tag);
+  }
+  void on_isend(int dst, std::size_t bytes, int tag) override {
+    push_p2p(Op::isend, dst, bytes, tag);
+  }
+  void on_recv(int src, std::size_t capacity, int tag) override {
+    push_p2p(Op::recv, src, capacity, tag);
+  }
+  void on_irecv(int src, std::size_t capacity, int tag) override {
+    push_p2p(Op::irecv, src, capacity, tag);
+  }
+  void on_wait(std::uint64_t req) override { push_req(Op::wait, req); }
+  void on_test(std::uint64_t req) override { push_req(Op::test, req); }
+  void on_sendrecv(int dst, std::size_t send_bytes, int send_tag, int src,
+                   std::size_t recv_capacity, int recv_tag) override {
+    TraceOp o;
+    o.op = Op::sendrecv;
+    o.peer = dst;
+    o.bytes = static_cast<std::int64_t>(send_bytes);
+    o.tag = send_tag;
+    o.peer2 = src;
+    o.bytes2 = static_cast<std::int64_t>(recv_capacity);
+    o.tag2 = recv_tag;
+    trace_.ops.push_back(std::move(o));
+  }
+  void on_probe(int src, int tag) override { push_probe(Op::probe, src, tag); }
+  void on_iprobe(int src, int tag) override {
+    push_probe(Op::iprobe, src, tag);
+  }
+
+  void on_barrier() override {
+    TraceOp o;
+    o.op = Op::barrier;
+    trace_.ops.push_back(o);
+  }
+  void on_bcast(int root, std::size_t bytes) override {
+    push_rooted(Op::bcast, root, bytes);
+  }
+  void on_reduce(int root, std::size_t bytes, mpi::ReduceOp op) override {
+    TraceOp o;
+    o.op = Op::reduce;
+    o.peer = root;
+    o.bytes = static_cast<std::int64_t>(bytes);
+    o.red = op;
+    trace_.ops.push_back(std::move(o));
+  }
+  void on_allreduce(std::size_t bytes, mpi::ReduceOp op) override {
+    push_reduction(Op::allreduce, bytes, op);
+  }
+  void on_allgather(std::size_t block_bytes) override {
+    push_sized(Op::allgather, block_bytes);
+  }
+  void on_alltoall(std::size_t block_bytes) override {
+    push_sized(Op::alltoall, block_bytes);
+  }
+  void on_alltoallv(std::vector<std::int64_t> send_bytes,
+                    std::vector<std::int64_t> recv_bytes) override {
+    TraceOp o;
+    o.op = Op::alltoallv;
+    o.send_bytes = std::move(send_bytes);
+    o.recv_bytes = std::move(recv_bytes);
+    trace_.ops.push_back(std::move(o));
+  }
+  void on_gather(int root, std::size_t bytes) override {
+    push_rooted(Op::gather, root, bytes);
+  }
+  void on_scan(std::size_t bytes, mpi::ReduceOp op) override {
+    push_reduction(Op::scan, bytes, op);
+  }
+
+ private:
+  void push_p2p(Op op, int peer, std::size_t bytes, int tag) {
+    TraceOp o;
+    o.op = op;
+    o.peer = peer;
+    o.bytes = static_cast<std::int64_t>(bytes);
+    o.tag = tag;
+    trace_.ops.push_back(std::move(o));
+  }
+  void push_req(Op op, std::uint64_t req) {
+    TraceOp o;
+    o.op = op;
+    o.req = req;
+    trace_.ops.push_back(o);
+  }
+  void push_probe(Op op, int src, int tag) {
+    TraceOp o;
+    o.op = op;
+    o.peer = src;
+    o.tag = tag;
+    trace_.ops.push_back(o);
+  }
+  void push_rooted(Op op, int root, std::size_t bytes) {
+    TraceOp o;
+    o.op = op;
+    o.peer = root;
+    o.bytes = static_cast<std::int64_t>(bytes);
+    trace_.ops.push_back(std::move(o));
+  }
+  void push_sized(Op op, std::size_t bytes) {
+    TraceOp o;
+    o.op = op;
+    o.bytes = static_cast<std::int64_t>(bytes);
+    trace_.ops.push_back(std::move(o));
+  }
+  void push_reduction(Op op, std::size_t bytes, mpi::ReduceOp red) {
+    TraceOp o;
+    o.op = op;
+    o.bytes = static_cast<std::int64_t>(bytes);
+    o.red = red;
+    trace_.ops.push_back(std::move(o));
+  }
+
+  RankTrace trace_;
+};
+
+/// Owns one CaptureRecorder per rank of a cluster run and writes the
+/// per-rank `.icst` files at the end.
+class CaptureSession {
+ public:
+  /// `meta` entries (net/nodes/ppn/...) are stamped into every rank file.
+  CaptureSession(int nranks,
+                 std::vector<std::pair<std::string, std::string>> meta);
+
+  [[nodiscard]] int nranks() const { return static_cast<int>(recs_.size()); }
+  [[nodiscard]] CaptureRecorder& recorder(int rank) { return recs_[rank]; }
+
+  /// Write <dir>/rank<r>.icst for every rank, creating `dir` as needed.
+  /// Text by default; framed binary when `binary` is set.
+  void write(const std::string& dir, bool binary = false) const;
+
+ private:
+  std::vector<CaptureRecorder> recs_;
+};
+
+}  // namespace icsim::replay

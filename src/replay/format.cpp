@@ -1,0 +1,766 @@
+#include "replay/format.hpp"
+
+#include <array>
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <iterator>
+#include <limits>
+#include <ostream>
+
+namespace icsim::replay {
+
+namespace {
+
+constexpr std::array<const char*, kOpCount> kOpNames = {
+    "compute",   "send",     "isend",     "recv",     "irecv",
+    "wait",      "test",     "probe",     "iprobe",   "sendrecv",
+    "barrier",   "bcast",    "reduce",    "allreduce", "allgather",
+    "alltoall",  "alltoallv", "gather",   "scan"};
+
+bool reduce_from_name(const std::string& name, mpi::ReduceOp* out) {
+  if (name == "sum") { *out = mpi::ReduceOp::sum; return true; }
+  if (name == "min") { *out = mpi::ReduceOp::min; return true; }
+  if (name == "max") { *out = mpi::ReduceOp::max; return true; }
+  if (name == "prod") { *out = mpi::ReduceOp::prod; return true; }
+  return false;
+}
+
+std::string wildcard(long long v) {
+  return v < 0 ? std::string("any") : std::to_string(v);
+}
+
+std::string csv(const std::vector<std::int64_t>& xs) {
+  std::string out;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(xs[i]);
+  }
+  return out.empty() ? std::string("-") : out;
+}
+
+// ---------------------------------------------------------------------- text
+
+class TextParser {
+ public:
+  TextParser(std::istream& is, std::string name)
+      : is_(is), name_(std::move(name)) {}
+
+  RankTrace run() {
+    RankTrace t;
+    std::vector<std::string> tok;
+    if (!next_line(tok)) fail("empty input, expected 'icst 1' header");
+    if (tok[0] != "icst") fail("expected 'icst <version>' header");
+    need_arity(tok, 2);
+    t.version = static_cast<int>(parse_int(tok[1], 0, 1 << 20));
+    if (t.version != kTraceVersion) {
+      fail("unsupported trace version " + tok[1] + " (this build reads " +
+           std::to_string(kTraceVersion) + ")");
+    }
+    if (!next_line(tok) || tok[0] != "rank") {
+      fail("expected 'rank <rank> <size>' after header");
+    }
+    need_arity(tok, 3);
+    t.rank = static_cast<int>(parse_int(tok[1], 0, kMaxRanks));
+    t.size = static_cast<int>(parse_int(tok[2], 1, kMaxRanks));
+    bool ended = false;
+    while (next_line(tok)) {
+      if (ended) fail("trailing content after 'end'");
+      if (tok[0] == "end") {
+        need_arity(tok, 1);
+        ended = true;
+        continue;
+      }
+      if (tok[0] == "meta") {
+        if (tok.size() < 3) fail("'meta' needs '<key> <value>'");
+        std::string value = tok[2];
+        for (std::size_t i = 3; i < tok.size(); ++i) value += " " + tok[i];
+        t.meta.emplace_back(tok[1], std::move(value));
+        continue;
+      }
+      t.ops.push_back(parse_op(tok));
+    }
+    if (!ended) fail("truncated trace: missing 'end' terminator");
+    validate(t, name_);
+    return t;
+  }
+
+ private:
+  static constexpr long long kMaxRanks = 1 << 24;
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw TraceError(name_ + ":" + std::to_string(lineno_) + ": " + msg);
+  }
+
+  /// Next non-blank, non-comment line, split on whitespace.  A token
+  /// starting with '#' ends the line (trailing comment).
+  bool next_line(std::vector<std::string>& tok) {
+    std::string line;
+    while (std::getline(is_, line)) {
+      ++lineno_;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      tok.clear();
+      std::size_t i = 0;
+      while (i < line.size()) {
+        while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+        std::size_t j = i;
+        while (j < line.size() && line[j] != ' ' && line[j] != '\t') ++j;
+        if (j > i) {
+          if (line[i] == '#') break;
+          tok.emplace_back(line.substr(i, j - i));
+        }
+        i = j;
+      }
+      if (!tok.empty()) return true;
+    }
+    return false;
+  }
+
+  void need_arity(const std::vector<std::string>& tok, std::size_t n) const {
+    if (tok.size() != n) {
+      fail("'" + tok[0] + "' takes " + std::to_string(n - 1) +
+           " argument(s), got " + std::to_string(tok.size() - 1));
+    }
+  }
+
+  long long parse_int(const std::string& s, long long lo,
+                      long long hi) const {
+    long long v = 0;
+    const auto* first = s.data();
+    const auto* last = s.data() + s.size();
+    auto [p, ec] = std::from_chars(first, last, v);
+    if (ec != std::errc() || p != last) {
+      fail("'" + s + "' is not an integer");
+    }
+    if (v < lo || v > hi) {
+      fail("value " + s + " out of range [" + std::to_string(lo) + ", " +
+           std::to_string(hi) + "]");
+    }
+    return v;
+  }
+
+  int parse_wild(const std::string& s) const {
+    if (s == "any") return -1;
+    return static_cast<int>(parse_int(s, 0, kMaxRanks));
+  }
+
+  std::vector<std::int64_t> parse_csv(const std::string& s) const {
+    std::vector<std::int64_t> out;
+    if (s == "-") return out;
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t comma = s.find(',', start);
+      const std::string item =
+          s.substr(start, comma == std::string::npos ? comma : comma - start);
+      out.push_back(parse_int(item, 0, std::numeric_limits<std::int64_t>::max()));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    return out;
+  }
+
+  mpi::ReduceOp parse_red(const std::string& s) const {
+    mpi::ReduceOp op{};
+    if (!reduce_from_name(s, &op)) {
+      fail("'" + s + "' is not a reduction (sum|min|max|prod)");
+    }
+    return op;
+  }
+
+  TraceOp parse_op(const std::vector<std::string>& tok) const {
+    constexpr auto kMaxI64 = std::numeric_limits<std::int64_t>::max();
+    TraceOp o;
+    if (!op_from_name(tok[0], &o.op)) fail("unknown opcode '" + tok[0] + "'");
+    switch (o.op) {
+      case Op::compute:
+        need_arity(tok, 2);
+        o.duration = sim::Time::ps(parse_int(tok[1], 0, kMaxI64));
+        break;
+      case Op::send:
+      case Op::isend:
+        need_arity(tok, 4);
+        o.peer = static_cast<int>(parse_int(tok[1], 0, kMaxRanks));
+        o.bytes = parse_int(tok[2], 0, kMaxI64);
+        o.tag = static_cast<int>(parse_int(tok[3], 0, kMaxRanks));
+        break;
+      case Op::recv:
+      case Op::irecv:
+        need_arity(tok, 4);
+        o.peer = parse_wild(tok[1]);
+        o.bytes = parse_int(tok[2], 0, kMaxI64);
+        o.tag = parse_wild(tok[3]);
+        break;
+      case Op::wait:
+      case Op::test:
+        need_arity(tok, 2);
+        o.req = static_cast<std::uint64_t>(parse_int(tok[1], 0, kMaxI64));
+        break;
+      case Op::probe:
+      case Op::iprobe:
+        need_arity(tok, 3);
+        o.peer = parse_wild(tok[1]);
+        o.tag = parse_wild(tok[2]);
+        break;
+      case Op::sendrecv:
+        need_arity(tok, 7);
+        o.peer = static_cast<int>(parse_int(tok[1], 0, kMaxRanks));
+        o.bytes = parse_int(tok[2], 0, kMaxI64);
+        o.tag = static_cast<int>(parse_int(tok[3], 0, kMaxRanks));
+        o.peer2 = parse_wild(tok[4]);
+        o.bytes2 = parse_int(tok[5], 0, kMaxI64);
+        o.tag2 = parse_wild(tok[6]);
+        break;
+      case Op::barrier:
+        need_arity(tok, 1);
+        break;
+      case Op::bcast:
+      case Op::gather:
+        need_arity(tok, 3);
+        o.peer = static_cast<int>(parse_int(tok[1], 0, kMaxRanks));
+        o.bytes = parse_int(tok[2], 0, kMaxI64);
+        break;
+      case Op::reduce:
+        need_arity(tok, 4);
+        o.peer = static_cast<int>(parse_int(tok[1], 0, kMaxRanks));
+        o.bytes = parse_int(tok[2], 0, kMaxI64);
+        o.red = parse_red(tok[3]);
+        break;
+      case Op::allreduce:
+      case Op::scan:
+        need_arity(tok, 3);
+        o.bytes = parse_int(tok[1], 0, kMaxI64);
+        o.red = parse_red(tok[2]);
+        break;
+      case Op::allgather:
+      case Op::alltoall:
+        need_arity(tok, 2);
+        o.bytes = parse_int(tok[1], 0, kMaxI64);
+        break;
+      case Op::alltoallv:
+        need_arity(tok, 3);
+        o.send_bytes = parse_csv(tok[1]);
+        o.recv_bytes = parse_csv(tok[2]);
+        break;
+    }
+    return o;
+  }
+
+  std::istream& is_;
+  std::string name_;
+  int lineno_ = 0;
+};
+
+// -------------------------------------------------------------------- binary
+
+constexpr std::array<unsigned char, 8> kMagic = {0x89, 'I', 'C', 'S',
+                                                 'T',  '1', '\r', '\n'};
+
+void put_u8(std::string& b, std::uint8_t v) {
+  b.push_back(static_cast<char>(v));
+}
+void put_u16(std::string& b, std::uint16_t v) {
+  put_u8(b, static_cast<std::uint8_t>(v & 0xff));
+  put_u8(b, static_cast<std::uint8_t>(v >> 8));
+}
+void put_u32(std::string& b, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    put_u8(b, static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+void put_u64(std::string& b, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    put_u8(b, static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+void put_i32(std::string& b, std::int32_t v) {
+  put_u32(b, static_cast<std::uint32_t>(v));
+}
+void put_i64(std::string& b, std::int64_t v) {
+  put_u64(b, static_cast<std::uint64_t>(v));
+}
+
+std::string encode_payload(const TraceOp& o) {
+  std::string p;
+  put_u8(p, static_cast<std::uint8_t>(o.op));
+  switch (o.op) {
+    case Op::compute:
+      put_i64(p, o.duration.picoseconds());
+      break;
+    case Op::send:
+    case Op::isend:
+    case Op::recv:
+    case Op::irecv:
+      put_i32(p, o.peer);
+      put_i64(p, o.bytes);
+      put_i32(p, o.tag);
+      break;
+    case Op::wait:
+    case Op::test:
+      put_u64(p, o.req);
+      break;
+    case Op::probe:
+    case Op::iprobe:
+      put_i32(p, o.peer);
+      put_i32(p, o.tag);
+      break;
+    case Op::sendrecv:
+      put_i32(p, o.peer);
+      put_i64(p, o.bytes);
+      put_i32(p, o.tag);
+      put_i32(p, o.peer2);
+      put_i64(p, o.bytes2);
+      put_i32(p, o.tag2);
+      break;
+    case Op::barrier:
+      break;
+    case Op::bcast:
+    case Op::gather:
+      put_i32(p, o.peer);
+      put_i64(p, o.bytes);
+      break;
+    case Op::reduce:
+      put_i32(p, o.peer);
+      put_i64(p, o.bytes);
+      put_u8(p, static_cast<std::uint8_t>(o.red));
+      break;
+    case Op::allreduce:
+    case Op::scan:
+      put_i64(p, o.bytes);
+      put_u8(p, static_cast<std::uint8_t>(o.red));
+      break;
+    case Op::allgather:
+    case Op::alltoall:
+      put_i64(p, o.bytes);
+      break;
+    case Op::alltoallv:
+      put_u32(p, static_cast<std::uint32_t>(o.send_bytes.size()));
+      for (std::int64_t v : o.send_bytes) put_i64(p, v);
+      for (std::int64_t v : o.recv_bytes) put_i64(p, v);
+      break;
+  }
+  return p;
+}
+
+class BinaryParser {
+ public:
+  BinaryParser(std::string data, std::string name)
+      : data_(std::move(data)), name_(std::move(name)) {}
+
+  RankTrace run() {
+    RankTrace t;
+    for (unsigned char m : kMagic) {
+      if (u8() != m) {
+        throw TraceError(name_ + ": offset " + std::to_string(pos_ - 1) +
+                         ": bad magic byte (not an .icst binary trace)");
+      }
+    }
+    const std::uint32_t version = u32();
+    if (version != static_cast<std::uint32_t>(kTraceVersion)) {
+      fail("unsupported trace version " + std::to_string(version) +
+           " (this build reads " + std::to_string(kTraceVersion) + ")");
+    }
+    t.version = static_cast<int>(version);
+    t.rank = static_cast<int>(u32());
+    t.size = static_cast<int>(u32());
+    const std::uint32_t nmeta = u32();
+    for (std::uint32_t i = 0; i < nmeta; ++i) {
+      std::string key = str(u16());
+      std::string value = str(u16());
+      t.meta.emplace_back(std::move(key), std::move(value));
+    }
+    bool ended = false;
+    while (!ended) {
+      const std::size_t frame_at = pos_;
+      const std::uint16_t len = u16();
+      if (len == 0) {
+        ended = true;
+        break;
+      }
+      const std::string payload = str(len);
+      t.ops.push_back(decode_payload(payload, frame_at));
+    }
+    if (pos_ != data_.size()) {
+      fail("trailing " + std::to_string(data_.size() - pos_) +
+           " byte(s) after end frame");
+    }
+    validate(t, name_);
+    return t;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw TraceError(name_ + ": offset " + std::to_string(pos_) + ": " + msg);
+  }
+
+  std::uint8_t u8() {
+    if (pos_ >= data_.size()) fail("truncated trace: unexpected end of input");
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint16_t u16() {
+    const std::uint16_t lo = u8();
+    return static_cast<std::uint16_t>(lo | (u8() << 8));
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    return v;
+  }
+  std::string str(std::size_t n) {
+    if (data_.size() - pos_ < n) {
+      fail("truncated trace: need " + std::to_string(n) + " byte(s), have " +
+           std::to_string(data_.size() - pos_));
+    }
+    std::string s = data_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  /// Decode one frame payload; `frame_at` is its offset for diagnostics.
+  TraceOp decode_payload(const std::string& p, std::size_t frame_at) const {
+    Decoder d{p, name_, frame_at};
+    TraceOp o;
+    const std::uint8_t code = d.u8();
+    if (code >= kOpCount) {
+      d.fail("unknown opcode " + std::to_string(code));
+    }
+    o.op = static_cast<Op>(code);
+    switch (o.op) {
+      case Op::compute:
+        o.duration = sim::Time::ps(d.i64());
+        break;
+      case Op::send:
+      case Op::isend:
+      case Op::recv:
+      case Op::irecv:
+        o.peer = d.i32();
+        o.bytes = d.i64();
+        o.tag = d.i32();
+        break;
+      case Op::wait:
+      case Op::test:
+        o.req = d.u64();
+        break;
+      case Op::probe:
+      case Op::iprobe:
+        o.peer = d.i32();
+        o.tag = d.i32();
+        break;
+      case Op::sendrecv:
+        o.peer = d.i32();
+        o.bytes = d.i64();
+        o.tag = d.i32();
+        o.peer2 = d.i32();
+        o.bytes2 = d.i64();
+        o.tag2 = d.i32();
+        break;
+      case Op::barrier:
+        break;
+      case Op::bcast:
+      case Op::gather:
+        o.peer = d.i32();
+        o.bytes = d.i64();
+        break;
+      case Op::reduce:
+        o.peer = d.i32();
+        o.bytes = d.i64();
+        o.red = d.red();
+        break;
+      case Op::allreduce:
+      case Op::scan:
+        o.bytes = d.i64();
+        o.red = d.red();
+        break;
+      case Op::allgather:
+      case Op::alltoall:
+        o.bytes = d.i64();
+        break;
+      case Op::alltoallv: {
+        const std::uint32_t n = d.u32();
+        o.send_bytes.reserve(n);
+        o.recv_bytes.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) o.send_bytes.push_back(d.i64());
+        for (std::uint32_t i = 0; i < n; ++i) o.recv_bytes.push_back(d.i64());
+        break;
+      }
+    }
+    d.done(op_name(o.op));
+    return o;
+  }
+
+  /// Bounds-checked reader over one frame payload.
+  struct Decoder {
+    const std::string& p;
+    const std::string& name;
+    std::size_t frame_at;
+    std::size_t at = 0;
+
+    [[noreturn]] void fail(const std::string& msg) const {
+      throw TraceError(name + ": offset " + std::to_string(frame_at) + ": " +
+                       msg);
+    }
+    std::uint8_t u8() {
+      if (at >= p.size()) fail("frame payload too short");
+      return static_cast<std::uint8_t>(p[at++]);
+    }
+    std::uint32_t u32() {
+      std::uint32_t v = 0;
+      for (int i = 0; i < 4; ++i) {
+        v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+      }
+      return v;
+    }
+    std::uint64_t u64() {
+      std::uint64_t v = 0;
+      for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+      }
+      return v;
+    }
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    mpi::ReduceOp red() {
+      const std::uint8_t v = u8();
+      if (v > 3) fail("invalid reduction code " + std::to_string(v));
+      return static_cast<mpi::ReduceOp>(v);
+    }
+    void done(const char* op) const {
+      if (at != p.size()) {
+        fail(std::string("'") + op + "' frame has " +
+             std::to_string(p.size() - at) + " excess byte(s)");
+      }
+    }
+  };
+
+  std::string data_;
+  std::string name_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+// ------------------------------------------------------------------- shared
+
+std::string RankTrace::meta_value(const std::string& key,
+                                  const std::string& fallback) const {
+  for (const auto& [k, v] : meta) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+const char* op_name(Op op) { return kOpNames[static_cast<std::size_t>(op)]; }
+
+bool op_from_name(const std::string& name, Op* out) {
+  for (std::size_t i = 0; i < kOpNames.size(); ++i) {
+    if (name == kOpNames[i]) {
+      *out = static_cast<Op>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* reduce_name(mpi::ReduceOp op) {
+  switch (op) {
+    case mpi::ReduceOp::sum: return "sum";
+    case mpi::ReduceOp::min: return "min";
+    case mpi::ReduceOp::max: return "max";
+    case mpi::ReduceOp::prod: return "prod";
+  }
+  return "sum";
+}
+
+void validate(const RankTrace& t, const std::string& name) {
+  const auto fail = [&](std::size_t op_index, const std::string& msg) {
+    throw TraceError(name + ": op " + std::to_string(op_index) + " (" +
+                     op_name(t.ops[op_index].op) + "): " + msg);
+  };
+  if (t.version != kTraceVersion) {
+    throw TraceError(name + ": unsupported trace version " +
+                     std::to_string(t.version));
+  }
+  if (t.size < 1) throw TraceError(name + ": world size must be >= 1");
+  if (t.rank < 0 || t.rank >= t.size) {
+    throw TraceError(name + ": rank " + std::to_string(t.rank) +
+                     " outside world of size " + std::to_string(t.size));
+  }
+  const auto peer_ok = [&](int p) { return p >= 0 && p < t.size; };
+  const auto wild_ok = [&](int p) { return p == -1 || peer_ok(p); };
+  std::uint64_t issued = 0;  // nonblocking requests so far
+  for (std::size_t i = 0; i < t.ops.size(); ++i) {
+    const TraceOp& o = t.ops[i];
+    if (o.bytes < 0 || o.bytes2 < 0) fail(i, "negative byte count");
+    switch (o.op) {
+      case Op::compute:
+        if (o.duration < sim::Time::zero()) fail(i, "negative duration");
+        break;
+      case Op::send:
+      case Op::isend:
+        if (!peer_ok(o.peer)) {
+          fail(i, "destination " + std::to_string(o.peer) +
+                      " outside world of size " + std::to_string(t.size));
+        }
+        if (o.tag < 0) fail(i, "send tag must be >= 0");
+        if (o.op == Op::isend) ++issued;
+        break;
+      case Op::recv:
+      case Op::irecv:
+        if (!wild_ok(o.peer)) {
+          fail(i, "source " + std::to_string(o.peer) +
+                      " outside world of size " + std::to_string(t.size));
+        }
+        if (o.tag < -1) fail(i, "receive tag must be >= 0 or 'any'");
+        if (o.op == Op::irecv) ++issued;
+        break;
+      case Op::wait:
+      case Op::test:
+        if (o.req >= issued) {
+          fail(i, "references request " + std::to_string(o.req) + " but only " +
+                      std::to_string(issued) +
+                      " nonblocking op(s) were issued before it");
+        }
+        break;
+      case Op::probe:
+      case Op::iprobe:
+        if (!wild_ok(o.peer)) fail(i, "probe source outside world");
+        if (o.tag < -1) fail(i, "probe tag must be >= 0 or 'any'");
+        break;
+      case Op::sendrecv:
+        if (!peer_ok(o.peer)) fail(i, "destination outside world");
+        if (o.tag < 0) fail(i, "send tag must be >= 0");
+        if (!wild_ok(o.peer2)) fail(i, "source outside world");
+        if (o.tag2 < -1) fail(i, "receive tag must be >= 0 or 'any'");
+        break;
+      case Op::barrier:
+      case Op::allgather:
+      case Op::alltoall:
+      case Op::allreduce:
+        break;
+      case Op::bcast:
+      case Op::reduce:
+      case Op::gather:
+        if (!peer_ok(o.peer)) {
+          fail(i, "root " + std::to_string(o.peer) +
+                      " outside world of size " + std::to_string(t.size));
+        }
+        break;
+      case Op::scan:
+        if (o.bytes != 1 && o.bytes != 2 && o.bytes != 4 && o.bytes != 8) {
+          fail(i, "scan element width must be 1, 2, 4 or 8 bytes");
+        }
+        break;
+      case Op::alltoallv:
+        if (o.send_bytes.size() != static_cast<std::size_t>(t.size) ||
+            o.recv_bytes.size() != static_cast<std::size_t>(t.size)) {
+          fail(i, "per-peer byte lists must have exactly " +
+                      std::to_string(t.size) + " entries");
+        }
+        for (std::int64_t v : o.send_bytes) {
+          if (v < 0) fail(i, "negative byte count");
+        }
+        for (std::int64_t v : o.recv_bytes) {
+          if (v < 0) fail(i, "negative byte count");
+        }
+        break;
+    }
+  }
+}
+
+void write_text(std::ostream& os, const RankTrace& t) {
+  os << "icst " << t.version << "\n";
+  os << "rank " << t.rank << " " << t.size << "\n";
+  for (const auto& [k, v] : t.meta) os << "meta " << k << " " << v << "\n";
+  for (const TraceOp& o : t.ops) {
+    os << op_name(o.op);
+    switch (o.op) {
+      case Op::compute:
+        os << " " << o.duration.picoseconds();
+        break;
+      case Op::send:
+      case Op::isend:
+        os << " " << o.peer << " " << o.bytes << " " << o.tag;
+        break;
+      case Op::recv:
+      case Op::irecv:
+        os << " " << wildcard(o.peer) << " " << o.bytes << " "
+           << wildcard(o.tag);
+        break;
+      case Op::wait:
+      case Op::test:
+        os << " " << o.req;
+        break;
+      case Op::probe:
+      case Op::iprobe:
+        os << " " << wildcard(o.peer) << " " << wildcard(o.tag);
+        break;
+      case Op::sendrecv:
+        os << " " << o.peer << " " << o.bytes << " " << o.tag << " "
+           << wildcard(o.peer2) << " " << o.bytes2 << " " << wildcard(o.tag2);
+        break;
+      case Op::barrier:
+        break;
+      case Op::bcast:
+      case Op::gather:
+        os << " " << o.peer << " " << o.bytes;
+        break;
+      case Op::reduce:
+        os << " " << o.peer << " " << o.bytes << " " << reduce_name(o.red);
+        break;
+      case Op::allreduce:
+      case Op::scan:
+        os << " " << o.bytes << " " << reduce_name(o.red);
+        break;
+      case Op::allgather:
+      case Op::alltoall:
+        os << " " << o.bytes;
+        break;
+      case Op::alltoallv:
+        os << " " << csv(o.send_bytes) << " " << csv(o.recv_bytes);
+        break;
+    }
+    os << "\n";
+  }
+  os << "end\n";
+}
+
+void write_binary(std::ostream& os, const RankTrace& t) {
+  std::string b;
+  for (unsigned char m : kMagic) put_u8(b, m);
+  put_u32(b, static_cast<std::uint32_t>(t.version));
+  put_u32(b, static_cast<std::uint32_t>(t.rank));
+  put_u32(b, static_cast<std::uint32_t>(t.size));
+  put_u32(b, static_cast<std::uint32_t>(t.meta.size()));
+  for (const auto& [k, v] : t.meta) {
+    put_u16(b, static_cast<std::uint16_t>(k.size()));
+    b += k;
+    put_u16(b, static_cast<std::uint16_t>(v.size()));
+    b += v;
+  }
+  for (const TraceOp& o : t.ops) {
+    const std::string p = encode_payload(o);
+    put_u16(b, static_cast<std::uint16_t>(p.size()));
+    b += p;
+  }
+  put_u16(b, 0);  // end frame
+  os.write(b.data(), static_cast<std::streamsize>(b.size()));
+}
+
+RankTrace parse(std::istream& is, const std::string& name) {
+  const int first = is.peek();
+  if (first == std::istream::traits_type::eof()) {
+    throw TraceError(name + ":1: empty input, expected 'icst 1' header");
+  }
+  if (static_cast<unsigned char>(first) == kMagic[0]) {
+    std::string data(std::istreambuf_iterator<char>(is), {});
+    return BinaryParser(std::move(data), name).run();
+  }
+  return TextParser(is, name).run();
+}
+
+RankTrace parse_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw TraceError(path + ": cannot open trace file");
+  return parse(f, path);
+}
+
+}  // namespace icsim::replay

@@ -1,0 +1,128 @@
+#pragma once
+// The .icst trace format (version 1): a per-rank log of top-level MPI
+// operations, recorded by mpi::Recorder hooks (capture) and executed by
+// replay::TraceProgram (replay).
+//
+// Two encodings share one in-memory representation (RankTrace):
+//
+//   * text  — one op per line, `#` comments, human-editable; starts with
+//             the header line `icst 1`.
+//   * binary — starts with the 8-byte magic 89 49 43 53 54 31 0D 0A
+//             ("\x89ICST1\r\n", PNG-style corruption canary), then a fixed
+//             header and length-framed records, all little-endian.
+//
+// Both round-trip losslessly: parse(write_text(t)) == t and
+// parse(write_binary(t)) == t for every valid trace.  Malformed input is
+// rejected with a TraceError carrying `<name>:<line>:` (text) or
+// `<name>: offset <n>:` (binary) diagnostics.  The grammar is specified in
+// docs/MODEL.md §11.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mpi/types.hpp"
+#include "sim/time.hpp"
+
+namespace icsim::replay {
+
+inline constexpr int kTraceVersion = 1;
+
+/// Trace opcodes.  Numeric values are the binary-encoding opcodes and must
+/// never be reordered once released (append only).
+enum class Op : std::uint8_t {
+  compute = 0,
+  send = 1,
+  isend = 2,
+  recv = 3,
+  irecv = 4,
+  wait = 5,
+  test = 6,
+  probe = 7,
+  iprobe = 8,
+  sendrecv = 9,
+  barrier = 10,
+  bcast = 11,
+  reduce = 12,
+  allreduce = 13,
+  allgather = 14,
+  alltoall = 15,
+  alltoallv = 16,
+  gather = 17,
+  scan = 18,
+};
+
+inline constexpr int kOpCount = 19;
+
+/// One recorded operation.  Field use depends on `op`; unused fields keep
+/// their defaults so defaulted equality gives lossless round-trip checks.
+struct TraceOp {
+  Op op = Op::barrier;
+
+  sim::Time duration{};        ///< compute
+  int peer = -1;               ///< dst (sends), src (recvs/probes), root
+  std::int64_t bytes = 0;      ///< payload bytes / recv capacity / block bytes
+  int tag = 0;                 ///< -1 encodes the `any` wildcard on recvs
+  int peer2 = -1;              ///< sendrecv: receive-side source
+  std::int64_t bytes2 = 0;     ///< sendrecv: receive capacity
+  int tag2 = 0;                ///< sendrecv: receive tag (-1 = any)
+  std::uint64_t req = 0;       ///< wait/test: 0-based isend/irecv sequence no.
+  mpi::ReduceOp red = mpi::ReduceOp::sum;
+  std::vector<std::int64_t> send_bytes;  ///< alltoallv: bytes per destination
+  std::vector<std::int64_t> recv_bytes;  ///< alltoallv: bytes per source
+
+  bool operator==(const TraceOp&) const = default;
+};
+
+/// A complete single-rank trace.
+struct RankTrace {
+  int version = kTraceVersion;
+  int rank = 0;
+  int size = 1;
+  /// Free-form provenance (net, nodes, ppn, app ...), order-preserving.
+  std::vector<std::pair<std::string, std::string>> meta;
+  std::vector<TraceOp> ops;
+
+  bool operator==(const RankTrace&) const = default;
+
+  /// First value stored under `key`, or `fallback` when absent.
+  [[nodiscard]] std::string meta_value(const std::string& key,
+                                       const std::string& fallback = "") const;
+};
+
+/// Parse/validation failure; what() starts with the input name and a line
+/// number (text) or byte offset (binary).
+class TraceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Canonical lower-case mnemonic for an opcode ("allreduce", ...).
+[[nodiscard]] const char* op_name(Op op);
+
+/// Mnemonic -> opcode; returns false when `name` is not an opcode.
+[[nodiscard]] bool op_from_name(const std::string& name, Op* out);
+
+/// Canonical name for a reduction ("sum", "min", "max", "prod").
+[[nodiscard]] const char* reduce_name(mpi::ReduceOp op);
+
+void write_text(std::ostream& os, const RankTrace& t);
+void write_binary(std::ostream& os, const RankTrace& t);
+
+/// Parse either encoding (sniffed from the first byte) and validate.
+/// `name` labels diagnostics (usually the file path).  Throws TraceError.
+[[nodiscard]] RankTrace parse(std::istream& is, const std::string& name);
+
+/// Convenience: open `path` (binary mode) and parse it.
+[[nodiscard]] RankTrace parse_file(const std::string& path);
+
+/// Structural validation shared by both parsers: header sanity, peer/root
+/// ranges, wait/test referencing an already-issued request, alltoallv list
+/// lengths, scan widths.  Throws TraceError; `name` labels diagnostics.
+void validate(const RankTrace& t, const std::string& name);
+
+}  // namespace icsim::replay

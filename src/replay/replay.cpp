@@ -1,0 +1,212 @@
+#include "replay/replay.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <numeric>
+
+namespace icsim::replay {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& name, const std::string& msg) {
+  throw TraceError((name.empty() ? std::string("trace set") : name) + ": " +
+                   msg);
+}
+
+int checked_count(std::int64_t bytes, const std::string& what) {
+  if (bytes > std::numeric_limits<int>::max()) {
+    throw TraceError(what + " byte count " + std::to_string(bytes) +
+                     " exceeds the replay limit");
+  }
+  return static_cast<int>(bytes);
+}
+
+}  // namespace
+
+TraceProgram TraceProgram::load_dir(const std::string& dir) {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file()) continue;
+    if (it->path().extension() != ".icst") continue;
+    paths.push_back(it->path().string());
+  }
+  if (ec) fail(dir, "cannot read trace directory (" + ec.message() + ")");
+  if (paths.empty()) fail(dir, "no .icst files found");
+  std::sort(paths.begin(), paths.end());
+  std::vector<RankTrace> traces;
+  traces.reserve(paths.size());
+  for (const std::string& p : paths) traces.push_back(parse_file(p));
+  return from_traces(std::move(traces), dir);
+}
+
+TraceProgram TraceProgram::from_traces(std::vector<RankTrace> ranks,
+                                       const std::string& name) {
+  if (ranks.empty()) fail(name, "no rank traces");
+  std::sort(ranks.begin(), ranks.end(),
+            [](const RankTrace& a, const RankTrace& b) {
+              return a.rank < b.rank;
+            });
+  const int world = ranks.front().size;
+  if (world != static_cast<int>(ranks.size())) {
+    fail(name, "world size " + std::to_string(world) + " but " +
+                   std::to_string(ranks.size()) + " rank trace(s) present");
+  }
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    const RankTrace& t = ranks[i];
+    if (t.size != world) {
+      fail(name, "rank " + std::to_string(t.rank) + " declares world size " +
+                     std::to_string(t.size) + ", expected " +
+                     std::to_string(world));
+    }
+    if (t.rank != static_cast<int>(i)) {
+      fail(name, "rank " + std::to_string(i) + " is " +
+                     (t.rank < static_cast<int>(i) ? "duplicated" : "missing"));
+    }
+  }
+  TraceProgram p;
+  p.ranks_ = std::move(ranks);
+  return p;
+}
+
+int TraceProgram::ppn() const {
+  const std::string v = ranks_.front().meta_value("ppn", "1");
+  const int n = std::atoi(v.c_str());
+  return n >= 1 ? n : 1;
+}
+
+std::size_t TraceProgram::total_ops() const {
+  std::size_t n = 0;
+  for (const RankTrace& t : ranks_) n += t.ops.size();
+  return n;
+}
+
+void TraceProgram::run_rank(mpi::Mpi& m) const {
+  assert(m.size() == size());
+  const RankTrace& t = ranks_[static_cast<std::size_t>(m.rank())];
+
+  // Live nonblocking requests and their pinned buffers, indexed by the
+  // trace's implicit request numbering (k-th isend/irecv = request k).
+  // Inner vectors never move on outer growth, so posted data pointers stay
+  // valid until completion.
+  std::vector<mpi::Request> live;
+  std::vector<std::vector<unsigned char>> pinned;
+  // Scratch for blocking ops and collectives; contents are irrelevant to
+  // modeled timing, only sizes and envelopes matter.
+  std::vector<unsigned char> a;
+  std::vector<unsigned char> b;
+  const auto grow = [](std::vector<unsigned char>& v, std::int64_t n) {
+    const auto need = static_cast<std::size_t>(n);
+    if (v.size() < need) v.resize(need);
+    return v.data();
+  };
+
+  for (const TraceOp& o : t.ops) {
+    switch (o.op) {
+      case Op::compute:
+        m.compute(o.duration);
+        break;
+      case Op::send:
+        m.send(grow(a, o.bytes), static_cast<std::size_t>(o.bytes), o.peer,
+               o.tag);
+        break;
+      case Op::recv:
+        m.recv(grow(a, o.bytes), static_cast<std::size_t>(o.bytes), o.peer,
+               o.tag);
+        break;
+      case Op::isend: {
+        pinned.emplace_back(static_cast<std::size_t>(o.bytes));
+        live.push_back(m.isend(pinned.back().data(),
+                               static_cast<std::size_t>(o.bytes), o.peer,
+                               o.tag));
+        break;
+      }
+      case Op::irecv: {
+        pinned.emplace_back(static_cast<std::size_t>(o.bytes));
+        live.push_back(m.irecv(pinned.back().data(),
+                               static_cast<std::size_t>(o.bytes), o.peer,
+                               o.tag));
+        break;
+      }
+      case Op::wait:
+        m.wait(live[static_cast<std::size_t>(o.req)]);
+        break;
+      case Op::test:
+        (void)m.test(live[static_cast<std::size_t>(o.req)]);
+        break;
+      case Op::probe:
+        (void)m.probe(o.peer, o.tag);
+        break;
+      case Op::iprobe:
+        (void)m.iprobe(o.peer, o.tag);
+        break;
+      case Op::sendrecv:
+        m.sendrecv(grow(a, o.bytes), static_cast<std::size_t>(o.bytes), o.peer,
+                   o.tag, grow(b, o.bytes2),
+                   static_cast<std::size_t>(o.bytes2), o.peer2, o.tag2);
+        break;
+      case Op::barrier:
+        m.barrier();
+        break;
+      case Op::bcast:
+        m.bcast(grow(a, o.bytes), static_cast<std::size_t>(o.bytes), o.peer);
+        break;
+      case Op::reduce:
+        m.reduce(grow(a, o.bytes), grow(b, o.bytes),
+                 static_cast<std::size_t>(o.bytes), o.red, o.peer);
+        break;
+      case Op::allreduce:
+        m.allreduce(grow(a, o.bytes), grow(b, o.bytes),
+                    static_cast<std::size_t>(o.bytes), o.red);
+        break;
+      case Op::allgather:
+        m.allgather(grow(a, o.bytes), static_cast<std::size_t>(o.bytes),
+                    grow(b, o.bytes * m.size()));
+        break;
+      case Op::alltoall:
+        m.alltoall(grow(a, o.bytes * m.size()),
+                   static_cast<std::size_t>(o.bytes),
+                   grow(b, o.bytes * m.size()));
+        break;
+      case Op::alltoallv: {
+        const int world = m.size();
+        std::vector<int> scount(static_cast<std::size_t>(world));
+        std::vector<int> rcount(static_cast<std::size_t>(world));
+        std::vector<int> sdispl(static_cast<std::size_t>(world));
+        std::vector<int> rdispl(static_cast<std::size_t>(world));
+        std::int64_t stotal = 0;
+        std::int64_t rtotal = 0;
+        for (int r = 0; r < world; ++r) {
+          const auto ri = static_cast<std::size_t>(r);
+          scount[ri] = checked_count(o.send_bytes[ri], "alltoallv send");
+          rcount[ri] = checked_count(o.recv_bytes[ri], "alltoallv recv");
+          sdispl[ri] = checked_count(stotal, "alltoallv send displacement");
+          rdispl[ri] = checked_count(rtotal, "alltoallv recv displacement");
+          stotal += o.send_bytes[ri];
+          rtotal += o.recv_bytes[ri];
+        }
+        m.alltoallv(grow(a, stotal), scount, sdispl, grow(b, rtotal), rcount,
+                    rdispl);
+        break;
+      }
+      case Op::gather:
+        m.gather(grow(a, o.bytes), static_cast<std::size_t>(o.bytes),
+                 grow(b, o.bytes * m.size()), o.peer);
+        break;
+      case Op::scan:
+        switch (o.bytes) {
+          case 1: (void)m.scan<std::uint8_t>(0, o.red); break;
+          case 2: (void)m.scan<std::uint16_t>(0, o.red); break;
+          case 4: (void)m.scan<std::uint32_t>(0, o.red); break;
+          default: (void)m.scan<std::uint64_t>(0, o.red); break;
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace icsim::replay

@@ -1,0 +1,59 @@
+#pragma once
+// Replay side of trace-driven workloads: a TraceProgram is a complete
+// multi-rank .icst trace set that can drive either transport (InfiniBand
+// mvapich_transport or Elan-4 quadrics_transport) exactly like a built-in
+// app — each rank's fiber walks its op list and issues the same top-level
+// MPI calls the captured application made.
+//
+// Determinism contract: replaying a capture of app X on the same
+// ClusterConfig (network, nodes, ppn, seed) produces the identical
+// RunStats::event_digest as the original run of X.  Payload contents never
+// influence modeled timing, so replay uses scratch buffers; envelopes
+// (peer, bytes, tag), op order and compute durations are what matter.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mpi/mpi.hpp"
+#include "replay/format.hpp"
+
+namespace icsim::replay {
+
+class TraceProgram {
+ public:
+  /// Load every `*.icst` file in `dir` (sorted by filename) and assemble a
+  /// program.  Throws TraceError on parse failures or an inconsistent set
+  /// (missing/duplicate ranks, mismatched world sizes or meta).
+  [[nodiscard]] static TraceProgram load_dir(const std::string& dir);
+
+  /// Assemble from in-memory traces (same consistency checks).
+  [[nodiscard]] static TraceProgram from_traces(std::vector<RankTrace> ranks,
+                                                const std::string& name = "");
+
+  [[nodiscard]] int size() const { return static_cast<int>(ranks_.size()); }
+  /// Processes per node, from the `ppn` meta key (default 1).
+  [[nodiscard]] int ppn() const;
+  /// Node count implied by size() and ppn().
+  [[nodiscard]] int nodes() const {
+    return (size() + ppn() - 1) / ppn();
+  }
+  /// The fabric the trace was captured on ("ib" / "el" / ...), or "".
+  [[nodiscard]] std::string net() const {
+    return ranks_.front().meta_value("net");
+  }
+  [[nodiscard]] const RankTrace& rank(int r) const {
+    return ranks_[static_cast<std::size_t>(r)];
+  }
+  /// Total op count across ranks (for stats/reporting).
+  [[nodiscard]] std::size_t total_ops() const;
+
+  /// Execute this program's op list for rank `m.rank()`.  Pass as the
+  /// rank_main of core::Cluster::run.  Requires m.size() == size().
+  void run_rank(mpi::Mpi& m) const;
+
+ private:
+  std::vector<RankTrace> ranks_;  // index == rank
+};
+
+}  // namespace icsim::replay

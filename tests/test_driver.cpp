@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -11,6 +14,7 @@
 #include "core/cluster.hpp"
 #include "driver/runner.hpp"
 #include "driver/scenario.hpp"
+#include "driver/sweep_main.hpp"
 #include "microbench/pingpong.hpp"
 #include "sim/engine.hpp"
 
@@ -154,6 +158,61 @@ TEST(Runner, ThrowingScenarioIsReportedWithoutPoisoningTheBatch) {
   EXPECT_FALSE(r.ok());
   // Serializations still produced, and deterministically so.
   EXPECT_EQ(r.to_json(), run_sweep(reg, {}, SweepOptions{}).to_json());
+}
+
+// CLI-level behavior of sweep_main, called directly with fake argv.
+int run_cli(const Registry& reg, std::vector<std::string> args) {
+  std::vector<char*> argv;
+  args.insert(args.begin(), "icsim_sweep");
+  argv.reserve(args.size());
+  for (auto& a : args) argv.push_back(a.data());
+  return sweep_main(reg, static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(SweepCli, UnknownGroupIsAHardErrorListingValidGroups) {
+  const Registry reg = make_registry();
+  ::testing::internal::CaptureStderr();
+  const int rc = run_cli(reg, {"--quiet", "no_such_group"});
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(err.find("unknown scenario group 'no_such_group'"),
+            std::string::npos)
+      << err;
+  EXPECT_NE(err.find("alpha"), std::string::npos) << err;
+  EXPECT_NE(err.find("rndv"), std::string::npos) << err;
+}
+
+TEST(SweepCli, OutInfersFormatFromExtension) {
+  const Registry reg = make_registry();
+  const std::string base = ::testing::TempDir() + "icsim_sweep_out";
+  const std::string json_path = base + ".json";
+  const std::string csv_path = base + ".csv";
+  std::filesystem::remove(json_path);
+  std::filesystem::remove(csv_path);
+  EXPECT_EQ(run_cli(reg, {"--quiet", "--out", json_path, "alpha"}), 0);
+  EXPECT_EQ(run_cli(reg, {"--quiet", "--out", csv_path, "alpha"}), 0);
+  // --out matches the explicit --json/--csv flags byte for byte.
+  const std::string json_ref = base + ".ref.json";
+  const std::string csv_ref = base + ".ref.csv";
+  EXPECT_EQ(run_cli(reg, {"--quiet", "--json", json_ref, "alpha"}), 0);
+  EXPECT_EQ(run_cli(reg, {"--quiet", "--csv", csv_ref, "alpha"}), 0);
+  const auto slurp = [](const std::string& p) {
+    std::ifstream f(p);
+    return std::string(std::istreambuf_iterator<char>(f), {});
+  };
+  EXPECT_FALSE(slurp(json_path).empty());
+  EXPECT_EQ(slurp(json_path), slurp(json_ref));
+  EXPECT_EQ(slurp(csv_path), slurp(csv_ref));
+  EXPECT_NE(slurp(json_path).find("\"groups\""), std::string::npos);
+}
+
+TEST(SweepCli, OutWithoutRecognizedExtensionFails) {
+  const Registry reg = make_registry();
+  ::testing::internal::CaptureStderr();
+  const int rc = run_cli(reg, {"--quiet", "--out", "report.txt", "alpha"});
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(err.find(".json or .csv"), std::string::npos) << err;
 }
 
 }  // namespace

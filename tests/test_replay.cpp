@@ -1,0 +1,571 @@
+// Trace-driven replay (src/replay/): format round-trips, precise rejection
+// of malformed input, and the headline determinism contract — replaying a
+// captured run reproduces its RunStats::event_digest exactly, on both
+// fabrics, for real applications (pingpong, NPB CG, LAMMPS LJ) and for
+// hand-written synthetic traces with no corresponding C++ app.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/lammps/md.hpp"
+#include "apps/npb/cg.hpp"
+#include "core/cluster.hpp"
+#include "microbench/pingpong.hpp"
+#include "replay/capture.hpp"
+#include "replay/format.hpp"
+#include "replay/replay.hpp"
+
+namespace icsim::replay {
+namespace {
+
+// ------------------------------------------------------------------ format
+
+/// One op of every kind, wildcards and non-defaults included.
+RankTrace exhaustive_trace() {
+  RankTrace t;
+  t.rank = 1;
+  t.size = 4;
+  t.meta = {{"net", "ib"}, {"app", "unit test"}, {"ppn", "2"}};
+  const auto add = [&t](TraceOp o) { t.ops.push_back(std::move(o)); };
+  TraceOp o;
+  o.op = Op::compute;
+  o.duration = sim::Time::us(3.5);
+  add(o);
+  o = {};
+  o.op = Op::isend;
+  o.peer = 2;
+  o.bytes = 4096;
+  o.tag = 17;
+  add(o);
+  o = {};
+  o.op = Op::irecv;
+  o.peer = -1;  // any source
+  o.bytes = 8192;
+  o.tag = -1;  // any tag
+  add(o);
+  o = {};
+  o.op = Op::test;
+  o.req = 0;
+  add(o);
+  o = {};
+  o.op = Op::wait;
+  o.req = 1;
+  add(o);
+  o = {};
+  o.op = Op::send;
+  o.peer = 0;
+  o.bytes = 1;
+  o.tag = 0;
+  add(o);
+  o = {};
+  o.op = Op::recv;
+  o.peer = 3;
+  o.bytes = 64;
+  o.tag = 9;
+  add(o);
+  o = {};
+  o.op = Op::probe;
+  o.peer = -1;
+  o.tag = 5;
+  add(o);
+  o = {};
+  o.op = Op::iprobe;
+  o.peer = 2;
+  o.tag = -1;
+  add(o);
+  o = {};
+  o.op = Op::sendrecv;
+  o.peer = 2;
+  o.bytes = 100;
+  o.tag = 3;
+  o.peer2 = -1;
+  o.bytes2 = 200;
+  o.tag2 = -1;
+  add(o);
+  o = {};
+  o.op = Op::barrier;
+  add(o);
+  o = {};
+  o.op = Op::bcast;
+  o.peer = 0;
+  o.bytes = 1024;
+  add(o);
+  o = {};
+  o.op = Op::reduce;
+  o.peer = 3;
+  o.bytes = 80;
+  o.red = mpi::ReduceOp::max;
+  add(o);
+  o = {};
+  o.op = Op::allreduce;
+  o.bytes = 8;
+  o.red = mpi::ReduceOp::min;
+  add(o);
+  o = {};
+  o.op = Op::allgather;
+  o.bytes = 256;
+  add(o);
+  o = {};
+  o.op = Op::alltoall;
+  o.bytes = 512;
+  add(o);
+  o = {};
+  o.op = Op::alltoallv;
+  o.send_bytes = {0, 8, 16, 24};
+  o.recv_bytes = {4, 0, 12, 20};
+  add(o);
+  o = {};
+  o.op = Op::gather;
+  o.peer = 2;
+  o.bytes = 40;
+  add(o);
+  o = {};
+  o.op = Op::scan;
+  o.bytes = 8;
+  o.red = mpi::ReduceOp::prod;
+  add(o);
+  return t;
+}
+
+TEST(TraceFormat, TextRoundTripsLosslessly) {
+  const RankTrace t = exhaustive_trace();
+  std::stringstream ss;
+  write_text(ss, t);
+  const RankTrace back = parse(ss, "text");
+  EXPECT_EQ(t, back);
+}
+
+TEST(TraceFormat, BinaryRoundTripsLosslessly) {
+  const RankTrace t = exhaustive_trace();
+  std::stringstream ss;
+  write_binary(ss, t);
+  const RankTrace back = parse(ss, "bin");
+  EXPECT_EQ(t, back);
+}
+
+TEST(TraceFormat, TextAndBinaryAgree) {
+  const RankTrace t = exhaustive_trace();
+  std::stringstream text, bin;
+  write_text(text, t);
+  write_binary(bin, t);
+  EXPECT_EQ(parse(text, "t"), parse(bin, "b"));
+}
+
+TEST(TraceFormat, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss(
+      "# leading comment\n"
+      "icst 1\n"
+      "\n"
+      "rank 0 2\n"
+      "meta app demo app with spaces\n"
+      "send 1 64 5   # trailing comment\n"
+      "end\n");
+  const RankTrace t = parse(ss, "in");
+  ASSERT_EQ(t.ops.size(), 1u);
+  EXPECT_EQ(t.ops[0].op, Op::send);
+  EXPECT_EQ(t.meta_value("app"), "demo app with spaces");
+}
+
+void expect_error(const std::string& text, const std::string& needle) {
+  std::stringstream ss(text);
+  try {
+    (void)parse(ss, "in");
+    FAIL() << "expected TraceError containing '" << needle << "'";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(TraceFormatErrors, TruncatedFile) {
+  expect_error("icst 1\nrank 0 2\nsend 1 64 5\n", "missing 'end'");
+}
+
+TEST(TraceFormatErrors, BadOpcode) {
+  expect_error("icst 1\nrank 0 2\nfrobnicate 1 2\nend\n",
+               "in:3: unknown opcode 'frobnicate'");
+}
+
+TEST(TraceFormatErrors, BadArity) {
+  expect_error("icst 1\nrank 0 2\nsend 1 64\nend\n", "in:3:");
+}
+
+TEST(TraceFormatErrors, NotAnInteger) {
+  expect_error("icst 1\nrank 0 2\nsend one 64 5\nend\n", "not an integer");
+}
+
+TEST(TraceFormatErrors, NegativeBytes) {
+  expect_error("icst 1\nrank 0 2\nsend 1 -64 5\nend\n", "out of range");
+}
+
+TEST(TraceFormatErrors, RankOutsideWorld) {
+  expect_error("icst 1\nrank 5 2\nend\n", "rank 5 outside world of size 2");
+}
+
+TEST(TraceFormatErrors, PeerOutsideWorld) {
+  expect_error("icst 1\nrank 0 2\nsend 7 64 5\nend\n",
+               "destination 7 outside world of size 2");
+}
+
+TEST(TraceFormatErrors, WaitOnUnissuedRequest) {
+  expect_error("icst 1\nrank 0 2\nwait 0\nend\n",
+               "only 0 nonblocking op(s) were issued");
+}
+
+TEST(TraceFormatErrors, TrailingContentAfterEnd) {
+  expect_error("icst 1\nrank 0 2\nend\nbarrier\n", "trailing content");
+}
+
+TEST(TraceFormatErrors, AlltoallvListLengthMismatch) {
+  expect_error("icst 1\nrank 0 4\nalltoallv 1,2 1,2,3,4\nend\n",
+               "exactly 4 entries");
+}
+
+TEST(TraceFormatErrors, ScanWidthRejected) {
+  expect_error("icst 1\nrank 0 2\nscan 3 sum\nend\n",
+               "element width must be 1, 2, 4 or 8");
+}
+
+TEST(TraceFormatErrors, UnsupportedVersion) {
+  expect_error("icst 9\nrank 0 2\nend\n", "unsupported trace version 9");
+}
+
+std::string binary_bytes(const RankTrace& t) {
+  std::stringstream ss;
+  write_binary(ss, t);
+  return ss.str();
+}
+
+void expect_binary_error(const std::string& data, const std::string& needle) {
+  std::stringstream ss(data);
+  try {
+    (void)parse(ss, "bin");
+    FAIL() << "expected TraceError containing '" << needle << "'";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(TraceFormatErrors, BinaryTruncated) {
+  const std::string full = binary_bytes(exhaustive_trace());
+  expect_binary_error(full.substr(0, full.size() - 3), "truncated");
+  expect_binary_error(full.substr(0, 10), "truncated");
+}
+
+TEST(TraceFormatErrors, BinaryBadMagic) {
+  std::string full = binary_bytes(exhaustive_trace());
+  full[3] ^= 0x40;
+  expect_binary_error(full, "bad magic");
+}
+
+TEST(TraceFormatErrors, BinaryBadOpcode) {
+  RankTrace t;
+  t.rank = 0;
+  t.size = 2;
+  TraceOp o;
+  o.op = Op::barrier;
+  t.ops.push_back(o);
+  std::string data = binary_bytes(t);
+  // The barrier frame is [len=1][opcode]; corrupt the opcode byte.
+  data[data.size() - 3] = static_cast<char>(0x7f);
+  expect_binary_error(data, "unknown opcode 127");
+}
+
+TEST(TraceFormatErrors, BinaryFrameLengthMismatch) {
+  RankTrace t;
+  t.rank = 0;
+  t.size = 2;
+  TraceOp o;
+  o.op = Op::barrier;
+  t.ops.push_back(o);
+  std::string data = binary_bytes(t);
+  // Grow the barrier frame's declared length without adding payload: the
+  // end frame's bytes get swallowed and the parse must fail loudly.
+  data[data.size() - 5] = 3;
+  expect_binary_error(data, "excess byte(s)");
+}
+
+TEST(TraceFormatErrors, BinaryTrailingGarbage) {
+  std::string data = binary_bytes(exhaustive_trace());
+  data += "xx";
+  expect_binary_error(data, "trailing 2 byte(s)");
+}
+
+// ----------------------------------------------------------------- program
+
+TEST(TraceProgramErrors, MissingRank) {
+  RankTrace r0;
+  r0.rank = 0;
+  r0.size = 3;
+  RankTrace r2 = r0;
+  r2.rank = 2;
+  try {
+    (void)TraceProgram::from_traces({r0, r2}, "set");
+    FAIL() << "expected TraceError";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("world size 3 but 2 rank"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceProgramErrors, WorldSizeMismatch) {
+  RankTrace r0;
+  r0.rank = 0;
+  r0.size = 2;
+  RankTrace r1;
+  r1.rank = 1;
+  r1.size = 4;  // disagrees with r0
+  try {
+    (void)TraceProgram::from_traces({r0, r1}, "set");
+    FAIL() << "expected TraceError";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("declares world size"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceProgramErrors, DuplicateRank) {
+  RankTrace r0;
+  r0.rank = 0;
+  r0.size = 2;
+  try {
+    (void)TraceProgram::from_traces({r0, r0}, "set");
+    FAIL() << "expected TraceError";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicated"), std::string::npos)
+        << e.what();
+  }
+}
+
+// --------------------------------------------------- capture -> replay
+
+/// Fresh per-test capture directory under the gtest temp root.
+std::string capture_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "icsim_replay_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Capture `app` on `cc`, then replay the written trace set on an
+/// identical cluster and require digest equality.
+void expect_capture_replay_digest(const core::ClusterConfig& cc,
+                                  const std::function<void(mpi::Mpi&)>& app,
+                                  const std::string& dir) {
+  std::uint64_t captured = 0;
+  {
+    core::ClusterConfig cap = cc;
+    cap.mpi_trace_dir = dir;
+    core::Cluster cluster(cap);
+    (void)cluster.run(app);
+    captured = cluster.stats().event_digest;
+  }
+  const TraceProgram program = TraceProgram::load_dir(dir);
+  EXPECT_EQ(program.size(), cc.nodes * cc.ppn);
+  core::Cluster cluster(cc);
+  (void)cluster.run([&program](mpi::Mpi& m) { program.run_rank(m); });
+  EXPECT_EQ(cluster.stats().event_digest, captured)
+      << "replay of " << dir << " diverged from its capture";
+}
+
+apps::npb::CgConfig tiny_cg() {
+  apps::npb::CgConfig cfg;
+  cfg.cls = apps::npb::CgClass{"T", 240, 5, 5, 5.0, 0.1};
+  cfg.cg_iterations = 4;
+  return cfg;
+}
+
+apps::md::MdConfig tiny_md() {
+  apps::md::MdConfig c = apps::md::ljs_config();
+  c.cells_x = c.cells_y = c.cells_z = 4;
+  c.steps = 6;
+  return c;
+}
+
+TEST(CaptureReplay, PingPongInfiniband) {
+  expect_capture_replay_digest(
+      core::ib_cluster(2),
+      [](mpi::Mpi& m) {
+        std::vector<char> buf(2048);
+        for (int rep = 0; rep < 8; ++rep) {
+          if (m.rank() == 0) {
+            m.send(buf.data(), 1024, 1, 7);
+            m.recv(buf.data(), buf.size(), 1, 7);
+          } else if (m.rank() == 1) {
+            m.recv(buf.data(), buf.size(), 0, 7);
+            m.send(buf.data(), 1024, 0, 7);
+          }
+        }
+      },
+      capture_dir("pp_ib"));
+}
+
+TEST(CaptureReplay, PingPongElan) {
+  expect_capture_replay_digest(
+      core::elan_cluster(2),
+      [](mpi::Mpi& m) {
+        std::vector<char> buf(2048);
+        for (int rep = 0; rep < 8; ++rep) {
+          if (m.rank() == 0) {
+            m.send(buf.data(), 1024, 1, 7);
+            m.recv(buf.data(), buf.size(), 1, 7);
+          } else if (m.rank() == 1) {
+            m.recv(buf.data(), buf.size(), 0, 7);
+            m.send(buf.data(), 1024, 0, 7);
+          }
+        }
+      },
+      capture_dir("pp_el"));
+}
+
+TEST(CaptureReplay, PingPongMicrobenchDigestMatches) {
+  // The real microbench harness, captured via its own ClusterConfig.
+  const std::string dir = capture_dir("pp_micro");
+  core::ClusterConfig cc = core::ib_cluster(2);
+  microbench::PingPongOptions opt;
+  opt.sizes = {64, 4096};
+  opt.repetitions = 5;
+  opt.warmup = 1;
+  core::Cluster::RunStats captured;
+  opt.stats = &captured;
+  {
+    core::ClusterConfig cap = cc;
+    cap.mpi_trace_dir = dir;
+    (void)microbench::run_pingpong(cap, opt);
+  }
+  const TraceProgram program = TraceProgram::load_dir(dir);
+  core::Cluster cluster(cc);
+  (void)cluster.run([&program](mpi::Mpi& m) { program.run_rank(m); });
+  EXPECT_EQ(cluster.stats().event_digest, captured.event_digest);
+}
+
+TEST(CaptureReplay, NpbCgInfiniband) {
+  const apps::npb::CgConfig cfg = tiny_cg();
+  expect_capture_replay_digest(
+      core::ib_cluster(4),
+      [cfg](mpi::Mpi& m) { (void)apps::npb::run_cg(m, cfg); },
+      capture_dir("cg_ib"));
+}
+
+TEST(CaptureReplay, NpbCgElan) {
+  const apps::npb::CgConfig cfg = tiny_cg();
+  expect_capture_replay_digest(
+      core::elan_cluster(4),
+      [cfg](mpi::Mpi& m) { (void)apps::npb::run_cg(m, cfg); },
+      capture_dir("cg_el"));
+}
+
+TEST(CaptureReplay, LammpsLjInfiniband) {
+  const apps::md::MdConfig mc = tiny_md();
+  expect_capture_replay_digest(
+      core::ib_cluster(2, 2),
+      [mc](mpi::Mpi& m) { (void)apps::md::run_md(m, mc); },
+      capture_dir("md_ib"));
+}
+
+TEST(CaptureReplay, LammpsLjElan) {
+  const apps::md::MdConfig mc = tiny_md();
+  expect_capture_replay_digest(
+      core::elan_cluster(2, 2),
+      [mc](mpi::Mpi& m) { (void)apps::md::run_md(m, mc); },
+      capture_dir("md_el"));
+}
+
+TEST(CaptureReplay, CaptureDoesNotPerturbTheDigest) {
+  // The instrumented run itself must keep the uninstrumented digest —
+  // recording is pure observation.
+  const auto app = [](mpi::Mpi& m) {
+    std::vector<char> buf(512);
+    if (m.rank() == 0) m.send(buf.data(), 256, 1, 3);
+    if (m.rank() == 1) m.recv(buf.data(), buf.size(), 0, 3);
+    m.barrier();
+  };
+  std::uint64_t plain = 0;
+  {
+    core::Cluster cluster(core::ib_cluster(2));
+    (void)cluster.run(app);
+    plain = cluster.stats().event_digest;
+  }
+  core::ClusterConfig cap = core::ib_cluster(2);
+  cap.mpi_trace_dir = capture_dir("noperturb");
+  core::Cluster cluster(cap);
+  (void)cluster.run(app);
+  EXPECT_EQ(cluster.stats().event_digest, plain);
+}
+
+// ------------------------------------------------------ synthetic traces
+
+/// A synthetic 2-rank trace written by hand — no C++ app behind it.
+std::vector<RankTrace> synthetic_pair() {
+  const char* text0 =
+      "icst 1\n"
+      "rank 0 2\n"
+      "compute 1500000\n"
+      "isend 1 4096 3\n"
+      "irecv any 4096 any\n"
+      "compute 2000000\n"
+      "wait 0\n"
+      "wait 1\n"
+      "allreduce 8 sum\n"
+      "scan 4 sum\n"
+      "alltoallv 0,128 0,96\n"
+      "barrier\n"
+      "end\n";
+  const char* text1 =
+      "icst 1\n"
+      "rank 1 2\n"
+      "compute 900000\n"
+      "isend 0 4096 3\n"
+      "irecv any 4096 any\n"
+      "wait 0\n"
+      "wait 1\n"
+      "allreduce 8 sum\n"
+      "scan 4 sum\n"
+      "alltoallv 96,0 128,0\n"
+      "barrier\n"
+      "end\n";
+  std::stringstream s0(text0), s1(text1);
+  return {parse(s0, "r0"), parse(s1, "r1")};
+}
+
+TEST(SyntheticTrace, RunsOnBothFabricsDeterministically) {
+  const TraceProgram program = TraceProgram::from_traces(synthetic_pair());
+  for (const auto maker : {core::ib_cluster, core::elan_cluster}) {
+    std::uint64_t first = 0;
+    for (int round = 0; round < 2; ++round) {
+      core::Cluster cluster(maker(2, 1));
+      (void)cluster.run([&program](mpi::Mpi& m) { program.run_rank(m); });
+      const std::uint64_t d = cluster.stats().event_digest;
+      EXPECT_NE(d, 0u);
+      if (round == 0) {
+        first = d;
+      } else {
+        EXPECT_EQ(d, first) << "same synthetic trace, same fabric, "
+                               "different digest";
+      }
+    }
+  }
+}
+
+TEST(SyntheticTrace, SessionWriteThenLoadDirRoundTrips) {
+  // CaptureSession::write and TraceProgram::load_dir are inverses.
+  const std::string dir = capture_dir("session_rt");
+  CaptureSession session(2, {{"net", "el"}, {"ppn", "1"}});
+  session.recorder(0).trace() = synthetic_pair()[0];
+  session.recorder(1).trace() = synthetic_pair()[1];
+  session.write(dir, /*binary=*/true);
+  const TraceProgram program = TraceProgram::load_dir(dir);
+  EXPECT_EQ(program.size(), 2);
+  EXPECT_EQ(program.rank(0), synthetic_pair()[0]);
+  EXPECT_EQ(program.rank(1), synthetic_pair()[1]);
+}
+
+}  // namespace
+}  // namespace icsim::replay

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Record a comparable performance snapshot of the sweep driver.
+
+Runs a pinned set of scenario groups through ``icsim_sweep --metrics`` and
+distills the host-side numbers (wall ms, events/sec) plus the determinism
+digest of the aggregated report into ``BENCH_<n>.json``.  Later PRs run the
+same script with the next snapshot number; because the group set, jobs
+count and ICSIM_FAST setting are pinned here, the series stays comparable.
+
+Usage:
+    tools/bench_snapshot.py --snapshot 7 [--sweep build/bench/icsim_sweep]
+                            [--out BENCH_7.json] [--runs 3]
+
+The snapshot records the *best* wall time of ``--runs`` runs (minimum is
+the standard noise reducer for wall-clock microbenchmarks); simulated
+results are identical across runs by the determinism contract and are
+checked to be so.
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import subprocess
+import sys
+
+# Pinned benchmark surface: microbenchmarks, one app study per app family,
+# and the replay group.  Append only — never remove or reorder, or the
+# series breaks.
+SWEEP_GROUPS = [
+    "fig1_latency",
+    "fig1_bandwidth",
+    "fig2_ljs",
+    "fig4_sweep3d",
+    "fig6_npb_cg",
+    "replay",
+]
+JOBS = 1  # single-threaded: measures the simulator, not the thread pool
+
+
+def run_once(sweep, groups, env):
+    cmd = [sweep, f"-j{JOBS}", "--quiet", "--json", "-", "--metrics",
+           "/dev/null"] + groups
+    proc = subprocess.run(cmd, capture_output=True, text=True, env=env,
+                          check=True)
+    report = json.loads(proc.stdout)
+    # Wall ms is in the stderr trailer:
+    #   [sweep] 36 points, 0 errors, -j1, 18 ms wall, 23112 events (...)
+    wall_ms = None
+    for line in proc.stderr.splitlines():
+        if line.startswith("[sweep]") and " ms wall" in line:
+            toks = line.split()
+            wall_ms = float(toks[toks.index("ms") - 1])
+    events = 0
+    points = 0
+    digest = hashlib.sha256()
+    for group in report["groups"]:
+        for point in group["points"]:
+            events += point["events"]
+            points += 1
+            digest.update(point["digest"].encode())
+    return {
+        "wall_ms": wall_ms,
+        "events": events,
+        "points": points,
+        "digest": digest.hexdigest()[:16],
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--snapshot", type=int, required=True,
+                    help="snapshot number n for BENCH_<n>.json")
+    ap.add_argument("--sweep", default="build/bench/icsim_sweep")
+    ap.add_argument("--out", default=None)
+    ap.add_argument("--runs", type=int, default=3)
+    args = ap.parse_args()
+
+    env = dict(os.environ)
+    env["ICSIM_FAST"] = "1"  # pinned: the fast problem sizes
+    env.pop("ICSIM_CHECK", None)  # invariant auditing would skew wall time
+
+    runs = [run_once(args.sweep, SWEEP_GROUPS, env)
+            for _ in range(args.runs)]
+    digests = {r["digest"] for r in runs}
+    if len(digests) != 1:
+        sys.exit(f"bench_snapshot: nondeterministic sweep digests: {digests}")
+    best = min(runs, key=lambda r: r["wall_ms"])
+
+    snapshot = {
+        "snapshot": args.snapshot,
+        "sweep_groups": SWEEP_GROUPS,
+        "jobs": JOBS,
+        "fast_mode": True,
+        "runs": args.runs,
+        "points": best["points"],
+        "events_total": best["events"],
+        "wall_ms_best": best["wall_ms"],
+        "events_per_sec": round(best["events"] / best["wall_ms"] * 1e3)
+        if best["wall_ms"] else None,
+        "digest": best["digest"],
+    }
+    out = args.out or f"BENCH_{args.snapshot}.json"
+    with open(out, "w") as f:
+        json.dump(snapshot, f, indent=2)
+        f.write("\n")
+    print(f"wrote {out}: {snapshot['points']} points, "
+          f"{snapshot['wall_ms_best']} ms, "
+          f"{snapshot['events_per_sec']} events/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,242 @@
+// icsim_trace — inspector and smoke-harness for .icst replay traces.
+//
+//   icsim_trace dump <file>                 parse and re-emit as text
+//   icsim_trace stats <file|dir>...         per-trace op/byte summaries
+//   icsim_trace validate <file|dir>...      parse + consistency check
+//   icsim_trace convert <in> <out>          transcode (--binary for framed)
+//   icsim_trace capture <dir> [--net ib|el] capture a built-in pingpong
+//   icsim_trace replay <dir> [--net ib|el]  replay a trace set
+//
+// `capture` and `replay` print a single machine-readable line
+// (`digest=<hex> events=<n> ranks=<n>`) so CI can diff capture vs replay
+// digests without any test framework.
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "replay/capture.hpp"
+#include "replay/format.hpp"
+#include "replay/replay.hpp"
+
+namespace {
+
+using icsim::replay::Op;
+using icsim::replay::RankTrace;
+using icsim::replay::TraceOp;
+using icsim::replay::TraceProgram;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: icsim_trace <command> ...\n"
+      "  dump <file>                 parse a trace and re-emit it as text\n"
+      "  stats <file|dir>...         op counts and byte totals per trace\n"
+      "  validate <file|dir>...      parse + consistency-check, exit 1 on "
+      "failure\n"
+      "  convert <in> <out>          rewrite a trace (--binary for framed "
+      "encoding)\n"
+      "  capture <dir> [--net ib|el] run a built-in pingpong, capturing to "
+      "<dir>\n"
+      "  replay <dir> [--net ib|el]  replay the trace set in <dir>\n");
+  return 2;
+}
+
+/// Expand an argument into trace files: a directory yields its *.icst
+/// members (sorted), anything else is taken as a file path.
+std::vector<std::string> expand(const std::string& arg) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(arg, ec)) return {arg};
+  std::vector<std::string> files;
+  for (std::filesystem::directory_iterator it(arg, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->is_regular_file() && it->path().extension() == ".icst") {
+      files.push_back(it->path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+int cmd_dump(const std::string& path) {
+  const RankTrace t = icsim::replay::parse_file(path);
+  icsim::replay::write_text(std::cout, t);
+  return 0;
+}
+
+int cmd_stats(const std::vector<std::string>& args) {
+  for (const std::string& arg : args) {
+    for (const std::string& path : expand(arg)) {
+      const RankTrace t = icsim::replay::parse_file(path);
+      std::map<std::string, std::uint64_t> counts;
+      std::uint64_t p2p_bytes = 0;
+      std::int64_t compute_ps = 0;
+      for (const TraceOp& o : t.ops) {
+        ++counts[icsim::replay::op_name(o.op)];
+        if (o.op == Op::send || o.op == Op::isend) {
+          p2p_bytes += static_cast<std::uint64_t>(o.bytes);
+        }
+        if (o.op == Op::sendrecv) {
+          p2p_bytes += static_cast<std::uint64_t>(o.bytes);
+        }
+        if (o.op == Op::compute) compute_ps += o.duration.picoseconds();
+      }
+      std::printf("%s: rank %d/%d, %zu ops, %llu p2p send bytes, %.3f ms "
+                  "compute\n",
+                  path.c_str(), t.rank, t.size, t.ops.size(),
+                  static_cast<unsigned long long>(p2p_bytes),
+                  static_cast<double>(compute_ps) / 1e9);
+      for (const auto& [name, n] : counts) {
+        std::printf("  %-10s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(n));
+      }
+    }
+  }
+  return 0;
+}
+
+int cmd_validate(const std::vector<std::string>& args) {
+  int checked = 0;
+  for (const std::string& arg : args) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      // Directories are validated as complete programs (rank coverage and
+      // world-size consistency), not just file by file.
+      const TraceProgram p = TraceProgram::load_dir(arg);
+      std::printf("%s: ok (%d ranks, %zu ops)\n", arg.c_str(), p.size(),
+                  p.total_ops());
+      ++checked;
+    } else {
+      const RankTrace t = icsim::replay::parse_file(arg);
+      std::printf("%s: ok (rank %d/%d, %zu ops)\n", arg.c_str(), t.rank,
+                  t.size, t.ops.size());
+      ++checked;
+    }
+  }
+  if (checked == 0) {
+    std::fprintf(stderr, "icsim_trace: nothing to validate\n");
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_convert(const std::string& in, const std::string& out, bool binary) {
+  const RankTrace t = icsim::replay::parse_file(in);
+  std::ofstream f(out, std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "icsim_trace: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  if (binary) {
+    icsim::replay::write_binary(f, t);
+  } else {
+    icsim::replay::write_text(f, t);
+  }
+  return f.good() ? 0 : 1;
+}
+
+icsim::core::ClusterConfig config_for(const std::string& net, int nodes,
+                                      int ppn) {
+  if (net == "ib") return icsim::core::ib_cluster(nodes, ppn);
+  if (net == "el") return icsim::core::elan_cluster(nodes, ppn);
+  throw std::runtime_error("unknown fabric '" + net + "' (want ib or el)");
+}
+
+/// The built-in capture workload: a 2-rank pingpong plus one collective
+/// round, small enough for CI but touching p2p, nonblocking and
+/// collective paths.
+void smoke_workload(icsim::mpi::Mpi& m) {
+  std::array<char, 4096> buf{};
+  const int peer = 1 - m.rank();
+  for (const std::size_t bytes : {64UL, 1024UL, 4096UL}) {
+    for (int rep = 0; rep < 4; ++rep) {
+      if (m.rank() == 0) {
+        m.send(buf.data(), bytes, peer, 7);
+        m.recv(buf.data(), buf.size(), peer, 7);
+      } else {
+        m.recv(buf.data(), buf.size(), peer, 7);
+        m.send(buf.data(), bytes, peer, 7);
+      }
+    }
+  }
+  auto r = m.irecv(buf.data(), buf.size(), peer, 9);
+  auto s = m.isend(buf.data(), 256, peer, 9);
+  m.wait(s);
+  m.wait(r);
+  double v = 1.0;
+  (void)m.allreduce(v, icsim::mpi::ReduceOp::sum);
+  m.barrier();
+}
+
+int cmd_capture(const std::string& dir, const std::string& net) {
+  icsim::core::ClusterConfig cc = config_for(net, 2, 1);
+  cc.mpi_trace_dir = dir;
+  icsim::core::Cluster cluster(cc);
+  (void)cluster.run(smoke_workload);
+  const auto st = cluster.stats();
+  std::printf("digest=%016llx events=%llu ranks=%d\n",
+              static_cast<unsigned long long>(st.event_digest),
+              static_cast<unsigned long long>(st.events_processed),
+              cluster.ranks());
+  return 0;
+}
+
+int cmd_replay(const std::string& dir, const std::string& net) {
+  const TraceProgram program = TraceProgram::load_dir(dir);
+  icsim::core::ClusterConfig cc =
+      config_for(net, program.nodes(), program.ppn());
+  icsim::core::Cluster cluster(cc);
+  (void)cluster.run([&program](icsim::mpi::Mpi& m) { program.run_rank(m); });
+  const auto st = cluster.stats();
+  std::printf("digest=%016llx events=%llu ranks=%d\n",
+              static_cast<unsigned long long>(st.event_digest),
+              static_cast<unsigned long long>(st.events_processed),
+              cluster.ranks());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args;
+  bool binary = false;
+  std::string net = "ib";
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--binary") {
+      binary = true;
+    } else if (a == "--net") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "icsim_trace: --net needs a value\n");
+        return 2;
+      }
+      net = argv[++i];
+    } else {
+      args.push_back(a);
+    }
+  }
+
+  try {
+    if (cmd == "dump" && args.size() == 1) return cmd_dump(args[0]);
+    if (cmd == "stats" && !args.empty()) return cmd_stats(args);
+    if (cmd == "validate" && !args.empty()) return cmd_validate(args);
+    if (cmd == "convert" && args.size() == 2) {
+      return cmd_convert(args[0], args[1], binary);
+    }
+    if (cmd == "capture" && args.size() == 1) return cmd_capture(args[0], net);
+    if (cmd == "replay" && args.size() == 1) return cmd_replay(args[0], net);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "icsim_trace: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
