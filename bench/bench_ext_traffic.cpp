@@ -1,0 +1,27 @@
+// Extension: open-loop traffic generation (no paper figure — the 2004
+// study's workloads are closed-loop; this drives both fabrics as a serving
+// substrate, where requests arrive at a configured rate whether or not
+// earlier ones finished and the figure of merit is the sojourn-time tail).
+//
+// Group `traffic` sweeps offered load 10%..120% of the *measured* serving
+// capacity at the configured request size (a closed-loop calibration run
+// inside the plan build — line rate is unreachable at serving sizes) over
+// six traffic shapes (Poisson-uniform, MMPP burst, hotspot, incast,
+// shuffle, RPC fan-out/fan-in) on both networks, reporting offered vs
+// delivered throughput and p50/p99/p999 sojourn latency.
+//
+// Group `traffic_degraded` offers rate-paced 90% load in 64 kB streaming
+// requests across leaf 0's up-cables and cuts one cable for the middle of
+// the run (via the ICSIM_FAULTS grammar): the 4-ary Elan tree's tail
+// degrades ~2.3x, the 12-port IB Clos reroutes onto idle spares.
+//
+// Thin wrapper over both traffic scenario groups (see src/driver/).
+
+#include "driver/sweep_main.hpp"
+#include "scenarios/scenarios.hpp"
+
+int main(int argc, char** argv) {
+  icsim::driver::Registry reg;
+  icsim::bench::register_traffic(reg);
+  return icsim::driver::sweep_main(reg, argc, argv);
+}

@@ -30,6 +30,7 @@ void register_ext_loggp(driver::Registry& r);
 void register_ext_collectives(driver::Registry& r);
 void register_ext_faults(driver::Registry& r);  // ext_faults_ber + _spine
 void register_replay(driver::Registry& r);      // examples/traces/* x fabrics
+void register_traffic(driver::Registry& r);     // traffic + traffic_degraded
 
 /// Everything above, in figure order.
 void register_all(driver::Registry& r);

@@ -20,6 +20,7 @@ void register_all(driver::Registry& r) {
   register_ext_collectives(r);
   register_ext_faults(r);
   register_replay(r);
+  register_traffic(r);
 }
 
 }  // namespace icsim::bench

@@ -49,6 +49,15 @@ ClusterConfig myrinet_cluster(int nodes, int ppn) {
   return c;
 }
 
+net::FabricConfig fabric_config_for(Network net, int nodes) {
+  switch (net) {
+    case Network::infiniband: return ib_fabric(nodes);
+    case Network::quadrics: return elan_fabric(nodes);
+    case Network::myrinet: return myrinet::myrinet_fabric(nodes);
+  }
+  return ib_fabric(nodes);
+}
+
 Cluster::Cluster(const ClusterConfig& config) : cfg_(config) {
   if (cfg_.nodes < 1 || cfg_.ppn < 1) {
     throw std::invalid_argument("Cluster: nodes and ppn must be >= 1");
@@ -56,7 +65,7 @@ Cluster::Cluster(const ClusterConfig& config) : cfg_(config) {
 
   std::string path = cfg_.trace_path;
   std::size_t events = cfg_.trace_events;
-  if (path.empty()) {
+  if (path.empty() && cfg_.env_overrides) {
     if (const char* env = std::getenv("ICSIM_TRACE"); env != nullptr && *env != '\0') {
       path = env;
       if (const char* n = std::getenv("ICSIM_TRACE_EVENTS"); n != nullptr) {
@@ -77,7 +86,7 @@ Cluster::Cluster(const ClusterConfig& config) : cfg_(config) {
     trace_sink_ = std::make_unique<trace::RingBufferSink>(events);
     engine_.tracer().enable(*trace_sink_);
   }
-  if (cfg_.faults.empty()) {
+  if (cfg_.faults.empty() && cfg_.env_overrides) {
     if (const char* env = std::getenv("ICSIM_FAULTS");
         env != nullptr && *env != '\0') {
       cfg_.faults = fault::FaultPlan::parse(env);
@@ -88,11 +97,8 @@ Cluster::Cluster(const ClusterConfig& config) : cfg_(config) {
     cfg_.quadrics.watchdog_timeout = cfg_.faults.watchdog;
   }
 
-  const net::FabricConfig fabric_cfg =
-      cfg_.network == Network::infiniband ? ib_fabric(cfg_.nodes)
-      : cfg_.network == Network::quadrics ? elan_fabric(cfg_.nodes)
-                                          : myrinet::myrinet_fabric(cfg_.nodes);
-  fabric_ = std::make_unique<net::Fabric>(engine_, fabric_cfg, cfg_.nodes);
+  fabric_ = std::make_unique<net::Fabric>(
+      engine_, fabric_config_for(cfg_.network, cfg_.nodes), cfg_.nodes);
 
   for (int n = 0; n < cfg_.nodes; ++n) {
     nodes_.push_back(std::make_unique<node::Node>(engine_, n, cfg_.node));
@@ -167,7 +173,7 @@ Cluster::Cluster(const ClusterConfig& config) : cfg_(config) {
   }
 
   std::string capture_dir = cfg_.mpi_trace_dir;
-  if (capture_dir.empty()) {
+  if (capture_dir.empty() && cfg_.env_overrides) {
     if (const char* env = std::getenv("ICSIM_MPI_TRACE");
         env != nullptr && *env != '\0') {
       capture_dir = env;

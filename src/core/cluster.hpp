@@ -85,6 +85,12 @@ struct ClusterConfig {
   /// Framed binary .icst instead of text (`ICSIM_MPI_TRACE_FORMAT=binary`
   /// when the directory came from the environment).
   bool mpi_trace_binary = false;
+  /// Consult the `ICSIM_TRACE` / `ICSIM_FAULTS` / `ICSIM_MPI_TRACE`
+  /// environment overrides above.  Auxiliary clusters built *inside* a run
+  /// (topology inspection, the traffic layer's capacity calibration) turn
+  /// this off so a user's fault spec or trace path applies only to the
+  /// experiment itself.
+  bool env_overrides = true;
 };
 
 [[nodiscard]] inline ClusterConfig ib_cluster(int nodes, int ppn = 1) {
@@ -105,6 +111,14 @@ struct ClusterConfig {
 
 /// Extension: Myrinet 2000 with MPICH-GM (see myrinet/gm.hpp).
 [[nodiscard]] ClusterConfig myrinet_cluster(int nodes, int ppn = 1);
+
+/// The calibrated fabric a Cluster of this network and size would build —
+/// the single source of truth for fabric parameters, shared by Cluster's
+/// constructor and by any layer that needs fabric facts without building a
+/// cluster.  (Note: src/traffic/ sizes offered load against a *measured*
+/// serving rate, traffic::calibrated_capacity_Bps, not raw link_bandwidth —
+/// achievable goodput at serving-sized messages sits far below line rate.)
+[[nodiscard]] net::FabricConfig fabric_config_for(Network net, int nodes);
 
 class Cluster {
  public:

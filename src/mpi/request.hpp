@@ -13,13 +13,20 @@ namespace icsim::mpi {
 struct RequestState {
   enum class Kind { send, recv };
 
-  RequestState(sim::Engine& engine, Kind k) : kind(k), trigger(engine) {}
+  RequestState(sim::Engine& engine, Kind k)
+      : kind(k), engine(&engine), trigger(engine) {}
 
   Kind kind;
   bool complete = false;
   bool failed = false;   ///< completed by a transport watchdog, not delivery
   Status status{};       ///< filled for receives
+  sim::Engine* engine;   ///< for the completion timestamp below
   sim::Trigger trigger;  ///< fired on completion
+  /// Simulated time at which the transport completed the operation.  A late
+  /// wait()/test() observes the true completion instant, not the instant the
+  /// fiber got around to asking — the open-loop traffic layer (src/traffic/)
+  /// measures sojourn times from this, immune to harvest-loop lag.
+  sim::Time completed_at = sim::Time::zero();
   /// Capture sequence number (see mpi/recorder.hpp): the k-th top-level
   /// isend/irecv of a recorded rank carries k here; -1 when no recorder is
   /// attached or the request was issued inside a collective.
@@ -28,10 +35,12 @@ struct RequestState {
   void finish(const Status& st) {
     status = st;
     complete = true;
+    completed_at = engine->now();
     trigger.fire();
   }
   void finish() {
     complete = true;
+    completed_at = engine->now();
     trigger.fire();
   }
   /// Watchdog path: mark the operation errored-but-complete so the waiting
@@ -40,6 +49,7 @@ struct RequestState {
   void fail() {
     failed = true;
     complete = true;
+    completed_at = engine->now();
     trigger.fire();
   }
 };

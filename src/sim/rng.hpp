@@ -5,6 +5,10 @@
 // initial particle velocities, NPB matrix generation, ...) draws from an
 // explicitly seeded Rng so that a given seed reproduces a bit-identical run.
 
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <random>
 #include <vector>
@@ -35,6 +39,33 @@ class Rng {
     return std::normal_distribution<double>(mean, stddev)(gen_);
   }
 
+  /// Uniform double in [0, 1) built from the top 53 bits of one raw
+  /// mt19937_64 draw.  Unlike the std:: distributions above (whose
+  /// algorithms are implementation-defined), this mapping is pinned here,
+  /// so streams that matter for the event digest — arrival schedules,
+  /// destination draws — reproduce bit-identically across platforms.
+  [[nodiscard]] double canonical() {
+    return static_cast<double>(gen_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform index in [0, n), pinned to canonical() (and therefore to the
+  /// raw mt19937_64 stream) for the same cross-platform reason.
+  [[nodiscard]] std::size_t pick(std::size_t n) {
+    assert(n > 0);
+    auto i = static_cast<std::size_t>(canonical() * static_cast<double>(n));
+    return i < n ? i : n - 1;
+  }
+
+  /// Exponential interarrival sample with the given rate (`rate` events per
+  /// unit time; the mean is 1/rate).  Inverse-CDF on canonical(), so the
+  /// stream is pinned to the mt19937_64 output, not a library algorithm.
+  [[nodiscard]] double exponential(double rate) {
+    assert(rate > 0.0);
+    // canonical() is in [0, 1), so the log1p argument stays in (-1, 0] and
+    // the sample in [0, inf) with no log(0) edge.
+    return -std::log1p(-canonical()) / rate;
+  }
+
   template <typename T>
   void shuffle(std::vector<T>& v) {
     std::shuffle(v.begin(), v.end(), gen_);
@@ -47,6 +78,74 @@ class Rng {
 
  private:
   std::mt19937_64 gen_;
+};
+
+/// Two-state Markov-modulated Poisson process: arrivals are Poisson at
+/// `rate0` in the calm state and `rate1` in the burst state, with
+/// exponentially distributed state dwell times.  The classic bursty-arrival
+/// model (used by the open-loop traffic layer, src/traffic/): time-averaged
+/// rate is (dwell0*rate0 + dwell1*rate1) / (dwell0 + dwell1), but arrivals
+/// cluster while the process sits in the burst state.
+class Mmpp {
+ public:
+  struct Config {
+    double rate0 = 1.0;        ///< calm-state arrival rate
+    double rate1 = 4.0;        ///< burst-state arrival rate
+    double mean_dwell0 = 1.0;  ///< mean time per calm-state visit
+    double mean_dwell1 = 1.0;  ///< mean time per burst-state visit
+  };
+
+  explicit Mmpp(const Config& cfg) : cfg_(cfg) {
+    assert(cfg.rate0 >= 0.0 && cfg.rate1 >= 0.0 &&
+           (cfg.rate0 > 0.0 || cfg.rate1 > 0.0));
+    assert(cfg.mean_dwell0 > 0.0 && cfg.mean_dwell1 > 0.0);
+  }
+
+  /// MMPP with the given time-averaged rate, burst-state rate multiplier
+  /// (rate1 = burstiness * rate0) and fraction of time spent bursting.
+  [[nodiscard]] static Mmpp from_average(double avg_rate, double burstiness,
+                                         double burst_frac,
+                                         double mean_burst_dwell) {
+    assert(avg_rate > 0.0 && burstiness >= 1.0);
+    assert(burst_frac > 0.0 && burst_frac < 1.0 && mean_burst_dwell > 0.0);
+    Config c;
+    // avg = (1-f)*rate0 + f*rate1 with rate1 = b*rate0.
+    c.rate0 = avg_rate / (1.0 + burst_frac * (burstiness - 1.0));
+    c.rate1 = burstiness * c.rate0;
+    c.mean_dwell1 = mean_burst_dwell;
+    // Dwell ratio fixes the stationary state split: f = d1 / (d0 + d1).
+    c.mean_dwell0 = mean_burst_dwell * (1.0 - burst_frac) / burst_frac;
+    return Mmpp(c);
+  }
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] int state() const { return state_; }
+
+  /// Time from the previous arrival to the next one.  Competing
+  /// exponentials: within the current state the next arrival races the next
+  /// state flip; a flip wins, time advances and the race reruns at the new
+  /// rate.  All draws come from `rng`, so the walk is seed-deterministic.
+  [[nodiscard]] double next_interarrival(Rng& rng) {
+    double gap = 0.0;
+    for (;;) {
+      const double rate = state_ == 0 ? cfg_.rate0 : cfg_.rate1;
+      const double dwell = state_ == 0 ? cfg_.mean_dwell0 : cfg_.mean_dwell1;
+      const double to_flip = rng.exponential(1.0 / dwell);
+      if (rate <= 0.0) {  // silent state: only the flip can happen
+        gap += to_flip;
+        state_ = 1 - state_;
+        continue;
+      }
+      const double to_arrival = rng.exponential(rate);
+      if (to_arrival <= to_flip) return gap + to_arrival;
+      gap += to_flip;
+      state_ = 1 - state_;
+    }
+  }
+
+ private:
+  Config cfg_;
+  int state_ = 0;
 };
 
 }  // namespace icsim::sim

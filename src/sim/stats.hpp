@@ -46,21 +46,64 @@ class RunningStat {
 
 /// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the
 /// first/last bucket.  Used for per-message latency distributions.
+///
+/// Two bucket layouts:
+///   * Scale::linear — equal-width buckets, the historical default.  Fine
+///     for distributions whose spread is known a priori.
+///   * Scale::log    — geometrically spaced buckets (requires lo > 0), so
+///     relative resolution is constant across decades.  This is what tail
+///     quantiles need: with linear buckets sized for the body, p999 of a
+///     long-tailed latency distribution lands in one huge top bucket and
+///     smears; log buckets keep p999 within a fixed relative error.
+///
+/// quantile() answers with the observation-clamped bucket upper edge, so
+/// quantile(1.0) is exactly the largest sample seen and a tail quantile
+/// never overshoots the data.
 class Histogram {
  public:
-  Histogram(double lo, double hi, std::size_t buckets)
-      : lo_(lo), hi_(hi), counts_(buckets, 0) {}
+  enum class Scale { linear, log };
+
+  Histogram(double lo, double hi, std::size_t buckets,
+            Scale scale = Scale::linear)
+      : lo_(lo), hi_(hi), scale_(scale), counts_(buckets, 0) {
+    if (scale_ == Scale::log) {
+      // Log spacing needs a positive, non-degenerate range.
+      lo_ = std::max(lo_, std::numeric_limits<double>::min());
+      hi_ = std::max(hi_, lo_ * 2.0);
+      log_ratio_ = std::log(hi_ / lo_);
+    }
+  }
+
+  /// Geometrically spaced buckets over [lo, hi); `per_decade` buckets per
+  /// factor of 10 (24/decade keeps any quantile within ~10% relative error).
+  [[nodiscard]] static Histogram log_spaced(double lo, double hi,
+                                            std::size_t per_decade = 24) {
+    lo = std::max(lo, std::numeric_limits<double>::min());
+    hi = std::max(hi, lo * 2.0);
+    const double decades = std::log10(hi / lo);
+    const auto buckets = static_cast<std::size_t>(
+        std::ceil(decades * static_cast<double>(per_decade)));
+    return {lo, hi, std::max<std::size_t>(buckets, 1), Scale::log};
+  }
 
   void add(double x) {
     if (std::isnan(x)) {  // double->int64 cast of NaN is undefined
       ++nan_;
       return;
     }
-    const double f = (x - lo_) / (hi_ - lo_);
-    auto i = static_cast<std::int64_t>(f * static_cast<double>(counts_.size()));
+    const double n = static_cast<double>(counts_.size());
+    double f = 0.0;
+    if (scale_ == Scale::linear) {
+      f = (x - lo_) / (hi_ - lo_);
+    } else if (x > lo_) {  // x <= lo clamps to the first bucket
+      f = std::log(x / lo_) / log_ratio_;
+    }
+    auto i = static_cast<std::int64_t>(f * n);
     i = std::clamp<std::int64_t>(i, 0, static_cast<std::int64_t>(counts_.size()) - 1);
     ++counts_[static_cast<std::size_t>(i)];
     ++total_;
+    min_seen_ = std::min(min_seen_, x);
+    max_seen_ = std::max(max_seen_, x);
   }
 
   [[nodiscard]] std::uint64_t total() const { return total_; }
@@ -69,9 +112,23 @@ class Histogram {
   [[nodiscard]] const std::vector<std::uint64_t>& buckets() const { return counts_; }
   [[nodiscard]] double lo() const { return lo_; }
   [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] Scale scale() const { return scale_; }
+  /// Exact extrema of the samples (not bucket edges); 0 when empty.
+  [[nodiscard]] double min_seen() const { return total_ ? min_seen_ : 0.0; }
+  [[nodiscard]] double max_seen() const { return total_ ? max_seen_ : 0.0; }
 
-  /// Value below which `q` (0..1) of the samples fall (bucket upper edge).
-  /// An empty histogram — or q so small that no bucket mass is required —
+  /// Upper edge of bucket i (edge 0 is lo(), edge buckets().size() is hi()).
+  [[nodiscard]] double bucket_edge(std::size_t i) const {
+    const double f =
+        static_cast<double>(i) / static_cast<double>(counts_.size());
+    if (scale_ == Scale::linear) return lo_ + (hi_ - lo_) * f;
+    return lo_ * std::exp(log_ratio_ * f);
+  }
+
+  /// Value below which `q` (0..1) of the samples fall: the containing
+  /// bucket's upper edge, clamped to the exact maximum observed so the far
+  /// tail (q -> 1) is exact rather than a bucket-edge overestimate.  An
+  /// empty histogram — or q so small that no bucket mass is required —
   /// answers lo(), not the first bucket's upper edge.
   [[nodiscard]] double quantile(double q) const {
     const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
@@ -79,20 +136,26 @@ class Histogram {
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < counts_.size(); ++i) {
       seen += counts_[i];
-      if (seen >= target) {
-        return lo_ + (hi_ - lo_) * static_cast<double>(i + 1) /
-                         static_cast<double>(counts_.size());
-      }
+      if (seen >= target) return std::min(bucket_edge(i + 1), max_seen_);
     }
-    return hi_;
+    return std::min(hi_, max_seen_);
   }
+
+  // SLO-grade shorthands.
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+  [[nodiscard]] double p999() const { return quantile(0.999); }
 
  private:
   double lo_;
   double hi_;
+  Scale scale_;
+  double log_ratio_ = 1.0;  ///< log(hi/lo), Scale::log only
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
   std::uint64_t nan_ = 0;
+  double min_seen_ = std::numeric_limits<double>::infinity();
+  double max_seen_ = -std::numeric_limits<double>::infinity();
 };
 
 }  // namespace icsim::sim

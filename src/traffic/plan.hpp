@@ -1,0 +1,77 @@
+#pragma once
+// Deterministic traffic plans.
+//
+// A Plan is the fully materialized schedule of one open-loop run: every
+// request's scheduled arrival time and destination set, for every client
+// rank, drawn up front from seed-deterministic sim::Rng streams (one child
+// stream per rank, forked in rank order).  The simulation itself consumes
+// no randomness — which is what makes the event digest identical for any
+// sweep thread count — and the termination protocol can be exact: a server
+// knows precisely which clients may target it, so a FIN from each of them
+// means no more traffic is coming.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "sim/time.hpp"
+#include "traffic/traffic.hpp"
+
+namespace icsim::traffic {
+
+/// One scheduled request at one client.
+struct PlannedRequest {
+  sim::Time arrival;      ///< absolute scheduled arrival time
+  std::vector<int> dsts;  ///< one server, or `fan_degree` of them for rpc
+};
+
+struct Plan {
+  int ranks = 0;
+  /// Per-client schedule, ascending arrival time; `id` of a request is its
+  /// index here (embedded in message tags, so a server can look the
+  /// scheduled arrival back up without per-request bookkeeping).
+  std::vector<std::vector<PlannedRequest>> clients;
+  /// Per-client sorted unique destination set (who gets this client's FIN).
+  std::vector<std::vector<int>> client_targets;
+  /// Per-rank count of clients whose target set includes it (how many FINs
+  /// a server must collect before it may stop serving).
+  std::vector<int> server_sources;
+  /// Measurement window: statistics cover arrivals in [warmup, horizon).
+  sim::Time warmup;
+  sim::Time horizon;
+  /// Payload bytes one request moves (fan_degree * (req + resp) for rpc).
+  std::uint64_t bytes_per_request = 0;
+  /// Derived per-client injection rate, for reporting.
+  double per_client_mbs = 0.0;
+
+  [[nodiscard]] bool is_client(int rank) const {
+    return !clients[static_cast<std::size_t>(rank)].empty();
+  }
+  [[nodiscard]] bool is_server(int rank) const {
+    return server_sources[static_cast<std::size_t>(rank)] > 0;
+  }
+  /// Requests scheduled inside the measurement window, across all clients.
+  [[nodiscard]] std::uint64_t offered_in_window() const;
+};
+
+/// Measured serving capacity of `net` at this request size, in bytes/sec:
+/// steady-state goodput of a deterministic two-rank closed-loop calibration
+/// run (a window of 16 outstanding request/ack round trips through the real
+/// MPI stack, so protocol choice, host overheads and matching are all
+/// priced in).  build_plan normalizes `load` against this — load 1.0 means
+/// "as fast as one client/server pair can actually serve requests of this
+/// size", not raw line rate.  The distinction is the paper's own story:
+/// Figure 1's bandwidth curves put achievable goodput at serving-sized
+/// messages far below link speed (IB 8KB ~249 MB/s on a 1250 MB/s link),
+/// so line-rate-normalized "load" would saturate the whole sweep.
+[[nodiscard]] double calibrated_capacity_Bps(core::Network net,
+                                             std::size_t request_bytes);
+
+/// Materialize the schedule for `ranks` ranks on `net`'s calibrated fabric.
+/// Deterministic: same (config, net, ranks) -> same plan, on any platform.
+/// Throws std::invalid_argument on nonsensical configs (load <= 0, too few
+/// ranks for the pattern, flow ranks out of range, ...).
+[[nodiscard]] Plan build_plan(const TrafficConfig& cfg, core::Network net,
+                              int ranks);
+
+}  // namespace icsim::traffic

@@ -1,0 +1,127 @@
+#pragma once
+// Open-loop traffic generation with SLO-grade latency reporting.
+//
+// The paper's workloads are closed-loop: every rank computes, sends, and
+// waits, so offered load collapses to match the fabric.  Serving traffic is
+// the opposite regime — requests arrive at a configured rate whether or not
+// earlier ones finished, and the figure of merit is the sojourn-time tail
+// (p50/p99/p999), not completion time.  This subsystem drives either fabric
+// with such arrivals:
+//
+//   * arrival processes  — fixed-rate, Poisson, and two-state MMPP (bursty),
+//     sampled entirely at *plan-build* time from seed-deterministic
+//     sim::Rng streams, so a run consumes no randomness and the event
+//     digest is reproducible for any sweep -j N;
+//   * spatial patterns   — uniform random, hotspot (k hot destinations),
+//     incast (N -> 1), all-to-all shuffle, RPC fan-out/fan-in with
+//     configurable fan degree and response sizes, and explicit flow pairs
+//     (for degraded-fabric studies that pin flows across one cut);
+//   * lifecycle tracking — per-request sojourn times measured from the
+//     *scheduled* arrival (so coordinated omission cannot hide queueing)
+//     into a log-bucketed sim::Histogram, plus offered vs delivered load
+//     and a saturation/drop summary in traffic::RunStats.
+//
+// See docs/MODEL.md section 12 for the measurement methodology and the
+// determinism contract.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace icsim::traffic {
+
+/// When do requests arrive?  All three processes are parameterized by the
+/// mean rate the plan derives from `TrafficConfig::load`; the knobs here
+/// shape only the burstiness around that mean.
+enum class ArrivalKind {
+  fixed,    ///< deterministic interarrival gap (rate-paced injector)
+  poisson,  ///< memoryless arrivals, the open-loop default
+  mmpp,     ///< two-state Markov-modulated Poisson process (bursty)
+};
+
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::poisson;
+  // MMPP shape (ignored by the other kinds):
+  double burst_factor = 4.0;     ///< burst-state rate = factor * calm rate
+  double burst_frac = 0.2;       ///< stationary fraction of time bursting
+  double burst_dwell_us = 50.0;  ///< mean burst-state dwell time
+};
+
+/// Who talks to whom?
+enum class PatternKind {
+  uniform,  ///< each request targets a uniformly random other rank
+  hotspot,  ///< a fraction of requests concentrates on k hot ranks
+  incast,   ///< every rank targets rank 0 (N -> 1)
+  shuffle,  ///< deterministic round-robin over all peers (all-to-all)
+  rpc,      ///< fan-out to `fan_degree` servers, completion at fan-in
+  pairs,    ///< explicit (src, dst) flow list; other ranks idle
+};
+
+[[nodiscard]] const char* to_string(ArrivalKind k);
+[[nodiscard]] const char* to_string(PatternKind k);
+
+struct PatternConfig {
+  PatternKind kind = PatternKind::uniform;
+  int hot_count = 2;      ///< hotspot: hot destinations are ranks [0, k)
+  double hot_frac = 0.5;  ///< hotspot: fraction of traffic aimed at them
+  int fan_degree = 4;     ///< rpc: servers per request
+  std::vector<std::pair<int, int>> flows;  ///< pairs: the pinned flow list
+};
+
+struct TrafficConfig {
+  ArrivalConfig arrival;
+  PatternConfig pattern;
+  /// Offered load as a fraction of the *measured* serving capacity at this
+  /// request size (traffic::calibrated_capacity_Bps — a closed-loop 2-rank
+  /// calibration through the real MPI stack; raw line rate is unreachable
+  /// at serving-sized messages).  >1 oversubscribes: the fabric cannot keep
+  /// up and the sojourn tail must diverge.
+  double load = 0.5;
+  std::uint32_t request_bytes = 1024;
+  std::uint32_t response_bytes = 1024;  ///< rpc responses
+  /// Per-request server CPU time charged before an RPC response is sent.
+  sim::Time service = sim::Time::zero();
+  /// Requests scheduled per client (warmup portion included).
+  int requests_per_client = 256;
+  /// Leading fraction of the schedule excluded from all statistics.
+  double warmup_frac = 0.1;
+  /// Client admission cap: a new arrival is dropped (and counted) when this
+  /// many requests are already outstanding at the client.  0 = unbounded.
+  std::uint32_t client_backlog_cap = 0;
+  /// Server/client progress-loop polling quantum; bounds how stale a
+  /// rank's event loop may be, not any measured timestamp (completion
+  /// times come from the transport layer).
+  sim::Time poll = sim::Time::us(2.0);
+  std::uint64_t seed = 0x7aff1c;
+};
+
+/// What one traffic run reports.  Counters cover the measurement window
+/// [warmup, horizon) only; sojourn quantiles are exact-tail log-bucketed
+/// (sim::Histogram::log_spaced).
+struct RunStats {
+  std::uint64_t offered = 0;     ///< requests scheduled in the window
+  std::uint64_t delivered = 0;   ///< completed by the horizon
+  std::uint64_t stragglers = 0;  ///< completed only after the horizon
+  std::uint64_t dropped = 0;     ///< admission-cap drops (saturation signal)
+  double offered_mbs = 0.0;      ///< scheduled payload rate over the window
+  double delivered_mbs = 0.0;    ///< completed payload rate over the window
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double max_us = 0.0;
+  sim::Histogram sojourn_us = sim::Histogram::log_spaced(0.5, 1e7);
+
+  /// delivered/offered in [0, 1]; 1.0 when nothing was scheduled.
+  [[nodiscard]] double delivery_ratio() const {
+    return offered == 0 ? 1.0
+                        : static_cast<double>(delivered) /
+                              static_cast<double>(offered);
+  }
+};
+
+}  // namespace icsim::traffic

@@ -1,0 +1,234 @@
+#include "traffic/workload.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "sim/blocking.hpp"
+#include "sim/time.hpp"
+
+namespace icsim::traffic {
+namespace {
+
+/// Requests travel in their own matching context so a server's wildcard
+/// receive ring can never steal a response addressed to the client role of
+/// the same rank (responses use the world context).
+constexpr int kReqContext = 1;
+
+/// Tags are the request id modulo this window, so a long run cycles through
+/// a bounded tag set.  Correctness comes from per-source FIFO matching: the
+/// i-th posted receive on one (source, tag, context) chain completes with
+/// the i-th send on it, and a server answers requests in processing order,
+/// so even concurrent same-tag requests pair with their own responses.  The
+/// bounded set is also what lets the IB registration cache behave like the
+/// reusable pinned buffer pool a real server keeps (the transport keys pins
+/// by tag): a window much larger than the pool would re-pin every
+/// rendezvous and pay the ~70us registration cost per request.
+constexpr int kTagWindow = 32;
+
+/// Response tags sit one window above the request tags.
+constexpr int kRespBase = kTagWindow;
+
+/// FIN tag; far outside both windows.
+constexpr int kFinTag = 1 << 29;
+
+/// Wildcard receives a server keeps posted at once.  Deep enough that a
+/// burst does not go "unexpected" merely because the ring wrapped; the
+/// matcher queues overflow anyway, so this is a performance knob, not a
+/// correctness one.
+constexpr int kServerRing = 64;
+
+}  // namespace
+
+Workload::Workload(const TrafficConfig& cfg, core::Network net, int ranks)
+    : cfg_(cfg), plan_(build_plan(cfg, net, ranks)) {}
+
+void Workload::record(sim::Time scheduled, sim::Time completed) {
+  if (scheduled < plan_.warmup || scheduled >= plan_.horizon) return;
+  if (completed <= plan_.horizon) {
+    ++delivered_;
+  } else {
+    ++stragglers_;  // late, but still in the tail — omitting it would lie
+  }
+  const double us = (completed - scheduled).to_us();
+  sojourn_sum_us_ += us;
+  sojourn_us_.add(us);
+}
+
+void Workload::record_drop(sim::Time scheduled) {
+  if (scheduled < plan_.warmup || scheduled >= plan_.horizon) return;
+  ++dropped_;
+}
+
+void Workload::rank_main(mpi::Mpi& m) {
+  const int me = m.rank();
+  sim::Engine& eng = m.engine();
+  const auto& sched = plan_.clients[static_cast<std::size_t>(me)];
+  const int fin_quota = plan_.server_sources[static_cast<std::size_t>(me)];
+  const bool rpc = cfg_.pattern.kind == PatternKind::rpc;
+  // Every request is answered: RPCs with a payload, everything else with a
+  // 0-byte ack.  Sojourn is measured at the client, scheduled arrival ->
+  // last response's transport-layer completion — the client-observed
+  // request-response time a serving SLO is written against.
+  const std::size_t resp_bytes = rpc ? cfg_.response_bytes : 0;
+
+  // ---- server side: a ring of preposted wildcard receives, processed in
+  // posted order (per-source FIFO matching makes FIN counting exact: a FIN
+  // is processed only after every earlier request from that client).
+  struct Slot {
+    mpi::Request rq;
+    std::vector<std::byte> buf;
+  };
+  std::vector<Slot> ring;
+  std::size_t head = 0;
+  int fins_seen = 0;
+  std::vector<mpi::Request> resp_sends;
+  std::vector<std::byte> resp_payload(std::max<std::size_t>(resp_bytes, 1));
+  if (fin_quota > 0) {
+    ring.resize(kServerRing);
+    for (Slot& s : ring) {
+      s.buf.resize(std::max<std::size_t>(cfg_.request_bytes, 1));
+      s.rq = m.irecv(s.buf.data(), s.buf.size(), mpi::kAnySource, mpi::kAnyTag,
+                     kReqContext);
+    }
+  }
+
+  // ---- client side
+  struct Outstanding {
+    sim::Time scheduled;
+    std::vector<mpi::Request> sends;
+    std::vector<mpi::Request> resps;
+  };
+  std::vector<Outstanding> out;
+  std::vector<std::byte> req_payload(std::max<std::size_t>(cfg_.request_bytes, 1));
+  std::vector<std::byte> resp_sink(std::max<std::size_t>(resp_bytes, 1));
+  std::size_t next = 0;
+  bool fins_sent = false;
+  std::vector<mpi::Request> fin_sends;
+
+  for (;;) {
+    // Serve: drain completed ring slots in order.  m.test() is what drives
+    // host-side (MVAPICH) progress — polling completion flags would stall
+    // rendezvous transfers.
+    while (fins_seen < fin_quota && m.test(ring[head].rq)) {
+      Slot& s = ring[head];
+      const mpi::Status st = s.rq.status();
+      if (st.tag == kFinTag) {
+        ++fins_seen;
+      } else {
+        if (cfg_.service > sim::Time::zero()) m.compute(cfg_.service);
+        resp_sends.push_back(m.isend(resp_payload.data(), resp_bytes,
+                                     st.source, kRespBase + st.tag));
+      }
+      if (fins_seen < fin_quota) {
+        s.rq = m.irecv(s.buf.data(), s.buf.size(), mpi::kAnySource,
+                       mpi::kAnyTag, kReqContext);
+      } else {
+        s.rq = mpi::Request{};  // done serving; leftover posted slots idle
+      }
+      head = (head + 1) % ring.size();
+    }
+    std::erase_if(resp_sends, [&m](mpi::Request& r) { return m.test(r); });
+
+    // Harvest finished client requests: complete at fan-in, i.e. the latest
+    // transport-layer completion among the responses.
+    std::erase_if(out, [&](Outstanding& o) {
+      for (mpi::Request& r : o.sends) {
+        if (!m.test(r)) return false;
+      }
+      for (mpi::Request& r : o.resps) {
+        if (!m.test(r)) return false;
+      }
+      sim::Time done = sim::Time::zero();
+      for (mpi::Request& r : o.resps) {
+        done = std::max(done, r.state()->completed_at);
+      }
+      record(o.scheduled, done);
+      return true;
+    });
+
+    // Inject every request whose scheduled arrival has come — never gated on
+    // completions; that is what "open loop" means.
+    while (next < sched.size() && sched[next].arrival <= eng.now()) {
+      const PlannedRequest& rq = sched[next];
+      if (cfg_.client_backlog_cap != 0 &&
+          out.size() >= cfg_.client_backlog_cap) {
+        record_drop(rq.arrival);
+        ++next;
+        continue;
+      }
+      const int tag = static_cast<int>(next) % kTagWindow;
+      Outstanding o;
+      o.scheduled = rq.arrival;
+      // Prepost the response receives so the replies land matched.  All
+      // responses share one sink buffer — their content is not modeled.
+      for (const int d : rq.dsts) {
+        o.resps.push_back(
+            m.irecv(resp_sink.data(), resp_sink.size(), d, kRespBase + tag));
+      }
+      for (const int d : rq.dsts) {
+        o.sends.push_back(
+            m.isend(req_payload.data(), cfg_.request_bytes, d, tag,
+                    kReqContext));
+      }
+      out.push_back(std::move(o));
+      ++next;
+    }
+
+    // Schedule exhausted: tell every server this client may target that
+    // nothing further is coming (0-byte FIN).  Per-source FIFO orders the
+    // FIN behind all real requests, dropped ones excepted by construction.
+    if (!fins_sent && next >= sched.size()) {
+      for (const int d : plan_.client_targets[static_cast<std::size_t>(me)]) {
+        fin_sends.push_back(
+            m.isend(req_payload.data(), 0, d, kFinTag, kReqContext));
+      }
+      fins_sent = true;
+    }
+
+    const bool serving = fins_seen < fin_quota;
+    const bool in_flight = !out.empty() || !resp_sends.empty();
+    if (!serving && !in_flight && next >= sched.size()) break;
+
+    // Sleep: a pure injector with nothing in flight jumps straight to its
+    // next arrival; anyone serving or awaiting completions wakes every poll
+    // quantum to keep driving transport progress.
+    if (next < sched.size()) {
+      const sim::Time gap = sched[next].arrival - eng.now();
+      sim::sleep_for(eng, serving || in_flight ? std::min(cfg_.poll, gap)
+                                               : gap);
+    } else {
+      sim::sleep_for(eng, cfg_.poll);
+    }
+  }
+
+  // Only the FIN sends can still be in flight here (each peer's ring stays
+  // posted until it has our FIN, so this cannot deadlock).
+  m.waitall(fin_sends);
+}
+
+RunStats Workload::stats() const {
+  RunStats s;
+  s.offered = plan_.offered_in_window();
+  s.delivered = delivered_;
+  s.stragglers = stragglers_;
+  s.dropped = dropped_;
+  const double window_s = (plan_.horizon - plan_.warmup).to_seconds();
+  if (window_s > 0.0) {
+    const auto bytes = static_cast<double>(plan_.bytes_per_request);
+    s.offered_mbs = static_cast<double>(s.offered) * bytes / window_s / 1e6;
+    s.delivered_mbs =
+        static_cast<double>(s.delivered) * bytes / window_s / 1e6;
+  }
+  s.sojourn_us = sojourn_us_;
+  if (sojourn_us_.total() > 0) {
+    s.mean_us = sojourn_sum_us_ / static_cast<double>(sojourn_us_.total());
+    s.p50_us = sojourn_us_.p50();
+    s.p99_us = sojourn_us_.p99();
+    s.p999_us = sojourn_us_.p999();
+    s.max_us = sojourn_us_.max_seen();
+  }
+  return s;
+}
+
+}  // namespace icsim::traffic

@@ -1,0 +1,59 @@
+#pragma once
+// Open-loop workload execution: runs a traffic::Plan on a Cluster.
+//
+// One Workload drives one run.  Build it, hand rank_main to Cluster::run,
+// then read stats().  Every rank executes the same event loop, playing
+// client (inject scheduled requests), server (absorb them, answer RPCs), or
+// both, depending on what the plan assigned it.
+//
+// The loop is open-loop by construction: a request is posted when its
+// *scheduled* arrival time comes, never gated on earlier completions (except
+// through the optional admission cap, whose rejections are counted as
+// drops).  Sojourn times are measured from the scheduled arrival to the
+// transport-layer completion timestamp (RequestState::completed_at), so
+// neither a busy injector nor a lazy harvest loop can hide queueing delay —
+// the coordinated-omission-free measurement discipline.
+
+#include <cstdint>
+
+#include "core/cluster.hpp"
+#include "mpi/mpi.hpp"
+#include "sim/stats.hpp"
+#include "traffic/plan.hpp"
+#include "traffic/traffic.hpp"
+
+namespace icsim::traffic {
+
+class Workload {
+ public:
+  /// Materializes the plan up front (all randomness is consumed here).
+  /// `ranks` must equal the cluster's rank count at run time.
+  Workload(const TrafficConfig& cfg, core::Network net, int ranks);
+
+  /// The SPMD body; pass as `[&](mpi::Mpi& m) { w.rank_main(m); }`.
+  /// Single-run object: build a fresh Workload for each run.
+  void rank_main(mpi::Mpi& m);
+
+  /// Aggregate results; meaningful after Cluster::run returned.
+  [[nodiscard]] RunStats stats() const;
+
+  [[nodiscard]] const Plan& plan() const { return plan_; }
+  [[nodiscard]] const TrafficConfig& config() const { return cfg_; }
+
+ private:
+  // Ranks share one engine thread (fibers), so plain members suffice as the
+  // cross-rank lifecycle tracker.
+  void record(sim::Time scheduled, sim::Time completed);
+  void record_drop(sim::Time scheduled);
+
+  TrafficConfig cfg_;
+  Plan plan_;
+
+  std::uint64_t delivered_ = 0;   ///< in-window, completed by the horizon
+  std::uint64_t stragglers_ = 0;  ///< in-window, completed after the horizon
+  std::uint64_t dropped_ = 0;     ///< in-window admission-cap rejections
+  double sojourn_sum_us_ = 0.0;
+  sim::Histogram sojourn_us_ = sim::Histogram::log_spaced(0.5, 1e7);
+};
+
+}  // namespace icsim::traffic

@@ -182,6 +182,28 @@ TEST(SweepCli, UnknownGroupIsAHardErrorListingValidGroups) {
   EXPECT_NE(err.find("rndv"), std::string::npos) << err;
 }
 
+TEST(SweepCli, ListPrintsEveryGroupWithPointCountsAndExitsZero) {
+  const Registry reg = make_registry();
+  ::testing::internal::CaptureStdout();
+  const int rc = run_cli(reg, {"--list"});
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_EQ(rc, 0);
+  // Every group appears, in registration order, with its point count.
+  const auto alpha = out.find("alpha");
+  const auto rndv = out.find("rndv");
+  ASSERT_NE(alpha, std::string::npos) << out;
+  ASSERT_NE(rndv, std::string::npos) << out;
+  EXPECT_LT(alpha, rndv);
+  EXPECT_NE(out.find("3 points"), std::string::npos) << out;
+  EXPECT_NE(out.find("4 points"), std::string::npos) << out;
+  EXPECT_NE(out.find("Alpha group"), std::string::npos) << out;
+  // Listing must not run any scenario: --list with an unknown group name
+  // still exits 0 because selection never happens.
+  ::testing::internal::CaptureStdout();
+  EXPECT_EQ(run_cli(reg, {"--list", "no_such_group"}), 0);
+  (void)::testing::internal::GetCapturedStdout();
+}
+
 TEST(SweepCli, OutInfersFormatFromExtension) {
   const Registry reg = make_registry();
   const std::string base = ::testing::TempDir() + "icsim_sweep_out";

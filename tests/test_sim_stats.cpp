@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "sim/stats.hpp"
 
@@ -144,6 +145,81 @@ TEST(Histogram, NanSamplesAreDroppedAndCounted) {
   EXPECT_EQ(h.total(), 1u);
   EXPECT_EQ(h.nan_dropped(), 2u);
   EXPECT_EQ(h.buckets()[5], 1u);
+}
+
+TEST(Histogram, LogSpacedBucketsAreGeometric) {
+  // 3 decades at 24/decade: 72 buckets whose edges form one geometric
+  // progression from lo to hi.
+  Histogram h = Histogram::log_spaced(1.0, 1000.0, 24);
+  ASSERT_EQ(h.buckets().size(), 72u);
+  EXPECT_EQ(h.scale(), Histogram::Scale::log);
+  EXPECT_DOUBLE_EQ(h.bucket_edge(0), 1.0);
+  EXPECT_NEAR(h.bucket_edge(72), 1000.0, 1e-9);
+  const double ratio = h.bucket_edge(1) / h.bucket_edge(0);
+  for (std::size_t i = 1; i < 72; ++i) {
+    EXPECT_NEAR(h.bucket_edge(i + 1) / h.bucket_edge(i), ratio, 1e-12);
+  }
+}
+
+TEST(Histogram, LogQuantileRelativeErrorIsBounded) {
+  // The log layout's contract: any quantile lands within one bucket ratio
+  // (~10% at 24/decade) of the exact order statistic, across decades.
+  Histogram h = Histogram::log_spaced(1.0, 1e6, 24);
+  std::vector<double> xs;
+  for (int i = 1; i <= 1000; ++i) {
+    xs.push_back(1.5 * std::pow(1.012, i));  // spans ~1.5 .. 2.3e5
+    h.add(xs.back());
+  }
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double exact =
+        xs[static_cast<std::size_t>(q * 1000.0) - 1];  // sorted by build
+    const double est = h.quantile(q);
+    EXPECT_GE(est, exact * 0.999);
+    EXPECT_LE(est, exact * 1.11);
+  }
+}
+
+TEST(Histogram, TailQuantilesClampToExactMaximumInBothModes) {
+  // quantile(1.0) answers the largest sample *seen*, never a bucket edge
+  // above it — in both layouts; p999 of a 1000-sample set is the 999th
+  // order statistic's bucket, also observation-clamped.
+  Histogram lin(0.0, 1e6, 50);
+  Histogram log_h = Histogram::log_spaced(0.5, 1e6, 24);
+  for (int i = 0; i < 999; ++i) {
+    lin.add(10.0);
+    log_h.add(10.0);
+  }
+  lin.add(5000.0);
+  log_h.add(5000.0);
+  EXPECT_DOUBLE_EQ(lin.quantile(1.0), 5000.0);
+  EXPECT_DOUBLE_EQ(log_h.quantile(1.0), 5000.0);
+  // The 999th of 1000 samples is a 10.0: p999 must stay in its bucket.
+  EXPECT_LE(log_h.p999(), 10.0 * 1.11);
+  EXPECT_GE(log_h.p999(), 10.0);
+  // The linear layout sized for [0, 1e6) smears the body into its first
+  // 20000-wide bucket — exactly the failure mode log buckets exist for.
+  EXPECT_GT(lin.p999() / 10.0, 100.0);
+}
+
+TEST(Histogram, QuantileEdgeCasesBothModes) {
+  for (const auto scale : {Histogram::Scale::linear, Histogram::Scale::log}) {
+    Histogram h(1.0, 100.0, 20, scale);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);  // empty: lo()
+    h.add(42.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);  // q=0 needs no mass: lo()
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 42.0);
+    EXPECT_DOUBLE_EQ(h.min_seen(), 42.0);
+    EXPECT_DOUBLE_EQ(h.max_seen(), 42.0);
+    // Monotone in q with mixed mass.
+    h.add(2.0);
+    h.add(90.0);
+    double prev = 0.0;
+    for (double q : {0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+      const double v = h.quantile(q);
+      EXPECT_GE(v, prev);
+      prev = v;
+    }
+  }
 }
 
 }  // namespace

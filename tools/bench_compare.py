@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Compare two bench snapshots and flag events/sec regressions.
+
+Usage:
+    tools/bench_compare.py BENCH_7.json BENCH_6.json [--threshold 0.10]
+                           [--strict]
+
+Reads the ``events_per_sec`` of the new and old snapshots written by
+``tools/bench_snapshot.py`` and reports the relative change.  A drop larger
+than ``--threshold`` (default 10%) emits a GitHub Actions ``::warning``
+annotation; with ``--strict`` it becomes a hard failure instead.
+
+The snapshot series is append-only in its group set, so events/sec stays
+meaningful across snapshots: it measures aggregate simulator throughput
+(simulation events retired per wall-clock second), not per-group work.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        snap = json.load(f)
+    for key in ("snapshot", "events_per_sec"):
+        if key not in snap or snap[key] is None:
+            sys.exit(f"bench_compare: {path} has no usable '{key}'")
+    return snap
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("new", help="newer BENCH_<n>.json")
+    ap.add_argument("old", help="older BENCH_<m>.json to compare against")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="relative events/sec drop that triggers the "
+                         "warning (default 0.10)")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit nonzero on regression instead of warning")
+    args = ap.parse_args()
+
+    new, old = load(args.new), load(args.old)
+    n, o = new["events_per_sec"], old["events_per_sec"]
+    change = (n - o) / o
+    print(f"snapshot {old['snapshot']}: {o} events/s "
+          f"({old.get('points', '?')} points)")
+    print(f"snapshot {new['snapshot']}: {n} events/s "
+          f"({new.get('points', '?')} points)")
+    print(f"change: {change:+.1%} (threshold -{args.threshold:.0%})")
+
+    if change < -args.threshold:
+        msg = (f"simulator throughput regressed {-change:.1%}: "
+               f"{o} -> {n} events/s "
+               f"(snapshot {old['snapshot']} -> {new['snapshot']})")
+        if args.strict:
+            sys.exit(f"bench_compare: {msg}")
+        # GitHub Actions annotation; plain stdout elsewhere.
+        print(f"::warning title=bench regression::{msg}")
+    else:
+        print("ok: within threshold")
+
+
+if __name__ == "__main__":
+    main()

@@ -34,6 +34,7 @@ SWEEP_GROUPS = [
     "fig4_sweep3d",
     "fig6_npb_cg",
     "replay",
+    "traffic",
 ]
 JOBS = 1  # single-threaded: measures the simulator, not the thread pool
 
