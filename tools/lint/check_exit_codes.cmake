@@ -48,6 +48,38 @@ execute_process(COMMAND "${LINT}" --baseline "${WORKDIR}/roundtrip_baseline.txt"
                 RESULT_VARIABLE r OUTPUT_QUIET ERROR_QUIET)
 expect_exit(0 "${r}" "baseline round-trip")
 
+# 1 — the PR 4 reg-cache bug shape, reconnected interprocedurally by the
+# determinism-taint pass, must fail with exactly 1 (a finding, not analyzer
+# breakage): this is the acceptance gate for the taint pass.
+execute_process(COMMAND "${LINT}" "${TESTDATA}/taint_regcache.cc"
+                RESULT_VARIABLE r OUTPUT_QUIET ERROR_QUIET)
+expect_exit(1 "${r}" "taint reg-cache fixture")
+
+# 0 — partition-safety near-misses (locked shared state on the event path,
+# deterministic-key reg cache) must stay clean.
+execute_process(COMMAND "${LINT}" "${TESTDATA}/partition_clean.cc"
+                RESULT_VARIABLE r OUTPUT_QUIET ERROR_QUIET)
+expect_exit(0 "${r}" "partition clean fixture")
+
+# Manifest smoke: the shared-state pass must inventory the guarded static in
+# partition_clean.cc as `lock` (no diagnostic, but a manifest site), and the
+# scan stays exit 0 — the manifest records state, it does not gate.
+execute_process(COMMAND "${LINT}" --manifest "${WORKDIR}/smoke_manifest.json"
+                        "${TESTDATA}/partition_clean.cc"
+                RESULT_VARIABLE r OUTPUT_QUIET ERROR_QUIET)
+expect_exit(0 "${r}" "manifest scan")
+file(READ "${WORKDIR}/smoke_manifest.json" manifest)
+if(NOT manifest MATCHES "\"schema\": \"icsim-partition-manifest/1\"")
+  message(FATAL_ERROR "manifest missing schema marker")
+endif()
+if(NOT manifest MATCHES "\"variable\": \"posted_events\"")
+  message(FATAL_ERROR "manifest missing the guarded static-local site")
+endif()
+if(NOT manifest MATCHES "\"classification\": \"lock\"")
+  message(FATAL_ERROR "guarded static-local not classified lock")
+endif()
+message(STATUS "manifest smoke: ok")
+
 # SARIF smoke: findings still exit 1, and the log must be valid enough to
 # carry the version marker and at least one result.
 execute_process(COMMAND "${LINT}" --sarif "${WORKDIR}/smoke.sarif"

@@ -1,0 +1,43 @@
+#pragma once
+// Interprocedural dataflow layer for the partition-safety passes
+// (shared-state and determinism-taint) — see rules.hpp for the public entry
+// point run_partition_rules() and docs/MODEL.md §13 for the model.
+//
+// Everything here is a heuristic over the token-level IR (ir.hpp): name-based
+// call resolution, name-based variable matching, first-wins provenance.  The
+// passes are deliberately conservative in what they *track* (sets only grow,
+// provenance is immutable once recorded) so the fixpoint terminates and the
+// diagnostic output is deterministic for a given source tree.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir.hpp"
+
+namespace icsim_lint {
+
+/// Reachability from event/fiber entry points over the project call graph.
+/// Entry points are (a) the callees of every lambda posted to
+/// Engine::post_at / post_in / schedule_at / schedule_in (code that runs on
+/// the event loop), (b) every definition named `progress` (the MPI progress
+/// engines), and (c) every method of `Fabric` (chunk serialization — the
+/// code a partitioned engine runs concurrently per partition).
+struct Reachability {
+  /// node -> BFS parent ("" for a root).  Presence means reachable.
+  std::map<std::string, std::string> parent;
+  /// node -> entry label ("handler@file:line" or the seed's own key).
+  std::map<std::string, std::string> entry;
+
+  [[nodiscard]] bool contains(const std::string& key) const {
+    return parent.count(key) != 0;
+  }
+  /// Entry label followed by the call chain down to `key`.
+  [[nodiscard]] std::vector<std::string> path_to(const std::string& key) const;
+};
+
+/// Compute reachability over Project::call_graph (definitions only).
+[[nodiscard]] Reachability compute_reachability(const Project& project);
+
+}  // namespace icsim_lint

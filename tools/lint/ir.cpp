@@ -26,6 +26,13 @@ const std::set<std::string> kSyncTypes = {
 const std::set<std::string> kSchedulers = {"post_at", "post_in", "schedule_at",
                                            "schedule_in"};
 
+const std::set<std::string> kMutatingCalls = {
+    "insert",  "erase",         "clear",    "push_back", "pop_back",
+    "emplace", "emplace_back",  "push",     "pop",       "push_front",
+    "pop_front", "emplace_front", "resize", "assign",    "reset",
+    "store",   "fetch_add",     "fetch_sub", "exchange",
+    "try_emplace", "insert_or_assign"};
+
 bool is_ident(const Token& t) { return t.kind == TokKind::identifier; }
 
 struct Parser {
@@ -188,7 +195,66 @@ struct Parser {
         if (kSchedulers.count(x) != 0) {
           scan_scheduler_args(fn, k + 1, t[k].line);
         }
+        continue;
       }
+      if (kNotCallable.count(x) == 0 && kSpecifiers.count(x) == 0) {
+        detect_write(fn, k, end);
+      }
+    }
+  }
+
+  /// Mutation of the identifier at k: `x = ...` / `x += ...` / `++x` / `x++`
+  /// / `x.insert(...)`, with subscripts between the name and the operator
+  /// skipped (`counts[key]++` writes `counts`).  The lexer emits multi-char
+  /// operators as single-char punctuation (`==` is `=` `=`), so every match
+  /// peeks one token further to reject comparisons.
+  void detect_write(FunctionDecl& fn, std::size_t k, std::size_t end) {
+    const std::string& x = t[k].text;
+    WriteSite w;
+    w.name = x;
+    w.line = t[k].line;
+    w.tok = k;
+    if (k >= 2 && t[k - 1].text == "::" && is_ident(t[k - 2])) {
+      w.owner = t[k - 2].text;
+    }
+    // Prefix increment/decrement.
+    if (k >= 2 && ((t[k - 1].text == "+" && t[k - 2].text == "+") ||
+                   (t[k - 1].text == "-" && t[k - 2].text == "-"))) {
+      w.how = "incremented";
+      fn.writes.push_back(w);
+      return;
+    }
+    std::size_t m = k + 1;
+    while (m < end && text(m) == "[") m = skip_balanced(m, "[", "]");
+    if (m >= end) return;
+    const std::string& op = t[m].text;
+    // Plain assignment (`=` not followed by `=`, which would be `==`).
+    if (op == "=" && text(m + 1) != "=") {
+      w.how = "assigned";
+      fn.writes.push_back(w);
+      return;
+    }
+    // Compound assignment: `+=` lexes as `+` `=`.
+    static const std::set<std::string> kCompound = {"+", "-", "*", "/",
+                                                    "%", "&", "|", "^"};
+    if (kCompound.count(op) != 0 && text(m + 1) == "=" && text(m + 2) != "=") {
+      w.how = "assigned";
+      fn.writes.push_back(w);
+      return;
+    }
+    // Postfix increment/decrement.
+    if ((op == "+" && text(m + 1) == "+") ||
+        (op == "-" && text(m + 1) == "-")) {
+      w.how = "incremented";
+      fn.writes.push_back(w);
+      return;
+    }
+    // Mutating member call.
+    if ((op == "." || op == "->") && m + 2 < end && is_ident(t[m + 1]) &&
+        kMutatingCalls.count(t[m + 1].text) != 0 && text(m + 2) == "(") {
+      w.how = "mutated via " + t[m + 1].text + "()";
+      fn.writes.push_back(w);
+      return;
     }
   }
 
@@ -200,6 +266,7 @@ struct Parser {
     v.var_scope = VarScope::static_local;
     v.is_static = true;
     v.func = fn.name;
+    v.owner = fn.owner;
     v.line = t[i].line;
     std::size_t j = i + 1;
     int angle = 0;
@@ -365,6 +432,7 @@ struct Parser {
     v.name = run.back().text;
     v.line = run.back().line;
     v.var_scope = in_class() ? VarScope::class_member : VarScope::namespace_scope;
+    if (in_class()) v.owner = scopes.back().name;
     v.is_static = is_static;
     v.is_const = is_const;
     v.is_thread_local = is_thread_local;
@@ -649,6 +717,12 @@ void build_call_graph(Project& project) {
       }
     }
   }
+}
+
+std::set<std::string> resolve_call_targets(const Project& project,
+                                           const std::string& caller_owner,
+                                           const CallSite& call) {
+  return resolve_call(project, caller_owner, call);
 }
 
 bool call_blocks(const Project& project, const std::string& caller_owner,

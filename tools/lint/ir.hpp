@@ -46,6 +46,18 @@ struct CallSite {
   bool qualified = false;  // preceded by `::`
 };
 
+/// A mutation of a named object inside a function body: assignment (plain or
+/// compound), increment/decrement, or a mutating member call (insert /
+/// push_back / clear / ...).  Subscripts between the name and the operator
+/// are skipped, so `counts[key]++` is a write to `counts`.
+struct WriteSite {
+  std::string name;     // the written identifier
+  std::string owner;    // `Owner::name = ...` qualification ("" otherwise)
+  std::string how;      // "assigned" / "incremented" / "mutated via insert()"
+  int line = 0;
+  std::size_t tok = 0;  // index of the written identifier token
+};
+
 struct FunctionDecl {
   std::string name;                      // unqualified ("operator+" for operators)
   std::string scope;                     // "icsim::sim::Engine" style join
@@ -59,8 +71,9 @@ struct FunctionDecl {
   int line = 0;
   std::size_t body_begin = 0;  // token range of `{...}` body (definitions)
   std::size_t body_end = 0;
-  std::vector<CallSite> calls;  // definitions only
-  bool body_has_lock = false;   // lock_guard / scoped_lock / unique_lock seen
+  std::vector<CallSite> calls;    // definitions only
+  std::vector<WriteSite> writes;  // definitions only
+  bool body_has_lock = false;     // lock_guard / scoped_lock / unique_lock seen
 };
 
 enum class VarScope { namespace_scope, class_member, static_local };
@@ -73,7 +86,8 @@ struct VarDecl {
   bool is_const = false;      // const or constexpr
   bool is_thread_local = false;
   bool is_sync_primitive = false;  // mutex / atomic / once_flag / condition_variable
-  std::string func;  // enclosing function (static locals)
+  std::string func;   // enclosing function (static locals)
+  std::string owner;  // enclosing class (class members)
   int line = 0;
 };
 
@@ -117,6 +131,13 @@ struct Project {
 [[nodiscard]] bool call_blocks(const Project& project,
                                const std::string& caller_owner,
                                const CallSite& call);
+
+/// Candidate definition node ids for a call site: the same-class definition
+/// alone when a plain call has one, every same-named definition otherwise,
+/// the bare callee name when nothing in the project defines it.
+[[nodiscard]] std::set<std::string> resolve_call_targets(
+    const Project& project, const std::string& caller_owner,
+    const CallSite& call);
 
 /// Parse one lexed file into declarations. Never throws: unparseable
 /// constructs are skipped (heuristic analysis degrades, it does not abort).

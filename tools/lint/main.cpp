@@ -59,6 +59,14 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"blocking-context",
        "Fiber-blocking APIs must be unreachable from engine event-handler "
        "lambdas"},
+      {"shared-state",
+       "Writes to statics/globals reachable from event/fiber entry points "
+       "must be sharded, locked, or forbidden before the engine is "
+       "partitioned"},
+      {"determinism-taint",
+       "Host-nondeterministic values (pointer casts, pointer hashes, host "
+       "clocks, unordered iteration, uninitialized reads) must not flow into "
+       "simulated-time sinks"},
   };
   return catalog;
 }
@@ -101,6 +109,7 @@ struct Options {
   std::string baseline_path;
   std::string write_baseline_path;
   std::string sarif_path;
+  std::string manifest_path;
   std::string root;
   bool explain_blocking = false;
 };
@@ -111,6 +120,9 @@ int usage(std::ostream& os, int code) {
         "  --baseline FILE        accept findings listed in FILE\n"
         "  --write-baseline FILE  write unbaselined findings as new entries\n"
         "  --sarif FILE           also emit SARIF 2.1.0 (for code scanning)\n"
+        "  --manifest FILE        emit partition-manifest.json (the certified\n"
+        "                         shard/lock/forbid inventory of shared-mutable\n"
+        "                         state; consumed by the parallel DES work)\n"
         "  --root DIR             repo root for relative SARIF paths\n"
         "  --list-rules           print the rule catalog and exit\n"
         "Suppress inline with: // icsim-lint: allow(<rule>)\n"
@@ -152,6 +164,12 @@ int run(int argc, char** argv) {
       const char* v = value("--sarif");
       if (v == nullptr) return 2;
       opt.sarif_path = v;
+      continue;
+    }
+    if (arg == "--manifest") {
+      const char* v = value("--manifest");
+      if (v == nullptr) return 2;
+      opt.manifest_path = v;
       continue;
     }
     if (arg == "--explain-blocking") {
@@ -245,6 +263,10 @@ int run(int argc, char** argv) {
     run_legacy_rules(tu, header_vars, diags);
     run_model_rules(tu, project, diags);
   }
+  // Interprocedural partition-safety passes (shared-state +
+  // determinism-taint) run once over the whole project.
+  std::vector<ManifestSite> manifest;
+  run_partition_rules(project, diags, manifest);
   std::sort(diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
     if (a.file != b.file) return a.file < b.file;
     if (a.line != b.line) return a.line < b.line;
@@ -285,12 +307,12 @@ int run(int argc, char** argv) {
               << " [" << d.symbol << "]\n";
   }
 
+  std::string root = opt.root;
+  if (root.empty()) {
+    std::error_code ec;
+    root = fs::current_path(ec).generic_string();
+  }
   if (!opt.sarif_path.empty()) {
-    std::string root = opt.root;
-    if (root.empty()) {
-      std::error_code ec;
-      root = fs::current_path(ec).generic_string();
-    }
     if (!write_sarif(opt.sarif_path, diags, root)) {
       std::cerr << "icsim_lint: cannot write SARIF " << opt.sarif_path << "\n";
       io_error = true;
@@ -298,6 +320,17 @@ int run(int argc, char** argv) {
       std::cerr << "icsim_lint: sarif: wrote " << diags.size() << " result"
                 << (diags.size() == 1 ? "" : "s") << " to " << opt.sarif_path
                 << "\n";
+    }
+  }
+  if (!opt.manifest_path.empty()) {
+    if (!write_manifest(opt.manifest_path, manifest, root)) {
+      std::cerr << "icsim_lint: cannot write manifest " << opt.manifest_path
+                << "\n";
+      io_error = true;
+    } else {
+      std::cerr << "icsim_lint: manifest: wrote " << manifest.size()
+                << " shared-mutable site" << (manifest.size() == 1 ? "" : "s")
+                << " to " << opt.manifest_path << "\n";
     }
   }
 

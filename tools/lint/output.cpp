@@ -134,6 +134,50 @@ bool write_baseline(const std::string& path,
   return static_cast<bool>(out);
 }
 
+bool write_manifest(const std::string& path,
+                    const std::vector<ManifestSite>& sites,
+                    const std::string& root) {
+  std::ofstream out(path);
+  if (!out) return false;
+  std::size_t shard = 0, lock = 0, forbid = 0;
+  for (const auto& s : sites) {
+    if (s.cls == PartitionClass::shard) ++shard;
+    else if (s.cls == PartitionClass::lock) ++lock;
+    else ++forbid;
+  }
+  out << "{\n"
+         "  \"schema\": \"icsim-partition-manifest/1\",\n"
+         "  \"generated_by\": \"icsim_lint shared-state pass\",\n"
+         "  \"summary\": {\"sites\": " << sites.size()
+      << ", \"shard\": " << shard << ", \"lock\": " << lock
+      << ", \"forbid\": " << forbid << "},\n"
+         "  \"sites\": [\n";
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const auto& s = sites[i];
+    out << "    {\n"
+        << "      \"variable\": \"" << json_escape(s.variable) << "\",\n"
+        << "      \"kind\": \"" << json_escape(s.var_kind) << "\",\n"
+        << "      \"type\": \"" << json_escape(s.type) << "\",\n"
+        << "      \"file\": \"" << json_escape(relative_to(s.file, root))
+        << "\",\n"
+        << "      \"line\": " << s.line << ",\n"
+        << "      \"classification\": \"" << to_string(s.cls) << "\",\n"
+        << "      \"reachable_from_event_context\": "
+        << (s.reachable ? "true" : "false") << ",\n"
+        << "      \"call_path\": [";
+    for (std::size_t j = 0; j < s.call_path.size(); ++j) {
+      out << "\"" << json_escape(s.call_path[j]) << "\""
+          << (j + 1 < s.call_path.size() ? ", " : "");
+    }
+    out << "],\n"
+        << "      \"reason\": \"" << json_escape(s.reason) << "\"\n"
+        << "    }" << (i + 1 < sites.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n"
+         "}\n";
+  return static_cast<bool>(out);
+}
+
 bool write_sarif(const std::string& path, const std::vector<Diagnostic>& diags,
                  const std::string& root) {
   std::ofstream out(path);

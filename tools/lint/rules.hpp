@@ -54,4 +54,36 @@ std::set<std::string> unordered_vars(const LexedFile& lf);
 void run_model_rules(const TranslationUnit& tu, const Project& project,
                      std::vector<Diagnostic>& diags);
 
+/// Partition-safety classification of a shared-mutable site (docs/MODEL.md
+/// §13):
+///   shard  — per-partition copies are sound (no cross-partition meaning);
+///   lock   — mutex-guarded and model-invisible; a lock keeps it correct;
+///   forbid — the value (or the order of writes) can reach model behavior;
+///            the parallel engine must not share it at all.
+enum class PartitionClass { shard, lock, forbid };
+
+[[nodiscard]] const char* to_string(PartitionClass c);
+
+/// One shared-mutable site in the partition manifest — the certified
+/// inventory the ROADMAP-item-1 parallel engine consumes.
+struct ManifestSite {
+  std::string variable;
+  std::string var_kind;  // "namespace-scope" / "static-member" / "static-local"
+  std::string type;      // declared type, tokens joined
+  std::string file;
+  int line = 0;
+  PartitionClass cls = PartitionClass::shard;
+  bool reachable = false;  // writable from an event/fiber entry point
+  std::vector<std::string> call_path;  // entry -> ... -> writing function
+  std::string reason;
+};
+
+/// Interprocedural partition-safety passes (dataflow.cpp): the
+/// shared-state pass (call-graph walk from event/fiber entry points to
+/// writes of shared mutable state, shard/lock/forbid classification) and the
+/// determinism-taint pass (host-nondeterminism sources -> simulated-time
+/// sinks).  Appends diagnostics and fills the manifest inventory.
+void run_partition_rules(const Project& project, std::vector<Diagnostic>& diags,
+                         std::vector<ManifestSite>& manifest);
+
 }  // namespace icsim_lint

@@ -1,0 +1,49 @@
+// Near-miss fixture for the partition-safety passes: shapes adjacent to
+// shared_state.cc and taint_regcache.cc that must NOT fire any rule.
+// Exercised by `lint_partition_clean_fixture_passes` (exit 0).
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace fixture {
+
+std::mutex g_meter_mutex;
+
+class Meter {
+ public:
+  // Mutex-guarded static local written from an event handler: the
+  // shared-state pass classifies it `lock` — a manifest entry, not a
+  // diagnostic.
+  void bump() {
+    std::lock_guard<std::mutex> lk(g_meter_mutex);
+    static std::uint64_t posted_events = 0;
+    posted_events += 1;
+  }
+  void arm(icsim::sim::Engine& engine, icsim::sim::Time t) {
+    engine.post_in(t, [this] { bump(); });
+  }
+};
+
+// The PR 4 fix shape: the registration cache keyed by the deterministic
+// logical envelope id, so hit/miss — and the charged latency — is a pure
+// function of the scenario.  Same control flow as TaintedRegCache, but no
+// taint source feeds the key, so the branch sink must stay quiet.
+class LogicalRegCache {
+ public:
+  [[nodiscard]] icsim::sim::Time pin(std::uint64_t envelope_id) {
+    auto it = cache_.find(envelope_id);
+    if (it != cache_.end()) {
+      return icsim::sim::Time::zero();
+    }
+    cache_[envelope_id] = 1;
+    return icsim::sim::Time::us(9);
+  }
+
+ private:
+  std::map<std::uint64_t, int> cache_;
+};
+
+}  // namespace fixture

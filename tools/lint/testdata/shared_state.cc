@@ -1,0 +1,37 @@
+// Regression fixture for the interprocedural shared-state pass: mutable
+// shared state written on the event path, one site per classification that
+// must block the parallel DES engine.  `g_chunks_in_flight` is plain shared
+// state (per-partition copies would be sound => `shard`); `g_last_arrival`
+// is model-visible sim::Time (the value can steer simulated time from any
+// partition => `forbid`).  Both writes sit behind a call chain rooted in an
+// event-handler lambda, so the pass has to walk the call graph — a per-TU
+// scan would see neither.  Never compiled — it exists for the
+// `lint_detects_shared_state` ctest case.
+#include <cstdint>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace fixture {
+
+std::uint64_t g_chunks_in_flight = 0;  // shard: plain counter
+
+icsim::sim::Time g_last_arrival;  // forbid: model-visible type
+
+class Port {
+ public:
+  void arm(icsim::sim::Engine& engine, icsim::sim::Time t) {
+    engine.post_in(t, [this] { on_deliver(); });
+  }
+
+ private:
+  void on_deliver() {
+    account();
+    g_last_arrival = deadline_;
+  }
+  void account() { g_chunks_in_flight += 1; }
+
+  icsim::sim::Time deadline_;
+};
+
+}  // namespace fixture

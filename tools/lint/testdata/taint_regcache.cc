@@ -1,0 +1,39 @@
+// Regression fixture for the determinism-taint pass: the PR 4 MVAPICH
+// registration-cache bug distilled to its dataflow skeleton.  The host
+// virtual address of the application buffer becomes the cache key
+// (reinterpret_cast source, in a helper); cache hit/miss — a function of
+// ASLR and the allocator, not the scenario — then selects the pinning
+// latency charged to sim::Time (branch sink).  Unlike the token-level
+// regcache_bug.cc fixture, nothing here keys a container on a raw pointer
+// type: the leak only appears once taint is tracked through key_of()'s
+// return value into the branch condition, so this is the interprocedural
+// pass's job.  The exit-code driver also asserts this scan exits exactly 1.
+// Never compiled — it exists for the `lint_detects_determinism_taint` case.
+#include <cstdint>
+#include <map>
+
+#include "sim/time.hpp"
+
+namespace fixture {
+
+class TaintedRegCache {
+ public:
+  [[nodiscard]] icsim::sim::Time pin(const void* host_buf) {
+    const std::uint64_t key = key_of(host_buf);
+    if (pinned_.count(key) != 0) {
+      return icsim::sim::Time::zero();  // hit: already registered
+    }
+    pinned_[key] = 1;
+    return icsim::sim::Time::us(9);  // miss: pin-down cost
+  }
+
+ private:
+  // Source: the pointer VALUE becomes model-visible data.
+  static std::uint64_t key_of(const void* host_buf) {
+    return reinterpret_cast<std::uint64_t>(host_buf);
+  }
+
+  std::map<std::uint64_t, int> pinned_;
+};
+
+}  // namespace fixture
