@@ -1,0 +1,20 @@
+// Figure 8, simulated: barrier and 8-byte allreduce at 1024-8192 nodes on
+// both fabrics, executed on the conservatively synchronized parallel
+// engine (src/par/) instead of trend-fitting the 8->32-node application
+// anchors.
+//
+// The intra-run thread count is host policy (ClusterConfig::
+// intra_run_threads, overridable via ICSIM_PAR_THREADS): the reported
+// event digests are byte-identical for any value — CI runs this binary at
+// 1/2/4/8 threads and diffs the JSON.
+//
+// Thin wrapper over the fig8_simulated scenario group.
+
+#include "driver/sweep_main.hpp"
+#include "scenarios/scenarios.hpp"
+
+int main(int argc, char** argv) {
+  icsim::driver::Registry reg;
+  icsim::bench::register_fig8_simulated(reg);
+  return icsim::driver::sweep_main(reg, argc, argv);
+}

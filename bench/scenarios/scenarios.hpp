@@ -23,6 +23,7 @@ void register_fig5_sweep3d_inputs(driver::Registry& r);
 void register_fig6_npb_cg(driver::Registry& r);
 void register_fig7_cost(driver::Registry& r);
 void register_fig8_extrapolation(driver::Registry& r);
+void register_fig8_simulated(driver::Registry& r);  // parallel engine (src/par/)
 void register_ext_threeway(driver::Registry& r);
 void register_ext_npb_suite(driver::Registry& r);
 void register_ext_scale(driver::Registry& r);

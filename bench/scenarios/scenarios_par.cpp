@@ -1,0 +1,111 @@
+// fig8_simulated scenario group: the Figure 8 extrapolation actually
+// *simulated* instead of trend-fitted — barrier and 8-byte allreduce on
+// both fabrics at 1024..8192 nodes, run on the conservatively synchronized
+// parallel engine (src/par/).
+//
+// Where fig8_extrapolation continues the 8->32-node application trends by
+// formula, these points build the full fat tree at target scale and let the
+// calibrated per-message overheads and per-hop switch latencies compound
+// through a real event schedule.  Shape targets: Elan-4's collectives stay
+// roughly 2x ahead of InfiniBand at every size (its 35 ns vs 200 ns switch
+// hop and cheap PIO post vs 1.8 us WQE fetch), and both grow ~log2(n)
+// rounds deep, so the absolute gap widens with scale.
+//
+// Determinism: each point reports the parallel engine's canonical
+// partition-merge digest, which is byte-identical for any intra-run thread
+// count — CI re-runs this group under ICSIM_PAR_THREADS=1,2,4,8 and diffs
+// the sweep JSON (docs/MODEL.md section 14).  threads_used is deliberately
+// NOT a metric: it is host policy, and sweep output must be
+// machine-invariant.
+
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "par/par_cluster.hpp"
+#include "scenarios.hpp"
+
+namespace icsim::bench {
+
+namespace {
+
+struct ParPoint {
+  core::Network net;
+  int nodes;
+  par::Collective op;
+};
+
+driver::PointResult run_par_point(const ParPoint& pt) {
+  driver::PointResult r;
+  core::ClusterConfig cc = cluster_for(pt.net, pt.nodes);
+  par::ParCluster cluster(cc);
+  par::CollectiveSpec spec;
+  spec.op = pt.op;
+  spec.bytes = 8;
+  spec.iterations = 2;
+  const par::ParRunStats st = cluster.run(spec);
+
+  r.add("nodes", pt.nodes, 0);
+  r.add("us/iter", st.simulated_us / spec.iterations, 2);
+  r.add("messages", static_cast<double>(st.messages), 0);
+  r.add("chunks", static_cast<double>(st.fabric_chunks), 0);
+  r.add("windows", static_cast<double>(st.windows), 0);
+  r.add("cross_posts", static_cast<double>(st.cross_posts), 0);
+  r.add("partitions", st.partitions, 0);
+  r.events += st.events_processed;
+  sim::check::Fnv1a f;
+  f.fold(r.digest);
+  f.fold(st.event_digest);
+  r.digest = f.value();
+  return r;
+}
+
+}  // namespace
+
+void register_fig8_simulated(driver::Registry& reg) {
+  auto& g = reg.group("fig8_simulated",
+                      "Figure 8 (simulated): collectives at 1024-8192 nodes "
+                      "on the parallel engine (us per op)");
+  g.finalize = [](std::vector<driver::PointResult>& pts) {
+    std::vector<std::string> out;
+    // Points are registered net-major, op-minor over the same node list, so
+    // pair IB and Elan entries positionally: the Elan half follows the IB
+    // half in registry order.
+    const std::size_t half = pts.size() / 2;
+    double worst = 0.0, best = 1e300;
+    for (std::size_t i = 0; i < half && half + i < pts.size(); ++i) {
+      const double ib_us = pts[i].value("us/iter");
+      const double el_us = pts[half + i].value("us/iter");
+      if (el_us <= 0.0) continue;
+      const double ratio = ib_us / el_us;
+      pts[i].add("vs Elan", ratio, 2);
+      if (ratio > worst) worst = ratio;
+      if (ratio < best) best = ratio;
+    }
+    out.push_back(line("IB/Elan latency ratio across ops and sizes: "
+                       "%.2fx .. %.2fx (paper's switch+overhead gap "
+                       "compounds with log2(n) rounds)",
+                       best, worst));
+    return out;
+  };
+
+  const bool fast = fast_mode();
+  const std::vector<int> sizes =
+      fast ? std::vector<int>{256, 1024}
+           : std::vector<int>{1024, 2048, 4096, 8192};
+  for (const core::Network net :
+       {core::Network::infiniband, core::Network::quadrics}) {
+    for (const int n : sizes) {
+      for (const par::Collective op :
+           {par::Collective::barrier, par::Collective::allreduce}) {
+        const std::string name = std::string(net_tag(net)) + "/" +
+                                 std::to_string(n) + "/" +
+                                 par::to_string(op);
+        reg.add("fig8_simulated", name,
+                [pt = ParPoint{net, n, op}] { return run_par_point(pt); });
+      }
+    }
+  }
+}
+
+}  // namespace icsim::bench

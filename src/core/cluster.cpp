@@ -351,6 +351,16 @@ void Cluster::write_trace_files(sim::Time elapsed) {
 }
 
 sim::Time Cluster::run(const std::function<void(mpi::Mpi&)>& rank_main) {
+  if (cfg_.intra_run_threads > 1) {
+    // The fiber tier cannot honor the knob: ucontext fibers must resume on
+    // their creating thread, and transport callbacks touch source- and
+    // destination-side state in one engine.  Refuse loudly instead of
+    // silently running serial — intra-run parallelism lives in
+    // par::ParCluster (src/par/).
+    throw std::invalid_argument(
+        "Cluster::run: intra_run_threads > 1 is not supported on the fiber "
+        "path; use par::ParCluster for intra-run parallel execution");
+  }
   const int nranks = ranks();
   std::vector<std::unique_ptr<sim::Fiber>> fibers;
   fibers.reserve(static_cast<std::size_t>(nranks));

@@ -85,6 +85,13 @@ struct ClusterConfig {
   /// Framed binary .icst instead of text (`ICSIM_MPI_TRACE_FORMAT=binary`
   /// when the directory came from the environment).
   bool mpi_trace_binary = false;
+  /// Worker threads for intra-run parallel execution (the conservative
+  /// parallel engine of src/par/).  Host policy only: the parallel tier's
+  /// event_digest is byte-identical for any value, and `ICSIM_PAR_THREADS`
+  /// overrides it without a rebuild (when env_overrides is on).  The
+  /// fiber-based Cluster::run path is inherently serial — it throws when
+  /// this is > 1; par::ParCluster is the consumer of this knob.
+  int intra_run_threads = 1;
   /// Consult the `ICSIM_TRACE` / `ICSIM_FAULTS` / `ICSIM_MPI_TRACE`
   /// environment overrides above.  Auxiliary clusters built *inside* a run
   /// (topology inspection, the traffic layer's capacity calibration) turn

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "sim/check.hpp"
+#include "sim/concurrency.hpp"
 
 namespace icsim::driver {
 
@@ -139,6 +140,11 @@ SweepReport run_sweep(const Registry& registry,
     }
   };
 
+  // Nested-parallelism guard: announce the pool width so scenarios that
+  // build an intra-run parallel engine (par::ParCluster) clamp their own
+  // thread count — host scheduling only, never simulated results (see
+  // sim/concurrency.hpp).
+  sim::set_external_workers(static_cast<int>(jobs));
   if (jobs <= 1) {
     worker();
   } else {
@@ -147,6 +153,7 @@ SweepReport run_sweep(const Registry& registry,
     for (unsigned i = 0; i < jobs; ++i) pool.emplace_back(worker);
     for (auto& t : pool) t.join();
   }
+  sim::set_external_workers(1);
 
   // Aggregation: registry order throughout, never completion order.
   SweepReport report;

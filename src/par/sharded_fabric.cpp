@@ -1,0 +1,239 @@
+#include "par/sharded_fabric.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/check.hpp"
+
+namespace icsim::par {
+
+ShardedFabric::ShardedFabric(ParEngine& engine, const net::FabricConfig& config,
+                             int num_nodes, Partitioning partitioning)
+    : par_(engine),
+      cfg_(config),
+      topo_(config.radix_down, config.levels),
+      num_nodes_(num_nodes),
+      parts_(std::move(partitioning)) {
+  if (num_nodes > topo_.capacity()) {
+    throw std::invalid_argument(
+        "ShardedFabric: more nodes than the tree can attach");
+  }
+  if (parts_.parts != engine.partitions()) {
+    throw std::invalid_argument(
+        "ShardedFabric: partitioning does not match the engine's shard count");
+  }
+  shards_.reserve(static_cast<std::size_t>(parts_.parts));
+  for (int p = 0; p < parts_.parts; ++p) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+sim::Time ShardedFabric::serialization_time(std::uint32_t bytes) const {
+  return cfg_.link_bandwidth.transfer_time(wire_bytes(bytes));
+}
+
+std::uint64_t ShardedFabric::wire_bytes(std::uint32_t bytes) const {
+  const std::uint64_t packets =
+      bytes == 0 ? 1 : (bytes + cfg_.mtu_bytes - 1) / cfg_.mtu_bytes;
+  return static_cast<std::uint64_t>(bytes) + packets * cfg_.header_bytes;
+}
+
+std::uint64_t ShardedFabric::key_of(const net::Hop& hop) const {
+  switch (hop.kind) {
+    case net::Hop::Kind::node_to_switch:
+      return (1ull << 63) | static_cast<std::uint64_t>(hop.node);
+    case net::Hop::Kind::switch_to_node:
+      return (1ull << 63) | (1ull << 62) | static_cast<std::uint64_t>(hop.node);
+    case net::Hop::Kind::switch_to_switch:
+      return (topo_.switch_id(hop.from) << 31) | topo_.switch_id(hop.to);
+  }
+  return 0;  // unreachable
+}
+
+std::string ShardedFabric::link_name(const net::Hop& hop) const {
+  switch (hop.kind) {
+    case net::Hop::Kind::node_to_switch:
+      return "node" + std::to_string(hop.node) + "->sw";
+    case net::Hop::Kind::switch_to_node:
+      return "sw->node" + std::to_string(hop.node);
+    case net::Hop::Kind::switch_to_switch:
+      return "sw" + std::to_string(topo_.switch_id(hop.from)) + "->sw" +
+             std::to_string(topo_.switch_id(hop.to));
+  }
+  return "link";
+}
+
+ShardedFabric::DirectedLink& ShardedFabric::link_for(Shard& shard,
+                                                     const net::Hop& hop) {
+  const std::uint64_t key = key_of(hop);
+  auto it = shard.links.find(key);
+  if (it == shard.links.end()) {
+    it = shard.links
+             .emplace(key, std::make_unique<DirectedLink>(
+                               par_.shard(parts_.owner(hop)), link_name(hop),
+                               hop))
+             .first;
+  }
+  return *it->second;
+}
+
+void ShardedFabric::set_link_windows(
+    std::vector<fault::LinkDownWindow> windows) {
+  windows_ = std::move(windows);
+}
+
+bool ShardedFabric::link_down_at(const net::Hop& hop, sim::Time t) const {
+  for (const fault::LinkDownWindow& w : windows_) {
+    if (!w.link.covers(hop)) continue;
+    const bool forever = w.up <= w.down;
+    if (t >= w.down && (forever || t < w.up)) return true;
+  }
+  return false;
+}
+
+void ShardedFabric::forward(std::shared_ptr<std::vector<net::Hop>> route,
+                            std::size_t index, std::uint32_t bytes,
+                            DeliveredFn on_delivered) {
+  const net::Hop& hop = (*route)[index];
+  const int p = parts_.owner(hop);
+  Shard& shard = *shards_[static_cast<std::size_t>(p)];
+  sim::Engine& eng = par_.shard(p);
+
+  // A link inside a down window swallows chunks already in flight (route
+  // selection only protects the injection instant).  The loss is counted
+  // here and never notified — see the header contract.
+  if (!windows_.empty() && link_down_at(hop, eng.now())) {
+    ++shard.down_drops;
+    shard.bytes_dropped += bytes;
+    --shard.in_flight_delta;
+    return;
+  }
+
+  DirectedLink& link = link_for(shard, hop);
+  const sim::Time ser = serialization_time(bytes);
+  // Entering a switch costs its pipeline latency; the endpoint hop does not
+  // (same rule as net::Fabric::forward).
+  const sim::Time entry_latency = hop.kind == net::Hop::Kind::switch_to_node
+                                      ? sim::Time::zero()
+                                      : cfg_.switch_latency;
+  const sim::Time tx_done = link.tx.acquire(ser);
+  ++link.forwarded;
+  const sim::Time arrival = tx_done + cfg_.wire_latency + entry_latency;
+
+  if (index + 1 == route->size()) {
+    // Final hop is switch_to_node, owned by the destination's partition —
+    // delivery is always a local post, and the callback runs where the
+    // destination's state lives.
+    eng.post_at(arrival, [this, p, bytes,
+                          on_delivered = std::move(on_delivered)]() mutable {
+      Shard& dst = *shards_[static_cast<std::size_t>(p)];
+      ++dst.delivered;
+      dst.bytes_delivered += bytes;
+      --dst.in_flight_delta;
+      if (on_delivered) on_delivered();
+    });
+    return;
+  }
+
+  const int next_owner = parts_.owner((*route)[index + 1]);
+  auto cont = [this, route = std::move(route), index, bytes,
+               on_delivered = std::move(on_delivered)]() mutable {
+    forward(std::move(route), index + 1, bytes, std::move(on_delivered));
+  };
+  if (next_owner == p) {
+    eng.post_at(arrival, std::move(cont));
+  } else {
+    // The hand-off carries wire + switch latency of simulated delay —
+    // exactly the engine's lookahead, so arrival >= window end always
+    // (ParEngine::post_cross audits it).
+    par_.post_cross(p, next_owner, arrival, std::move(cont));
+  }
+}
+
+void ShardedFabric::inject(int src, int dst, std::uint32_t bytes,
+                           DeliveredFn on_delivered) {
+  assert(src != dst && "ShardedFabric::inject: local sends bypass the fabric");
+  assert(src >= 0 && src < num_nodes_ && dst >= 0 && dst < num_nodes_);
+  const int p = parts_.of_node(src);
+  Shard& shard = *shards_[static_cast<std::size_t>(p)];
+  ++shard.injected;
+  shard.bytes_injected += bytes;
+  ++shard.in_flight_delta;
+
+  std::vector<net::Hop> path = topo_.route(src, dst);
+  if (!windows_.empty()) {
+    const sim::Time now = par_.shard(p).now();
+    bool blocked = false;
+    for (const net::Hop& hop : path) {
+      if (link_down_at(hop, now)) {
+        blocked = true;
+        break;
+      }
+    }
+    if (blocked) {
+      path = topo_.route_avoiding(src, dst, [this, now](const net::Hop& hop) {
+        return link_down_at(hop, now);
+      });
+      if (path.empty()) {
+        // Fabric partitioned at the injection instant: the chunk is lost at
+        // the source port (counted, never notified).
+        ++shard.no_route_drops;
+        ++shard.down_drops;
+        shard.bytes_dropped += bytes;
+        --shard.in_flight_delta;
+        return;
+      }
+      ++shard.rerouted;
+    }
+  }
+  forward(std::make_shared<std::vector<net::Hop>>(std::move(path)), 0, bytes,
+          std::move(on_delivered));
+}
+
+std::uint64_t ShardedFabric::chunks_sent() const {
+  std::uint64_t v = 0;
+  for (const auto& s : shards_) v += s->injected;
+  return v;
+}
+std::uint64_t ShardedFabric::chunks_delivered() const {
+  std::uint64_t v = 0;
+  for (const auto& s : shards_) v += s->delivered;
+  return v;
+}
+std::uint64_t ShardedFabric::chunks_dropped_link_down() const {
+  std::uint64_t v = 0;
+  for (const auto& s : shards_) v += s->down_drops;
+  return v;
+}
+std::uint64_t ShardedFabric::chunks_rerouted() const {
+  std::uint64_t v = 0;
+  for (const auto& s : shards_) v += s->rerouted;
+  return v;
+}
+std::uint64_t ShardedFabric::chunks_no_route() const {
+  std::uint64_t v = 0;
+  for (const auto& s : shards_) v += s->no_route_drops;
+  return v;
+}
+
+void ShardedFabric::audit_drained() const {
+  std::int64_t in_flight = 0;
+  std::uint64_t bytes_in = 0, bytes_out = 0, bytes_lost = 0;
+  for (const auto& s : shards_) {
+    in_flight += s->in_flight_delta;
+    bytes_in += s->bytes_injected;
+    bytes_out += s->bytes_delivered;
+    bytes_lost += s->bytes_dropped;
+  }
+  ICSIM_CHECK(in_flight == 0,
+              "sharded fabric drained with chunks still in flight");
+  ICSIM_CHECK(chunks_sent() == chunks_delivered() + chunks_dropped_link_down(),
+              "sharded fabric chunk conservation: injected != delivered + "
+              "dropped");
+  ICSIM_CHECK(bytes_in == bytes_out + bytes_lost,
+              "sharded fabric byte conservation: injected != delivered + "
+              "dropped");
+}
+
+}  // namespace icsim::par

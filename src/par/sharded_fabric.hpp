@@ -1,0 +1,144 @@
+#pragma once
+// Partition-sharded fat-tree fabric for the parallel engine.
+//
+// Same timing model as net::Fabric — output-queued crossbars, one FIFO
+// serialization resource per directed link, fixed switch pipeline latency,
+// per-MTU header overhead — but every directed link lives in exactly one
+// partition shard (the transmitter side's partition, see partition.hpp) and
+// is served by that shard's private engine.  A chunk flows hop-by-hop; when
+// the next hop's link belongs to another partition the continuation is
+// handed over with ParEngine::post_cross.  The hand-off always carries
+// wire_latency + switch_latency of simulated delay (the wire plus entering
+// the next switch), which is exactly the engine's lookahead: lookahead_of()
+// is the single source of that constant.
+//
+// Differences from net::Fabric, deliberate and documented:
+//   * the delivery callback fires only on successful delivery, in the
+//     *destination's* partition (it may touch destination state only);
+//   * faults are limited to link-down windows evaluated as pure functions
+//     of simulated time (race-free across shards): a blocked default route
+//     is rerouted at injection, a chunk reaching a link inside a down
+//     window mid-flight is dropped and counted, with no notification — the
+//     par collective tier has no retry machinery, so plans that partition
+//     the fabric mid-run deadlock (ParCluster::run detects and throws);
+//   * no BER/corruption draws and no fault hooks: RNG state shared across
+//     shards would be a determinism hazard, so ParCluster rejects plans
+//     that ask for it.
+//
+// All counters are kept per shard (single-writer during the run) and only
+// aggregated by the post-run accessors; audit_drained() checks the same
+// chunk/byte conservation laws as net::Fabric.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "net/fabric.hpp"
+#include "net/topology.hpp"
+#include "par/par_engine.hpp"
+#include "par/partition.hpp"
+#include "sim/resource.hpp"
+#include "sim/time.hpp"
+
+namespace icsim::par {
+
+class ShardedFabric {
+ public:
+  /// `partitioning.parts` must equal `engine.partitions()`.
+  ShardedFabric(ParEngine& engine, const net::FabricConfig& config,
+                int num_nodes, Partitioning partitioning);
+
+  /// The conservative lookahead this fabric supports: the minimum simulated
+  /// delay of any cross-partition hop (wire propagation + entering the next
+  /// switch).  ParEngine must be built with exactly this value.
+  [[nodiscard]] static sim::Time lookahead_of(const net::FabricConfig& config) {
+    return config.wire_latency + config.switch_latency;
+  }
+
+  /// Fires in the destination node's partition when the chunk's last byte
+  /// arrives; must touch destination-partition state only.
+  using DeliveredFn = std::function<void()>;
+
+  /// Inject one chunk of `bytes` payload.  Must be called from event code
+  /// running in src's partition.  Lost chunks (no fully-up route at
+  /// injection, or a link that enters a down window mid-flight) are counted
+  /// but NOT notified — see the header comment.
+  void inject(int src, int dst, std::uint32_t bytes, DeliveredFn on_delivered);
+
+  /// Install the link-down windows (from a fault::FaultPlan).  Windows are
+  /// consulted as pure functions of simulated time by every shard; install
+  /// before the run starts.
+  void set_link_windows(std::vector<fault::LinkDownWindow> windows);
+
+  /// Is the (undirected) cable this hop traverses inside a down window at
+  /// simulated time `t`?
+  [[nodiscard]] bool link_down_at(const net::Hop& hop, sim::Time t) const;
+
+  [[nodiscard]] int num_nodes() const { return num_nodes_; }
+  [[nodiscard]] const net::FatTreeTopology& topology() const { return topo_; }
+  [[nodiscard]] const net::FabricConfig& config() const { return cfg_; }
+  [[nodiscard]] const Partitioning& partitioning() const { return parts_; }
+
+  /// Serialization time of a chunk including per-MTU header overhead
+  /// (identical to net::Fabric::serialization_time).
+  [[nodiscard]] sim::Time serialization_time(std::uint32_t bytes) const;
+
+  // Aggregated counters — call only after ParEngine::run() returned (they
+  // sum per-shard state that is written concurrently during the run).
+  [[nodiscard]] std::uint64_t chunks_sent() const;
+  [[nodiscard]] std::uint64_t chunks_delivered() const;
+  [[nodiscard]] std::uint64_t chunks_dropped_link_down() const;
+  [[nodiscard]] std::uint64_t chunks_rerouted() const;
+  [[nodiscard]] std::uint64_t chunks_no_route() const;
+
+  /// ICSIM_CHECK audit once the engine has drained: chunk and byte
+  /// conservation across all shards, nothing left in flight.
+  void audit_drained() const;
+
+ private:
+  struct DirectedLink {
+    DirectedLink(sim::Engine& e, std::string name, net::Hop h)
+        : tx(e, std::move(name)), hop(h) {}
+    sim::FifoResource tx;
+    net::Hop hop;
+    std::uint64_t forwarded = 0;
+  };
+  /// Per-partition slice: links owned by this partition plus counters.
+  /// Single-writer during the run (only the worker driving the shard's
+  /// engine touches it); aggregated read-only afterwards.
+  struct Shard {
+    std::map<std::uint64_t, std::unique_ptr<DirectedLink>> links;
+    std::uint64_t injected = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t down_drops = 0;
+    std::uint64_t rerouted = 0;
+    std::uint64_t no_route_drops = 0;
+    std::uint64_t bytes_injected = 0;
+    std::uint64_t bytes_delivered = 0;
+    std::uint64_t bytes_dropped = 0;
+    /// +1 at injection (source shard), -1 at the terminal event (whichever
+    /// shard it lands in); the global sum must return to zero at drain.
+    std::int64_t in_flight_delta = 0;
+  };
+
+  [[nodiscard]] std::uint64_t key_of(const net::Hop& hop) const;
+  [[nodiscard]] std::string link_name(const net::Hop& hop) const;
+  [[nodiscard]] std::uint64_t wire_bytes(std::uint32_t bytes) const;
+  DirectedLink& link_for(Shard& shard, const net::Hop& hop);
+  void forward(std::shared_ptr<std::vector<net::Hop>> route, std::size_t index,
+               std::uint32_t bytes, DeliveredFn on_delivered);
+
+  ParEngine& par_;
+  net::FabricConfig cfg_;
+  net::FatTreeTopology topo_;
+  int num_nodes_;
+  Partitioning parts_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<fault::LinkDownWindow> windows_;  ///< immutable during the run
+};
+
+}  // namespace icsim::par

@@ -1,0 +1,35 @@
+#include "sim/concurrency.hpp"
+
+#include <atomic>
+#include <thread>
+
+namespace icsim::sim {
+
+namespace {
+// Host scheduling state, never model-visible (see header).  An atomic is
+// the right discipline: the sweep pool writes it from the main thread while
+// worker threads read it when a scenario builds a parallel engine.
+std::atomic<int> g_external_workers{1};
+}  // namespace
+
+void set_external_workers(int workers) noexcept {
+  g_external_workers.store(workers < 1 ? 1 : workers,
+                           std::memory_order_relaxed);
+}
+
+int external_workers() noexcept {
+  return g_external_workers.load(std::memory_order_relaxed);
+}
+
+int clamp_intra_run_threads(int requested) noexcept {
+  if (requested < 1) requested = 1;
+  const int external = external_workers();
+  if (external <= 1) return requested;
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw < 1) hw = 1;
+  int grant = hw / external;
+  if (grant < 1) grant = 1;
+  return requested < grant ? requested : grant;
+}
+
+}  // namespace icsim::sim

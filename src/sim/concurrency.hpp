@@ -1,0 +1,36 @@
+#pragma once
+// Process-wide host-parallelism bookkeeping — the nested-parallelism guard.
+//
+// Two layers of the system spawn OS threads: the sweep driver's -j worker
+// pool (one simulation per point, src/driver/) and the intra-run parallel
+// engine (partitions of one simulation, src/par/).  Running both at full
+// width multiplies them: a -j8 sweep of scenarios that each ask for 8
+// intra-run threads would put 64 runnable threads on the box.  The sweep
+// pool announces its width here; the parallel engine consults it and clamps
+// its own thread count so the product stays within hardware concurrency.
+//
+// The clamp changes host scheduling only — never simulated results.  The
+// parallel engine's event digest is byte-identical for any thread count
+// (the determinism contract of src/par/), which is precisely what makes a
+// host-dependent clamp admissible: CI diffing sweep outputs across -j and
+// machines never sees it.
+//
+// Host state, deliberately outside the model: values here must never feed
+// simulated time.  The determinism-taint lint pass polices that boundary.
+
+namespace icsim::sim {
+
+/// Announce how many sweep/driver worker threads are currently running
+/// simulations (1 = no external pool).  The sweep runner brackets its pool
+/// with set_external_workers(jobs) / set_external_workers(1).
+void set_external_workers(int workers) noexcept;
+[[nodiscard]] int external_workers() noexcept;
+
+/// Clamp an intra-run thread request against the external pool: with no
+/// pool running, the request is honored as-is (deliberate oversubscription
+/// is how thread-count invariance is tested on small hosts); under a pool
+/// of W workers the grant is min(request, hardware_concurrency / W), and
+/// never less than 1.
+[[nodiscard]] int clamp_intra_run_threads(int requested) noexcept;
+
+}  // namespace icsim::sim

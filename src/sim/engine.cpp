@@ -10,10 +10,12 @@ Time Engine::clamped(Time t) {
   // Under the auditor a past schedule is a modeling bug, not a rounding
   // artifact: fail loudly instead of silently rewriting the timestamp.
   ICSIM_CHECK(t >= now_, "schedule into the simulated past");
-  if (past_clamped_ == nullptr) {
-    past_clamped_ = &tracer_.metrics().counter("sim.schedule_past_clamped");
+  ++past_clamped_count_;
+  if (past_clamped_metric_ == nullptr) {
+    past_clamped_metric_ =
+        &tracer_.metrics().counter("sim.schedule_past_clamped");
   }
-  ++*past_clamped_;
+  *past_clamped_metric_ = past_clamped_count_;
   return now_;
 }
 
@@ -24,14 +26,27 @@ EventHandle Engine::schedule_at(Time t, std::function<void()> fn) {
 }
 
 void Engine::sample_queue_depth() {
-  if (trace_id_ == 0) {
+  if (!trace_id_.has_value()) {
     trace_id_ = tracer_.register_component(trace::Category::engine, "engine");
   }
   const auto t = now_;
-  tracer_.counter(trace::Category::engine, trace_id_, "queue_depth", t,
+  tracer_.counter(trace::Category::engine, *trace_id_, "queue_depth", t,
                   static_cast<double>(queue_.size()));
-  tracer_.counter(trace::Category::engine, trace_id_, "events_processed", t,
+  tracer_.counter(trace::Category::engine, *trace_id_, "events_processed", t,
                   static_cast<double>(processed_));
+}
+
+void Engine::drop_cancelled(Entry&& tombstone) {
+  // A cancelled entry leaves the queue without executing.  Count it: the
+  // events_pending() invariant (scheduled == processed + dropped + pending)
+  // must reconcile across runs that differ only in cancellation timing.
+  (void)tombstone;  // the closure and tombstone die here
+  ++cancelled_dropped_;
+  if (cancelled_dropped_metric_ == nullptr) {
+    cancelled_dropped_metric_ =
+        &tracer_.metrics().counter("sim.cancelled_dropped");
+  }
+  *cancelled_dropped_metric_ = cancelled_dropped_;
 }
 
 bool Engine::step() {
@@ -42,13 +57,21 @@ bool Engine::step() {
     auto& top = const_cast<Entry&>(queue_.top());
     Entry e{top.t, top.seq, std::move(top.fn), std::move(top.alive)};
     queue_.pop();
-    if (e.alive && !*e.alive) continue;  // cancelled
+    if (e.alive && !*e.alive) {  // cancelled
+      drop_cancelled(std::move(e));
+      continue;
+    }
     assert(e.t >= now_);
     ICSIM_CHECK(e.t >= now_, "engine time must be monotonic");
     now_ = e.t;
     ++processed_;
     digest_.fold(static_cast<std::uint64_t>(e.t.picoseconds()));
     digest_.fold(e.seq);
+    // The event is now fired, not pending: flip the tombstone before the
+    // closure runs so handles held across the firing answer pending() with
+    // false and a late cancel() is a no-op (it would otherwise "cancel" an
+    // event that already executed, silently).
+    if (e.alive) *e.alive = false;
     // Periodic self-observation: queue depth + throughput, cheap enough to
     // key off the processed-event count (one branch when tracing is off).
     if (tracer_.enabled() && (processed_ & 1023u) == 0) sample_queue_depth();
@@ -64,18 +87,26 @@ Time Engine::run() {
   return now_;
 }
 
+std::optional<Time> Engine::next_event_time() {
+  while (!queue_.empty()) {
+    const Entry& head = queue_.top();
+    if (head.alive == nullptr || *head.alive) return head.t;
+    auto& top = const_cast<Entry&>(queue_.top());
+    Entry e{top.t, top.seq, std::move(top.fn), std::move(top.alive)};
+    queue_.pop();
+    drop_cancelled(std::move(e));
+  }
+  return std::nullopt;
+}
+
 Time Engine::run_until(Time deadline) {
   for (;;) {
     // Drop cancelled tombstones at the head so the deadline guard below
     // tests the next *live* event.  A dead head with t <= deadline would
     // pass the guard while step() skips it and executes the next live
     // event — which may lie past the deadline.
-    while (!queue_.empty()) {
-      const Entry& head = queue_.top();
-      if (head.alive == nullptr || *head.alive) break;
-      queue_.pop();
-    }
-    if (queue_.empty() || queue_.top().t > deadline) break;
+    const std::optional<Time> next = next_event_time();
+    if (!next.has_value() || *next > deadline) break;
     step();
   }
   if (now_ < deadline && queue_.empty()) {

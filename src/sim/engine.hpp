@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <vector>
 
@@ -29,6 +30,12 @@ namespace icsim::sim {
 /// Handle that lets the scheduler of an event cancel it before it fires.
 /// Cheap to copy; cancellation is a tombstone (the queue entry stays until
 /// its time arrives and is then dropped).
+///
+/// Lifecycle: pending() is true from schedule until the event either fires
+/// or is cancelled.  The engine flips the tombstone *before* invoking the
+/// event's closure, so a handle held across the firing reports the event as
+/// no longer pending, and a late cancel() is a no-op instead of silently
+/// "cancelling" something that already ran.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -85,6 +92,22 @@ class Engine {
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
   [[nodiscard]] std::size_t events_pending() const { return queue_.size(); }
 
+  /// Cancelled events dropped from the queue without executing — whether
+  /// skipped by step() when their time arrived or drained from the head by
+  /// run_until()'s deadline guard.  Queue-depth accounting must satisfy
+  /// scheduled == processed + cancelled_dropped + pending; surfacing the
+  /// middle term keeps otherwise-identical runs that differ only in
+  /// cancellation timing reconcilable.  Published as "sim.cancelled_dropped".
+  [[nodiscard]] std::uint64_t events_cancelled_dropped() const {
+    return cancelled_dropped_;
+  }
+
+  /// Timestamp of the next live (non-tombstoned) event, or nullopt when the
+  /// queue is drained.  Tombstones found at the head are dropped and counted
+  /// exactly as run_until()'s drain does.  The parallel engine uses this to
+  /// compute the next barrier window across partitions.
+  [[nodiscard]] std::optional<Time> next_event_time();
+
   /// FNV-1a fingerprint of the executed event stream: (timestamp, sequence)
   /// of every event, folded in execution order.  Two runs of the same
   /// workload with the same seed must agree — the determinism contract
@@ -96,7 +119,7 @@ class Engine {
   /// "sim.schedule_past_clamped".  A nonzero count usually means a model
   /// component computed a timestamp from stale state.
   [[nodiscard]] std::uint64_t past_schedules_clamped() const {
-    return past_clamped_ != nullptr ? *past_clamped_ : 0;
+    return past_clamped_count_;
   }
 
   /// Tracing & metrics attached to this engine (see trace/trace.hpp for
@@ -121,6 +144,7 @@ class Engine {
   bool step();
   [[nodiscard]] Time clamped(Time t);
   void sample_queue_depth();
+  void drop_cancelled(Entry&& tombstone);
 
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
   Time now_ = Time::zero();
@@ -128,8 +152,16 @@ class Engine {
   std::uint64_t processed_ = 0;
   check::Fnv1a digest_;
   trace::Tracer tracer_;
-  std::uint64_t* past_clamped_ = nullptr;  ///< lazily bound metrics counter
-  std::uint32_t trace_id_ = 0;             ///< lazily registered component
+  // Counters are plain members — the engine itself is the source of truth.
+  // The metrics-registry mirrors are bound lazily below, with explicit
+  // "bound yet?" state (std::optional / nullable mirror pointer) instead of
+  // zero-value sentinels: a registry id of 0 or an unbound mirror must never
+  // be confusable with "counter is zero" or "not registered yet".
+  std::uint64_t past_clamped_count_ = 0;
+  std::uint64_t cancelled_dropped_ = 0;
+  std::uint64_t* past_clamped_metric_ = nullptr;   ///< mirror into metrics
+  std::uint64_t* cancelled_dropped_metric_ = nullptr;
+  std::optional<std::uint32_t> trace_id_;  ///< registered trace component
 };
 
 }  // namespace icsim::sim

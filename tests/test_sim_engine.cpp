@@ -3,9 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "trace/sink.hpp"
 
 namespace icsim::sim {
 namespace {
@@ -192,6 +194,99 @@ TEST(Engine, RunUntilDrainsConsecutiveTombstones) {
   e.run_until(Time::us(5));
   EXPECT_EQ(fired, 1);  // only the live event inside the window
   EXPECT_EQ(e.now(), Time::us(5));
+}
+
+TEST(Engine, PendingFlipsFalseWhenTheEventFires) {
+  // Regression: the tombstone used to stay true forever after the event
+  // executed, so pending() lied and a late cancel() "cancelled" an event
+  // that had already run.
+  Engine e;
+  EventHandle h;
+  bool pending_inside = true;
+  h = e.schedule_at(Time::us(1), [&] { pending_inside = h.pending(); });
+  EXPECT_TRUE(h.pending());
+  e.run();
+  EXPECT_FALSE(pending_inside);  // already not-pending while the closure runs
+  EXPECT_FALSE(h.pending());
+  // A late cancel is a no-op: nothing left to drop, nothing counted.
+  h.cancel();
+  e.schedule_at(Time::us(2), [] {});
+  e.run();
+  EXPECT_EQ(e.events_cancelled_dropped(), 0u);
+}
+
+TEST(Engine, CancelledDropsAreCountedOnBothDrainPaths) {
+  Engine e;
+  // Path 1: step() reaches the tombstone when its time arrives.
+  EventHandle a = e.schedule_at(Time::us(1), [] {});
+  a.cancel();
+  e.schedule_at(Time::us(2), [] {});
+  e.run();
+  EXPECT_EQ(e.events_cancelled_dropped(), 1u);
+  // Path 2: run_until()'s deadline guard drains tombstoned heads.
+  EventHandle b = e.schedule_at(Time::us(3), [] {});
+  EventHandle c = e.schedule_at(Time::us(4), [] {});
+  b.cancel();
+  c.cancel();
+  e.run_until(Time::us(10));
+  EXPECT_EQ(e.events_cancelled_dropped(), 3u);
+  // The metrics registry mirrors the authoritative member.
+  EXPECT_EQ(e.tracer().metrics().counter("sim.cancelled_dropped"), 3u);
+  // Accounting reconciles: scheduled == processed + dropped + pending.
+  EXPECT_EQ(e.events_processed() + e.events_cancelled_dropped(), 4u);
+  EXPECT_EQ(e.events_pending(), 0u);
+}
+
+TEST(Engine, NextEventTimeSkipsAndCountsTombstones) {
+  Engine e;
+  EventHandle dead = e.schedule_at(Time::us(1), [] {});
+  e.schedule_at(Time::us(5), [] {});
+  dead.cancel();
+  const std::optional<Time> next = e.next_event_time();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(*next, Time::us(5));
+  EXPECT_EQ(e.events_cancelled_dropped(), 1u);
+  e.run();
+  EXPECT_FALSE(e.next_event_time().has_value());
+}
+
+TEST(Engine, QueueDepthSamplingRegistersOneEngineComponent) {
+  // Regression: sample_queue_depth() used a component id of 0 as "not
+  // registered yet", but register_component legitimately hands out ids
+  // starting at 1 — the sentinel scheme re-registered "engine" every 1024
+  // events once anything else had claimed an id.  The bound state is now an
+  // explicit std::optional.
+  Engine e;
+  trace::RingBufferSink sink(1 << 12);
+  e.tracer().enable(sink);
+  for (int i = 0; i < 3000; ++i) {
+    e.post_at(Time::ns(i), [] {});  // crosses the 1024-event sample mark 2x
+  }
+  e.run();
+  int engine_components = 0;
+  for (const auto& c : e.tracer().components()) {
+    if (c.name == "engine") ++engine_components;
+  }
+  EXPECT_EQ(engine_components, 1);
+  e.tracer().disable();
+}
+
+TEST(Engine, PastClampCountSurvivesLazyMetricBinding) {
+  // Regression: the clamp counter lived only in the metrics registry behind
+  // a zero-value sentinel id, so counts before the lazy bind (or a
+  // legitimately-zero binding) were conflated with "not bound yet".
+  const bool was = check::enabled();
+  check::set_enabled(false);
+  Engine e;
+  e.post_at(Time::us(5), [] {});
+  e.run();
+  EXPECT_EQ(e.past_schedules_clamped(), 0u);
+  e.post_at(Time::us(1), [] {});  // 4 us in the past: clamped to now
+  e.post_at(Time::us(2), [] {});
+  e.run();
+  EXPECT_EQ(e.past_schedules_clamped(), 2u);
+  EXPECT_EQ(e.tracer().metrics().counter("sim.schedule_past_clamped"), 2u);
+  check::set_enabled(was);
 }
 
 }  // namespace

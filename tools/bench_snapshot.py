@@ -35,6 +35,7 @@ SWEEP_GROUPS = [
     "fig6_npb_cg",
     "replay",
     "traffic",
+    "fig8_simulated",
 ]
 JOBS = 1  # single-threaded: measures the simulator, not the thread pool
 
@@ -80,6 +81,9 @@ def main():
     env = dict(os.environ)
     env["ICSIM_FAST"] = "1"  # pinned: the fast problem sizes
     env.pop("ICSIM_CHECK", None)  # invariant auditing would skew wall time
+    # Pin the parallel engine's worker count to the scenarios' configured
+    # value (simulated results are thread-count invariant, wall time is not).
+    env.pop("ICSIM_PAR_THREADS", None)
 
     runs = [run_once(args.sweep, SWEEP_GROUPS, env)
             for _ in range(args.runs)]
