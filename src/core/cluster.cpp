@@ -367,8 +367,12 @@ sim::Time Cluster::run(const std::function<void(mpi::Mpi&)>& rank_main) {
   int finished = 0;
   for (int r = 0; r < nranks; ++r) {
     mpi::Mpi& m = *mpis_[static_cast<std::size_t>(r)];
-    fibers.push_back(std::make_unique<sim::Fiber>([this, &m, &rank_main,
-                                                   &finished] {
+    // The fiber bodies run to completion inside engine_.run() below, so the
+    // by-ref captures cannot outlive this frame (the deadlock check proves
+    // every fiber finished before we return).
+    fibers.push_back(std::make_unique<sim::Fiber>(
+        // icsim-lint: allow(closure-lifetime)
+        [this, &m, &rank_main, &finished] {
       if (cfg_.charge_init && init_cost_ > sim::Time::zero()) {
         sim::sleep_for(engine_, init_cost_);
       }

@@ -58,8 +58,11 @@ void FaultInjector::install(net::Fabric& fabric) {
   }
 
   for (const LinkDownWindow& w : plan_.link_windows) {
-    engine_.post_at(w.down, [this, &fabric, link = w.link] {
-      set_link_state(fabric, link, /*up=*/false);
+    // Pointer init-captures: a post_at closure outlives this frame, so it
+    // must not alias the `fabric` reference slot (closure-lifetime rule).
+    // The fabric itself is owned by the cluster and outlives the run.
+    engine_.post_at(w.down, [this, fab = &fabric, link = w.link] {
+      set_link_state(*fab, link, /*up=*/false);
       ++downs_;
       ICSIM_TRACE_WITH(engine_, tr) {
         if (trace_id_ == 0) {
@@ -70,8 +73,8 @@ void FaultInjector::install(net::Fabric& fabric) {
       }
     });
     if (w.up > w.down) {
-      engine_.post_at(w.up, [this, &fabric, link = w.link] {
-        set_link_state(fabric, link, /*up=*/true);
+      engine_.post_at(w.up, [this, fab = &fabric, link = w.link] {
+        set_link_state(*fab, link, /*up=*/true);
         ++ups_;
         ICSIM_TRACE_WITH(engine_, tr) {
           if (trace_id_ == 0) {

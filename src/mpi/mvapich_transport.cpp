@@ -467,14 +467,14 @@ void MvapichTransport::wait(RequestState& req) {
     if (!req.complete) {
       if (watchdog) {
         sim::EventHandle wd =
-            engine_.schedule_in(cfg_.watchdog_timeout, [this, &req] {
-              if (!req.complete) {
+            engine_.schedule_in(cfg_.watchdog_timeout, [this, rp = &req] {
+              if (!rp->complete) {
                 ++watchdog_timeouts_;
-                req.fail();
+                rp->fail();
               }
             });
         req.trigger.wait();
-        wd.cancel();  // immediate cancel keeps the &req capture safe
+        wd.cancel();  // immediate cancel keeps the aliased request safe
       } else {
         req.trigger.wait();
       }

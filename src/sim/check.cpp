@@ -13,6 +13,9 @@ bool env_enabled() {
 }
 
 bool& state() {
+  // Read once from the environment and only ever toggled by tests before
+  // any engine runs; the sweep workers treat it as effectively const.
+  // icsim-lint: allow(parallel-purity)
   static bool on = env_enabled();
   return on;
 }

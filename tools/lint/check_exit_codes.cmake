@@ -94,3 +94,48 @@ if(NOT sarif MATCHES "\"ruleId\"")
   message(FATAL_ERROR "SARIF log carries no results")
 endif()
 message(STATUS "sarif smoke: ok")
+
+# 1 — the closure-lifetime and cross-shard-conformance fixtures must fail
+# with exactly 1 (findings, not analyzer breakage).
+foreach(fixture closure_uaf.cc closure_cancel.cc par_cross_write.cc
+        lock_unguarded.cc)
+  execute_process(COMMAND "${LINT}" "${TESTDATA}/${fixture}"
+                  RESULT_VARIABLE r OUTPUT_QUIET ERROR_QUIET)
+  expect_exit(1 "${r}" "${fixture}")
+endforeach()
+
+# 0 — their near-miss counterparts stay clean.
+foreach(fixture closure_clean.cc par_cross_clean.cc)
+  execute_process(COMMAND "${LINT}" "${TESTDATA}/${fixture}"
+                  RESULT_VARIABLE r OUTPUT_QUIET ERROR_QUIET)
+  expect_exit(0 "${r}" "${fixture}")
+endforeach()
+
+# Manifest ratchet: a freshly generated manifest passes --manifest-check,
+# a tampered copy is drift (exit 1), and a missing file is an IO error
+# (exit 2) — staleness must not masquerade as analyzer breakage or
+# vice versa.
+execute_process(COMMAND "${LINT}" --manifest "${WORKDIR}/ratchet_manifest.json"
+                        "${TESTDATA}/partition_clean.cc"
+                RESULT_VARIABLE r OUTPUT_QUIET ERROR_QUIET)
+expect_exit(0 "${r}" "ratchet manifest write")
+execute_process(COMMAND "${LINT}" --manifest-check
+                        "${WORKDIR}/ratchet_manifest.json"
+                        "${TESTDATA}/partition_clean.cc"
+                RESULT_VARIABLE r OUTPUT_QUIET ERROR_QUIET)
+expect_exit(0 "${r}" "manifest-check fresh")
+file(READ "${WORKDIR}/ratchet_manifest.json" ratchet)
+string(REPLACE "\"classification\": \"lock\"" "\"classification\": \"shard\""
+       ratchet "${ratchet}")
+file(WRITE "${WORKDIR}/ratchet_stale.json" "${ratchet}")
+execute_process(COMMAND "${LINT}" --manifest-check
+                        "${WORKDIR}/ratchet_stale.json"
+                        "${TESTDATA}/partition_clean.cc"
+                RESULT_VARIABLE r OUTPUT_QUIET ERROR_QUIET)
+expect_exit(1 "${r}" "manifest-check stale")
+execute_process(COMMAND "${LINT}" --manifest-check
+                        "${WORKDIR}/ratchet_missing.json"
+                        "${TESTDATA}/partition_clean.cc"
+                RESULT_VARIABLE r OUTPUT_QUIET ERROR_QUIET)
+expect_exit(2 "${r}" "manifest-check missing file")
+message(STATUS "manifest ratchet: ok")

@@ -297,7 +297,14 @@ void shared_state_pass(const Project& project, const Reachability& reach,
               site.call_path = path;
             }
             site.reachable = true;
-            if (cls != PartitionClass::lock) {
+            // In the partitioned tier a shard-classified site written
+            // through a single executing-partition subscript IS the
+            // per-partition instance realized; cross-shard-conformance
+            // polices the index, so the blanket finding would be noise.
+            const bool sharded_access =
+                cls == PartitionClass::shard && partition_tier(tu.file) &&
+                write_index_shape(tu, w) == IndexShape::simple;
+            if (cls != PartitionClass::lock && !sharded_access) {
               report(diags, tu, w.line, "shared-state", v.name,
                      "'" + v.name + "' (" + var_kind(v) + ", " +
                          basename_of(sv.tu->file) + ":" +

@@ -67,6 +67,14 @@ const std::vector<RuleInfo>& rule_catalog() {
        "Host-nondeterministic values (pointer casts, pointer hashes, host "
        "clocks, unordered iteration, uninitialized reads) must not flow into "
        "simulated-time sinks"},
+      {"closure-lifetime",
+       "Closures deferred via post/schedule/post_cross/acquire/fiber spawn "
+       "must not capture the enclosing frame by reference; this-captures at "
+       "cancellable sinks need same-frame or destructor cancellation"},
+      {"cross-shard-conformance",
+       "Shard-classified state must be indexed by the executing partition, "
+       "mutex-disciplined sites written only under their guard, and every "
+       "post_cross delay must trace to the lookahead constant"},
   };
   return catalog;
 }
@@ -110,6 +118,7 @@ struct Options {
   std::string write_baseline_path;
   std::string sarif_path;
   std::string manifest_path;
+  std::string manifest_check_path;
   std::string root;
   bool explain_blocking = false;
 };
@@ -123,6 +132,8 @@ int usage(std::ostream& os, int code) {
         "  --manifest FILE        emit partition-manifest.json (the certified\n"
         "                         shard/lock/forbid inventory of shared-mutable\n"
         "                         state; consumed by the parallel DES work)\n"
+        "  --manifest-check FILE  regenerate the manifest in-memory and exit 1\n"
+        "                         if the committed FILE is stale (drift gate)\n"
         "  --root DIR             repo root for relative SARIF paths\n"
         "  --list-rules           print the rule catalog and exit\n"
         "Suppress inline with: // icsim-lint: allow(<rule>)\n"
@@ -170,6 +181,12 @@ int run(int argc, char** argv) {
       const char* v = value("--manifest");
       if (v == nullptr) return 2;
       opt.manifest_path = v;
+      continue;
+    }
+    if (arg == "--manifest-check") {
+      const char* v = value("--manifest-check");
+      if (v == nullptr) return 2;
+      opt.manifest_check_path = v;
       continue;
     }
     if (arg == "--explain-blocking") {
@@ -263,10 +280,14 @@ int run(int argc, char** argv) {
     run_legacy_rules(tu, header_vars, diags);
     run_model_rules(tu, project, diags);
   }
-  // Interprocedural partition-safety passes (shared-state +
-  // determinism-taint) run once over the whole project.
+  // Interprocedural passes run once over the whole project: shared-state +
+  // determinism-taint (PR 8), then closure-lifetime and
+  // cross-shard-conformance (the latter consumes the manifest the
+  // shared-state pass just classified).
   std::vector<ManifestSite> manifest;
   run_partition_rules(project, diags, manifest);
+  run_closure_rules(project, diags);
+  run_conformance_rules(project, manifest, diags);
   std::sort(diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
     if (a.file != b.file) return a.file < b.file;
     if (a.line != b.line) return a.line < b.line;
@@ -333,6 +354,29 @@ int run(int argc, char** argv) {
                 << " to " << opt.manifest_path << "\n";
     }
   }
+  // Drift gate: the committed manifest must byte-match what this scan would
+  // regenerate, so the shard/lock/forbid contract ratchets with the code.
+  bool manifest_stale = false;
+  if (!opt.manifest_check_path.empty()) {
+    std::string committed;
+    if (!slurp(opt.manifest_check_path, committed)) {
+      std::cerr << "icsim_lint: cannot read manifest "
+                << opt.manifest_check_path << "\n";
+      return 2;
+    }
+    if (committed != manifest_json(manifest, root)) {
+      manifest_stale = true;
+      std::cerr << "icsim_lint: manifest drift: " << opt.manifest_check_path
+                << " is stale (scan found " << manifest.size()
+                << " shared-mutable site" << (manifest.size() == 1 ? "" : "s")
+                << "); regenerate with --manifest " << opt.manifest_check_path
+                << " --root <repo-root> and commit the result\n";
+    } else {
+      std::cerr << "icsim_lint: manifest " << opt.manifest_check_path
+                << " is up to date (" << manifest.size() << " site"
+                << (manifest.size() == 1 ? "" : "s") << ")\n";
+    }
+  }
 
   if (open != 0 || accepted != 0) {
     std::cout << "icsim_lint: " << open << " finding" << (open == 1 ? "" : "s")
@@ -340,7 +384,7 @@ int run(int argc, char** argv) {
               << " file" << (project.tus.size() == 1 ? "" : "s") << "\n";
   }
   if (io_error) return 2;
-  return open != 0 ? 1 : 0;
+  return open != 0 || manifest_stale ? 1 : 0;
 }
 
 }  // namespace icsim_lint

@@ -134,11 +134,9 @@ bool write_baseline(const std::string& path,
   return static_cast<bool>(out);
 }
 
-bool write_manifest(const std::string& path,
-                    const std::vector<ManifestSite>& sites,
-                    const std::string& root) {
-  std::ofstream out(path);
-  if (!out) return false;
+std::string manifest_json(const std::vector<ManifestSite>& sites,
+                          const std::string& root) {
+  std::ostringstream out;
   std::size_t shard = 0, lock = 0, forbid = 0;
   for (const auto& s : sites) {
     if (s.cls == PartitionClass::shard) ++shard;
@@ -175,6 +173,15 @@ bool write_manifest(const std::string& path,
   }
   out << "  ]\n"
          "}\n";
+  return out.str();
+}
+
+bool write_manifest(const std::string& path,
+                    const std::vector<ManifestSite>& sites,
+                    const std::string& root) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << manifest_json(sites, root);
   return static_cast<bool>(out);
 }
 

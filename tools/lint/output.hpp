@@ -46,10 +46,16 @@ bool write_baseline(const std::string& path,
 bool write_sarif(const std::string& path, const std::vector<Diagnostic>& diags,
                  const std::string& root);
 
-/// Write partition-manifest.json: the certified inventory of every
+/// Serialize partition-manifest.json: the certified inventory of every
 /// shared-mutable site with its shard/lock/forbid classification and the
 /// call path from an event/fiber entry point (docs/MODEL.md §13 has the
 /// schema).  Paths are emitted relative to `root` when they live under it.
+/// Byte-stable for a given source tree — the --manifest-check drift gate
+/// compares the committed file against this string.
+std::string manifest_json(const std::vector<ManifestSite>& sites,
+                          const std::string& root);
+
+/// Write manifest_json() to `path`.
 bool write_manifest(const std::string& path,
                     const std::vector<ManifestSite>& sites,
                     const std::string& root);

@@ -86,4 +86,35 @@ struct ManifestSite {
 void run_partition_rules(const Project& project, std::vector<Diagnostic>& diags,
                          std::vector<ManifestSite>& manifest);
 
+/// Closure-lifetime pass (closure_lifetime.cpp): classify every capture of
+/// every lambda flowing into a deferred-execution sink (Engine::post_at /
+/// post_in / schedule_at / schedule_in, ParEngine::post_cross, resource
+/// acquire callbacks, fiber spawn).  By-reference capture of an enclosing
+/// frame variable is an error (the DES use-after-free class); a raw `this`
+/// capture at a cancellable sink needs same-frame or destructor
+/// cancellation; by-value captures are clean (docs/MODEL.md §15).
+void run_closure_rules(const Project& project, std::vector<Diagnostic>& diags);
+
+/// True when `file` belongs to the partitioned tier — src/par/ sources and
+/// par_*-named fixtures — where sharded-by-index access to shard-classified
+/// state is legal and policed by cross-shard-conformance.
+[[nodiscard]] bool partition_tier(const std::string& file);
+
+/// Shape of the subscript on a write site: `none` (unsubscripted), `simple`
+/// (a single identifier or member chain, modulo casts/parens — the
+/// executing-partition idiom), or `compound` (arithmetic on the index — a
+/// cross-partition reach).
+enum class IndexShape { none, simple, compound };
+[[nodiscard]] IndexShape write_index_shape(const TranslationUnit& tu,
+                                           const WriteSite& w);
+
+/// Cross-shard-conformance pass (cross_shard.cpp): every write to a
+/// shard-classified manifest site in the partitioned tier must be indexed by
+/// the executing partition; every mutex-disciplined site must be written
+/// only under its guarding mutex (guarded-by inference over the call
+/// graph); and every post_cross delay must trace to the lookahead constant.
+void run_conformance_rules(const Project& project,
+                           const std::vector<ManifestSite>& manifest,
+                           std::vector<Diagnostic>& diags);
+
 }  // namespace icsim_lint

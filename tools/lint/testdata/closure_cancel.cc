@@ -1,0 +1,35 @@
+// Detection fixture for the closure-lifetime this-capture rule: a
+// cancellable event (schedule_at / schedule_in returns an EventHandle)
+// armed with `this` but never cancelled — destroying the owner leaves a
+// live event holding a dangling this.  The clean counterparts (same-frame
+// cancel, destructor cancel) live in closure_clean.cc.  Never compiled —
+// it exists for the `lint_detects_closure_cancel` ctest case.
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace fixture {
+
+class Retry {
+ public:
+  void arm(icsim::sim::Engine& engine);
+  void arm_implicit(icsim::sim::Engine& engine, icsim::sim::Time deadline);
+
+ private:
+  void fire();
+  int attempts_ = 0;
+};
+
+// [this] into schedule_in, handle discarded, no ~Retry() anywhere: nothing
+// ties the event's lifetime to the object's.
+void Retry::arm(icsim::sim::Engine& engine) {
+  engine.schedule_in(icsim::sim::Time::us(5), [this] { fire(); });
+}
+
+// [=] in a member function captures `this` implicitly — same hazard, one
+// token harder to see in review.
+void Retry::arm_implicit(icsim::sim::Engine& engine,
+                         icsim::sim::Time deadline) {
+  engine.schedule_at(deadline, [=] { fire(); });
+}
+
+}  // namespace fixture

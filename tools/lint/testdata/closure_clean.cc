@@ -1,0 +1,83 @@
+// Near-miss fixture for the closure-lifetime pass: every sanctioned idiom
+// adjacent to the closure_uaf.cc / closure_cancel.cc shapes, all of which
+// must scan clean (exit 0).  Exercised by
+// `lint_closure_clean_fixture_passes`.
+#include <cstdint>
+#include <utility>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace fixture {
+
+struct Request {
+  bool complete;
+  void finish();
+};
+
+// By-value capture: the closure owns its copy of the frame state.
+void arm_value(icsim::sim::Engine& engine, int budget) {
+  int snapshot = budget;
+  engine.post_in(icsim::sim::Time::us(1), [snapshot] { (void)snapshot; });
+}
+
+// [rp = &req] where `req` is a reference parameter: the pointer targets the
+// caller-owned referent, not this frame — the sanctioned fix idiom for the
+// watchdog shape (the arming frame cancels or outlives it by contract).
+void arm_watchdog(icsim::sim::Engine& engine, Request& req) {
+  icsim::sim::EventHandle wd =
+      engine.schedule_in(icsim::sim::Time::us(9), [rp = &req] {
+        if (!rp->complete) rp->finish();
+      });
+  wd.cancel();
+}
+
+// A named by-value lambda moved into the sink later in the body.
+void arm_named(icsim::sim::Engine& engine, std::uint64_t bytes) {
+  auto done = [bytes] { (void)bytes; };
+  engine.post_in(icsim::sim::Time::us(3), std::move(done));
+}
+
+class Pump {
+ public:
+  void kick(icsim::sim::Engine& engine);
+  void probe(icsim::sim::Engine& engine, icsim::sim::Time deadline);
+
+ private:
+  void drain();
+  int level_ = 0;
+};
+
+// [this] at a fire-and-forget sink: ownership convention — handler objects
+// outlive the queue drain (clean.cc exercises the same shape inline).
+void Pump::kick(icsim::sim::Engine& engine) {
+  engine.post_in(icsim::sim::Time::us(2), [this] { drain(); });
+}
+
+// [this] at a cancellable sink, but the arming frame keeps the handle and
+// cancels it before returning.
+void Pump::probe(icsim::sim::Engine& engine, icsim::sim::Time deadline) {
+  icsim::sim::EventHandle h = engine.schedule_at(deadline, [this] { drain(); });
+  drain();
+  h.cancel();
+}
+
+class Watchdog {
+ public:
+  ~Watchdog();
+  void arm(icsim::sim::Engine& engine);
+
+ private:
+  void expire();
+  icsim::sim::EventHandle handle_;
+};
+
+// [this] at a cancellable sink with the handle stored on the owner: the
+// destructor-cancel pairing ties the event's lifetime to the object's.
+void Watchdog::arm(icsim::sim::Engine& engine) {
+  handle_ = engine.schedule_in(icsim::sim::Time::us(50), [this] { expire(); });
+}
+
+Watchdog::~Watchdog() { handle_.cancel(); }
+
+}  // namespace fixture

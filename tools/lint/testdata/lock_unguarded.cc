@@ -1,0 +1,35 @@
+// Detection fixture for the guarded-by inference in the
+// cross-shard-conformance pass: two writers of the same shared counter, one
+// takes the adjacent mutex, the other races.  The inferred guard
+// (`g_stats_mu`, because an actual writer locks it) makes the unguarded
+// writer a finding — the lock classification in the manifest would be
+// unsound.  The clean counterpart (caller-holds-the-lock) lives in
+// partition_clean.cc.  Never compiled — exists for
+// `lint_detects_unguarded_write`.
+#include <cstdint>
+#include <mutex>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace fixture {
+
+std::mutex g_stats_mu;
+std::uint64_t g_total_bytes = 0;
+
+void account_locked(std::uint64_t n) {
+  std::lock_guard<std::mutex> lk(g_stats_mu);
+  g_total_bytes += n;
+}
+
+// Same site, no lock: the racy writer the inference must catch.
+void account_racy(std::uint64_t n) {
+  g_total_bytes += n;
+}
+
+void arm(icsim::sim::Engine& engine) {
+  engine.post_in(icsim::sim::Time::us(2), [] { account_locked(64); });
+  engine.post_in(icsim::sim::Time::us(3), [] { account_racy(64); });
+}
+
+}  // namespace fixture

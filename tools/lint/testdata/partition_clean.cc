@@ -27,6 +27,22 @@ class Meter {
   }
 };
 
+// Guarded-by inference clean counterpart to lock_unguarded.cc: the helper
+// never locks g_audit_mutex itself, but its only caller holds the lock
+// across the call — the caller-holds fixpoint in cross-shard-conformance
+// must mark it guarded, not racy.
+std::mutex g_audit_mutex;
+// icsim-lint: allow(parallel-purity)
+long g_audit_rows = 0;
+
+void audit_append_held(long n) { g_audit_rows += n; }
+
+void audit_append(long n) {
+  std::lock_guard<std::mutex> lk(g_audit_mutex);
+  g_audit_rows += 1;
+  audit_append_held(n - 1);
+}
+
 // The PR 4 fix shape: the registration cache keyed by the deterministic
 // logical envelope id, so hit/miss — and the charged latency — is a pure
 // function of the scenario.  Same control flow as TaintedRegCache, but no

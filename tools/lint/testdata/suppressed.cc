@@ -19,6 +19,7 @@ class Knobs {
   void set_timeout(std::int64_t timeout_us);
 
   void arm(icsim::sim::Engine& engine, icsim::sim::Time t) {
+    // icsim-lint: allow(closure-lifetime)
     engine.post_in(t, [this, &engine, t] {
       // icsim-lint: allow(blocking-context)
       icsim::sim::sleep_for(engine, t);
